@@ -1,0 +1,46 @@
+//! # pim-bench
+//!
+//! The figure/table regeneration harness: one binary per figure of the
+//! paper's evaluation (`fig05_utilization` … `fig16_bytes_read`,
+//! `exp_mmu_overhead`, `exp_sim_rate`), plus criterion micro-benchmarks.
+//!
+//! Every binary accepts `--size tiny|single|multi` (default `single`, the
+//! paper's single-DPU Table II datasets) so the full regeneration can be
+//! smoke-tested quickly with `--size tiny`.
+
+use prim_suite::DatasetSize;
+
+/// Parses the common `--size` argument from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown size.
+#[must_use]
+pub fn parse_size_arg(default: DatasetSize) -> DatasetSize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--size" {
+            let v = args.next().unwrap_or_default();
+            return match v.as_str() {
+                "tiny" => DatasetSize::Tiny,
+                "single" => DatasetSize::SingleDpu,
+                "multi" => DatasetSize::MultiDpu,
+                other => panic!("unknown --size `{other}` (expected tiny|single|multi)"),
+            };
+        }
+    }
+    default
+}
+
+/// The thread counts the paper sweeps (shown as 1/4/16 in the figures).
+pub const PAPER_THREADS: [u32; 3] = [1, 4, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_size_passes_through() {
+        assert_eq!(parse_size_arg(DatasetSize::Tiny), DatasetSize::Tiny);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property test: the cache's hit/miss decisions match a naive LRU oracle.
+
+use std::collections::HashMap;
+
+use pim_cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// A trivially correct set-associative LRU model: per set, an ordered list
+/// of resident line tags, most recent last.
+struct Oracle {
+    cfg: CacheConfig,
+    sets: HashMap<u32, Vec<u32>>,
+}
+
+impl Oracle {
+    fn new(cfg: CacheConfig) -> Self {
+        Oracle { cfg, sets: HashMap::new() }
+    }
+
+    fn access(&mut self, addr: u32) -> bool {
+        let line = addr / self.cfg.line_bytes;
+        let set = line % self.cfg.sets();
+        let tag = line / self.cfg.sets();
+        let list = self.sets.entry(set).or_default();
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            list.remove(pos);
+            list.push(tag);
+            true
+        } else {
+            if list.len() == self.cfg.ways as usize {
+                list.remove(0);
+            }
+            list.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn hits_and_misses_match_oracle(
+        addrs in prop::collection::vec(0u32..1 << 16, 1..500),
+        writes in prop::collection::vec(any::<bool>(), 500),
+    ) {
+        let cfg = CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64, hashed_index: false };
+        let mut cache = Cache::new(cfg);
+        let mut oracle = Oracle::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let expected = oracle.access(a);
+            let got = cache.access(a, writes[i % writes.len()]).hit;
+            prop_assert_eq!(got, expected, "divergence at access {} (addr {:#x})", i, a);
+        }
+        prop_assert_eq!(
+            cache.stats().accesses(),
+            addrs.len() as u64
+        );
+    }
+
+    #[test]
+    fn fill_is_reported_iff_miss(addrs in prop::collection::vec(0u32..1 << 14, 1..200)) {
+        let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 32, hashed_index: false };
+        let mut cache = Cache::new(cfg);
+        for &a in &addrs {
+            let out = cache.access(a, false);
+            prop_assert_eq!(out.hit, out.fill_line.is_none());
+            if let Some(line) = out.fill_line {
+                prop_assert_eq!(line, cfg.line_addr(a));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Under hashed indexing, every reported writeback address must be a
+    /// line that was previously written and still resident — i.e. the
+    /// (tag, hashed-set) → address inversion is exact.
+    #[test]
+    fn hashed_writeback_addresses_are_previously_written_lines(
+        addrs in prop::collection::vec(0u32..1 << 16, 1..400),
+        writes in prop::collection::vec(any::<bool>(), 400),
+    ) {
+        let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, hashed_index: true };
+        let mut cache = Cache::new(cfg);
+        let mut dirty: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let w = writes[i % writes.len()];
+            let out = cache.access(a, w);
+            if let Some(wb) = out.writeback_line {
+                prop_assert_eq!(wb % cfg.line_bytes, 0, "writeback must be line-aligned");
+                prop_assert!(
+                    dirty.remove(&wb),
+                    "writeback {:#x} was never dirtied (access {} addr {:#x})",
+                    wb, i, a
+                );
+            }
+            if w {
+                dirty.insert(cfg.line_addr(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! `pimsim` — the command-line front door to the simulator.
+//!
+//! ```text
+//! pimsim asm    <file.s>                     check/assemble, print footprint
+//! pimsim disasm <file.s>                     assemble then disassemble
+//! pimsim run    <file.s> [options]           assemble and simulate
+//!     --tasklets N     tasklets to launch (default 16)
+//!     --trace N        print the first N issued instructions
+//!     --cache          cache-centric memory model (§V-D)
+//!     --mmu            MMU in front of MRAM (§V-C)
+//!     --ilp DRSF       any subset of the Fig 12 features
+//! ```
+
+use std::process::ExitCode;
+
+use pim_asm::{assemble, disassemble};
+use pim_dpu::{Dpu, DpuConfig, IlpFeatures};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pimsim asm    <file.s>\n  pimsim disasm <file.s>\n  pimsim run    <file.s> \
+         [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pimsim: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pimsim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "asm" => {
+            println!(
+                "{path}: {} instructions ({} B of IRAM), {} B of WRAM data, {} symbols",
+                program.instrs.len(),
+                program.iram_bytes(),
+                program.wram_init.len(),
+                program.symbols.len()
+            );
+            for (name, sym) in &program.symbols {
+                println!("  {name:<24} {}@{:#x} ({} B)", sym.space, sym.addr, sym.size);
+            }
+            ExitCode::SUCCESS
+        }
+        "disasm" => {
+            print!("{}", disassemble(&program));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let mut tasklets = 16u32;
+            let mut trace = 0usize;
+            let mut cfg_mods: Vec<String> = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--tasklets" => {
+                        tasklets = it.next().and_then(|v| v.parse().ok()).unwrap_or(16);
+                    }
+                    "--trace" => {
+                        trace = it.next().and_then(|v| v.parse().ok()).unwrap_or(32);
+                    }
+                    "--cache" | "--mmu" => cfg_mods.push(a.clone()),
+                    "--ilp" => {
+                        if let Some(v) = it.next() {
+                            cfg_mods.push(format!("--ilp={v}"));
+                        }
+                    }
+                    other => {
+                        eprintln!("pimsim: unknown option {other}");
+                        return usage();
+                    }
+                }
+            }
+            let mut cfg = DpuConfig::paper_baseline(tasklets);
+            cfg.trace_limit = trace;
+            for m in &cfg_mods {
+                if m == "--cache" {
+                    cfg = cfg.with_paper_caches();
+                } else if m == "--mmu" {
+                    cfg = cfg.with_paper_mmu();
+                } else if let Some(flags) = m.strip_prefix("--ilp=") {
+                    let ilp = IlpFeatures {
+                        data_forwarding: flags.contains('D'),
+                        unified_rf: flags.contains('R'),
+                        superscalar: flags.contains('S'),
+                        double_frequency: flags.contains('F'),
+                    };
+                    cfg = cfg.with_ilp(ilp);
+                }
+            }
+            let mut dpu = Dpu::new(cfg);
+            if let Err(e) = dpu.load_program(&program) {
+                eprintln!("pimsim: load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            match dpu.launch() {
+                Ok(stats) => {
+                    for t in &stats.trace {
+                        println!("{t}");
+                    }
+                    let (active, mem, rev, rf) = stats.breakdown();
+                    println!(
+                        "cycles {} | instructions {} | IPC {:.3} | {:.1} µs @{} MHz",
+                        stats.cycles,
+                        stats.instructions,
+                        stats.ipc(),
+                        stats.time_ns() / 1e3,
+                        stats.freq_mhz
+                    );
+                    println!(
+                        "active {:.1}% | idle: memory {:.1}%, revolver {:.1}%, RF {:.1}%",
+                        active * 100.0,
+                        mem * 100.0,
+                        rev * 100.0,
+                        rf * 100.0
+                    );
+                    println!(
+                        "DRAM: {} B read, {} B written | DMA requests {}",
+                        stats.dram.bytes_read, stats.dram.bytes_written, stats.dma_requests
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("pimsim: simulation fault: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,388 @@
+//! DPU configuration: the baseline microarchitecture of Table I plus every
+//! extension knob used by the paper's case studies.
+
+use pim_cache::CacheConfig;
+use pim_dram::DramConfig;
+use pim_isa::MemLayout;
+use pim_mmu::MmuConfig;
+
+/// Maximum hardware tasklets per DPU.
+pub const MAX_TASKLETS: u32 = 24;
+
+/// ILP-enhancing microarchitecture features (paper §V-B, Fig 12).
+///
+/// The features are *additive* in the paper's ablation:
+/// `Base → +D → +D+R → +D+R+S → +D+R+S+F`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IlpFeatures {
+    /// **D** — data forwarding: replaces the revolver gap with true
+    /// dependence checking. Independent same-tasklet instructions may
+    /// dispatch back-to-back; dependent ones wait for the producer's
+    /// forwarding point.
+    pub data_forwarding: bool,
+    /// **R** — unified register file with doubled read bandwidth: removes
+    /// the even/odd structural hazard.
+    pub unified_rf: bool,
+    /// **S** — 2-way superscalar in-order issue (from distinct tasklets).
+    pub superscalar: bool,
+    /// **F** — doubles the core frequency to 700 MHz.
+    pub double_frequency: bool,
+}
+
+impl IlpFeatures {
+    /// All features enabled (`D+R+S+F`).
+    #[must_use]
+    pub fn all() -> Self {
+        IlpFeatures {
+            data_forwarding: true,
+            unified_rf: true,
+            superscalar: true,
+            double_frequency: true,
+        }
+    }
+
+    /// A short label such as `"Base+DRS"` for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut s = String::from("Base");
+        let tags = [
+            (self.data_forwarding, 'D'),
+            (self.unified_rf, 'R'),
+            (self.superscalar, 'S'),
+            (self.double_frequency, 'F'),
+        ];
+        if tags.iter().any(|(on, _)| *on) {
+            s.push('+');
+            for (on, c) in tags {
+                if on {
+                    s.push(c);
+                }
+            }
+        }
+        s
+    }
+}
+
+/// SIMT vector-processing extension (paper §V-A, Fig 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimtConfig {
+    /// Vector width: tasklets grouped per warp (paper: 16).
+    pub warp_width: u32,
+    /// Enable the memory address coalescer (`+AC`), merging the grouped
+    /// scalar accesses that fall in the same burst/stream into fewer memory
+    /// transactions.
+    pub coalescing: bool,
+    /// Scratchpad bank groups available to the vector unit: with the
+    /// coalescer, a warp's loads/stores to `k` distinct 64 B segments
+    /// occupy `ceil(k / wram_ports)` port slots (a vector design point
+    /// provisions banked WRAM bandwidth); without it every lane's access
+    /// serializes individually.
+    pub wram_ports: u32,
+}
+
+impl Default for SimtConfig {
+    fn default() -> Self {
+        SimtConfig { warp_width: 16, coalescing: false, wram_ports: 4 }
+    }
+}
+
+/// How loads/stores are backed (paper §V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// The baseline **scratchpad-centric** model: loads/stores address the
+    /// 64 KB WRAM; MRAM is reached only through DMA.
+    Scratchpad,
+    /// The **cache-centric** model: loads/stores address a flat,
+    /// DRAM-backed space through an on-demand data cache; instruction
+    /// fetch goes through an instruction cache; DMA instructions are
+    /// rejected (programs are authored for the flat space).
+    Cached {
+        /// Instruction-cache geometry (paper: 24 KB, 8-way).
+        icache: CacheConfig,
+        /// Data-cache geometry (paper: 64 KB, 8-way).
+        dcache: CacheConfig,
+    },
+}
+
+/// DMA-engine parameters.
+///
+/// The engine interface — not the DRAM bank — is what limits MRAM-to-WRAM
+/// bandwidth to the 600–700 MB/s the paper measures (§V-B notes bank-level
+/// bandwidth is much higher; the interface is "simply a design point pursued
+/// by UPMEM-PIM architects").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaConfig {
+    /// Peak interface throughput in bytes per core cycle. The default of
+    /// 2.0 B/cycle at 350 MHz equals the 700 MB/s theoretical maximum; bank
+    /// timing overheads bring the achieved rate to the ≈600 MB/s that prior
+    /// work measured on real hardware (Fig 5 caption).
+    pub interface_bytes_per_cycle: f64,
+    /// Fixed per-request engine setup latency in core cycles. Makes small
+    /// DMA transfers proportionally expensive, as on the real device.
+    pub setup_cycles: u32,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig { interface_bytes_per_cycle: 2.0, setup_cycles: 24 }
+    }
+}
+
+/// Full configuration of one simulated DPU (paper Table I defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpuConfig {
+    /// Core frequency in MHz (Table I: 350).
+    pub freq_mhz: u32,
+    /// Pipeline depth in stages (Table I: 14).
+    pub pipeline_depth: u32,
+    /// Revolver scheduling constraint: minimum cycles between consecutive
+    /// dispatches of the same tasklet (Table I: 11).
+    pub revolver_cycles: u32,
+    /// Number of tasklets launched.
+    pub n_tasklets: u32,
+    /// Memory capacities (Table I: 24 KB / 64 KB / 64 MB, 256 atomic bits).
+    pub layout: MemLayout,
+    /// ILP feature set (all off for the baseline).
+    pub ilp: IlpFeatures,
+    /// Cycles after issue at which an ALU result can be forwarded
+    /// (effective only with `ilp.data_forwarding`).
+    pub forward_alu_latency: u32,
+    /// Cycles after issue at which a WRAM load result can be forwarded.
+    pub forward_load_latency: u32,
+    /// SIMT extension; `None` for the baseline scalar pipeline.
+    pub simt: Option<SimtConfig>,
+    /// Scratchpad-centric (baseline) or cache-centric memory model.
+    pub memory_mode: MemoryMode,
+    /// MMU in front of MRAM (DMA) accesses; `None` for the MMU-less
+    /// baseline.
+    pub mmu: Option<MmuConfig>,
+    /// DRAM bank configuration.
+    pub dram: DramConfig,
+    /// DMA engine configuration.
+    pub dma: DmaConfig,
+    /// MRAM-bandwidth scaling factor (Fig 13's ×1–×4, Fig 11's 4×/16×):
+    /// multiplies both the DRAM frequency and the DMA interface rate.
+    pub mram_bw_scale: f64,
+    /// Abort the simulation after this many core cycles (guards against
+    /// deadlocked kernels).
+    pub max_cycles: u64,
+    /// Window (in cycles) for the TLP-over-time trace (paper Fig 8: 10,000).
+    pub tlp_window: u64,
+    /// Collect the first N issued instructions into
+    /// [`crate::DpuRunStats::trace`] for debugging (0 disables tracing).
+    pub trace_limit: usize,
+}
+
+impl DpuConfig {
+    /// The paper's baseline UPMEM-PIM configuration (Table I) with
+    /// `n_tasklets` tasklets.
+    #[must_use]
+    pub fn paper_baseline(n_tasklets: u32) -> Self {
+        assert!(
+            (1..=MAX_TASKLETS).contains(&n_tasklets),
+            "n_tasklets must be in 1..={MAX_TASKLETS}"
+        );
+        DpuConfig {
+            freq_mhz: 350,
+            pipeline_depth: 14,
+            revolver_cycles: 11,
+            n_tasklets,
+            layout: MemLayout::default(),
+            ilp: IlpFeatures::default(),
+            forward_alu_latency: 3,
+            forward_load_latency: 4,
+            simt: None,
+            memory_mode: MemoryMode::Scratchpad,
+            mmu: None,
+            dram: DramConfig::ddr4_2400(),
+            dma: DmaConfig::default(),
+            mram_bw_scale: 1.0,
+            max_cycles: 20_000_000_000,
+            tlp_window: 10_000,
+            trace_limit: 0,
+        }
+    }
+
+    /// Applies an ILP feature set, including the frequency doubling of `F`.
+    #[must_use]
+    pub fn with_ilp(mut self, ilp: IlpFeatures) -> Self {
+        self.ilp = ilp;
+        self.freq_mhz = if ilp.double_frequency { 700 } else { 350 };
+        self
+    }
+
+    /// Enables the SIMT vector front-end.
+    #[must_use]
+    pub fn with_simt(mut self, simt: SimtConfig) -> Self {
+        self.simt = Some(simt);
+        self
+    }
+
+    /// Switches to the cache-centric memory model with the paper's §V-D
+    /// cache geometries.
+    #[must_use]
+    pub fn with_paper_caches(mut self) -> Self {
+        self.memory_mode = MemoryMode::Cached {
+            icache: CacheConfig::paper_icache(),
+            dcache: CacheConfig::paper_dcache(),
+        };
+        self
+    }
+
+    /// Adds the paper's §V-C MMU in front of MRAM accesses.
+    #[must_use]
+    pub fn with_paper_mmu(mut self) -> Self {
+        self.mmu = Some(MmuConfig::paper());
+        self
+    }
+
+    /// Scales MRAM bandwidth by `factor` (DRAM frequency and DMA interface
+    /// together), the knob of Fig 11's `+4x/16x` and Fig 13's `×1–×4`.
+    #[must_use]
+    pub fn with_mram_bw_scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "bandwidth scale must be positive");
+        self.mram_bw_scale = factor;
+        self
+    }
+
+    /// Issue width of the pipeline (2 with the `S` feature, 1 otherwise).
+    #[must_use]
+    pub fn issue_ways(&self) -> u32 {
+        if self.ilp.superscalar {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Peak scalar-instruction throughput per cycle: the normalization
+    /// denominator of the paper's compute-utilization plots (Fig 5: 1 for
+    /// the baseline; Fig 11: 16 for SIMT designs).
+    #[must_use]
+    pub fn max_ipc(&self) -> u32 {
+        if let Some(simt) = &self.simt {
+            simt.warp_width
+        } else {
+            self.issue_ways()
+        }
+    }
+
+    /// DRAM-clock cycles per core cycle after bandwidth scaling.
+    #[must_use]
+    pub fn dram_per_core_ratio(&self) -> f64 {
+        (self.dram.freq_mhz * self.mram_bw_scale) / f64::from(self.freq_mhz)
+    }
+
+    /// Effective DMA interface rate in bytes per core cycle after bandwidth
+    /// scaling.
+    #[must_use]
+    pub fn interface_rate(&self) -> f64 {
+        self.dma.interface_bytes_per_cycle * self.mram_bw_scale
+    }
+
+    /// Validates internal consistency (e.g. SIMT requires the scratchpad
+    /// memory model, tasklet count within hardware limits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent combinations; construction helpers keep the
+    /// configuration valid, so this only fires on hand-rolled configs.
+    pub fn assert_valid(&self) {
+        assert!(
+            (1..=MAX_TASKLETS).contains(&self.n_tasklets),
+            "n_tasklets must be in 1..={MAX_TASKLETS}"
+        );
+        if let Some(simt) = self.simt {
+            assert!(
+                matches!(self.memory_mode, MemoryMode::Scratchpad),
+                "the SIMT case study uses the scratchpad-centric memory model"
+            );
+            assert!(simt.warp_width >= 1, "warp width must be at least 1");
+        }
+        if self.mmu.is_some() {
+            assert!(
+                matches!(self.memory_mode, MemoryMode::Scratchpad),
+                "the MMU case study applies to the baseline DMA path"
+            );
+        }
+        assert!(self.revolver_cycles >= 1);
+        assert!(self.mram_bw_scale > 0.0);
+    }
+}
+
+impl Default for DpuConfig {
+    fn default() -> Self {
+        Self::paper_baseline(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_i() {
+        let c = DpuConfig::paper_baseline(16);
+        assert_eq!(c.freq_mhz, 350);
+        assert_eq!(c.pipeline_depth, 14);
+        assert_eq!(c.revolver_cycles, 11);
+        assert_eq!(c.layout.wram_bytes, 64 * 1024);
+        assert_eq!(c.max_ipc(), 1);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn ilp_labels() {
+        assert_eq!(IlpFeatures::default().label(), "Base");
+        assert_eq!(IlpFeatures::all().label(), "Base+DRSF");
+        let d = IlpFeatures { data_forwarding: true, ..IlpFeatures::default() };
+        assert_eq!(d.label(), "Base+D");
+    }
+
+    #[test]
+    fn f_feature_doubles_frequency() {
+        let c = DpuConfig::paper_baseline(16).with_ilp(IlpFeatures::all());
+        assert_eq!(c.freq_mhz, 700);
+        assert_eq!(c.issue_ways(), 2);
+        // Memory becomes relatively slower: fewer DRAM cycles per core cycle.
+        assert!(c.dram_per_core_ratio() < DpuConfig::paper_baseline(16).dram_per_core_ratio());
+    }
+
+    #[test]
+    fn simt_max_ipc_is_warp_width() {
+        let c = DpuConfig::paper_baseline(16).with_simt(SimtConfig::default());
+        assert_eq!(c.max_ipc(), 16);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn bandwidth_scaling_raises_ratio_and_interface() {
+        let base = DpuConfig::paper_baseline(16);
+        let fast = base.clone().with_mram_bw_scale(4.0);
+        assert!((fast.dram_per_core_ratio() - 4.0 * base.dram_per_core_ratio()).abs() < 1e-9);
+        assert!((fast.interface_rate() - 4.0 * base.interface_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_interface_rate_is_700_mbps() {
+        let c = DpuConfig::paper_baseline(16);
+        // 2 B/cycle × 350 MHz = 700 MB/s.
+        let mbps = c.interface_rate() * f64::from(c.freq_mhz);
+        assert!((mbps - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratchpad-centric")]
+    fn simt_with_caches_is_invalid() {
+        let c = DpuConfig::paper_baseline(16)
+            .with_paper_caches()
+            .with_simt(SimtConfig::default());
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "n_tasklets")]
+    fn zero_tasklets_invalid() {
+        let _ = DpuConfig::paper_baseline(0);
+    }
+}

@@ -1,0 +1,566 @@
+//! The simulated DPU: program/data loading, launch, and the cycle-level
+//! scalar pipeline front-end (the SIMT front-end lives in `crate::simt`).
+
+use pim_asm::DpuProgram;
+use pim_cache::Cache;
+use pim_isa::{AddressSpace, Instruction};
+use pim_mmu::{Mmu, PageTable};
+
+use crate::config::{DpuConfig, MemoryMode};
+use crate::error::SimError;
+use crate::exec::{ArchState, Effect};
+use crate::mem::{MemEngine, Segment};
+use crate::stats::DpuRunStats;
+
+/// Execution status of one tasklet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskletStatus {
+    /// Schedulable (possibly gated by the revolver window or a dependence).
+    Ready,
+    /// Waiting on the memory engine (DMA, cache fill, instruction fill).
+    Blocked,
+    /// Executed `stop`.
+    Stopped,
+}
+
+/// A single simulated DPU.
+///
+/// Typical host-side flow (mirroring the UPMEM host API the paper shows in
+/// Fig 2): construct, [`Dpu::load_program`], stage inputs with
+/// [`Dpu::write_mram`] / [`Dpu::write_wram_symbol`], [`Dpu::launch`], then
+/// read results back with [`Dpu::read_mram`].
+///
+/// # Example
+///
+/// ```
+/// use pim_asm::assemble;
+/// use pim_dpu::{Dpu, DpuConfig};
+///
+/// let program = assemble(
+///     ".text\n movi r0, 41\n add r0, r0, 1\n stop\n",
+/// ).unwrap();
+/// let mut dpu = Dpu::new(DpuConfig::paper_baseline(1));
+/// dpu.load_program(&program).unwrap();
+/// let stats = dpu.launch().unwrap();
+/// assert_eq!(stats.instructions, 3);
+/// ```
+#[derive(Debug)]
+pub struct Dpu {
+    pub(crate) cfg: DpuConfig,
+    pub(crate) program: Option<DpuProgram>,
+    pub(crate) state: ArchState,
+    /// Per-tasklet entry instruction index (multi-tenant co-location).
+    pub(crate) entry: Vec<u32>,
+    /// Per-tasklet tasklet-id rebase (multi-tenant co-location).
+    pub(crate) tid_base: Vec<u32>,
+}
+
+impl Dpu {
+    /// Creates a DPU with zeroed memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`DpuConfig::assert_valid`]).
+    #[must_use]
+    pub fn new(cfg: DpuConfig) -> Self {
+        cfg.assert_valid();
+        let ls_space = cfg.layout.wram_bytes;
+        let state = ArchState::new(cfg.layout, cfg.n_tasklets, ls_space);
+        Dpu { cfg, program: None, state, entry: Vec::new(), tid_base: Vec::new() }
+    }
+
+    /// The DPU's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DpuConfig {
+        &self.cfg
+    }
+
+    /// The loaded program, if any.
+    #[must_use]
+    pub fn program(&self) -> Option<&DpuProgram> {
+        self.program.as_ref()
+    }
+
+    /// Loads a program: instructions into IRAM and the initial data image
+    /// into WRAM (or, in cache-centric mode, into the flat data space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the instruction stream exceeds
+    /// IRAM or the data image does not fit the load/store-addressable space.
+    pub fn load_program(&mut self, program: &DpuProgram) -> Result<(), SimError> {
+        let cached = matches!(self.cfg.memory_mode, MemoryMode::Cached { .. });
+        if !cached && program.instrs.len() as u32 > self.cfg.layout.iram_instrs() {
+            // The hardware linker would refuse this; hand-built programs
+            // can reach here without passing `DpuProgram::validate`. The
+            // cache-centric model is exempt: its I-cache turns IRAM into a
+            // cache over MRAM-resident text.
+            return Err(SimError::OutOfBounds {
+                space: AddressSpace::Iram,
+                addr: 0,
+                len: program.iram_bytes(),
+                tasklet: 0,
+                pc: 0,
+            });
+        }
+        if let MemoryMode::Cached { .. } = self.cfg.memory_mode {
+            // The flat space grows to cover the image.
+            let need = program.wram_bytes().max(self.cfg.layout.wram_bytes);
+            self.ensure_flat_space(need);
+        }
+        let base = program.wram_base as usize;
+        let end = base + program.wram_init.len();
+        if end > self.state.wram.len() {
+            return Err(SimError::OutOfBounds {
+                space: AddressSpace::Wram,
+                addr: program.wram_base,
+                len: program.wram_init.len() as u32,
+                tasklet: 0,
+                pc: 0,
+            });
+        }
+        self.state.wram[base..end].copy_from_slice(&program.wram_init);
+        self.program = Some(program.clone());
+        self.entry.clear();
+        self.tid_base.clear();
+        Ok(())
+    }
+
+    /// Loads a merged multi-tenant image (paper §V-C): each tasklet starts
+    /// at its tenant's entry point and observes tenant-local tasklet ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the merged data image does not
+    /// fit the load/store space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the co-location's tasklet count differs from this DPU's
+    /// configured `n_tasklets`.
+    pub fn load_colocated(
+        &mut self,
+        colocated: &crate::tenancy::Colocated,
+    ) -> Result<(), SimError> {
+        assert_eq!(
+            colocated.n_tasklets(),
+            self.cfg.n_tasklets,
+            "co-location tasklet count must match the DPU configuration"
+        );
+        self.load_program(&colocated.program)?;
+        self.entry = colocated.entry.clone();
+        self.tid_base = colocated.tid_base.clone();
+        Ok(())
+    }
+
+    /// Grows the flat load/store space (cache-centric mode) to at least
+    /// `bytes`, rounded up to a cache line.
+    pub(crate) fn ensure_flat_space(&mut self, bytes: u32) {
+        let rounded = bytes.div_ceil(64) * 64;
+        if (self.state.wram.len() as u32) < rounded {
+            self.state.wram.resize(rounded as usize, 0);
+            self.state.ls_space = rounded;
+        }
+    }
+
+    /// Copies bytes into MRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds MRAM.
+    pub fn write_mram(&mut self, addr: u32, data: &[u8]) {
+        let a = addr as usize;
+        self.state.mram[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads bytes from MRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds MRAM.
+    #[must_use]
+    pub fn read_mram(&self, addr: u32, len: u32) -> Vec<u8> {
+        let a = addr as usize;
+        self.state.mram[a..a + len as usize].to_vec()
+    }
+
+    /// Copies bytes into the load/store space (WRAM, or the flat space in
+    /// cache-centric mode, growing it as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds WRAM in scratchpad mode.
+    pub fn write_wram(&mut self, addr: u32, data: &[u8]) {
+        if let MemoryMode::Cached { .. } = self.cfg.memory_mode {
+            self.ensure_flat_space(addr + data.len() as u32);
+        }
+        let a = addr as usize;
+        self.state.wram[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads bytes from the load/store space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn read_wram(&self, addr: u32, len: u32) -> Vec<u8> {
+        let a = addr as usize;
+        self.state.wram[a..a + len as usize].to_vec()
+    }
+
+    /// Writes into a named WRAM symbol of the loaded program (the host-side
+    /// `dpu_push_xfer(..., "symbol", ...)` of the SDK).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is loaded, the symbol is unknown, or `data`
+    /// exceeds the symbol's size.
+    pub fn write_wram_symbol(&mut self, name: &str, data: &[u8]) {
+        let sym = *self
+            .program
+            .as_ref()
+            .expect("no program loaded")
+            .symbol(name)
+            .unwrap_or_else(|| panic!("unknown WRAM symbol `{name}`"));
+        assert!(
+            data.len() as u32 <= sym.size,
+            "{} bytes exceed symbol `{name}` of {} bytes",
+            data.len(),
+            sym.size
+        );
+        self.write_wram(sym.addr, data);
+    }
+
+    /// Reads a named WRAM symbol of the loaded program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is loaded or the symbol is unknown.
+    #[must_use]
+    pub fn read_wram_symbol(&self, name: &str) -> Vec<u8> {
+        let sym = *self
+            .program
+            .as_ref()
+            .expect("no program loaded")
+            .symbol(name)
+            .unwrap_or_else(|| panic!("unknown WRAM symbol `{name}`"));
+        self.read_wram(sym.addr, sym.size)
+    }
+
+    /// Runs the loaded kernel to completion on `n_tasklets` tasklets and
+    /// returns the run's statistics.
+    ///
+    /// Tasklet register files, PCs, and the atomic region are reset; WRAM
+    /// and MRAM contents persist from before the launch (the host stages
+    /// inputs there).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the kernel faults or exceeds the cycle
+    /// limit.
+    pub fn launch(&mut self) -> Result<DpuRunStats, SimError> {
+        if self.program.is_none() {
+            return Err(SimError::NoProgram);
+        }
+        // Reset per-launch architectural state.
+        let n = self.cfg.n_tasklets as usize;
+        self.state.regs = vec![[0; 24]; n];
+        self.state.pc =
+            (0..n).map(|t| self.entry.get(t).copied().unwrap_or(0)).collect();
+        self.state.tid_base =
+            (0..n).map(|t| self.tid_base.get(t).copied().unwrap_or(0)).collect();
+        for b in &mut self.state.atomic {
+            *b = false;
+        }
+        let mmu = self.cfg.mmu.map(|mc| {
+            let pages = self.cfg.layout.mram_bytes / mc.page_bytes;
+            Mmu::new(mc, PageTable::identity(pages))
+        });
+        let mem = MemEngine::new(
+            self.cfg.dram.scaled(self.cfg.mram_bw_scale),
+            mmu,
+            self.cfg.dram_per_core_ratio(),
+            self.cfg.interface_rate(),
+            self.cfg.dma.setup_cycles,
+        );
+        if self.cfg.simt.is_some() {
+            crate::simt::run_simt(self, mem)
+        } else {
+            self.run_scalar(mem)
+        }
+    }
+
+    /// Fresh statistics shell for a run.
+    pub(crate) fn new_stats(&self) -> DpuRunStats {
+        DpuRunStats {
+            tlp_histogram: vec![0; self.cfg.n_tasklets as usize + 1],
+            tlp_timeline: Vec::new(),
+            tlp_window: self.cfg.tlp_window,
+            per_tasklet_instructions: vec![0; self.cfg.n_tasklets as usize],
+            tasklet_stop_cycle: vec![0; self.cfg.n_tasklets as usize],
+            freq_mhz: self.cfg.freq_mhz,
+            max_ipc: self.cfg.max_ipc(),
+            interface_bytes_per_cycle: self.cfg.interface_rate(),
+            ..DpuRunStats::default()
+        }
+    }
+
+    /// Result-forwarding latency of an instruction (data-forwarding mode).
+    fn forward_latency(&self, instr: &Instruction) -> u64 {
+        match instr {
+            Instruction::Load { .. } => u64::from(self.cfg.forward_load_latency),
+            _ => u64::from(self.cfg.forward_alu_latency),
+        }
+    }
+
+    /// The MRAM address backing the instruction stream in cache-centric
+    /// mode (timing only; 256 KB below the top of the bank).
+    fn iram_backing_base(&self) -> u32 {
+        self.cfg.layout.mram_bytes - 256 * 1024
+    }
+
+    /// The scalar (baseline / ILP-extended) cycle loop.
+    #[allow(clippy::too_many_lines)]
+    fn run_scalar(&mut self, mut mem: MemEngine) -> Result<DpuRunStats, SimError> {
+        let n = self.cfg.n_tasklets as usize;
+        let program = self.program.clone().expect("checked in launch");
+        let n_instrs = program.instrs.len() as u32;
+        let fwd = self.cfg.ilp.data_forwarding;
+        let unified_rf = self.cfg.ilp.unified_rf;
+        let ways = self.cfg.issue_ways() as usize;
+        let gap: u64 = if fwd { 1 } else { u64::from(self.cfg.revolver_cycles) };
+
+        let (mut icache, mut dcache) = match self.cfg.memory_mode {
+            MemoryMode::Scratchpad => (None, None),
+            MemoryMode::Cached { icache, dcache } => {
+                (Some(Cache::new(icache)), Some(Cache::new(dcache)))
+            }
+        };
+        let cached = icache.is_some();
+        let iram_base = self.iram_backing_base();
+
+        let mut stats = self.new_stats();
+        let mut window_acc = (0u64, 0u64);
+        let mut status = vec![TaskletStatus::Ready; n];
+        let mut next_issue = vec![0u64; n];
+        let mut reg_ready = vec![[0u64; 24]; n];
+        let mut skip_dcache = vec![false; n];
+        let mut live = n;
+        let mut now: u64 = 0;
+        let mut rf_block: u64 = 0;
+        let mut rr: usize = 0;
+        let mut issuable: Vec<usize> = Vec::with_capacity(n);
+
+        // True when tasklet `t`'s next instruction has all operands
+        // forwarded (always true without data forwarding).
+        let deps_ready_at = |t: usize,
+                             pc: u32,
+                             reg_ready: &Vec<[u64; 24]>|
+         -> u64 {
+            if !fwd {
+                return 0;
+            }
+            match program.instrs.get(pc as usize) {
+                Some(i) => i
+                    .srcs()
+                    .iter()
+                    .map(|r| reg_ready[t][r.index() as usize])
+                    .max()
+                    .unwrap_or(0),
+                None => 0,
+            }
+        };
+
+        loop {
+            if live == 0 {
+                break;
+            }
+            if now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            // 1. Memory completions.
+            mem.advance(now);
+            for (token, at) in mem.drain_done() {
+                let t = token as usize;
+                status[t] = TaskletStatus::Ready;
+                next_issue[t] = next_issue[t].max(at + 1);
+            }
+            // 2. Issuable set.
+            issuable.clear();
+            for t in 0..n {
+                if status[t] == TaskletStatus::Ready
+                    && now >= next_issue[t]
+                    && now >= deps_ready_at(t, self.state.pc[t], &reg_ready)
+                {
+                    issuable.push(t);
+                }
+            }
+            // 3. Register-file structural block.
+            if rf_block > 0 {
+                stats.record_tlp_span(issuable.len(), 1, &mut window_acc);
+                stats.idle_rf += 1.0;
+                rf_block -= 1;
+                now += 1;
+                continue;
+            }
+            // 4. Nothing to issue: attribute the idle span across the
+            // per-tasklet wait reasons (paper Fig 6 categorizes by thread
+            // status), then fast-forward to the next possible event.
+            if issuable.is_empty() {
+                let n_sched =
+                    status.iter().filter(|s| **s == TaskletStatus::Ready).count() as f64;
+                let n_mem =
+                    status.iter().filter(|s| **s == TaskletStatus::Blocked).count() as f64;
+                let mut next = u64::MAX;
+                for t in 0..n {
+                    if status[t] == TaskletStatus::Ready {
+                        let ready =
+                            next_issue[t].max(deps_ready_at(t, self.state.pc[t], &reg_ready));
+                        next = next.min(ready);
+                    }
+                }
+                if let Some(e) = mem.next_event(now) {
+                    next = next.min(e);
+                }
+                let next = if next == u64::MAX || next <= now { now + 1 } else { next };
+                let span = (next - now).min(self.cfg.max_cycles - now);
+                stats.record_tlp_span(0, span, &mut window_acc);
+                let tot = (n_sched + n_mem).max(1.0);
+                stats.idle_memory += span as f64 * n_mem / tot;
+                stats.idle_revolver += span as f64 * n_sched / tot;
+                now += span;
+                continue;
+            }
+            stats.record_tlp_span(issuable.len(), 1, &mut window_acc);
+            // 5. Issue up to `ways` instructions, round-robin.
+            let start = issuable.iter().position(|&t| t >= rr).unwrap_or(0);
+            let mut issued = 0usize;
+            for k in 0..issuable.len() {
+                if issued == ways {
+                    break;
+                }
+                let t = issuable[(start + k) % issuable.len()];
+                if status[t] != TaskletStatus::Ready {
+                    continue;
+                }
+                let pc = self.state.pc[t];
+                if pc >= n_instrs {
+                    return Err(SimError::PcOutOfRange { pc, tasklet: t as u32 });
+                }
+                // Instruction fetch through the I-cache (cache-centric mode).
+                if let Some(ic) = icache.as_mut() {
+                    let fetch_addr = iram_base + pc * pim_isa::layout::IRAM_INSTR_BYTES;
+                    let out = ic.access(fetch_addr, false);
+                    if !out.hit {
+                        status[t] = TaskletStatus::Blocked;
+                        let line = out.fill_line.expect("miss has a fill");
+                        mem.issue(
+                            t as u64,
+                            vec![Segment {
+                                addr: line,
+                                bytes: ic.config().line_bytes,
+                                write: false,
+                            }],
+                            now,
+                        );
+                        continue;
+                    }
+                }
+                let instr = program.instrs[pc as usize];
+                if cached && instr.is_dma() {
+                    return Err(SimError::DmaInCachedMode { pc, tasklet: t as u32 });
+                }
+                // Data access through the D-cache (cache-centric mode).
+                if let Some(dc) = dcache.as_mut() {
+                    if let Some((addr, write)) = self.state.ls_addr(t as u32, &instr) {
+                        if skip_dcache[t] {
+                            skip_dcache[t] = false;
+                        } else {
+                            let out = dc.access(addr, write);
+                            if !out.hit {
+                                status[t] = TaskletStatus::Blocked;
+                                skip_dcache[t] = true;
+                                let line_bytes = dc.config().line_bytes;
+                                let mut segs = vec![Segment {
+                                    addr: out.fill_line.expect("miss has a fill"),
+                                    bytes: line_bytes,
+                                    write: false,
+                                }];
+                                if let Some(wb) = out.writeback_line {
+                                    segs.push(Segment {
+                                        addr: wb,
+                                        bytes: line_bytes,
+                                        write: true,
+                                    });
+                                }
+                                mem.issue(t as u64, segs, now);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                // Register-file structural hazard (even/odd banks).
+                let hazard =
+                    if unified_rf { 0 } else { u64::from(instr.rf_hazard_cycles()) };
+                if stats.trace.len() < self.cfg.trace_limit {
+                    stats.trace.push(crate::stats::TraceEntry {
+                        cycle: now,
+                        tasklet: t as u32,
+                        pc,
+                        text: instr.to_string(),
+                    });
+                }
+                let effect = self.state.execute(t as u32, &instr)?;
+                stats.count_instruction(instr.class(), t as u32);
+                next_issue[t] = now + gap;
+                if fwd {
+                    if let Some(rd) = instr.dst() {
+                        reg_ready[t][rd.index() as usize] = now + self.forward_latency(&instr);
+                    }
+                }
+                match effect {
+                    Effect::Advance => self.state.pc[t] = pc + 1,
+                    Effect::Jump(target) => self.state.pc[t] = target,
+                    Effect::AcquireRetry => {}
+                    Effect::Stop => {
+                        status[t] = TaskletStatus::Stopped;
+                        stats.tasklet_stop_cycle[t] = now;
+                        live -= 1;
+                    }
+                    Effect::Dma { mram, len, write } => {
+                        self.state.pc[t] = pc + 1;
+                        status[t] = TaskletStatus::Blocked;
+                        mem.issue(
+                            t as u64,
+                            vec![Segment { addr: mram, bytes: len, write }],
+                            now,
+                        );
+                    }
+                }
+                issued += 1;
+                rr = t + 1;
+                if hazard > 0 {
+                    // The split register file blocks the issue stage.
+                    rf_block = hazard;
+                    break;
+                }
+            }
+            if issued > 0 {
+                stats.active_cycles += 1;
+            } else {
+                // Every candidate stalled on a cache fill this cycle.
+                stats.idle_memory += 1.0;
+            }
+            now += 1;
+        }
+        stats.cycles = now;
+        stats.dram = *mem.bank().stats();
+        stats.mmu = mem.mmu().map(|m| *m.stats());
+        stats.icache = icache.map(|c| *c.stats());
+        stats.dcache = dcache.map(|c| *c.stats());
+        stats.dma_requests = mem.requests_issued;
+        Ok(stats)
+    }
+}

@@ -1,0 +1,365 @@
+//! Run statistics: everything the paper's characterization figures read.
+
+use pim_cache::CacheStats;
+use pim_dram::DramStats;
+use pim_isa::InstrClass;
+use pim_mmu::MmuStats;
+
+/// Why the issue stage was idle on a given cycle (paper Fig 6's non-black
+/// bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleCause {
+    /// Every live tasklet was waiting on the memory system (DMA, cache
+    /// fill, instruction fetch).
+    Memory,
+    /// At least one tasklet was gated only by the pipeline scheduling
+    /// constraint (the revolver window, or — with data forwarding — an
+    /// unforwarded dependence).
+    Revolver,
+    /// The issue slot was consumed by the structural hazard at the split
+    /// even/odd register file.
+    Rf,
+}
+
+/// One issued instruction, captured when tracing is enabled
+/// ([`crate::DpuConfig::trace_limit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Core cycle of issue.
+    pub cycle: u64,
+    /// Issuing tasklet (for SIMT: the lane).
+    pub tasklet: u32,
+    /// Program counter (instruction index) of the issued instruction.
+    pub pc: u32,
+    /// Disassembled instruction text.
+    pub text: String,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>8}] t{:02} pc={:<5} {}", self.cycle, self.tasklet, self.pc, self.text)
+    }
+}
+
+/// Statistics collected over one kernel execution on one DPU.
+#[derive(Debug, Clone, Default)]
+pub struct DpuRunStats {
+    /// Total core cycles from launch to the last tasklet's `stop`.
+    pub cycles: u64,
+    /// Cycles with at least one instruction issued (Fig 6's black bar).
+    pub active_cycles: u64,
+    /// Idle cycles attributed to memory waits. Fractional: on a cycle
+    /// where tasklets idle for different reasons, the cycle is split
+    /// proportionally by thread state (the paper "categorize\[s\] each
+    /// thread's status based on the reason for its stall").
+    pub idle_memory: f64,
+    /// Idle cycles attributed to the revolver/pipeline scheduling
+    /// constraint (fractional, see [`DpuRunStats::idle_memory`]).
+    pub idle_revolver: f64,
+    /// Idle cycles attributed to the even/odd register-file hazard
+    /// (fractional, see [`DpuRunStats::idle_memory`]).
+    pub idle_rf: f64,
+    /// Instructions executed (for SIMT: one per active lane), total.
+    pub instructions: u64,
+    /// Instructions executed by class (Fig 9's instruction mix).
+    pub class_counts: [u64; 6],
+    /// Instructions executed per tasklet.
+    pub per_tasklet_instructions: Vec<u64>,
+    /// Cycle at which each tasklet executed `stop` (0 if it never ran) —
+    /// per-tenant completion times for the multi-tenancy study.
+    pub tasklet_stop_cycle: Vec<u64>,
+    /// `tlp_histogram[k]` = cycles on which exactly `k` tasklets were
+    /// issuable (Fig 7).
+    pub tlp_histogram: Vec<u64>,
+    /// Average issuable-tasklet count per window of
+    /// [`DpuRunStats::tlp_window`] cycles (Fig 8's TLP-over-time trace).
+    pub tlp_timeline: Vec<f32>,
+    /// Window length of the timeline, in cycles.
+    pub tlp_window: u64,
+    /// DRAM bank statistics (bytes read feed Fig 16 and Fig 5's bandwidth
+    /// axis).
+    pub dram: DramStats,
+    /// Instruction-cache statistics (cache-centric mode only).
+    pub icache: Option<CacheStats>,
+    /// Data-cache statistics (cache-centric mode only).
+    pub dcache: Option<CacheStats>,
+    /// MMU/TLB statistics (MMU-enabled runs only).
+    pub mmu: Option<MmuStats>,
+    /// DMA requests issued.
+    pub dma_requests: u64,
+    /// The first [`crate::DpuConfig::trace_limit`] issued instructions
+    /// (empty when tracing is disabled).
+    pub trace: Vec<TraceEntry>,
+    /// Core frequency the run was clocked at, for time conversion.
+    pub freq_mhz: u32,
+    /// Peak scalar-instruction throughput (1 scalar, 2 superscalar, warp
+    /// width for SIMT) — the compute-utilization denominator.
+    pub max_ipc: u32,
+    /// DMA-interface peak rate in bytes per core cycle — the
+    /// bandwidth-utilization denominator.
+    pub interface_bytes_per_cycle: f64,
+}
+
+impl DpuRunStats {
+    /// Accumulates another launch's statistics into this one — used when a
+    /// workload runs as multiple kernel launches (e.g. BFS levels, the
+    /// two-pass SCAN kernels) and a figure needs whole-workload numbers.
+    ///
+    /// Counters and histograms add; the TLP timeline concatenates;
+    /// configuration fields (`freq_mhz`, `max_ipc`, …) are taken from the
+    /// first non-empty side and assumed identical across launches.
+    pub fn merge(&mut self, other: &DpuRunStats) {
+        self.cycles += other.cycles;
+        self.active_cycles += other.active_cycles;
+        self.idle_memory += other.idle_memory;
+        self.idle_revolver += other.idle_revolver;
+        self.idle_rf += other.idle_rf;
+        self.instructions += other.instructions;
+        for (a, b) in self.class_counts.iter_mut().zip(&other.class_counts) {
+            *a += b;
+        }
+        if self.per_tasklet_instructions.len() < other.per_tasklet_instructions.len() {
+            self.per_tasklet_instructions
+                .resize(other.per_tasklet_instructions.len(), 0);
+        }
+        for (a, b) in self
+            .per_tasklet_instructions
+            .iter_mut()
+            .zip(&other.per_tasklet_instructions)
+        {
+            *a += b;
+        }
+        if self.tasklet_stop_cycle.len() < other.tasklet_stop_cycle.len() {
+            self.tasklet_stop_cycle.resize(other.tasklet_stop_cycle.len(), 0);
+        }
+        for (a, b) in self.tasklet_stop_cycle.iter_mut().zip(&other.tasklet_stop_cycle) {
+            *a = (*a).max(*b);
+        }
+        if self.tlp_histogram.len() < other.tlp_histogram.len() {
+            self.tlp_histogram.resize(other.tlp_histogram.len(), 0);
+        }
+        for (a, b) in self.tlp_histogram.iter_mut().zip(&other.tlp_histogram) {
+            *a += b;
+        }
+        self.tlp_timeline.extend_from_slice(&other.tlp_timeline);
+        if self.tlp_window == 0 {
+            self.tlp_window = other.tlp_window;
+        }
+        self.dram.merge(&other.dram);
+        match (&mut self.icache, &other.icache) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut self.dcache, &other.dcache) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut self.mmu, &other.mmu) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        self.dma_requests += other.dma_requests;
+        self.trace.extend(other.trace.iter().cloned());
+        if self.freq_mhz == 0 {
+            self.freq_mhz = other.freq_mhz;
+            self.max_ipc = other.max_ipc;
+            self.interface_bytes_per_cycle = other.interface_bytes_per_cycle;
+        }
+    }
+
+    /// Records one executed instruction of the given class for `tasklet`.
+    pub(crate) fn count_instruction(&mut self, class: InstrClass, tasklet: u32) {
+        self.instructions += 1;
+        let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.class_counts[idx] += 1;
+        if let Some(slot) = self.per_tasklet_instructions.get_mut(tasklet as usize) {
+            *slot += 1;
+        }
+    }
+
+    /// Fraction of instructions in `class`.
+    #[must_use]
+    pub fn class_fraction(&self, class: InstrClass) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.class_counts[idx] as f64 / self.instructions as f64
+    }
+
+    /// Executed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Compute utilization in `[0, 1]`: IPC over the configuration's peak
+    /// IPC (Fig 5's left axis; Fig 11 uses peak 16 for SIMT points).
+    #[must_use]
+    pub fn compute_utilization(&self) -> f64 {
+        if self.max_ipc == 0 {
+            0.0
+        } else {
+            self.ipc() / f64::from(self.max_ipc)
+        }
+    }
+
+    /// MRAM read-bandwidth utilization in `[0, 1]`: bytes read from the
+    /// bank over the DMA interface's peak over the run (Fig 5's right axis).
+    #[must_use]
+    pub fn mram_read_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.interface_bytes_per_cycle == 0.0 {
+            return 0.0;
+        }
+        self.dram.bytes_read as f64 / (self.cycles as f64 * self.interface_bytes_per_cycle)
+    }
+
+    /// Wall-clock nanoseconds the run represents at the configured
+    /// frequency.
+    #[must_use]
+    pub fn time_ns(&self) -> f64 {
+        if self.freq_mhz == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1000.0 / f64::from(self.freq_mhz)
+        }
+    }
+
+    /// Fractions of runtime `(active, idle_memory, idle_revolver, idle_rf)`
+    /// — the stacked bars of Fig 6.
+    #[must_use]
+    pub fn breakdown(&self) -> (f64, f64, f64, f64) {
+        if self.cycles == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let c = self.cycles as f64;
+        (
+            self.active_cycles as f64 / c,
+            self.idle_memory / c,
+            self.idle_revolver / c,
+            self.idle_rf / c,
+        )
+    }
+
+    /// Mean issuable-tasklet count over the run (Fig 7's right axis).
+    #[must_use]
+    pub fn mean_issuable(&self) -> f64 {
+        let cycles: u64 = self.tlp_histogram.iter().sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .tlp_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, n)| k as u64 * n)
+            .sum();
+        weighted as f64 / cycles as f64
+    }
+
+    /// Internal accounting helper: records `span` cycles with `issuable`
+    /// issuable tasklets into the histogram and timeline accumulator.
+    pub(crate) fn record_tlp_span(
+        &mut self,
+        issuable: usize,
+        span: u64,
+        window_acc: &mut (u64, u64),
+    ) {
+        if let Some(slot) = self.tlp_histogram.get_mut(issuable) {
+            *slot += span;
+        }
+        // Timeline: accumulate (cycles, issuable-cycles) and flush whole
+        // windows.
+        let (ref mut filled, ref mut sum) = *window_acc;
+        let mut remaining = span;
+        while remaining > 0 {
+            let take = remaining.min(self.tlp_window - *filled);
+            *filled += take;
+            *sum += take * issuable as u64;
+            remaining -= take;
+            if *filled == self.tlp_window {
+                self.tlp_timeline.push(*sum as f32 / self.tlp_window as f32);
+                *filled = 0;
+                *sum = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> DpuRunStats {
+        DpuRunStats {
+            tlp_histogram: vec![0; 25],
+            tlp_window: 10,
+            per_tasklet_instructions: vec![0; 4],
+            max_ipc: 1,
+            freq_mhz: 350,
+            interface_bytes_per_cycle: 2.0,
+            ..DpuRunStats::default()
+        }
+    }
+
+    #[test]
+    fn instruction_counting_by_class() {
+        let mut s = stats();
+        s.count_instruction(InstrClass::Arithmetic, 0);
+        s.count_instruction(InstrClass::Arithmetic, 1);
+        s.count_instruction(InstrClass::Dma, 0);
+        assert_eq!(s.instructions, 3);
+        assert!((s.class_fraction(InstrClass::Arithmetic) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.per_tasklet_instructions, vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn ipc_and_utilization() {
+        let mut s = stats();
+        s.cycles = 100;
+        s.instructions = 50;
+        assert!((s.ipc() - 0.5).abs() < 1e-9);
+        assert!((s.compute_utilization() - 0.5).abs() < 1e-9);
+        s.dram.bytes_read = 100;
+        // 100 bytes / (100 cycles × 2 B/cycle) = 0.5.
+        assert!((s.mram_read_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let mut s = stats();
+        s.cycles = 350;
+        assert!((s.time_ns() - 1000.0).abs() < 1e-9, "350 cycles at 350 MHz = 1 µs");
+    }
+
+    #[test]
+    fn breakdown_sums_to_one_when_attributed() {
+        let mut s = stats();
+        s.cycles = 10;
+        s.active_cycles = 4;
+        s.idle_memory = 3.0;
+        s.idle_revolver = 2.0;
+        s.idle_rf = 1.0;
+        let (a, m, r, f) = s.breakdown();
+        assert!((a + m + r + f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tlp_span_recording_and_windows() {
+        let mut s = stats();
+        let mut acc = (0, 0);
+        s.record_tlp_span(4, 15, &mut acc); // fills one window (avg 4), 5 left
+        s.record_tlp_span(0, 5, &mut acc); // completes second window: (5*4+5*0)/10 = 2
+        assert_eq!(s.tlp_timeline, vec![4.0, 2.0]);
+        assert_eq!(s.tlp_histogram[4], 15);
+        assert_eq!(s.tlp_histogram[0], 5);
+        assert!((s.mean_issuable() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,426 @@
+//! The DRAM bank state machine with FR-FCFS scheduling.
+
+use std::collections::VecDeque;
+
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+
+/// Identifier of an enqueued access, returned by [`DramBank::enqueue`] and
+/// reported back on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccessId(pub u64);
+
+/// A single bank access (at most one burst's worth of data within one row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// MRAM byte address of the first byte accessed.
+    pub addr: u32,
+    /// Number of bytes accessed (`1..=burst_bytes`, within a single row).
+    pub bytes: u32,
+    /// `true` for writes, `false` for reads.
+    pub write: bool,
+}
+
+impl Access {
+    /// A read access.
+    #[must_use]
+    pub fn read(addr: u32, bytes: u32) -> Self {
+        Access { addr, bytes, write: false }
+    }
+
+    /// A write access.
+    #[must_use]
+    pub fn write(addr: u32, bytes: u32) -> Self {
+        Access { addr, bytes, write: true }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: AccessId,
+    access: Access,
+    arrival: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: AccessId,
+    finish: u64,
+}
+
+/// A cycle-level DRAM bank.
+///
+/// All times are in DRAM-clock cycles. The caller drives the bank with
+/// [`DramBank::advance_to`] and may fast-forward idle periods using
+/// [`DramBank::next_event`].
+///
+/// Scheduling is FR-FCFS (paper Table I): among arrived requests the oldest
+/// **row-hit** request is served first; if no request hits the open row, the
+/// oldest request is served. A request older than
+/// [`DramConfig::starvation_cap`] bypasses row-hit prioritization.
+#[derive(Debug, Clone)]
+pub struct DramBank {
+    cfg: DramConfig,
+    queue: VecDeque<Queued>,
+    in_flight: Vec<InFlight>,
+    open_row: Option<u32>,
+    /// Earliest cycle the next bank command sequence may begin.
+    next_start: u64,
+    /// Cycle at which the currently open row was activated (for tRAS).
+    act_cycle: u64,
+    /// If the scheduler stopped because the next request couldn't start yet,
+    /// the cycle at which it can.
+    blocked_until: Option<u64>,
+    next_id: u64,
+    stats: DramStats,
+}
+
+impl DramBank {
+    /// Creates an idle bank with the given configuration.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        DramBank {
+            cfg,
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            open_row: None,
+            next_start: 0,
+            act_cycle: 0,
+            blocked_until: None,
+            next_id: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The bank's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Whether the bank has no queued or in-flight accesses.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Number of queued (not yet started) accesses.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues an access arriving at DRAM cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is empty, larger than one burst, or crosses a
+    /// row boundary (the DMA engine splits transfers so this cannot happen).
+    pub fn enqueue(&mut self, access: Access, now: u64) -> AccessId {
+        assert!(access.bytes > 0, "empty DRAM access");
+        assert!(
+            access.bytes <= self.cfg.burst_bytes,
+            "access of {} bytes exceeds burst size {}",
+            access.bytes,
+            self.cfg.burst_bytes
+        );
+        assert_eq!(
+            self.cfg.row_of(access.addr),
+            self.cfg.row_of(access.addr + access.bytes - 1),
+            "access crosses a row boundary"
+        );
+        let id = AccessId(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back(Queued { id, access, arrival: now });
+        self.blocked_until = None;
+        id
+    }
+
+    /// Advances the bank to DRAM cycle `now`, starting every request that can
+    /// start and pushing the ids of accesses whose data completed by `now`
+    /// into `completed` (in completion order).
+    ///
+    /// Scheduling decisions are made at *decision time* — the moment the bank
+    /// becomes free and at least one request has arrived — so only requests
+    /// already queued at that moment participate in FR-FCFS arbitration,
+    /// regardless of how far `now` jumps ahead.
+    pub fn advance_to(&mut self, now: u64, completed: &mut Vec<AccessId>) {
+        self.blocked_until = None;
+        while !self.queue.is_empty() {
+            let min_arrival =
+                self.queue.iter().map(|q| q.arrival).min().expect("queue non-empty");
+            let decision = self.next_start.max(min_arrival);
+            if decision > now {
+                self.blocked_until = Some(decision);
+                break;
+            }
+            let pick = self.pick_at(decision).expect("an arrived request exists");
+            let q = self.queue.remove(pick).expect("picked index valid");
+            let finish = self.service(q, decision);
+            self.in_flight.push(InFlight { id: q.id, finish });
+        }
+        // Retire accesses whose data is complete.
+        self.in_flight.sort_by_key(|f| f.finish);
+        let mut retained = Vec::with_capacity(self.in_flight.len());
+        for f in self.in_flight.drain(..) {
+            if f.finish <= now {
+                completed.push(f.id);
+            } else {
+                retained.push(f);
+            }
+        }
+        self.in_flight = retained;
+    }
+
+    /// The next DRAM cycle at which calling [`DramBank::advance_to`] could
+    /// make progress (a completion retires or a blocked request can start),
+    /// or `None` if the bank is idle.
+    ///
+    /// Valid after an [`DramBank::advance_to`] call; enqueueing invalidates
+    /// the hint conservatively (the caller should re-advance).
+    #[must_use]
+    pub fn next_event(&self) -> Option<u64> {
+        let mut next = self.in_flight.iter().map(|f| f.finish).min();
+        if let Some(b) = self.blocked_until {
+            next = Some(next.map_or(b, |n| n.min(b)));
+        }
+        if next.is_none() && !self.queue.is_empty() {
+            // advance_to has not run since the last enqueue; the caller
+            // should re-advance immediately.
+            next = Some(self.next_start);
+        }
+        next
+    }
+
+    /// FR-FCFS pick among requests that have arrived by `decision` time: the
+    /// oldest row-hit request, unless the oldest overall request has waited
+    /// past the starvation cap, in which case it wins. Returns a queue index.
+    fn pick_at(&self, decision: u64) -> Option<usize> {
+        let arrived = |q: &Queued| q.arrival <= decision;
+        let oldest = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| arrived(q))
+            .min_by_key(|(_, q)| q.arrival)?;
+        if decision.saturating_sub(oldest.1.arrival) > self.cfg.starvation_cap {
+            return Some(oldest.0);
+        }
+        if let Some(open) = self.open_row {
+            let hit = self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| arrived(q) && self.cfg.row_of(q.access.addr) == open)
+                .min_by_key(|(_, q)| q.arrival);
+            if let Some((i, _)) = hit {
+                return Some(i);
+            }
+        }
+        Some(oldest.0)
+    }
+
+    /// Runs the bank state machine for one access starting at `start`;
+    /// returns the cycle its data transfer completes.
+    fn service(&mut self, q: Queued, start: u64) -> u64 {
+        let cfg = self.cfg;
+        let row = cfg.row_of(q.access.addr);
+        let cas_at = match self.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                start
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                // Precharge may not issue before tRAS has elapsed since ACT.
+                let pre_at = start.max(self.act_cycle + cfg.t_ras);
+                let act_at = pre_at + cfg.t_rp;
+                self.act_cycle = act_at;
+                self.open_row = Some(row);
+                act_at + cfg.t_rcd
+            }
+            None => {
+                self.stats.row_opens += 1;
+                self.act_cycle = start;
+                self.open_row = Some(row);
+                start + cfg.t_rcd
+            }
+        };
+        let finish = cas_at + cfg.t_cl + cfg.t_bl;
+        self.next_start = cas_at + cfg.t_ccd;
+        if q.access.write {
+            self.stats.writes += 1;
+            self.stats.bytes_written += u64::from(q.access.bytes);
+        } else {
+            self.stats.reads += 1;
+            self.stats.bytes_read += u64::from(q.access.bytes);
+        }
+        self.stats.total_latency += finish - q.arrival;
+        finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(bank: &mut DramBank, now: u64) -> Vec<AccessId> {
+        let mut out = Vec::new();
+        bank.advance_to(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn cold_access_takes_rcd_cl_bl() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        let id = bank.enqueue(Access::read(0, 64), 0);
+        let expect = cfg.t_rcd + cfg.t_cl + cfg.t_bl; // 36
+        assert!(drain(&mut bank, expect - 1).is_empty());
+        assert_eq!(drain(&mut bank, expect), vec![id]);
+        assert_eq!(bank.stats().row_opens, 1);
+        assert_eq!(bank.stats().bytes_read, 64);
+    }
+
+    #[test]
+    fn row_hit_streams_at_ccd() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        // 8 bursts in the same row, all arriving at 0.
+        let ids: Vec<_> = (0..8).map(|i| bank.enqueue(Access::read(i * 64, 64), 0)).collect();
+        let done = drain(&mut bank, 10_000);
+        assert_eq!(done, ids);
+        assert_eq!(bank.stats().row_opens, 1);
+        assert_eq!(bank.stats().row_hits, 7);
+        // Completion of last burst: tRCD + 7*tCCD + tCL + tBL.
+        let last_finish = cfg.t_rcd + 7 * cfg.t_ccd + cfg.t_cl + cfg.t_bl;
+        assert!(drain(&mut DramBank::new(cfg), 0).is_empty());
+        let mut bank2 = DramBank::new(cfg);
+        let ids2: Vec<_> =
+            (0..8).map(|i| bank2.enqueue(Access::read(i * 64, 64), 0)).collect();
+        assert!(drain(&mut bank2, last_finish - 1).len() < ids2.len());
+        assert_eq!(drain(&mut bank2, last_finish).len(), 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_ras_rp_rcd() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        let a = bank.enqueue(Access::read(0, 64), 0);
+        // Different row.
+        let b = bank.enqueue(Access::read(4096, 64), 0);
+        let done = drain(&mut bank, 100_000);
+        assert_eq!(done, vec![a, b]);
+        assert_eq!(bank.stats().row_conflicts, 1);
+        // b: precharge waits for tRAS after the first ACT (cycle 0), then
+        // tRP + tRCD + tCL + tBL.
+        let expect_b = cfg.t_ras + cfg.t_rp + cfg.t_rcd + cfg.t_cl + cfg.t_bl;
+        let mut bank2 = DramBank::new(cfg);
+        bank2.enqueue(Access::read(0, 64), 0);
+        let b2 = bank2.enqueue(Access::read(4096, 64), 0);
+        assert!(!drain(&mut bank2, expect_b - 1).contains(&b2));
+        assert!(drain(&mut bank2, expect_b).contains(&b2));
+    }
+
+    #[test]
+    fn frfcfs_prioritizes_row_hits() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        // Open row 0.
+        let first = bank.enqueue(Access::read(0, 64), 0);
+        let mut done = Vec::new();
+        bank.advance_to(cfg.t_rcd + cfg.t_cl + cfg.t_bl, &mut done);
+        assert_eq!(done, vec![first]);
+        // A row-miss and a row-hit request are both queued when the bank
+        // next arbitrates (same arrival cycle, miss enqueued first): FR-FCFS
+        // must serve the row hit first.
+        let miss = bank.enqueue(Access::read(4096, 64), 40);
+        let hit = bank.enqueue(Access::read(64, 64), 40);
+        let order = drain(&mut bank, 100_000);
+        assert_eq!(order, vec![hit, miss], "row hit must be served first");
+    }
+
+    #[test]
+    fn starvation_cap_eventually_serves_misses() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.starvation_cap = 50;
+        let mut bank = DramBank::new(cfg);
+        bank.enqueue(Access::read(0, 64), 0);
+        let mut done = Vec::new();
+        bank.advance_to(36, &mut done);
+        let miss = bank.enqueue(Access::read(4096, 64), 36);
+        // A steady stream of row hits arrives; without the cap the miss
+        // would starve.
+        let mut t = 37;
+        let mut served_miss_at = None;
+        for i in 0..1000u32 {
+            bank.enqueue(Access::read(64 + (i % 8) * 64, 64), t);
+            let mut out = Vec::new();
+            t += 4;
+            bank.advance_to(t, &mut out);
+            if out.contains(&miss) {
+                served_miss_at = Some(t);
+                break;
+            }
+        }
+        assert!(
+            served_miss_at.is_some(),
+            "row-miss request starved despite starvation cap"
+        );
+    }
+
+    #[test]
+    fn writes_counted_separately() {
+        let mut bank = DramBank::new(DramConfig::ddr4_2400());
+        bank.enqueue(Access::write(128, 32), 0);
+        drain(&mut bank, 10_000);
+        assert_eq!(bank.stats().writes, 1);
+        assert_eq!(bank.stats().bytes_written, 32);
+        assert_eq!(bank.stats().bytes_read, 0);
+    }
+
+    #[test]
+    fn next_event_reports_completion_time() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        bank.enqueue(Access::read(0, 64), 0);
+        let mut out = Vec::new();
+        bank.advance_to(0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(bank.next_event(), Some(cfg.t_rcd + cfg.t_cl + cfg.t_bl));
+        bank.advance_to(cfg.t_rcd + cfg.t_cl + cfg.t_bl, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(bank.next_event(), None);
+        assert!(bank.is_idle());
+    }
+
+    #[test]
+    fn requests_arriving_later_wait_for_arrival() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        let id = bank.enqueue(Access::read(0, 64), 100);
+        assert!(drain(&mut bank, 99).is_empty());
+        assert!(drain(&mut bank, 135).is_empty());
+        assert_eq!(drain(&mut bank, 136), vec![id]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a row boundary")]
+    fn cross_row_access_panics() {
+        let mut bank = DramBank::new(DramConfig::ddr4_2400());
+        bank.enqueue(Access::read(1000, 64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds burst size")]
+    fn oversized_access_panics() {
+        let mut bank = DramBank::new(DramConfig::ddr4_2400());
+        bank.enqueue(Access::read(0, 128), 0);
+    }
+}

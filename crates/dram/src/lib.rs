@@ -1,0 +1,39 @@
+//! # pim-dram
+//!
+//! A cycle-level model of the single DDR4 DRAM bank that backs a DPU's MRAM.
+//!
+//! The paper (§III-A) models the DRAM subsystem after GPGPU-Sim's cycle-level
+//! DRAM simulator: a bank state machine with the DDR4-2400 timing parameters
+//! of Table I (`tRCD`, `tRAS`, `tRP`, `tCL`, `tBL`), a 1 KB row buffer, and
+//! **FR-FCFS** (first-row, first-come-first-serve) scheduling of memory
+//! transactions. This crate reproduces that model.
+//!
+//! The bank operates in its own clock domain (DRAM I/O clock, 1200 MHz for
+//! DDR4-2400). The DPU-side DMA engine converts core cycles to DRAM cycles
+//! and splits DMA requests into fixed-size bursts before enqueueing them
+//! here. The **frequency-scaling knob** used by the paper's SIMT
+//! (Fig 11, `+4x/16x`) and MRAM-bandwidth (Fig 13, `×1–×4`) studies is the
+//! clock-domain ratio itself: scaling DRAM frequency shrinks every timing
+//! parameter in core-cycle terms.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_dram::{Access, DramBank, DramConfig};
+//!
+//! let mut bank = DramBank::new(DramConfig::ddr4_2400());
+//! let id = bank.enqueue(Access::read(0x1000, 64), 0);
+//! // Tick the bank forward; the access completes after tRCD + tCL + tBL.
+//! let mut done = Vec::new();
+//! bank.advance_to(1000, &mut done);
+//! assert_eq!(done, vec![id]);
+//! assert_eq!(bank.stats().reads, 1);
+//! ```
+
+pub mod bank;
+pub mod config;
+pub mod stats;
+
+pub use bank::{Access, AccessId, DramBank};
+pub use config::DramConfig;
+pub use stats::DramStats;

@@ -1,0 +1,93 @@
+//! DRAM access statistics.
+
+/// Counters accumulated by a [`crate::DramBank`] over a simulation.
+///
+/// `bytes_read` feeds the paper's Figure 16 ("bytes read from DRAM") and the
+/// memory-bandwidth-utilization axis of Figure 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Number of read bursts serviced.
+    pub reads: u64,
+    /// Number of write bursts serviced.
+    pub writes: u64,
+    /// Bursts that hit the open row.
+    pub row_hits: u64,
+    /// Bursts that required activating a closed bank.
+    pub row_opens: u64,
+    /// Bursts that conflicted with a different open row (precharge + activate).
+    pub row_conflicts: u64,
+    /// Total bytes read from the bank.
+    pub bytes_read: u64,
+    /// Total bytes written to the bank.
+    pub bytes_written: u64,
+    /// Sum over serviced bursts of (service completion − arrival), in DRAM
+    /// cycles; divide by `reads + writes` for mean access latency.
+    pub total_latency: u64,
+}
+
+impl DramStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_opens += other.row_opens;
+        self.row_conflicts += other.row_conflicts;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.total_latency += other.total_latency;
+    }
+
+    /// Total bursts serviced.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-hit rate over all serviced bursts, or 0.0 when idle.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Mean access latency in DRAM cycles, or 0.0 when idle.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_idle_bank() {
+        let s = DramStats::default();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = DramStats {
+            reads: 3,
+            writes: 1,
+            row_hits: 2,
+            total_latency: 80,
+            ..DramStats::default()
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.row_hit_rate() - 0.5).abs() < f64::EPSILON);
+        assert!((s.mean_latency() - 20.0).abs() < f64::EPSILON);
+    }
+}

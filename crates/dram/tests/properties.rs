@@ -1,0 +1,102 @@
+//! Property tests for the DRAM bank model.
+
+use pim_dram::{Access, DramBank, DramConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every enqueued access eventually completes, exactly once.
+    #[test]
+    fn conservation(
+        reqs in prop::collection::vec((0u32..1 << 20, 1u32..=64, any::<bool>(), 0u64..5000), 1..64)
+    ) {
+        let cfg = DramConfig::ddr4_2400();
+        let mut bank = DramBank::new(cfg);
+        let mut ids = Vec::new();
+        let mut reqs = reqs;
+        reqs.sort_by_key(|r| r.3);
+        let mut done = Vec::new();
+        for (addr, bytes, write, arrival) in reqs {
+            // Clamp to one row.
+            let addr = addr & !63;
+            bank.advance_to(arrival, &mut done);
+            let access = if write { Access::write(addr, bytes) } else { Access::read(addr, bytes) };
+            ids.push(bank.enqueue(access, arrival));
+        }
+        // Drive to quiescence using next_event hints.
+        let mut now = 5000;
+        let mut guard = 0;
+        while !bank.is_idle() {
+            bank.advance_to(now, &mut done);
+            if let Some(next) = bank.next_event() {
+                now = now.max(next);
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000, "bank failed to quiesce");
+        }
+        let mut sorted = done.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ids.len(), "every access completes exactly once");
+    }
+
+    /// Statistics are conserved: reads + writes equals enqueued accesses and
+    /// byte counters match.
+    #[test]
+    fn stats_conservation(
+        reqs in prop::collection::vec((0u32..1 << 16, any::<bool>()), 1..40)
+    ) {
+        let mut bank = DramBank::new(DramConfig::ddr4_2400());
+        let mut done = Vec::new();
+        let (mut rbytes, mut wbytes) = (0u64, 0u64);
+        for (addr, write) in &reqs {
+            let addr = addr & !63;
+            let access = if *write {
+                wbytes += 64;
+                Access::write(addr, 64)
+            } else {
+                rbytes += 64;
+                Access::read(addr, 64)
+            };
+            bank.enqueue(access, 0);
+        }
+        bank.advance_to(u64::MAX / 2, &mut done);
+        prop_assert!(bank.is_idle());
+        prop_assert_eq!(bank.stats().accesses(), reqs.len() as u64);
+        prop_assert_eq!(bank.stats().bytes_read, rbytes);
+        prop_assert_eq!(bank.stats().bytes_written, wbytes);
+        prop_assert_eq!(
+            bank.stats().row_hits + bank.stats().row_opens + bank.stats().row_conflicts,
+            reqs.len() as u64
+        );
+    }
+
+    /// Advancing in many small steps yields the same completion order as one
+    /// big step (the model is advance-granularity independent).
+    #[test]
+    fn advance_granularity_independent(
+        addrs in prop::collection::vec(0u32..1 << 18, 1..32),
+        step in 1u64..97
+    ) {
+        let cfg = DramConfig::ddr4_2400();
+        let horizon = 200_000u64;
+
+        let mut big = DramBank::new(cfg);
+        let mut big_done = Vec::new();
+        for a in &addrs {
+            big.enqueue(Access::read(a & !63, 64), 0);
+        }
+        big.advance_to(horizon, &mut big_done);
+
+        let mut small = DramBank::new(cfg);
+        let mut small_done = Vec::new();
+        for a in &addrs {
+            small.enqueue(Access::read(a & !63, 64), 0);
+        }
+        let mut t = 0;
+        while t < horizon {
+            t += step;
+            small.advance_to(t.min(horizon), &mut small_done);
+        }
+        prop_assert_eq!(big_done, small_done);
+    }
+}

@@ -1,0 +1,404 @@
+//! The multi-DPU system: a set of DPUs driven synchronously by the host.
+
+use pim_asm::DpuProgram;
+use pim_dpu::{Dpu, DpuConfig, DpuRunStats, SimError};
+
+use crate::xfer::TransferConfig;
+
+/// Accumulated end-to-end time, split the way Fig 10 splits it: input
+/// transfer, kernel execution, output transfer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecutionTimeline {
+    /// CPU→DPU transfer time, ns.
+    pub to_dpu_ns: f64,
+    /// Kernel execution time (max over DPUs, summed over launches), ns.
+    pub kernel_ns: f64,
+    /// CPU←DPU transfer time, ns.
+    pub from_dpu_ns: f64,
+    /// Number of kernel launches.
+    pub launches: u32,
+}
+
+impl ExecutionTimeline {
+    /// Total end-to-end time in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.to_dpu_ns + self.kernel_ns + self.from_dpu_ns
+    }
+
+    /// Fractions `(to_dpu, kernel, from_dpu)` of the total.
+    #[must_use]
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_ns();
+        if t == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (self.to_dpu_ns / t, self.kernel_ns / t, self.from_dpu_ns / t)
+        }
+    }
+}
+
+/// The result of one synchronous launch across the whole set.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Per-DPU run statistics, indexed by DPU.
+    pub per_dpu: Vec<DpuRunStats>,
+    /// Kernel time of this launch (slowest DPU), ns.
+    pub kernel_ns: f64,
+}
+
+impl LaunchReport {
+    /// Total instructions executed across the set.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.per_dpu.iter().map(|s| s.instructions).sum()
+    }
+
+    /// The statistics of the slowest DPU in this launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty (a launch always has at least one DPU).
+    #[must_use]
+    pub fn slowest(&self) -> &DpuRunStats {
+        self.per_dpu
+            .iter()
+            .max_by(|a, b| a.time_ns().total_cmp(&b.time_ns()))
+            .expect("launch reports are non-empty")
+    }
+}
+
+/// A host-managed set of DPUs (the SDK's `dpu_set_t`).
+///
+/// All DPUs share one configuration and one program, per the SPMD model;
+/// data is partitioned across them by the host exactly as in the paper's
+/// Fig 2(a).
+#[derive(Debug)]
+pub struct PimSystem {
+    dpus: Vec<Dpu>,
+    xfer: TransferConfig,
+    timeline: ExecutionTimeline,
+}
+
+impl PimSystem {
+    /// Allocates `n_dpus` DPUs with the given configuration
+    /// (`dpu_alloc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dpus` is zero or the DPU configuration is invalid.
+    #[must_use]
+    pub fn new(n_dpus: u32, cfg: DpuConfig, xfer: TransferConfig) -> Self {
+        assert!(n_dpus > 0, "a PIM system needs at least one DPU");
+        let dpus = (0..n_dpus).map(|_| Dpu::new(cfg.clone())).collect();
+        PimSystem { dpus, xfer, timeline: ExecutionTimeline::default() }
+    }
+
+    /// Number of DPUs in the set.
+    #[must_use]
+    pub fn n_dpus(&self) -> u32 {
+        self.dpus.len() as u32
+    }
+
+    /// Access one DPU (e.g. for workload-specific staging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn dpu(&self, idx: u32) -> &Dpu {
+        &self.dpus[idx as usize]
+    }
+
+    /// Mutable access to one DPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn dpu_mut(&mut self, idx: u32) -> &mut Dpu {
+        &mut self.dpus[idx as usize]
+    }
+
+    /// The accumulated end-to-end timeline.
+    #[must_use]
+    pub fn timeline(&self) -> &ExecutionTimeline {
+        &self.timeline
+    }
+
+    /// Clears the accumulated timeline (e.g. between experiments).
+    pub fn reset_timeline(&mut self) {
+        self.timeline = ExecutionTimeline::default();
+    }
+
+    /// Loads the same program on every DPU (`dpu_load`). Program upload
+    /// time is not modelled (the paper's breakdowns start at input
+    /// transfer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`SimError`] if the program does not fit a DPU.
+    pub fn load(&mut self, program: &DpuProgram) -> Result<(), SimError> {
+        for dpu in &mut self.dpus {
+            dpu.load_program(program)?;
+        }
+        Ok(())
+    }
+
+    /// Parallel CPU→DPU transfer into MRAM (`dpu_push_xfer(TO_DPU)`):
+    /// `chunks[i]` is written to DPU `i` at `addr`. Takes the time of the
+    /// largest chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` does not have one entry per DPU.
+    pub fn push_to_mram(&mut self, addr: u32, chunks: &[&[u8]]) {
+        assert_eq!(chunks.len(), self.dpus.len(), "one chunk per DPU");
+        let max_bytes = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
+        for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
+            dpu.write_mram(addr, chunk);
+        }
+        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(max_bytes);
+    }
+
+    /// Broadcast CPU→DPU transfer: the same bytes to every DPU's MRAM.
+    pub fn broadcast_to_mram(&mut self, addr: u32, data: &[u8]) {
+        for dpu in &mut self.dpus {
+            dpu.write_mram(addr, data);
+        }
+        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
+    }
+
+    /// Single-DPU CPU→DPU transfer into MRAM (serial; accumulates its own
+    /// transfer time).
+    pub fn copy_to_mram(&mut self, dpu: u32, addr: u32, data: &[u8]) {
+        self.dpus[dpu as usize].write_mram(addr, data);
+        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
+    }
+
+    /// Parallel CPU←DPU transfer out of MRAM (`dpu_push_xfer(FROM_DPU)`).
+    /// Reads `len` bytes at `addr` from every DPU; takes the time of one
+    /// chunk (they move in parallel).
+    #[must_use]
+    pub fn pull_from_mram(&mut self, addr: u32, len: u32) -> Vec<Vec<u8>> {
+        let out: Vec<Vec<u8>> = self.dpus.iter().map(|d| d.read_mram(addr, len)).collect();
+        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(u64::from(len));
+        out
+    }
+
+    /// Single-DPU CPU←DPU transfer out of MRAM.
+    #[must_use]
+    pub fn copy_from_mram(&mut self, dpu: u32, addr: u32, len: u32) -> Vec<u8> {
+        let out = self.dpus[dpu as usize].read_mram(addr, len);
+        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(u64::from(len));
+        out
+    }
+
+    /// Parallel transfer into a named WRAM symbol on every DPU
+    /// (`dpu_push_xfer` against a host variable, like `size_per_dpu` in
+    /// the paper's Fig 2(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` does not have one entry per DPU or the symbol is
+    /// unknown.
+    pub fn push_to_symbol(&mut self, name: &str, chunks: &[&[u8]]) {
+        assert_eq!(chunks.len(), self.dpus.len(), "one chunk per DPU");
+        let max_bytes = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
+        for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
+            dpu.write_wram_symbol(name, chunk);
+        }
+        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(max_bytes);
+    }
+
+    /// Broadcast the same bytes into a named WRAM symbol on every DPU.
+    pub fn broadcast_to_symbol(&mut self, name: &str, data: &[u8]) {
+        for dpu in &mut self.dpus {
+            dpu.write_wram_symbol(name, data);
+        }
+        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
+    }
+
+    /// Reads a named WRAM symbol back from every DPU.
+    #[must_use]
+    pub fn pull_from_symbol(&mut self, name: &str) -> Vec<Vec<u8>> {
+        let out: Vec<Vec<u8>> =
+            self.dpus.iter().map(|d| d.read_wram_symbol(name)).collect();
+        let bytes = out.first().map_or(0, Vec::len) as u64;
+        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(bytes);
+        out
+    }
+
+    /// Launches the loaded kernel synchronously on every DPU
+    /// (`dpu_launch(DPU_SYNCHRONOUS)`). The launch's kernel time is that of
+    /// the slowest DPU; it accumulates into the timeline.
+    ///
+    /// DPUs are simulated on parallel host threads — the multi-threaded
+    /// simulation the paper leaves as future work (§III-D). This is safe
+    /// and bit-deterministic because DPUs share no state during a kernel
+    /// (§II-B: no inter-DPU datapath); results are collected in DPU order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] raised by any DPU.
+    pub fn launch_all(&mut self) -> Result<LaunchReport, SimError> {
+        let results: Vec<Result<DpuRunStats, SimError>> = if self.dpus.len() == 1 {
+            vec![self.dpus[0].launch()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .dpus
+                    .iter_mut()
+                    .map(|dpu| scope.spawn(move || dpu.launch()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("DPU simulation thread panicked"))
+                    .collect()
+            })
+        };
+        let per_dpu = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let kernel_ns = per_dpu
+            .iter()
+            .map(DpuRunStats::time_ns)
+            .fold(0.0f64, f64::max);
+        self.timeline.kernel_ns += kernel_ns;
+        self.timeline.launches += 1;
+        Ok(LaunchReport { per_dpu, kernel_ns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_asm::KernelBuilder;
+    use pim_isa::Cond;
+
+    /// Kernel: sums `count` words from MRAM base 0 into WRAM symbol "sum".
+    fn sum_kernel(count: u32) -> DpuProgram {
+        let mut k = KernelBuilder::new();
+        let buf = k.global_zeroed("buf", 256);
+        let _sum = k.global_zeroed("sum", 4);
+        let [w, m, i, v, acc, p] = k.regs(["w", "m", "i", "v", "acc", "p"]);
+        k.movi(acc, 0);
+        k.movi(m, 0);
+        k.movi(i, (count / 64) as i32);
+        let outer = k.label_here("outer");
+        k.movi(w, buf as i32);
+        k.ldma(w, m, 256);
+        k.movi(p, 64);
+        let inner = k.label_here("inner");
+        k.lw(v, w, 0);
+        k.add(acc, acc, v);
+        k.add(w, w, 4);
+        k.sub(p, p, 1);
+        k.branch(Cond::Ne, p, 0, &inner);
+        k.add(m, m, 256);
+        k.sub(i, i, 1);
+        k.branch(Cond::Ne, i, 0, &outer);
+        k.movi(p, 256); // "sum" address: after 256-byte buf
+        k.sw(acc, p, 0);
+        k.stop();
+        k.build().unwrap()
+    }
+
+    #[test]
+    fn partitioned_sum_across_four_dpus() {
+        let count = 256u32; // words per DPU
+        let program = sum_kernel(count);
+        let mut sys = PimSystem::new(4, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        // DPU d gets words d*1000 .. d*1000+count.
+        let chunks: Vec<Vec<u8>> = (0..4)
+            .map(|d| {
+                (0..count)
+                    .flat_map(|i| (d * 1000 + i as i32).to_le_bytes())
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        sys.push_to_mram(0, &refs);
+        let report = sys.launch_all().unwrap();
+        assert_eq!(report.per_dpu.len(), 4);
+        let sums = sys.pull_from_symbol("sum");
+        for (d, bytes) in sums.iter().enumerate() {
+            let got = i32::from_le_bytes(bytes.as_slice().try_into().unwrap());
+            let expect: i32 = (0..count as i32).map(|i| d as i32 * 1000 + i).sum();
+            assert_eq!(got, expect, "dpu {d}");
+        }
+    }
+
+    #[test]
+    fn timeline_accumulates_all_three_phases() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(2, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let data = vec![0u8; 64 * 4];
+        sys.push_to_mram(0, &[&data, &data]);
+        sys.launch_all().unwrap();
+        let _ = sys.pull_from_symbol("sum");
+        let t = sys.timeline();
+        assert!(t.to_dpu_ns > 0.0);
+        assert!(t.kernel_ns > 0.0);
+        assert!(t.from_dpu_ns > 0.0);
+        assert_eq!(t.launches, 1);
+        let (a, b, c) = t.fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_transfer_takes_max_chunk_time() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(2, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let small = vec![0u8; 64];
+        let big = vec![0u8; 64 * 1024];
+        sys.push_to_mram(0, &[&small, &big]);
+        let expected = TransferConfig::paper().to_dpu_ns(64 * 1024);
+        assert!((sys.timeline().to_dpu_ns - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readback_is_slower_than_upload_for_same_bytes() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(1, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let data = vec![0u8; 4096];
+        sys.push_to_mram(0, &[&data]);
+        let up = sys.timeline().to_dpu_ns;
+        let _ = sys.pull_from_mram(0, 4096);
+        let down = sys.timeline().from_dpu_ns;
+        assert!(down > 4.0 * up, "CPU←DPU must be ≈4.7× slower");
+    }
+
+    #[test]
+    fn broadcast_and_per_dpu_symbols() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(3, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        sys.broadcast_to_symbol("sum", &7i32.to_le_bytes());
+        let vals = sys.pull_from_symbol("sum");
+        for v in vals {
+            assert_eq!(i32::from_le_bytes(v.as_slice().try_into().unwrap()), 7);
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_slowest_dpu() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(2, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let data = vec![1u8; 64 * 4];
+        sys.push_to_mram(0, &[&data, &data]);
+        let report = sys.launch_all().unwrap();
+        let max = report.per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0, f64::max);
+        assert!((report.kernel_ns - max).abs() < 1e-9);
+        assert!((report.slowest().time_ns() - max).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one chunk per DPU")]
+    fn mismatched_chunks_panic() {
+        let mut sys = PimSystem::new(2, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.push_to_mram(0, &[&[0u8; 4] as &[u8]]);
+    }
+}

@@ -1,0 +1,66 @@
+//! The CPU↔DPU transfer bandwidth model.
+
+/// Fixed-bandwidth, per-direction transfer model (paper Table I).
+///
+/// The asymmetry is real and load-bearing: the paper observes that UPMEM
+/// implements CPU→DPU with asynchronous AVX writes but CPU←DPU with
+/// synchronous AVX reads, making read-back ~4.7× slower per byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferConfig {
+    /// CPU→DPU bandwidth in GB/s per DPU (Table I: 0.296).
+    pub to_dpu_gbps: f64,
+    /// CPU←DPU bandwidth in GB/s per DPU (Table I: 0.063).
+    pub from_dpu_gbps: f64,
+}
+
+impl TransferConfig {
+    /// The paper's measured constants.
+    #[must_use]
+    pub fn paper() -> Self {
+        TransferConfig { to_dpu_gbps: 0.296, from_dpu_gbps: 0.063 }
+    }
+
+    /// Nanoseconds to move `bytes` to one DPU (1 GB/s ≡ 1 byte/ns).
+    #[must_use]
+    pub fn to_dpu_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.to_dpu_gbps
+    }
+
+    /// Nanoseconds to move `bytes` back from one DPU.
+    #[must_use]
+    pub fn from_dpu_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.from_dpu_gbps
+    }
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let t = TransferConfig::paper();
+        assert!((t.to_dpu_gbps - 0.296).abs() < 1e-12);
+        assert!((t.from_dpu_gbps - 0.063).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetry_read_back_slower() {
+        let t = TransferConfig::paper();
+        assert!(t.from_dpu_ns(1024) > 4.0 * t.to_dpu_ns(1024));
+    }
+
+    #[test]
+    fn time_scales_linearly_with_bytes() {
+        let t = TransferConfig::paper();
+        assert!((t.to_dpu_ns(2048) - 2.0 * t.to_dpu_ns(1024)).abs() < 1e-9);
+        // 296 MB at 0.296 GB/s = 1 s.
+        assert!((t.to_dpu_ns(296_000_000) - 1e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! Each instruction encodes into a single `u64` word (the real device uses a
+//! fixed 48-bit encoding; we use 64 bits for field alignment — IRAM capacity
+//! accounting uses the architectural 6-byte size, see
+//! [`crate::layout::IRAM_INSTR_BYTES`]).
+//!
+//! Layout (most-significant bits first):
+//!
+//! ```text
+//! 63        56 55   51 50   46 45   41 40    35 34  32 31           0
+//! +-----------+-------+-------+-------+--------+------+--------------+
+//! |  opcode   |  rd   |  ra   |  rb   |  sub   | rsvd |     imm      |
+//! +-----------+-------+-------+-------+--------+------+--------------+
+//! ```
+//!
+//! `Branch` with an immediate comparison operand packs the 16-bit compare
+//! immediate in `imm[31:16]` and the 16-bit branch target in `imm[15:0]`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, Instruction, Operand, Width};
+use crate::reg::Reg;
+
+const OP_NOP: u8 = 0;
+const OP_STOP: u8 = 1;
+const OP_ALU_RR: u8 = 2;
+const OP_ALU_RI: u8 = 3;
+const OP_MOVI: u8 = 4;
+const OP_TID: u8 = 5;
+const OP_LOAD: u8 = 6;
+const OP_STORE: u8 = 7;
+const OP_LDMA_R: u8 = 8;
+const OP_LDMA_I: u8 = 9;
+const OP_SDMA_R: u8 = 10;
+const OP_SDMA_I: u8 = 11;
+const OP_BRANCH_RR: u8 = 12;
+const OP_BRANCH_RI: u8 = 13;
+const OP_JUMP: u8 = 14;
+const OP_JAL: u8 = 15;
+const OP_JR: u8 = 16;
+const OP_ACQUIRE_R: u8 = 17;
+const OP_ACQUIRE_I: u8 = 18;
+const OP_RELEASE_R: u8 = 19;
+const OP_RELEASE_I: u8 = 20;
+
+/// An error produced when decoding an instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name a known instruction.
+    UnknownOpcode(u8),
+    /// A register field holds an index outside `0..24`.
+    BadRegister(u8),
+    /// The `sub` field holds a value invalid for the opcode.
+    BadSubfield(u8),
+    /// Bits that must be zero were set.
+    ReservedBits(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::BadSubfield(s) => write!(f, "invalid sub-field value {s}"),
+            DecodeError::ReservedBits(w) => {
+                write!(f, "reserved bits set in instruction word {w:#018x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn pack(opcode: u8, rd: u8, ra: u8, rb: u8, sub: u8, imm: u32) -> u64 {
+    debug_assert!(rd < 32 && ra < 32 && rb < 32 && sub < 64);
+    (u64::from(opcode) << 56)
+        | (u64::from(rd) << 51)
+        | (u64::from(ra) << 46)
+        | (u64::from(rb) << 41)
+        | (u64::from(sub) << 35)
+        | u64::from(imm)
+}
+
+fn field_rd(w: u64) -> u8 {
+    ((w >> 51) & 0x1f) as u8
+}
+fn field_ra(w: u64) -> u8 {
+    ((w >> 46) & 0x1f) as u8
+}
+fn field_rb(w: u64) -> u8 {
+    ((w >> 41) & 0x1f) as u8
+}
+fn field_sub(w: u64) -> u8 {
+    ((w >> 35) & 0x3f) as u8
+}
+fn field_imm(w: u64) -> u32 {
+    (w & 0xffff_ffff) as u32
+}
+
+fn reg(idx: u8) -> Result<Reg, DecodeError> {
+    Reg::try_r(idx).ok_or(DecodeError::BadRegister(idx))
+}
+
+fn alu_sub(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+}
+
+fn cond_sub(c: Cond) -> u8 {
+    Cond::ALL.iter().position(|&o| o == c).expect("cond in ALL") as u8
+}
+
+fn width_sub(w: Width, signed: bool) -> u8 {
+    let base = match w {
+        Width::Byte => 0,
+        Width::Half => 1,
+        Width::Word => 2,
+    };
+    base | (u8::from(signed) << 2)
+}
+
+impl Instruction {
+    /// Encodes this instruction into its 64-bit binary word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Branch` immediate comparison operand does not fit `i16`,
+    /// if a `Branch`-with-immediate target does not fit `u16`, or if an
+    /// `Acquire`/`Release` immediate bit index is outside `0..256`. (The
+    /// assembler and kernel builder validate these before construction.)
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        match *self {
+            Instruction::Nop => pack(OP_NOP, 0, 0, 0, 0, 0),
+            Instruction::Stop => pack(OP_STOP, 0, 0, 0, 0, 0),
+            Instruction::Alu { op, rd, ra, rb } => match rb {
+                Operand::Reg(rb) => pack(
+                    OP_ALU_RR,
+                    rd.index(),
+                    ra.index(),
+                    rb.index(),
+                    alu_sub(op),
+                    0,
+                ),
+                Operand::Imm(imm) => {
+                    pack(OP_ALU_RI, rd.index(), ra.index(), 0, alu_sub(op), imm as u32)
+                }
+            },
+            Instruction::Movi { rd, imm } => pack(OP_MOVI, rd.index(), 0, 0, 0, imm as u32),
+            Instruction::Tid { rd } => pack(OP_TID, rd.index(), 0, 0, 0, 0),
+            Instruction::Load { width, signed, rd, base, offset } => pack(
+                OP_LOAD,
+                rd.index(),
+                base.index(),
+                0,
+                width_sub(width, signed && width != Width::Word),
+                offset as u32,
+            ),
+            Instruction::Store { width, rs, base, offset } => pack(
+                OP_STORE,
+                0,
+                base.index(),
+                rs.index(),
+                width_sub(width, false),
+                offset as u32,
+            ),
+            Instruction::Ldma { wram, mram, len } => match len {
+                Operand::Reg(r) => pack(
+                    OP_LDMA_R,
+                    r.index(),
+                    wram.index(),
+                    mram.index(),
+                    0,
+                    0,
+                ),
+                Operand::Imm(n) => {
+                    pack(OP_LDMA_I, 0, wram.index(), mram.index(), 0, n as u32)
+                }
+            },
+            Instruction::Sdma { wram, mram, len } => match len {
+                Operand::Reg(r) => pack(
+                    OP_SDMA_R,
+                    r.index(),
+                    wram.index(),
+                    mram.index(),
+                    0,
+                    0,
+                ),
+                Operand::Imm(n) => {
+                    pack(OP_SDMA_I, 0, wram.index(), mram.index(), 0, n as u32)
+                }
+            },
+            Instruction::Branch { cond, ra, rb, target } => match rb {
+                Operand::Reg(rb) => pack(
+                    OP_BRANCH_RR,
+                    0,
+                    ra.index(),
+                    rb.index(),
+                    cond_sub(cond),
+                    target,
+                ),
+                Operand::Imm(imm) => {
+                    let imm16 = i16::try_from(imm)
+                        .expect("branch immediate operand must fit i16");
+                    let target16 = u16::try_from(target)
+                        .expect("branch-with-immediate target must fit u16");
+                    pack(
+                        OP_BRANCH_RI,
+                        0,
+                        ra.index(),
+                        0,
+                        cond_sub(cond),
+                        (u32::from(imm16 as u16) << 16) | u32::from(target16),
+                    )
+                }
+            },
+            Instruction::Jump { target } => pack(OP_JUMP, 0, 0, 0, 0, target),
+            Instruction::Jal { rd, target } => pack(OP_JAL, rd.index(), 0, 0, 0, target),
+            Instruction::Jr { ra } => pack(OP_JR, 0, ra.index(), 0, 0, 0),
+            Instruction::Acquire { bit } => match bit {
+                Operand::Reg(r) => pack(OP_ACQUIRE_R, 0, r.index(), 0, 0, 0),
+                Operand::Imm(b) => {
+                    assert!((0..256).contains(&b), "atomic bit index must be in 0..256");
+                    pack(OP_ACQUIRE_I, 0, 0, 0, 0, b as u32)
+                }
+            },
+            Instruction::Release { bit } => match bit {
+                Operand::Reg(r) => pack(OP_RELEASE_R, 0, r.index(), 0, 0, 0),
+                Operand::Imm(b) => {
+                    assert!((0..256).contains(&b), "atomic bit index must be in 0..256");
+                    pack(OP_RELEASE_I, 0, 0, 0, 0, b as u32)
+                }
+            },
+        }
+    }
+
+    /// Decodes a 64-bit instruction word.
+    ///
+    /// Word-width loads decode with `signed == false` regardless of the
+    /// encoded sign bit (sign extension is meaningless at full width).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the opcode is unknown, a register field
+    /// is out of range, a sub-field is invalid, or reserved bits are set.
+    pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+        let opcode = (word >> 56) as u8;
+        let (rd, ra, rb, sub, imm) = (
+            field_rd(word),
+            field_ra(word),
+            field_rb(word),
+            field_sub(word),
+            field_imm(word),
+        );
+        // Bits 32..35 are reserved in every format.
+        if (word >> 32) & 0b111 != 0 {
+            return Err(DecodeError::ReservedBits(word));
+        }
+        let alu_op = |sub: u8| {
+            AluOp::ALL
+                .get(sub as usize)
+                .copied()
+                .ok_or(DecodeError::BadSubfield(sub))
+        };
+        let cond = |sub: u8| {
+            Cond::ALL
+                .get(sub as usize)
+                .copied()
+                .ok_or(DecodeError::BadSubfield(sub))
+        };
+        let width = |sub: u8| match sub & 0b11 {
+            0 => Ok(Width::Byte),
+            1 => Ok(Width::Half),
+            2 => Ok(Width::Word),
+            _ => Err(DecodeError::BadSubfield(sub)),
+        };
+        Ok(match opcode {
+            OP_NOP => Instruction::Nop,
+            OP_STOP => Instruction::Stop,
+            OP_ALU_RR => Instruction::Alu {
+                op: alu_op(sub)?,
+                rd: reg(rd)?,
+                ra: reg(ra)?,
+                rb: Operand::Reg(reg(rb)?),
+            },
+            OP_ALU_RI => Instruction::Alu {
+                op: alu_op(sub)?,
+                rd: reg(rd)?,
+                ra: reg(ra)?,
+                rb: Operand::Imm(imm as i32),
+            },
+            OP_MOVI => Instruction::Movi { rd: reg(rd)?, imm: imm as i32 },
+            OP_TID => Instruction::Tid { rd: reg(rd)? },
+            OP_LOAD => {
+                let w = width(sub)?;
+                if sub > 0b111 {
+                    return Err(DecodeError::BadSubfield(sub));
+                }
+                Instruction::Load {
+                    width: w,
+                    signed: (sub & 0b100) != 0 && w != Width::Word,
+                    rd: reg(rd)?,
+                    base: reg(ra)?,
+                    offset: imm as i32,
+                }
+            }
+            OP_STORE => Instruction::Store {
+                width: width(sub)?,
+                rs: reg(rb)?,
+                base: reg(ra)?,
+                offset: imm as i32,
+            },
+            OP_LDMA_R => Instruction::Ldma {
+                wram: reg(ra)?,
+                mram: reg(rb)?,
+                len: Operand::Reg(reg(rd)?),
+            },
+            OP_LDMA_I => Instruction::Ldma {
+                wram: reg(ra)?,
+                mram: reg(rb)?,
+                len: Operand::Imm(imm as i32),
+            },
+            OP_SDMA_R => Instruction::Sdma {
+                wram: reg(ra)?,
+                mram: reg(rb)?,
+                len: Operand::Reg(reg(rd)?),
+            },
+            OP_SDMA_I => Instruction::Sdma {
+                wram: reg(ra)?,
+                mram: reg(rb)?,
+                len: Operand::Imm(imm as i32),
+            },
+            OP_BRANCH_RR => Instruction::Branch {
+                cond: cond(sub)?,
+                ra: reg(ra)?,
+                rb: Operand::Reg(reg(rb)?),
+                target: imm,
+            },
+            OP_BRANCH_RI => Instruction::Branch {
+                cond: cond(sub)?,
+                ra: reg(ra)?,
+                rb: Operand::Imm(((imm >> 16) as u16 as i16) as i32),
+                target: imm & 0xffff,
+            },
+            OP_JUMP => Instruction::Jump { target: imm },
+            OP_JAL => Instruction::Jal { rd: reg(rd)?, target: imm },
+            OP_JR => Instruction::Jr { ra: reg(ra)? },
+            OP_ACQUIRE_R => Instruction::Acquire { bit: Operand::Reg(reg(ra)?) },
+            OP_ACQUIRE_I => Instruction::Acquire { bit: Operand::Imm(imm as i32) },
+            OP_RELEASE_R => Instruction::Release { bit: Operand::Reg(reg(ra)?) },
+            OP_RELEASE_I => Instruction::Release { bit: Operand::Imm(imm as i32) },
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instruction) {
+        let w = i.encode();
+        let back = Instruction::decode(w).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+        assert_eq!(back, i, "round trip of {i}");
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let r = Reg::r;
+        for i in [
+            Instruction::Nop,
+            Instruction::Stop,
+            Instruction::Alu { op: AluOp::Add, rd: r(0), ra: r(1), rb: Operand::Reg(r(2)) },
+            Instruction::Alu { op: AluOp::Max, rd: r(23), ra: r(22), rb: Operand::Imm(-100) },
+            Instruction::Movi { rd: r(5), imm: i32::MIN },
+            Instruction::Movi { rd: r(5), imm: i32::MAX },
+            Instruction::Tid { rd: r(9) },
+            Instruction::Load {
+                width: Width::Byte,
+                signed: true,
+                rd: r(1),
+                base: r(2),
+                offset: -64,
+            },
+            Instruction::Load {
+                width: Width::Word,
+                signed: false,
+                rd: r(1),
+                base: r(2),
+                offset: 1024,
+            },
+            Instruction::Store { width: Width::Half, rs: r(3), base: r(4), offset: 2 },
+            Instruction::Ldma { wram: r(1), mram: r(2), len: Operand::Imm(2048) },
+            Instruction::Ldma { wram: r(1), mram: r(2), len: Operand::Reg(r(3)) },
+            Instruction::Sdma { wram: r(4), mram: r(5), len: Operand::Imm(8) },
+            Instruction::Sdma { wram: r(4), mram: r(5), len: Operand::Reg(r(6)) },
+            Instruction::Branch { cond: Cond::Eq, ra: r(0), rb: Operand::Reg(r(1)), target: 4095 },
+            Instruction::Branch { cond: Cond::Geu, ra: r(7), rb: Operand::Imm(-32768), target: 65535 },
+            Instruction::Jump { target: 12 },
+            Instruction::Jal { rd: r(23), target: 100 },
+            Instruction::Jr { ra: r(23) },
+            Instruction::Acquire { bit: Operand::Imm(255) },
+            Instruction::Acquire { bit: Operand::Reg(r(2)) },
+            Instruction::Release { bit: Operand::Imm(0) },
+            Instruction::Release { bit: Operand::Reg(r(2)) },
+        ] {
+            round_trip(i);
+        }
+    }
+
+    #[test]
+    fn word_load_sign_bit_normalized() {
+        // Hand-craft a word-width load with the sign bit set: it must decode
+        // with signed == false.
+        let i = Instruction::Load {
+            width: Width::Word,
+            signed: false,
+            rd: Reg::r(1),
+            base: Reg::r(2),
+            offset: 0,
+        };
+        let w = i.encode() | (0b100 << 35);
+        assert_eq!(Instruction::decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert!(matches!(
+            Instruction::decode(0xff << 56),
+            Err(DecodeError::UnknownOpcode(0xff))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // ALU_RR with rd = 30.
+        let w = (u64::from(OP_ALU_RR) << 56) | (30u64 << 51);
+        assert!(matches!(Instruction::decode(w), Err(DecodeError::BadRegister(30))));
+    }
+
+    #[test]
+    fn decode_rejects_bad_subfield() {
+        // ALU_RR with sub = 63 (no such ALU op).
+        let w = (u64::from(OP_ALU_RR) << 56) | (63u64 << 35);
+        assert!(matches!(Instruction::decode(w), Err(DecodeError::BadSubfield(63))));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_bits() {
+        let w = Instruction::Nop.encode() | (1 << 33);
+        assert!(matches!(Instruction::decode(w), Err(DecodeError::ReservedBits(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit i16")]
+    fn branch_immediate_overflow_panics() {
+        let i = Instruction::Branch {
+            cond: Cond::Eq,
+            ra: Reg::r(0),
+            rb: Operand::Imm(70000),
+            target: 0,
+        };
+        let _ = i.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "atomic bit index")]
+    fn acquire_bit_overflow_panics() {
+        let _ = Instruction::Acquire { bit: Operand::Imm(256) }.encode();
+    }
+}

@@ -1,0 +1,144 @@
+//! The DPU's physical memory layout.
+//!
+//! Mirroring Figure 3(c) of the paper, a DPU addresses four physically
+//! distinct memories with **no address translation** (the device has no
+//! MMU — the architectural implication explored in the paper's §V-C):
+//!
+//! * **IRAM** — 24 KB of instruction memory (4096 × 48-bit instructions);
+//! * **WRAM** — 64 KB of SRAM scratchpad, the only memory reachable by
+//!   load/store instructions;
+//! * **MRAM** — the 64 MB DRAM bank, reachable only through DMA;
+//! * the **atomic region** — 256 single-bit cells backing
+//!   `acquire`/`release`.
+
+use std::fmt;
+
+/// Architectural size of one encoded instruction in IRAM, in bytes.
+///
+/// The real device packs 48-bit instructions; IRAM capacity accounting uses
+/// this size even though the simulator's in-memory encoding is 64-bit.
+pub const IRAM_INSTR_BYTES: u32 = 6;
+
+/// One of the DPU's physically distinct address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressSpace {
+    /// Instruction memory.
+    Iram,
+    /// Scratchpad (working RAM).
+    Wram,
+    /// Per-bank DRAM (main RAM).
+    Mram,
+    /// The atomic bit region.
+    Atomic,
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressSpace::Iram => write!(f, "IRAM"),
+            AddressSpace::Wram => write!(f, "WRAM"),
+            AddressSpace::Mram => write!(f, "MRAM"),
+            AddressSpace::Atomic => write!(f, "atomic"),
+        }
+    }
+}
+
+/// The capacities of a DPU's memories (paper Table I defaults).
+///
+/// # Example
+///
+/// ```
+/// use pim_isa::MemLayout;
+///
+/// let m = MemLayout::default();
+/// assert_eq!(m.wram_bytes, 64 * 1024);
+/// assert_eq!(m.mram_bytes, 64 * 1024 * 1024);
+/// assert_eq!(m.iram_instrs(), 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// IRAM capacity in bytes (default 24 KB).
+    pub iram_bytes: u32,
+    /// WRAM (scratchpad) capacity in bytes (default 64 KB).
+    pub wram_bytes: u32,
+    /// MRAM (per-bank DRAM) capacity in bytes (default 64 MB).
+    pub mram_bytes: u32,
+    /// Number of atomic bits (default 256).
+    pub atomic_bits: u32,
+}
+
+impl MemLayout {
+    /// The number of whole instructions that fit in IRAM.
+    #[must_use]
+    pub fn iram_instrs(&self) -> u32 {
+        self.iram_bytes / IRAM_INSTR_BYTES
+    }
+
+    /// Checks that a byte access of `len` bytes starting at `addr` lies
+    /// entirely inside the given address space.
+    #[must_use]
+    pub fn contains(&self, space: AddressSpace, addr: u32, len: u32) -> bool {
+        let size = match space {
+            AddressSpace::Iram => self.iram_bytes,
+            AddressSpace::Wram => self.wram_bytes,
+            AddressSpace::Mram => self.mram_bytes,
+            AddressSpace::Atomic => self.atomic_bits.div_ceil(8),
+        };
+        u64::from(addr) + u64::from(len) <= u64::from(size)
+    }
+}
+
+impl Default for MemLayout {
+    fn default() -> Self {
+        MemLayout {
+            iram_bytes: 24 * 1024,
+            wram_bytes: 64 * 1024,
+            mram_bytes: 64 * 1024 * 1024,
+            atomic_bits: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let m = MemLayout::default();
+        assert_eq!(m.iram_bytes, 24 * 1024);
+        assert_eq!(m.wram_bytes, 64 * 1024);
+        assert_eq!(m.mram_bytes, 64 * 1024 * 1024);
+        assert_eq!(m.atomic_bits, 256);
+        assert_eq!(m.iram_instrs(), 4096);
+    }
+
+    #[test]
+    fn contains_is_end_exclusive() {
+        let m = MemLayout::default();
+        assert!(m.contains(AddressSpace::Wram, 0, 64 * 1024));
+        assert!(!m.contains(AddressSpace::Wram, 1, 64 * 1024));
+        assert!(m.contains(AddressSpace::Wram, 64 * 1024 - 4, 4));
+        assert!(!m.contains(AddressSpace::Wram, 64 * 1024, 1));
+    }
+
+    #[test]
+    fn contains_handles_overflowing_ranges() {
+        let m = MemLayout::default();
+        assert!(!m.contains(AddressSpace::Mram, u32::MAX, 16));
+    }
+
+    #[test]
+    fn atomic_region_is_bit_addressed() {
+        let m = MemLayout::default();
+        // 256 bits = 32 bytes.
+        assert!(m.contains(AddressSpace::Atomic, 0, 32));
+        assert!(!m.contains(AddressSpace::Atomic, 0, 33));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AddressSpace::Iram.to_string(), "IRAM");
+        assert_eq!(AddressSpace::Atomic.to_string(), "atomic");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: every constructible instruction encodes and decodes back
+//! to itself.
+
+use pim_isa::{AluOp, Cond, Instruction, Operand, Reg, Width};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..24).prop_map(Reg::r)
+}
+
+fn arb_operand_i16() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        (i16::MIN..=i16::MAX).prop_map(|i| Operand::Imm(i32::from(i))),
+    ]
+}
+
+fn arb_operand_i32() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<i32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_width_signed() -> impl Strategy<Value = (Width, bool)> {
+    prop_oneof![
+        any::<bool>().prop_map(|s| (Width::Byte, s)),
+        any::<bool>().prop_map(|s| (Width::Half, s)),
+        Just((Width::Word, false)),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Stop),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_operand_i32())
+            .prop_map(|(op, rd, ra, rb)| Instruction::Alu { op, rd, ra, rb }),
+        (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instruction::Movi { rd, imm }),
+        arb_reg().prop_map(|rd| Instruction::Tid { rd }),
+        (arb_width_signed(), arb_reg(), arb_reg(), any::<i32>()).prop_map(
+            |((width, signed), rd, base, offset)| Instruction::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset
+            }
+        ),
+        (arb_width_signed(), arb_reg(), arb_reg(), any::<i32>()).prop_map(
+            |((width, _), rs, base, offset)| Instruction::Store { width, rs, base, offset }
+        ),
+        (arb_reg(), arb_reg(), arb_operand_i32())
+            .prop_map(|(wram, mram, len)| Instruction::Ldma { wram, mram, len }),
+        (arb_reg(), arb_reg(), arb_operand_i32())
+            .prop_map(|(wram, mram, len)| Instruction::Sdma { wram, mram, len }),
+        (arb_cond(), arb_reg(), arb_operand_i16(), 0u32..=0xffff)
+            .prop_map(|(cond, ra, rb, target)| Instruction::Branch { cond, ra, rb, target }),
+        (0u32..=0xffff_ffff).prop_map(|target| Instruction::Jump { target }),
+        (arb_reg(), 0u32..=0xffff_ffff)
+            .prop_map(|(rd, target)| Instruction::Jal { rd, target }),
+        arb_reg().prop_map(|ra| Instruction::Jr { ra }),
+        prop_oneof![
+            arb_reg().prop_map(Operand::Reg),
+            (0i32..256).prop_map(Operand::Imm)
+        ]
+        .prop_map(|bit| Instruction::Acquire { bit }),
+        prop_oneof![
+            arb_reg().prop_map(Operand::Reg),
+            (0i32..256).prop_map(Operand::Imm)
+        ]
+        .prop_map(|bit| Instruction::Release { bit }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instruction()) {
+        let word = instr.encode();
+        let back = Instruction::decode(word).expect("decode of encoded word");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        // Arbitrary bit patterns must either decode cleanly or error.
+        let _ = Instruction::decode(word);
+    }
+
+    #[test]
+    fn rf_hazard_bounded_by_sources(instr in arb_instruction()) {
+        let srcs = instr.srcs();
+        prop_assert!(srcs.len() <= 3);
+        prop_assert!(instr.rf_hazard_cycles() <= srcs.len().saturating_sub(1) as u32);
+    }
+}

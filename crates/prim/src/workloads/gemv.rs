@@ -1,0 +1,226 @@
+//! **GEMV** — dense matrix-vector multiply, "a key primitive in machine
+//! learning which recent domain-specific PIMs are optimized for" and the
+//! workload of the paper's SIMT case study (Fig 11). Table II: 2K×64
+//! (single DPU), 8K×64 (multi).
+
+use pim_asm::{Barrier, DpuProgram, KernelBuilder};
+use pim_dpu::SimError;
+use pim_host::PimSystem;
+use pim_isa::{AluOp, Cond};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{chunk_range, from_bytes, to_bytes, validate_words, Params};
+use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
+
+/// The GEMV workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gemv;
+
+/// Computes `y = A·x` for `A: rows×cols` row-major. `max_rows` sizes the
+/// shared WRAM output staging.
+fn kernel(n_tasklets: u32, cols: u32, max_rows: u32, flat: bool) -> (DpuProgram, Params) {
+    let mut k = KernelBuilder::new();
+    let params = Params::define(&mut k, &["rows", "a_base", "x_base", "y_base"]);
+    let bar = Barrier::alloc(&mut k, n_tasklets);
+    let xbuf = if flat { 0 } else { k.alloc_wram(cols * 4, 8) };
+    let ybuf = if flat { 0 } else { k.alloc_wram(max_rows * 4, 8) };
+    let rowbuf = if flat { 0 } else { k.alloc_wram(cols * 4 * n_tasklets, 8) };
+
+    let [rows, t, rs, re] = k.regs(["rows", "t", "rs", "re"]);
+    let [r, m, p, xp] = k.regs(["r", "m", "p", "xp"]);
+    let [acc, va, vx, rb] = k.regs(["acc", "va", "vx", "rb"]);
+    params.load(&mut k, rows, "rows");
+    k.tid(t);
+    if !flat {
+        // Tasklet 0 stages x; barrier.
+        let x_ready = k.fresh_label("x_ready");
+        k.branch(Cond::Ne, t, 0, &x_ready);
+        params.load(&mut k, m, "x_base");
+        k.movi(p, xbuf as i32);
+        k.ldma(p, m, (cols * 4) as i32);
+        k.place(&x_ready);
+        bar.wait(&mut k, [m, p, va]);
+        k.mul(rb, t, (cols * 4) as i32);
+        k.add(rb, rb, rowbuf as i32);
+    }
+    // Contiguous row range.
+    k.alu(AluOp::Div, m, rows, n_tasklets as i32);
+    k.mul(rs, m, t);
+    k.add(re, rs, m);
+    let not_last = k.fresh_label("not_last");
+    k.branch(Cond::Ne, t, n_tasklets as i32 - 1, &not_last);
+    k.mov(re, rows);
+    k.place(&not_last);
+    let done = k.fresh_label("done");
+    k.branch(Cond::Geu, rs, re, &done);
+    k.mov(r, rs);
+    let row_loop = k.label_here("row_loop");
+    // Stage (or point at) row r.
+    if flat {
+        k.mul(p, r, (cols * 4) as i32);
+        params.load(&mut k, m, "a_base");
+        k.add(p, p, m);
+        params.load(&mut k, xp, "x_base");
+    } else {
+        k.mul(m, r, (cols * 4) as i32);
+        let ab = k.reg("ab");
+        params.load(&mut k, ab, "a_base");
+        k.add(m, m, ab);
+        k.release_reg("ab");
+        k.ldma(rb, m, (cols * 4) as i32);
+        k.mov(p, rb);
+        k.movi(xp, xbuf as i32);
+    }
+    // Dot product.
+    k.movi(acc, 0);
+    k.add(m, p, (cols * 4) as i32);
+    let dot = k.label_here("dot");
+    k.lw(va, p, 0);
+    k.lw(vx, xp, 0);
+    k.mul(va, va, vx);
+    k.add(acc, acc, va);
+    k.add(p, p, 4);
+    k.add(xp, xp, 4);
+    k.branch(Cond::Ltu, p, m, &dot);
+    // y[r] = acc (staged in WRAM, or straight to the flat space).
+    if flat {
+        k.mul(p, r, 4);
+        params.load(&mut k, m, "y_base");
+        k.add(p, p, m);
+        k.sw(acc, p, 0);
+    } else {
+        k.mul(p, r, 4);
+        k.add(p, p, ybuf as i32);
+        k.sw(acc, p, 0);
+    }
+    k.add(r, r, 1);
+    k.branch(Cond::Ltu, r, re, &row_loop);
+    if !flat {
+        // Each tasklet writes its own contiguous y slice to MRAM.
+        k.mul(p, rs, 4);
+        k.add(p, p, ybuf as i32);
+        k.sub(m, re, rs);
+        k.mul(m, m, 4);
+        let yb = k.reg("yb");
+        params.load(&mut k, yb, "y_base");
+        k.mul(va, rs, 4);
+        k.add(yb, yb, va);
+        k.sdma(p, yb, m);
+        k.release_reg("yb");
+    }
+    k.place(&done);
+    k.stop();
+    (k.build().expect("GEMV kernel builds"), params)
+}
+
+impl Workload for Gemv {
+    fn name(&self) -> &'static str {
+        "GEMV"
+    }
+
+    fn run(&self, size: DatasetSize, rc: &RunConfig) -> Result<WorkloadRun, SimError> {
+        let (rows, cols) = datasets::gemv(size);
+        let mut rng = StdRng::seed_from_u64(0x4745_4d56);
+        let a: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-50..50)).collect();
+        let x: Vec<i32> = (0..cols).map(|_| rng.gen_range(-50..50)).collect();
+        let expect: Vec<i32> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| a[r * cols + c].wrapping_mul(x[c]))
+                    .fold(0i32, i32::wrapping_add)
+            })
+            .collect();
+        let n_dpus = rc.n_dpus as usize;
+        let max_rows = chunk_range(rows, n_dpus, 0).len() as u32;
+        let (program, params) = kernel(rc.dpu.n_tasklets, cols as u32, max_rows, rc.cached());
+        let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
+        sys.load(&program)?;
+        let a_cap = (max_rows * cols as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+        let x_cap = (cols as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+        let (a_base, x_base, y_base) = if rc.cached() {
+            assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
+            let base = program.heap_base.div_ceil(64) * 64;
+            let dpu = sys.dpu_mut(0);
+            dpu.write_wram(base, &to_bytes(&a));
+            dpu.write_wram(base + a_cap, &to_bytes(&x));
+            dpu.write_wram(base + a_cap + x_cap, &vec![0u8; rows * 4]);
+            (base, base + a_cap, base + a_cap + x_cap)
+        } else {
+            let chunks: Vec<Vec<u8>> = (0..n_dpus)
+                .map(|d| {
+                    let r = chunk_range(rows, n_dpus, d);
+                    to_bytes(&a[r.start * cols..r.end * cols])
+                })
+                .collect();
+            sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
+            sys.broadcast_to_mram(a_cap, &to_bytes(&x));
+            (0, a_cap, a_cap + x_cap)
+        };
+        let pbs: Vec<Vec<u8>> = (0..n_dpus)
+            .map(|d| {
+                params.bytes(&[
+                    ("rows", chunk_range(rows, n_dpus, d).len() as u32),
+                    ("a_base", a_base),
+                    ("x_base", x_base),
+                    ("y_base", y_base),
+                ])
+            })
+            .collect();
+        sys.push_to_symbol("params", &pbs.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let report = sys.launch_all()?;
+        let lens: Vec<u32> =
+            (0..n_dpus).map(|d| chunk_range(rows, n_dpus, d).len() as u32 * 4).collect();
+        let got: Vec<i32> = if rc.cached() {
+            from_bytes(&sys.dpu(0).read_wram(y_base, lens[0]))
+        } else {
+            crate::common::parallel_pull_words(&mut sys, y_base, &lens)
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        Ok(WorkloadRun {
+            timeline: *sys.timeline(),
+            per_dpu: report.per_dpu,
+            validation: validate_words("GEMV", &got, &expect),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dpu::{DpuConfig, SimtConfig};
+
+    #[test]
+    fn gemv_tiny_thread_sweep() {
+        for t in [1, 4, 16] {
+            Gemv.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(t)))
+                .unwrap()
+                .assert_valid();
+        }
+    }
+
+    #[test]
+    fn gemv_tiny_multi_dpu() {
+        Gemv.run(DatasetSize::Tiny, &RunConfig::multi(4, DpuConfig::paper_baseline(4)))
+            .unwrap()
+            .assert_valid();
+    }
+
+    #[test]
+    fn gemv_tiny_cache_mode() {
+        let cfg = DpuConfig::paper_baseline(4).with_paper_caches();
+        Gemv.run(DatasetSize::Tiny, &RunConfig::single(cfg)).unwrap().assert_valid();
+    }
+
+    #[test]
+    fn gemv_runs_under_simt() {
+        // The Fig 11 configuration: 16 tasklets = one 16-wide warp.
+        let cfg = DpuConfig::paper_baseline(16)
+            .with_simt(SimtConfig { coalescing: true, ..SimtConfig::default() });
+        let run = Gemv.run(DatasetSize::Tiny, &RunConfig::single(cfg)).unwrap();
+        run.assert_valid();
+        assert_eq!(run.per_dpu[0].max_ipc, 16);
+    }
+}

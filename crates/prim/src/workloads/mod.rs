@@ -1,0 +1,21 @@
+//! The 16 PrIM workload implementations.
+//!
+//! Every module follows the same shape: a kernel builder (scratchpad
+//! variant and, where supported, a cache-centric flat variant), host
+//! orchestration, a seeded dataset generator, and a reference
+//! implementation that validates the simulated output.
+
+pub mod bfs;
+pub mod bs;
+pub mod gemv;
+pub mod hst;
+pub mod mlp;
+pub mod nw;
+pub mod red;
+pub mod scan;
+pub mod sel;
+pub mod spmv;
+pub mod trns;
+pub mod ts;
+pub mod uni;
+pub mod va;

@@ -1,0 +1,181 @@
+//! **RED** — parallel sum reduction. Table II: 512K / 2M elements.
+//!
+//! Each tasklet accumulates a partial sum over round-robin blocks staged
+//! through WRAM; after a barrier, tasklet 0 folds the per-tasklet partials
+//! into the `result` symbol. Multi-DPU runs reduce the per-DPU results on
+//! the host, as PrIM does.
+
+use pim_asm::{Barrier, DpuProgram, KernelBuilder};
+use pim_dpu::SimError;
+use pim_host::PimSystem;
+use pim_isa::{AluOp, Cond};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{
+    chunk_range, emit_tasklet_byte_range, to_bytes, validate_words, Params,
+};
+use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
+
+const BLOCK: u32 = 1024;
+
+/// The RED workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Red;
+
+fn kernel(n_tasklets: u32, flat: bool) -> (DpuProgram, Params) {
+    let mut k = KernelBuilder::new();
+    let params = Params::define(&mut k, &["nbytes", "in_base"]);
+    let partials = k.global_zeroed("partials", 4 * n_tasklets);
+    let result = k.global_zeroed("result", 4);
+    let bar = Barrier::alloc(&mut k, n_tasklets);
+    let [nbytes, t, acc, p, end, v] = k.regs(["nbytes", "t", "acc", "p", "end", "v"]);
+    params.load(&mut k, nbytes, "nbytes");
+    k.tid(t);
+    k.movi(acc, 0);
+    if flat {
+        // Walk this tasklet's contiguous share of the flat input space.
+        emit_tasklet_byte_range(&mut k, nbytes, t, p, end, n_tasklets);
+        let base = k.reg("base");
+        params.load(&mut k, base, "in_base");
+        k.add(p, p, base);
+        k.add(end, end, base);
+        k.release_reg("base");
+        let done = k.fresh_label("done");
+        k.branch(Cond::Geu, p, end, &done);
+        let top = k.label_here("sum");
+        k.lw(v, p, 0);
+        k.add(acc, acc, v);
+        k.add(p, p, 4);
+        k.branch(Cond::Ltu, p, end, &top);
+        k.place(&done);
+    } else {
+        // Round-robin 1 KB blocks staged through WRAM.
+        let buf = k.alloc_wram(BLOCK * n_tasklets, 8);
+        let [wbuf, blk, off, m, len] = k.regs(["wbuf", "blk", "off", "m", "len"]);
+        k.mul(wbuf, t, BLOCK as i32);
+        k.add(wbuf, wbuf, buf as i32);
+        k.mov(blk, t);
+        let merge = k.fresh_label("merge");
+        let outer = k.label_here("outer");
+        k.mul(off, blk, BLOCK as i32);
+        k.branch(Cond::Geu, off, nbytes, &merge);
+        k.sub(len, nbytes, off);
+        k.alu(AluOp::Min, len, len, BLOCK as i32);
+        params.load(&mut k, m, "in_base");
+        k.add(m, m, off);
+        k.ldma(wbuf, m, len);
+        k.mov(p, wbuf);
+        k.add(end, wbuf, len);
+        let inner = k.label_here("inner");
+        k.lw(v, p, 0);
+        k.add(acc, acc, v);
+        k.add(p, p, 4);
+        k.branch(Cond::Ltu, p, end, &inner);
+        k.add(blk, blk, n_tasklets as i32);
+        k.jump(&outer);
+        k.place(&merge);
+    }
+    // partials[t] = acc; barrier; tasklet 0 folds.
+    k.mul(p, t, 4);
+    k.add(p, p, partials as i32);
+    k.sw(acc, p, 0);
+    bar.wait(&mut k, [p, end, v]);
+    let stop = k.fresh_label("stop");
+    k.branch(Cond::Ne, t, 0, &stop);
+    k.movi(acc, 0);
+    k.movi(p, partials as i32);
+    k.movi(end, (partials + 4 * n_tasklets) as i32);
+    let fold = k.label_here("fold");
+    k.lw(v, p, 0);
+    k.add(acc, acc, v);
+    k.add(p, p, 4);
+    k.branch(Cond::Ltu, p, end, &fold);
+    k.movi(p, result as i32);
+    k.sw(acc, p, 0);
+    k.place(&stop);
+    k.stop();
+    (k.build().expect("RED kernel builds"), params)
+}
+
+impl Workload for Red {
+    fn name(&self) -> &'static str {
+        "RED"
+    }
+
+    fn run(&self, size: DatasetSize, rc: &RunConfig) -> Result<WorkloadRun, SimError> {
+        let n = datasets::red_sel_uni(size);
+        let mut rng = StdRng::seed_from_u64(0x52_4544);
+        let input: Vec<i32> = (0..n).map(|_| rng.gen_range(-10_000..10_000)).collect();
+        let expect: i32 = input.iter().fold(0i32, |a, b| a.wrapping_add(*b));
+        let n_dpus = rc.n_dpus as usize;
+        let (program, params) = kernel(rc.dpu.n_tasklets, rc.cached());
+        let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
+        sys.load(&program)?;
+        // Stage each DPU's chunk.
+        let in_base = if rc.cached() {
+            assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
+            let base = program.heap_base.div_ceil(64) * 64;
+            sys.dpu_mut(0).write_wram(base, &to_bytes(&input));
+            base
+        } else {
+            let chunks: Vec<Vec<u8>> = (0..n_dpus)
+                .map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)]))
+                .collect();
+            sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
+            0
+        };
+        let param_bytes: Vec<Vec<u8>> = (0..n_dpus)
+            .map(|d| {
+                params.bytes(&[
+                    ("nbytes", chunk_range(n, n_dpus, d).len() as u32 * 4),
+                    ("in_base", in_base),
+                ])
+            })
+            .collect();
+        sys.push_to_symbol(
+            "params",
+            &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let report = sys.launch_all()?;
+        // Host-side final reduction across DPUs.
+        let results = sys.pull_from_symbol("result");
+        let got = results
+            .iter()
+            .map(|b| i32::from_le_bytes(b.as_slice().try_into().expect("4-byte result")))
+            .fold(0i32, |a, b| a.wrapping_add(b));
+        Ok(WorkloadRun {
+            timeline: *sys.timeline(),
+            per_dpu: report.per_dpu,
+            validation: validate_words("RED", &[got], &[expect]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dpu::DpuConfig;
+
+    #[test]
+    fn red_tiny_thread_sweep() {
+        for t in [1, 3, 16, 24] {
+            Red.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(t)))
+                .unwrap()
+                .assert_valid();
+        }
+    }
+
+    #[test]
+    fn red_tiny_multi_dpu() {
+        Red.run(DatasetSize::Tiny, &RunConfig::multi(4, DpuConfig::paper_baseline(4)))
+            .unwrap()
+            .assert_valid();
+    }
+
+    #[test]
+    fn red_tiny_cache_mode() {
+        let cfg = DpuConfig::paper_baseline(4).with_paper_caches();
+        Red.run(DatasetSize::Tiny, &RunConfig::single(cfg)).unwrap().assert_valid();
+    }
+}

@@ -1,0 +1,3 @@
+//! Repository-level crate hosting the workspace examples and integration
+//! tests. The actual library surface lives in the [`pimulator`] facade crate.
+pub use pimulator;

@@ -1,0 +1,34 @@
+//! Bit-reproducibility: the simulator has no wall-clock or OS entropy, so
+//! the same configuration must produce identical cycles, instruction
+//! counts, and outputs on every run (DESIGN.md §5, point 12).
+
+use pim_dpu::DpuConfig;
+use prim_suite::{all_workloads, DatasetSize, RunConfig};
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for w in all_workloads() {
+        let rc = RunConfig::single(DpuConfig::paper_baseline(8));
+        let a = w.run(DatasetSize::Tiny, &rc).unwrap().merged();
+        let b = w.run(DatasetSize::Tiny, &rc).unwrap().merged();
+        assert_eq!(a.cycles, b.cycles, "{} cycles differ across runs", w.name());
+        assert_eq!(a.instructions, b.instructions, "{} instructions differ", w.name());
+        assert_eq!(a.class_counts, b.class_counts, "{} mixes differ", w.name());
+        assert_eq!(a.dram.bytes_read, b.dram.bytes_read, "{} traffic differs", w.name());
+        assert_eq!(a.tlp_histogram, b.tlp_histogram, "{} TLP differs", w.name());
+    }
+}
+
+#[test]
+fn multi_dpu_runs_are_bit_identical() {
+    for name in ["VA", "BFS", "SCAN-RSS"] {
+        let w = prim_suite::workload_by_name(name).unwrap();
+        let rc = RunConfig::multi(4, DpuConfig::paper_baseline(4));
+        let a = w.run(DatasetSize::Tiny, &rc).unwrap();
+        let b = w.run(DatasetSize::Tiny, &rc).unwrap();
+        assert!((a.timeline.total_ns() - b.timeline.total_ns()).abs() < 1e-9);
+        for (x, y) in a.per_dpu.iter().zip(&b.per_dpu) {
+            assert_eq!(x.cycles, y.cycles, "{name} per-DPU cycles differ");
+        }
+    }
+}

@@ -150,10 +150,7 @@ pub fn assemble_with(src: &str, opts: &LinkOptions) -> Result<DpuProgram, AsmErr
                 if let Some(label) = l.label {
                     let addr = align_for(l.rest, data_len);
                     if data_symbols
-                        .insert(
-                            label.to_string(),
-                            Symbol { addr, size, space: AddressSpace::Wram },
-                        )
+                        .insert(label.to_string(), Symbol { addr, size, space: AddressSpace::Wram })
                         .is_some()
                     {
                         return Err(err(format!("duplicate symbol `{label}`")));
@@ -300,10 +297,7 @@ fn parse_reg(s: &str) -> Option<Reg> {
 
 /// Resolve a value token: integer literal, data symbol (with optional
 /// `+n`/`-n` offset), or nothing.
-fn resolve_value(
-    tok: &str,
-    data_symbols: &BTreeMap<String, Symbol>,
-) -> Option<i32> {
+fn resolve_value(tok: &str, data_symbols: &BTreeMap<String, Symbol>) -> Option<i32> {
     let tok = tok.trim();
     if let Some(v) = parse_int(tok) {
         return Some(v);
@@ -319,10 +313,7 @@ fn resolve_value(
     data_symbols.get(name).map(|s| s.addr as i32 + offset)
 }
 
-fn parse_operand(
-    tok: &str,
-    data_symbols: &BTreeMap<String, Symbol>,
-) -> Option<Operand> {
+fn parse_operand(tok: &str, data_symbols: &BTreeMap<String, Symbol>) -> Option<Operand> {
     if let Some(r) = parse_reg(tok) {
         return Some(Operand::Reg(r));
     }
@@ -330,27 +321,17 @@ fn parse_operand(
 }
 
 /// Parse `offset(base)` memory operands; the offset may be a symbol.
-fn parse_mem(
-    tok: &str,
-    data_symbols: &BTreeMap<String, Symbol>,
-) -> Option<(i32, Reg)> {
+fn parse_mem(tok: &str, data_symbols: &BTreeMap<String, Symbol>) -> Option<(i32, Reg)> {
     let tok = tok.trim();
     let open = tok.find('(')?;
     let close = tok.rfind(')')?;
     let off_str = tok[..open].trim();
-    let offset = if off_str.is_empty() {
-        0
-    } else {
-        resolve_value(off_str, data_symbols)?
-    };
+    let offset = if off_str.is_empty() { 0 } else { resolve_value(off_str, data_symbols)? };
     let base = parse_reg(&tok[open + 1..close])?;
     Some((offset, base))
 }
 
-fn parse_target(
-    tok: &str,
-    code_labels: &BTreeMap<String, u32>,
-) -> Option<u32> {
+fn parse_target(tok: &str, code_labels: &BTreeMap<String, u32>) -> Option<u32> {
     let tok = tok.trim();
     if let Some(v) = parse_int(tok) {
         return u32::try_from(v).ok();
@@ -369,11 +350,8 @@ fn parse_instruction(
         Some(pos) => (&rest[..pos], rest[pos..].trim()),
         None => (rest, ""),
     };
-    let args: Vec<&str> = if args_str.is_empty() {
-        Vec::new()
-    } else {
-        args_str.split(',').map(str::trim).collect()
-    };
+    let args: Vec<&str> =
+        if args_str.is_empty() { Vec::new() } else { args_str.split(',').map(str::trim).collect() };
     let nargs = |n: usize| -> Result<(), AsmError> {
         if args.len() == n {
             Ok(())
@@ -389,8 +367,7 @@ fn parse_instruction(
             .ok_or_else(|| err(format!("bad operand `{}`", args[i])))
     };
     let value_at = |i: usize| -> Result<i32, AsmError> {
-        resolve_value(args[i], data_symbols)
-            .ok_or_else(|| err(format!("bad value `{}`", args[i])))
+        resolve_value(args[i], data_symbols).ok_or_else(|| err(format!("bad value `{}`", args[i])))
     };
     let mem_at = |i: usize| -> Result<(i32, Reg), AsmError> {
         parse_mem(args[i], data_symbols)
@@ -555,12 +532,7 @@ mod tests {
         .unwrap();
         assert_eq!(
             p.instrs[2],
-            Instruction::Branch {
-                cond: Cond::Ne,
-                ra: Reg::r(0),
-                rb: Operand::Imm(0),
-                target: 1
-            }
+            Instruction::Branch { cond: Cond::Ne, ra: Reg::r(0), rb: Operand::Imm(0), target: 1 }
         );
         assert_eq!(p.instrs[3], Instruction::Jump { target: 5 });
     }
@@ -616,10 +588,7 @@ mod tests {
 
     #[test]
     fn comments_of_all_styles_ignored() {
-        let p = assemble(
-            ".text\n nop ; semicolon\n nop # hash\n nop // slashes\n stop\n",
-        )
-        .unwrap();
+        let p = assemble(".text\n nop ; semicolon\n nop # hash\n nop // slashes\n stop\n").unwrap();
         assert_eq!(p.instrs.len(), 4);
     }
 

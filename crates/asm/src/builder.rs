@@ -232,10 +232,8 @@ impl KernelBuilder {
     /// host through the symbol table.
     pub fn global_zeroed(&mut self, name: &str, size: u32) -> u32 {
         let addr = self.alloc_wram(size, 4);
-        self.symbols.insert(
-            name.to_string(),
-            Symbol { addr, size, space: pim_isa::AddressSpace::Wram },
-        );
+        self.symbols
+            .insert(name.to_string(), Symbol { addr, size, space: pim_isa::AddressSpace::Wram });
         addr
     }
 
@@ -425,10 +423,8 @@ impl KernelBuilder {
             return Err(BuildError::AtomicBitsExhausted);
         }
         for (at, label) in &self.fixups {
-            let &target = self
-                .labels
-                .get(label)
-                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
+            let &target =
+                self.labels.get(label).ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
             match &mut self.instrs[*at] {
                 Instruction::Branch { target: t, .. }
                 | Instruction::Jump { target: t }

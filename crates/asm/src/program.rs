@@ -24,8 +24,7 @@ pub struct Symbol {
 /// cache-vs-scratchpad case study (§V-D) *requires* linking programs whose
 /// WRAM data image exceeds the physical 64 KB scratchpad, which the
 /// cache-centric DPU model then backs with DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LinkOptions {
     /// Memory capacities to check against.
     pub layout: MemLayout,
@@ -35,7 +34,6 @@ pub struct LinkOptions {
     /// Base WRAM byte address at which the data image is placed.
     pub wram_base: u32,
 }
-
 
 /// An error detected while finalizing a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,10 +82,9 @@ impl fmt::Display for LinkError {
                 f,
                 "text section of {instrs} instructions exceeds IRAM capacity of {capacity}"
             ),
-            LinkError::WramOverflow { bytes, capacity } => write!(
-                f,
-                "data image of {bytes} bytes exceeds WRAM capacity of {capacity} bytes"
-            ),
+            LinkError::WramOverflow { bytes, capacity } => {
+                write!(f, "data image of {bytes} bytes exceeds WRAM capacity of {capacity} bytes")
+            }
             LinkError::BadTarget { at, target } => {
                 write!(f, "instruction {at}: branch target {target} out of range")
             }
@@ -177,15 +174,15 @@ impl DpuProgram {
                         }
                     }
                 }
-                Instruction::Jump { target } | Instruction::Jal { target, .. }
-                    if target >= n => {
-                        return Err(LinkError::BadTarget { at, target });
-                    }
+                Instruction::Jump { target } | Instruction::Jal { target, .. } if target >= n => {
+                    return Err(LinkError::BadTarget { at, target });
+                }
                 Instruction::Acquire { bit: Operand::Imm(b) }
                 | Instruction::Release { bit: Operand::Imm(b) }
-                    if !(0..i64::from(opts.layout.atomic_bits)).contains(&i64::from(b)) => {
-                        return Err(LinkError::BadAtomicBit { at, bit: b });
-                    }
+                    if !(0..i64::from(opts.layout.atomic_bits)).contains(&i64::from(b)) =>
+                {
+                    return Err(LinkError::BadAtomicBit { at, bit: b });
+                }
                 _ => {}
             }
         }
@@ -210,10 +207,7 @@ mod tests {
 
     #[test]
     fn validate_accepts_simple_program() {
-        let p = program_with(vec![
-            Instruction::Movi { rd: Reg::r(0), imm: 3 },
-            Instruction::Stop,
-        ]);
+        let p = program_with(vec![Instruction::Movi { rd: Reg::r(0), imm: 3 }, Instruction::Stop]);
         assert!(p.validate(&LinkOptions::default()).is_ok());
     }
 
@@ -233,10 +227,7 @@ mod tests {
             wram_init: vec![0; 65 * 1024],
             ..DpuProgram::default()
         };
-        assert!(matches!(
-            p.validate(&LinkOptions::default()),
-            Err(LinkError::WramOverflow { .. })
-        ));
+        assert!(matches!(p.validate(&LinkOptions::default()), Err(LinkError::WramOverflow { .. })));
         let relaxed = LinkOptions { allow_wram_overflow: true, ..LinkOptions::default() };
         assert!(p.validate(&relaxed).is_ok());
     }
@@ -269,10 +260,8 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_atomic_bit() {
-        let p = program_with(vec![
-            Instruction::Acquire { bit: Operand::Imm(300) },
-            Instruction::Stop,
-        ]);
+        let p =
+            program_with(vec![Instruction::Acquire { bit: Operand::Imm(300) }, Instruction::Stop]);
         assert!(matches!(
             p.validate(&LinkOptions::default()),
             Err(LinkError::BadAtomicBit { at: 0, bit: 300 })

@@ -303,16 +303,10 @@ mod sem_heap_tests {
         sem.give(&mut k, scratch);
         k.stop();
         let p = k.build().unwrap();
-        let acquires = p
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, pim_isa::Instruction::Acquire { .. }))
-            .count();
-        let releases = p
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, pim_isa::Instruction::Release { .. }))
-            .count();
+        let acquires =
+            p.instrs.iter().filter(|i| matches!(i, pim_isa::Instruction::Acquire { .. })).count();
+        let releases =
+            p.instrs.iter().filter(|i| matches!(i, pim_isa::Instruction::Release { .. })).count();
         assert_eq!(acquires, 2, "take + give each lock once");
         assert_eq!(releases, 3, "take has a retry-path unlock");
     }

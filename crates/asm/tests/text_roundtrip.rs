@@ -1,110 +1,104 @@
-//! Property test: programs survive a disassemble → assemble round trip.
+//! Randomized property test (seeded, dependency-free): programs survive a
+//! disassemble → assemble round trip.
 
 use pim_asm::{assemble, disassemble, DpuProgram};
 use pim_isa::{AluOp, Cond, Instruction, Operand, Reg, Width};
-use proptest::prelude::*;
+use pim_rng::StdRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..24).prop_map(Reg::r)
+fn arb_reg(rng: &mut StdRng) -> Reg {
+    Reg::r(rng.gen_range(0u8..24))
 }
 
 /// Instructions whose textual form is canonical (everything the builder
 /// emits). Branch targets are patched to stay in range afterwards.
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    let alu = (
-        prop::sample::select(AluOp::ALL.to_vec()),
-        arb_reg(),
-        arb_reg(),
-        prop_oneof![
-            arb_reg().prop_map(Operand::Reg),
-            (-100_000i32..100_000).prop_map(Operand::Imm)
-        ],
-    )
-        .prop_map(|(op, rd, ra, rb)| Instruction::Alu { op, rd, ra, rb });
-    let movi = (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instruction::Movi { rd, imm });
-    let load = (
-        prop_oneof![
-            any::<bool>().prop_map(|s| (Width::Byte, s)),
-            any::<bool>().prop_map(|s| (Width::Half, s)),
-            Just((Width::Word, false)),
-        ],
-        arb_reg(),
-        arb_reg(),
-        -4096i32..4096,
-    )
-        .prop_map(|((width, signed), rd, base, offset)| Instruction::Load {
-            width,
-            signed,
-            rd,
-            base,
-            offset,
-        });
-    let store = (
-        prop::sample::select(vec![Width::Byte, Width::Half, Width::Word]),
-        arb_reg(),
-        arb_reg(),
-        -4096i32..4096,
-    )
-        .prop_map(|(width, rs, base, offset)| Instruction::Store { width, rs, base, offset });
-    let dma = (arb_reg(), arb_reg(), prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        (4i32..4096).prop_map(Operand::Imm)
-    ], any::<bool>())
-        .prop_map(|(wram, mram, len, write)| {
-            if write {
+fn arb_instruction(rng: &mut StdRng) -> Instruction {
+    match rng.gen_range(0u8..11) {
+        0 => Instruction::Alu {
+            op: *rng.choose(&AluOp::ALL),
+            rd: arb_reg(rng),
+            ra: arb_reg(rng),
+            rb: if rng.gen_bool() {
+                Operand::Reg(arb_reg(rng))
+            } else {
+                Operand::Imm(rng.gen_range(-100_000i32..100_000))
+            },
+        },
+        1 => Instruction::Movi { rd: arb_reg(rng), imm: rng.next_u32() as i32 },
+        2 => {
+            let (width, signed) = match rng.gen_range(0u8..3) {
+                0 => (Width::Byte, rng.gen_bool()),
+                1 => (Width::Half, rng.gen_bool()),
+                _ => (Width::Word, false),
+            };
+            Instruction::Load {
+                width,
+                signed,
+                rd: arb_reg(rng),
+                base: arb_reg(rng),
+                offset: rng.gen_range(-4096i32..4096),
+            }
+        }
+        3 => Instruction::Store {
+            width: *rng.choose(&[Width::Byte, Width::Half, Width::Word]),
+            rs: arb_reg(rng),
+            base: arb_reg(rng),
+            offset: rng.gen_range(-4096i32..4096),
+        },
+        4 => {
+            let wram = arb_reg(rng);
+            let mram = arb_reg(rng);
+            let len = if rng.gen_bool() {
+                Operand::Reg(arb_reg(rng))
+            } else {
+                Operand::Imm(rng.gen_range(4i32..4096))
+            };
+            if rng.gen_bool() {
                 Instruction::Sdma { wram, mram, len }
             } else {
                 Instruction::Ldma { wram, mram, len }
             }
-        });
-    let branch = (
-        prop::sample::select(Cond::ALL.to_vec()),
-        arb_reg(),
-        prop_oneof![
-            arb_reg().prop_map(Operand::Reg),
-            (-30_000i32..30_000).prop_map(Operand::Imm)
-        ],
-    )
-        .prop_map(|(cond, ra, rb)| Instruction::Branch { cond, ra, rb, target: 0 });
-    let sync = (0i32..256, any::<bool>()).prop_map(|(bit, acq)| {
-        if acq {
-            Instruction::Acquire { bit: Operand::Imm(bit) }
-        } else {
-            Instruction::Release { bit: Operand::Imm(bit) }
         }
-    });
-    prop_oneof![
-        alu,
-        movi,
-        load,
-        store,
-        dma,
-        branch,
-        sync,
-        arb_reg().prop_map(|rd| Instruction::Tid { rd }),
-        arb_reg().prop_map(|ra| Instruction::Jr { ra }),
-        Just(Instruction::Nop),
-        Just(Instruction::Stop),
-    ]
+        5 => Instruction::Branch {
+            cond: *rng.choose(&Cond::ALL),
+            ra: arb_reg(rng),
+            rb: if rng.gen_bool() {
+                Operand::Reg(arb_reg(rng))
+            } else {
+                Operand::Imm(rng.gen_range(-30_000i32..30_000))
+            },
+            target: 0,
+        },
+        6 => {
+            let bit = Operand::Imm(rng.gen_range(0i32..256));
+            if rng.gen_bool() {
+                Instruction::Acquire { bit }
+            } else {
+                Instruction::Release { bit }
+            }
+        }
+        7 => Instruction::Tid { rd: arb_reg(rng) },
+        8 => Instruction::Jr { ra: arb_reg(rng) },
+        9 => Instruction::Nop,
+        _ => Instruction::Stop,
+    }
 }
 
-proptest! {
-    #[test]
-    fn disassemble_assemble_round_trip(
-        mut instrs in prop::collection::vec(arb_instruction(), 1..200),
-        targets in prop::collection::vec(0usize..200, 0..40),
-    ) {
+#[test]
+fn disassemble_assemble_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xA5C3_7E47);
+    for _case in 0..256 {
+        let len = rng.gen_range(1usize..200);
+        let mut instrs: Vec<Instruction> = (0..len).map(|_| arb_instruction(&mut rng)).collect();
         // Patch branch targets into range.
         let n = instrs.len() as u32;
-        let mut ti = targets.iter();
         for i in &mut instrs {
             if let Instruction::Branch { target, .. } = i {
-                *target = ti.next().map_or(0, |t| (*t as u32) % n);
+                *target = rng.gen_range(0u32..200) % n;
             }
         }
         let program = DpuProgram { instrs: instrs.clone(), ..DpuProgram::default() };
         let text = disassemble(&program);
         let back = assemble(&text).expect("disassembly must re-assemble");
-        prop_assert_eq!(back.instrs, instrs);
+        assert_eq!(back.instrs, instrs);
     }
 }

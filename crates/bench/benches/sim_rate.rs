@@ -1,13 +1,34 @@
-//! Criterion micro-benchmarks: end-to-end simulator throughput (the
-//! §III-D "simulation rate") and the hot component models.
+//! Micro-benchmarks (plain `harness = false` timing, no external harness):
+//! end-to-end simulator throughput (the §III-D "simulation rate") and the
+//! hot component models. Run with `cargo bench -p pim-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
 use pim_asm::KernelBuilder;
 use pim_cache::{Cache, CacheConfig};
 use pim_dpu::{Dpu, DpuConfig};
 use pim_dram::{Access, DramBank, DramConfig};
 use pim_isa::{AluOp, Cond, Instruction};
 use prim_suite::{workload_by_name, DatasetSize, RunConfig};
+
+/// Times `iters` repetitions of `f`, reporting ns/iter and a derived
+/// elements/second rate when `elements` is non-zero.
+fn bench<R>(name: &str, iters: u32, elements: u64, mut f: impl FnMut() -> R) {
+    // One warm-up iteration keeps lazy init out of the measurement.
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let per_iter = total / iters;
+    if elements > 0 {
+        let rate = elements as f64 / per_iter.as_secs_f64();
+        println!("{name:32} {per_iter:>12.2?}/iter  {:>10.2} Melem/s", rate / 1e6);
+    } else {
+        println!("{name:32} {per_iter:>12.2?}/iter");
+    }
+}
 
 /// A compute-heavy kernel of a known instruction count, for a clean
 /// instructions-per-second measurement.
@@ -26,86 +47,54 @@ fn alu_kernel(iters: i32) -> pim_asm::DpuProgram {
     k.build().expect("bench kernel builds")
 }
 
-fn bench_sim_rate(c: &mut Criterion) {
-    let program = alu_kernel(2000);
-    let mut group = c.benchmark_group("sim_rate");
-    // ~16 × 5 × 2000 instructions per launch.
-    group.throughput(Throughput::Elements(16 * 5 * 2000));
-    group.bench_function("dpu_16t_alu_kernel", |b| {
-        b.iter(|| {
-            let mut dpu = Dpu::new(DpuConfig::paper_baseline(16));
-            dpu.load_program(&program).unwrap();
-            dpu.launch().unwrap()
-        });
-    });
-    group.finish();
-}
+fn main() {
+    // `cargo bench` passes `--bench`; `cargo test --benches` passes
+    // `--test-threads` etc. — in test mode just smoke-run nothing.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    println!("== pim-bench micro-benchmarks ==");
 
-fn bench_workload(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_tiny");
-    group.sample_size(10);
+    let program = alu_kernel(2000);
+    // ~16 × 5 × 2000 instructions per launch.
+    bench("dpu_16t_alu_kernel", 20, 16 * 5 * 2000, || {
+        let mut dpu = Dpu::new(DpuConfig::paper_baseline(16));
+        dpu.load_program(&program).unwrap();
+        dpu.launch().unwrap()
+    });
+
     for name in ["VA", "GEMV", "BS"] {
-        group.bench_function(name, |b| {
-            let w = workload_by_name(name).unwrap();
-            b.iter(|| {
-                w.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16)))
-                    .unwrap()
-            });
+        let w = workload_by_name(name).unwrap();
+        bench(&format!("workload_tiny/{name}"), 10, 0, || {
+            w.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16))).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_dram_bank(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram_bank");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("streaming_1024_bursts", |b| {
-        b.iter(|| {
-            let mut bank = DramBank::new(DramConfig::ddr4_2400());
-            let mut done = Vec::new();
-            for i in 0..1024u32 {
-                bank.enqueue(Access::read((i * 64) % (1 << 20), 64), 0);
-            }
-            bank.advance_to(u64::MAX / 2, &mut done);
-            done
-        });
+    bench("dram_streaming_1024_bursts", 50, 1024, || {
+        let mut bank = DramBank::new(DramConfig::ddr4_2400());
+        let mut done = Vec::new();
+        for i in 0..1024u32 {
+            bank.enqueue(Access::read((i * 64) % (1 << 20), 64), 0);
+        }
+        bank.advance_to(u64::MAX / 2, &mut done);
+        done
     });
-    group.finish();
-}
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(4096));
-    group.bench_function("dcache_4096_accesses", |b| {
-        b.iter(|| {
-            let mut cache = Cache::new(CacheConfig::paper_dcache());
-            for i in 0..4096u32 {
-                cache.access((i * 37) % (1 << 18), i % 3 == 0);
-            }
-            *cache.stats()
-        });
+    bench("dcache_4096_accesses", 200, 4096, || {
+        let mut cache = Cache::new(CacheConfig::paper_dcache());
+        for i in 0..4096u32 {
+            cache.access((i * 37) % (1 << 18), i % 3 == 0);
+        }
+        *cache.stats()
     });
-    group.finish();
-}
 
-fn bench_encode_decode(c: &mut Criterion) {
     let instr = Instruction::Alu {
         op: AluOp::Add,
         rd: pim_isa::Reg::r(1),
         ra: pim_isa::Reg::r(2),
         rb: pim_isa::Operand::Imm(42),
     };
-    c.bench_function("isa_encode_decode", |b| {
-        b.iter(|| Instruction::decode(std::hint::black_box(instr.encode())).unwrap());
+    bench("isa_encode_decode", 1_000_000, 0, || {
+        Instruction::decode(std::hint::black_box(instr.encode())).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_sim_rate,
-    bench_workload,
-    bench_dram_bank,
-    bench_cache,
-    bench_encode_decode
-);
-criterion_main!(benches);

@@ -1,29 +1,6 @@
-//! Regenerates the **§V-C MMU study**: the slowdown from translating every
-//! MRAM access through a 16-entry-TLB MMU (paper: avg 0.8%, max 14.1%).
+//! §V-C: MMU address-translation overhead @16 tasklets. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::mmu_overhead;
-use pimulator::report::{pct, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== §V-C: MMU address-translation overhead @16 tasklets ({size:?}) ==");
-    let rows = mmu_overhead(size, 16).expect("simulation");
-    let mut t = Table::new(&["workload", "overhead", "TLB hit rate"]);
-    let (mut sum, mut max) = (0.0f64, 0.0f64);
-    for r in &rows {
-        sum += r.overhead;
-        max = max.max(r.overhead);
-    }
-    let n = rows.len() as f64;
-    for r in rows {
-        t.row_owned(vec![r.workload, pct(r.overhead), pct(r.tlb_hit_rate)]);
-    }
-    print!("{}", t.render());
-    println!(
-        "\naverage overhead {} / max {}  (paper: avg 0.8%, max 14.1%)",
-        pct(sum / n),
-        pct(max)
-    );
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("exp_mmu_overhead")
 }

@@ -1,32 +1,6 @@
-//! Regenerates the **§V-C multi-tenancy (transparency) study**: a
-//! memory-bound and a compute-bound kernel (the paper's BS+TS pairing)
-//! sharing one DPU, plus the scratchpad-capacity failure that makes
-//! transparent co-location impossible under the baseline programming model
-//! — and the cache-centric escape hatch.
+//! §V-C: multi-tenant co-location. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pimulator::experiments::multi_tenant;
-use pimulator::report::speedup;
-
-fn main() {
-    println!("== §V-C: multi-tenant co-location ==");
-    let r = multi_tenant().expect("simulation");
-    println!("memory-bound tenant alone (8 tasklets)  : {:>9} cycles", r.alone_mem_cycles);
-    println!("compute-bound tenant alone (8 tasklets) : {:>9} cycles", r.alone_compute_cycles);
-    println!("co-located: memory tenant finished at   : {:>9} cycles", r.coloc_mem_finish);
-    println!("co-located: compute tenant finished at  : {:>9} cycles", r.coloc_compute_finish);
-    println!("co-located makespan                     : {:>9} cycles", r.coloc_makespan);
-    println!(
-        "consolidation gain vs time-slicing      : {}",
-        speedup(r.consolidation_gain)
-    );
-    println!();
-    println!("scratchpad transparency failure (combined 80 KB working set):");
-    println!("  -> {}", r.scratchpad_overflow_error);
-    println!(
-        "same tenants under the cache-centric model: {}",
-        if r.cache_mode_colocates { "co-locate fine" } else { "still fail" }
-    );
-    println!("\n(paper §V-C: scratchpad-centric co-location requires intrusive");
-    println!(" program changes and fails on WRAM capacity; on-demand caches");
-    println!(" restore transparency.)");
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("exp_multi_tenant")
 }

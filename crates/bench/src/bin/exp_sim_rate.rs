@@ -1,29 +1,6 @@
-//! Measures the **§III-D simulation rate** in KIPS (kilo simulated
-//! instructions per wall-clock second). The paper reports ≈3 KIPS for its
-//! (Python-frontend) PIMulator; this Rust implementation is substantially
-//! faster, which EXPERIMENTS.md records as an expected deviation.
+//! §III-D: simulation rate. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use std::time::Instant;
-
-use pim_bench::parse_size_arg;
-use pim_dpu::DpuConfig;
-use prim_suite::{workload_by_name, DatasetSize, RunConfig};
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== §III-D: simulation rate ({size:?}) ==");
-    for name in ["VA", "GEMV", "BS", "RED"] {
-        let w = workload_by_name(name).expect("workload");
-        let start = Instant::now();
-        let run = w
-            .run(size, &RunConfig::single(DpuConfig::paper_baseline(16)))
-            .expect("simulation");
-        let wall = start.elapsed().as_secs_f64();
-        let instrs = run.merged().instructions;
-        println!(
-            "{name:8} {instrs:>12} instructions in {wall:>7.2}s = {:>9.1} KIPS",
-            instrs as f64 / wall / 1e3
-        );
-    }
-    println!("(paper's PIMulator: ~3 KIPS)");
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("exp_sim_rate")
 }

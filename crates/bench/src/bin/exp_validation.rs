@@ -1,61 +1,6 @@
-//! Regenerates the **§III-C validation** in its hardware-free form: the
-//! paper cross-validates 710 single-DPU and 387 multi-DPU data points
-//! against real UPMEM DIMMs (output data *and* execution time); without
-//! hardware, this binary sweeps the same axes — every PrIM workload ×
-//! tasklet counts 1/2/4/8/16/24 × two dataset sizes × several DPU counts —
-//! and bit-compares every run's output against the reference
-//! implementation.
+//! §III-C validation sweep (functional, hardware-free). Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_dpu::DpuConfig;
-use prim_suite::{all_workloads, DatasetSize, RunConfig};
-
-fn main() {
-    let mut total = 0u32;
-    let mut ok = 0u32;
-    let mut failures: Vec<String> = Vec::new();
-    // Single-DPU matrix.
-    for size in [DatasetSize::Tiny, DatasetSize::SingleDpu] {
-        for w in all_workloads() {
-            for t in [1u32, 2, 4, 8, 16, 24] {
-                total += 1;
-                match w.run(size, &RunConfig::single(DpuConfig::paper_baseline(t))) {
-                    Ok(run) if run.validation.is_ok() => ok += 1,
-                    Ok(run) => failures.push(format!(
-                        "{} {size:?} @{t}t: {}",
-                        w.name(),
-                        run.validation.unwrap_err()
-                    )),
-                    Err(e) => failures.push(format!("{} {size:?} @{t}t: fault {e}", w.name())),
-                }
-            }
-        }
-    }
-    // Multi-DPU matrix (strong scaling on the single-DPU datasets).
-    for d in [4u32, 16] {
-        for w in all_workloads() {
-            total += 1;
-            match w.run(
-                DatasetSize::SingleDpu,
-                &RunConfig::multi(d, DpuConfig::paper_baseline(16)),
-            ) {
-                Ok(run) if run.validation.is_ok() => ok += 1,
-                Ok(run) => failures.push(format!(
-                    "{} x{d}: {}",
-                    w.name(),
-                    run.validation.unwrap_err()
-                )),
-                Err(e) => failures.push(format!("{} x{d}: fault {e}", w.name())),
-            }
-        }
-    }
-    println!("== §III-C validation sweep (functional, hardware-free) ==");
-    println!("{ok}/{total} data points bit-exact against the reference implementations");
-    for f in &failures {
-        println!("FAILED: {f}");
-    }
-    println!(
-        "(paper: 710 single-DPU points at 98.4% time-correlation; this \
-         reproduction substitutes output-exactness, per DESIGN.md §1)"
-    );
-    assert!(failures.is_empty(), "{} validation failures", failures.len());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("exp_validation")
 }

@@ -1,23 +1,6 @@
-//! Regenerates **Fig 5**: PrIM compute utilization and MRAM read-bandwidth
-//! utilization at 1/4/16 tasklets on a single DPU.
+//! Fig 5: compute & MRAM-read-bandwidth utilization. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::{parse_size_arg, PAPER_THREADS};
-use pimulator::experiments::fig05_utilization;
-use pimulator::report::{pct, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 5: compute & MRAM-read-bandwidth utilization ({size:?}) ==");
-    let rows = fig05_utilization(size, &PAPER_THREADS).expect("simulation");
-    let mut t = Table::new(&["workload", "threads", "compute util", "mem read util"]);
-    for r in rows {
-        t.row_owned(vec![
-            r.workload,
-            r.threads.to_string(),
-            pct(r.compute_util),
-            pct(r.mem_util),
-        ]);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig05_utilization")
 }

@@ -1,25 +1,6 @@
-//! Regenerates **Fig 6**: DPU runtime broken into active vs
-//! idle(memory / revolver / RF) cycles at 1/4/16 tasklets.
+//! Fig 6: runtime breakdown. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::{parse_size_arg, PAPER_THREADS};
-use pimulator::experiments::fig06_breakdown;
-use pimulator::report::{pct, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 6: runtime breakdown ({size:?}) ==");
-    let rows = fig06_breakdown(size, &PAPER_THREADS).expect("simulation");
-    let mut t = Table::new(&["workload", "threads", "active", "idle(mem)", "idle(revolver)", "idle(RF)"]);
-    for r in rows {
-        t.row_owned(vec![
-            r.workload,
-            r.threads.to_string(),
-            pct(r.active),
-            pct(r.idle_memory),
-            pct(r.idle_revolver),
-            pct(r.idle_rf),
-        ]);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig06_breakdown")
 }

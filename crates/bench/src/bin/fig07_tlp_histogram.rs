@@ -1,37 +1,6 @@
-//! Regenerates **Fig 7**: how many tasklets were issuable each cycle
-//! (binned) plus the average, at 16 tasklets.
+//! Fig 7: issuable-tasklet histogram @16 tasklets. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::fig07_tlp_histogram;
-use pimulator::report::{pct, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 7: issuable-tasklet histogram @16 tasklets ({size:?}) ==");
-    let rows = fig07_tlp_histogram(size, 16).expect("simulation");
-    // Bin exactly as the paper plots: 0 / 1 / 2 / 3 / 4 / 5-8 / 9-16.
-    let bins: &[(usize, usize, &str)] = &[
-        (0, 0, "0"),
-        (1, 1, "1"),
-        (2, 2, "2"),
-        (3, 3, "3"),
-        (4, 4, "4"),
-        (5, 8, "5-8"),
-        (9, 16, "9-16"),
-    ];
-    let mut header = vec!["workload"];
-    header.extend(bins.iter().map(|b| b.2));
-    header.push("avg issuable");
-    let mut t = Table::new(&header);
-    for r in rows {
-        let mut cells = vec![r.workload.clone()];
-        for (lo, hi, _) in bins {
-            let f: f64 = r.fractions.iter().skip(*lo).take(hi - lo + 1).sum();
-            cells.push(pct(f));
-        }
-        cells.push(format!("{:.2}", r.mean));
-        t.row_owned(cells);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig07_tlp_histogram")
 }

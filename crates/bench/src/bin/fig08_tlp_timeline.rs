@@ -1,29 +1,6 @@
-//! Regenerates **Fig 8**: issuable-thread count over time (10k-cycle
-//! windows) for BS, GEMV, and SCAN-SSA at 16 tasklets.
+//! Fig 8: TLP over time @16 tasklets. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::fig08_tlp_timeline;
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 8: TLP over time @16 tasklets ({size:?}) ==");
-    let rows = fig08_tlp_timeline(size, 16).expect("simulation");
-    for r in rows {
-        println!("\n{} (windows of {} cycles):", r.workload, r.window);
-        // Print as a coarse ASCII sparkline plus the raw series.
-        let marks = "_123456789ABCDEFG";
-        let line: String = r
-            .series
-            .iter()
-            .map(|&v| {
-                let idx = (v.round() as usize).min(16);
-                marks.chars().nth(idx).unwrap_or('?')
-            })
-            .collect();
-        println!("  sparkline(avg issuable/window): {line}");
-        let preview: Vec<String> =
-            r.series.iter().take(24).map(|v| format!("{v:.1}")).collect();
-        println!("  first windows: {}", preview.join(" "));
-    }
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig08_tlp_timeline")
 }

@@ -1,23 +1,6 @@
-//! Regenerates **Fig 9**: the instruction mix (arith / WRAM load-store /
-//! DMA / control / sync / other) at 1/4/16 tasklets.
+//! Fig 9: instruction mix. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::{parse_size_arg, PAPER_THREADS};
-use pim_isa::InstrClass;
-use pimulator::experiments::fig09_instr_mix;
-use pimulator::report::{pct, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 9: instruction mix ({size:?}) ==");
-    let mut header = vec!["workload".to_string(), "threads".to_string()];
-    header.extend(InstrClass::ALL.iter().map(|c| c.label().to_string()));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = Table::new(&header_refs);
-    for r in fig09_instr_mix(size, &PAPER_THREADS).expect("simulation") {
-        let mut cells = vec![r.workload.clone(), r.threads.to_string()];
-        cells.extend(r.fractions.iter().map(|f| pct(*f)));
-        t.row_owned(cells);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig09_instr_mix")
 }

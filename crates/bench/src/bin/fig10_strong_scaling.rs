@@ -1,33 +1,6 @@
-//! Regenerates **Fig 10**: strong scaling of PrIM across 1/16/64 DPUs with
-//! the end-to-end latency split into input transfer / kernel / output
-//! transfer.
+//! Fig 10: multi-DPU strong scaling. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::fig10_strong_scaling;
-use pimulator::report::{pct, speedup, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::MultiDpu);
-    println!("== Fig 10: multi-DPU strong scaling ({size:?}) ==");
-    // The paper sweeps 1/16/64 DPUs on the multi-DPU datasets; the tiny
-    // smoke datasets only split 4 ways.
-    let dpus: &[u32] = if size == DatasetSize::Tiny { &[1, 2, 4] } else { &[1, 16, 64] };
-    let rows = fig10_strong_scaling(size, dpus, 16).expect("simulation");
-    let mut t = Table::new(&[
-        "workload", "DPUs", "CPU->DPU", "kernel", "DPU->CPU", "total ms", "speedup",
-    ]);
-    for r in rows {
-        let total = r.to_dpu_ns + r.kernel_ns + r.from_dpu_ns;
-        t.row_owned(vec![
-            r.workload,
-            r.n_dpus.to_string(),
-            pct(r.to_dpu_ns / total),
-            pct(r.kernel_ns / total),
-            pct(r.from_dpu_ns / total),
-            format!("{:.3}", total / 1e6),
-            speedup(r.speedup),
-        ]);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig10_strong_scaling")
 }

@@ -1,18 +1,6 @@
-//! Regenerates **Fig 11**: GEMV on the SIMT-extended DPU — Base, 16-wide
-//! SIMT, +address coalescing, +4x/+16x MRAM bandwidth.
+//! Fig 11: SIMT case study on GEMV. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::fig11_simt;
-use pimulator::report::{speedup, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 11: SIMT case study on GEMV ({size:?}) ==");
-    let rows = fig11_simt(size, 16).expect("simulation");
-    let mut t = Table::new(&["design point", "IPC", "speedup vs Base"]);
-    for r in rows {
-        t.row_owned(vec![r.label, format!("{:.2}", r.ipc), speedup(r.speedup)]);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig11_simt")
 }

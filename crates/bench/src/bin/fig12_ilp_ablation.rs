@@ -1,44 +1,6 @@
-//! Regenerates **Fig 12**: the additive ILP ablation — data forwarding (D),
-//! unified RF (R), 2-way superscalar (S), 700 MHz (F) — with the runtime
-//! breakdown at each design point.
+//! Fig 12: ILP ablation @16 tasklets. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::fig12_ilp_ablation;
-use pimulator::report::{pct, speedup, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 12: ILP ablation @16 tasklets ({size:?}) ==");
-    let rows = fig12_ilp_ablation(size, 16).expect("simulation");
-    let mut t = Table::new(&[
-        "workload", "design", "speedup", "active", "idle(mem)", "idle(revolver)", "idle(RF)",
-    ]);
-    let mut max_speedup: f64 = 1.0;
-    let mut sum = 0.0;
-    let mut n = 0u32;
-    for r in &rows {
-        if r.label == "Base+DRSF" {
-            max_speedup = max_speedup.max(r.speedup);
-            sum += r.speedup;
-            n += 1;
-        }
-    }
-    for r in rows {
-        t.row_owned(vec![
-            r.workload,
-            r.label,
-            speedup(r.speedup),
-            pct(r.breakdown.active),
-            pct(r.breakdown.idle_memory),
-            pct(r.breakdown.idle_revolver),
-            pct(r.breakdown.idle_rf),
-        ]);
-    }
-    print!("{}", t.render());
-    println!(
-        "\nBase+DRSF speedup: avg {} / max {}  (paper: avg 2.7x, max 6.2x)",
-        speedup(sum / f64::from(n.max(1))),
-        speedup(max_speedup)
-    );
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig12_ilp_ablation")
 }

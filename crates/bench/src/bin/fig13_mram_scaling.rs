@@ -1,37 +1,6 @@
-//! Regenerates **Fig 13**: speedup when scaling MRAM-to-WRAM bandwidth
-//! ×1–×4 under the baseline DPU and the fully ILP-enhanced DPU.
+//! Fig 13: MRAM bandwidth scaling @16 tasklets. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::parse_size_arg;
-use pimulator::experiments::fig13_mram_scaling;
-use pimulator::report::{speedup, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 13: MRAM bandwidth scaling @16 tasklets ({size:?}) ==");
-    let rows =
-        fig13_mram_scaling(size, 16, &[1.0, 2.0, 3.0, 4.0]).expect("simulation");
-    let mut t = Table::new(&["workload", "design", "x1", "x2", "x3", "x4"]);
-    let mut current: Option<(String, String, Vec<String>)> = None;
-    for r in rows {
-        match &mut current {
-            Some((w, c, cells)) if *w == r.workload && *c == r.config => {
-                cells.push(speedup(r.speedup));
-            }
-            _ => {
-                if let Some((w, c, cells)) = current.take() {
-                    let mut row = vec![w, c];
-                    row.extend(cells);
-                    t.row_owned(row);
-                }
-                current = Some((r.workload, r.config, vec![speedup(r.speedup)]));
-            }
-        }
-    }
-    if let Some((w, c, cells)) = current.take() {
-        let mut row = vec![w, c];
-        row.extend(cells);
-        t.row_owned(row);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig13_mram_scaling")
 }

@@ -1,19 +1,6 @@
-//! Regenerates **Fig 15**: execution time of the cache-centric DPU
-//! normalized to the scratchpad-centric baseline, per workload and tasklet
-//! count (< 100% means the on-demand caches win).
+//! Fig 15: cache-centric vs scratchpad-centric. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::{parse_size_arg, PAPER_THREADS};
-use pimulator::experiments::fig15_cache_vs_scratchpad;
-use pimulator::report::{pct, Table};
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 15: cache-centric vs scratchpad-centric ({size:?}) ==");
-    let rows = fig15_cache_vs_scratchpad(size, &PAPER_THREADS).expect("simulation");
-    let mut t = Table::new(&["workload", "threads", "cache time / scratchpad time"]);
-    for r in rows {
-        t.row_owned(vec![r.workload, r.threads.to_string(), pct(r.normalized_time)]);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig15_cache_vs_scratchpad")
 }

@@ -1,34 +1,6 @@
-//! Regenerates **Fig 16**: DRAM bytes read and execution time for BS and
-//! UNI under the scratchpad-centric and cache-centric models.
+//! Fig 16: DRAM bytes read, scratchpad vs cache. Thin wrapper over the shared `pim_bench` driver; accepts
+//! `--size tiny|single|multi`, `--threads N`, `--json`, `--out DIR`.
 
-use pim_bench::{parse_size_arg, PAPER_THREADS};
-use pimulator::experiments::fig16_bytes_read;
-use pimulator::report::Table;
-use prim_suite::DatasetSize;
-
-fn main() {
-    let size = parse_size_arg(DatasetSize::SingleDpu);
-    println!("== Fig 16: DRAM bytes read, scratchpad vs cache ({size:?}) ==");
-    let rows = fig16_bytes_read(size, &PAPER_THREADS).expect("simulation");
-    let mut t = Table::new(&[
-        "workload",
-        "threads",
-        "scratchpad bytes",
-        "cache bytes",
-        "ratio",
-        "scratchpad ms",
-        "cache ms",
-    ]);
-    for r in rows {
-        t.row_owned(vec![
-            r.workload,
-            r.threads.to_string(),
-            r.scratchpad_bytes.to_string(),
-            r.cache_bytes.to_string(),
-            format!("{:.2}x", r.scratchpad_bytes as f64 / r.cache_bytes.max(1) as f64),
-            format!("{:.3}", r.scratchpad_ns / 1e6),
-            format!("{:.3}", r.cache_ns / 1e6),
-        ]);
-    }
-    print!("{}", t.render());
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("fig16_bytes_read")
 }

@@ -1,13 +1,25 @@
 //! # pim-bench
 //!
-//! The figure/table regeneration harness: one binary per figure of the
-//! paper's evaluation (`fig05_utilization` … `fig16_bytes_read`,
-//! `exp_mmu_overhead`, `exp_sim_rate`), plus criterion micro-benchmarks.
+//! The figure/table regeneration harness. All experiments share one
+//! driver: a registry entry per figure (`fig05_utilization` …
+//! `exp_validation`), common flag parsing (`--size tiny|single|multi`,
+//! `--threads N`, `--json`, `--out DIR`), execution through the parallel
+//! [`JobRunner`], and dual output — the human-readable table on stdout
+//! plus machine-readable `results/<name>.json`.
 //!
-//! Every binary accepts `--size tiny|single|multi` (default `single`, the
-//! paper's single-DPU Table II datasets) so the full regeneration can be
-//! smoke-tested quickly with `--size tiny`.
+//! The per-figure binaries (`cargo run --release -p pim-bench --bin
+//! fig05_utilization`) and the `pimsim exp <name>` subcommand are both
+//! thin wrappers over [`run_with_args`].
 
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pim_dpu::{DpuConfig, SimError};
+use pim_isa::InstrClass;
+use pimulator::experiments as exp;
+use pimulator::jobs::{JobRunner, SimJob};
+use pimulator::report::{pct, speedup, Json, Table};
 use prim_suite::DatasetSize;
 
 /// Parses the common `--size` argument from `std::env::args`.
@@ -17,23 +29,886 @@ use prim_suite::DatasetSize;
 /// Panics with a usage message on an unknown size.
 #[must_use]
 pub fn parse_size_arg(default: DatasetSize) -> DatasetSize {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         if a == "--size" {
-            let v = args.next().unwrap_or_default();
-            return match v.as_str() {
-                "tiny" => DatasetSize::Tiny,
-                "single" => DatasetSize::SingleDpu,
-                "multi" => DatasetSize::MultiDpu,
-                other => panic!("unknown --size `{other}` (expected tiny|single|multi)"),
-            };
+            return parse_size(it.next().map_or("", String::as_str));
         }
     }
     default
 }
 
+fn parse_size(v: &str) -> DatasetSize {
+    match v {
+        "tiny" => DatasetSize::Tiny,
+        "single" => DatasetSize::SingleDpu,
+        "multi" => DatasetSize::MultiDpu,
+        other => panic!("unknown --size `{other}` (expected tiny|single|multi)"),
+    }
+}
+
+fn size_label(size: DatasetSize) -> &'static str {
+    match size {
+        DatasetSize::Tiny => "tiny",
+        DatasetSize::SingleDpu => "single",
+        DatasetSize::MultiDpu => "multi",
+    }
+}
+
 /// The thread counts the paper sweeps (shown as 1/4/16 in the figures).
 pub const PAPER_THREADS: [u32; 3] = [1, 4, 16];
+
+/// Everything an experiment needs at run time.
+#[derive(Debug)]
+pub struct ExpContext {
+    /// The worker pool all simulations go through.
+    pub rt: JobRunner,
+    /// Dataset size to run at.
+    pub size: DatasetSize,
+}
+
+/// What an experiment produces: the full human-readable text (header line
+/// included, exactly what the binary prints) and the JSON document written
+/// to `results/<name>.json`.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// Human-readable output.
+    pub text: String,
+    /// Machine-readable output.
+    pub json: Json,
+}
+
+/// A registry entry: one figure or study of the paper's evaluation.
+pub struct Experiment {
+    /// Stable name — the binary name, the `pimsim exp` argument, and the
+    /// JSON file stem.
+    pub name: &'static str,
+    /// One-line description shown by `pimsim exp --list`.
+    pub title: &'static str,
+    /// Dataset size used when `--size` is not given.
+    pub default_size: DatasetSize,
+    /// Runs the experiment.
+    pub run: fn(&ExpContext) -> Result<ExpReport, SimError>,
+}
+
+/// All experiments, in paper order.
+#[must_use]
+pub fn experiments() -> &'static [Experiment] {
+    const REGISTRY: &[Experiment] = &[
+        Experiment {
+            name: "fig05_utilization",
+            title: "Fig 5: compute & MRAM-read-bandwidth utilization",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig05,
+        },
+        Experiment {
+            name: "fig06_breakdown",
+            title: "Fig 6: runtime breakdown",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig06,
+        },
+        Experiment {
+            name: "fig07_tlp_histogram",
+            title: "Fig 7: issuable-tasklet histogram @16 tasklets",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig07,
+        },
+        Experiment {
+            name: "fig08_tlp_timeline",
+            title: "Fig 8: TLP over time @16 tasklets",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig08,
+        },
+        Experiment {
+            name: "fig09_instr_mix",
+            title: "Fig 9: instruction mix",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig09,
+        },
+        Experiment {
+            name: "fig10_strong_scaling",
+            title: "Fig 10: multi-DPU strong scaling",
+            default_size: DatasetSize::MultiDpu,
+            run: run_fig10,
+        },
+        Experiment {
+            name: "fig11_simt",
+            title: "Fig 11: SIMT case study on GEMV",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig11,
+        },
+        Experiment {
+            name: "fig12_ilp_ablation",
+            title: "Fig 12: ILP ablation @16 tasklets",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig12,
+        },
+        Experiment {
+            name: "fig13_mram_scaling",
+            title: "Fig 13: MRAM bandwidth scaling @16 tasklets",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig13,
+        },
+        Experiment {
+            name: "fig15_cache_vs_scratchpad",
+            title: "Fig 15: cache-centric vs scratchpad-centric",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig15,
+        },
+        Experiment {
+            name: "fig16_bytes_read",
+            title: "Fig 16: DRAM bytes read, scratchpad vs cache",
+            default_size: DatasetSize::SingleDpu,
+            run: run_fig16,
+        },
+        Experiment {
+            name: "exp_mmu_overhead",
+            title: "\u{a7}V-C: MMU address-translation overhead @16 tasklets",
+            default_size: DatasetSize::SingleDpu,
+            run: run_mmu,
+        },
+        Experiment {
+            name: "exp_multi_tenant",
+            title: "\u{a7}V-C: multi-tenant co-location",
+            default_size: DatasetSize::SingleDpu,
+            run: run_multi_tenant,
+        },
+        Experiment {
+            name: "exp_sim_rate",
+            title: "\u{a7}III-D: simulation rate",
+            default_size: DatasetSize::SingleDpu,
+            run: run_sim_rate,
+        },
+        Experiment {
+            name: "exp_validation",
+            title: "\u{a7}III-C validation sweep (functional, hardware-free)",
+            default_size: DatasetSize::SingleDpu,
+            run: run_validation,
+        },
+    ];
+    REGISTRY
+}
+
+/// Looks up an experiment by its stable name.
+#[must_use]
+pub fn experiment_by_name(name: &str) -> Option<&'static Experiment> {
+    experiments().iter().find(|e| e.name == name)
+}
+
+// ---------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Default)]
+pub struct DriverOptions {
+    /// `--size tiny|single|multi` (experiment default when absent).
+    pub size: Option<DatasetSize>,
+    /// `--threads N` worker cap (`available_parallelism` when absent).
+    pub threads: Option<usize>,
+    /// `--json`: print the JSON document to stdout instead of the table.
+    pub json_stdout: bool,
+    /// `--out DIR`: where `<name>.json` is written (default `results`).
+    pub out_dir: PathBuf,
+}
+
+impl DriverOptions {
+    /// Parses the common flag set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or malformed value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts =
+            DriverOptions { out_dir: PathBuf::from("results"), ..DriverOptions::default() };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--size" => {
+                    let v = it.next().ok_or("--size needs a value (tiny|single|multi)")?;
+                    opts.size = Some(match v.as_str() {
+                        "tiny" => DatasetSize::Tiny,
+                        "single" => DatasetSize::SingleDpu,
+                        "multi" => DatasetSize::MultiDpu,
+                        other => {
+                            return Err(format!(
+                                "unknown --size `{other}` (expected tiny|single|multi)"
+                            ))
+                        }
+                    });
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a number")?;
+                    let n: usize =
+                        v.parse().map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    opts.threads = Some(n);
+                }
+                "--json" => opts.json_stdout = true,
+                "--out" => {
+                    opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected --size/--threads/--json/--out)"
+                    ))
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Runs one experiment under the given options and returns its report.
+/// This is the pure core of the driver — no printing, no filesystem.
+///
+/// # Errors
+///
+/// Propagates the experiment's simulation fault.
+pub fn run_experiment(e: &Experiment, opts: &DriverOptions) -> Result<ExpReport, SimError> {
+    let ctx =
+        ExpContext { rt: JobRunner::new(opts.threads), size: opts.size.unwrap_or(e.default_size) };
+    (e.run)(&ctx)
+}
+
+/// The shared binary entry point: parses `args`, runs experiment `name`,
+/// prints the table (or the JSON document under `--json`), and writes
+/// `<out>/<name>.json`.
+#[must_use]
+pub fn run_with_args(name: &str, args: &[String]) -> ExitCode {
+    let Some(e) = experiment_by_name(name) else {
+        eprintln!("unknown experiment `{name}`; available:");
+        for e in experiments() {
+            eprintln!("  {:26} {}", e.name, e.title);
+        }
+        return ExitCode::FAILURE;
+    };
+    let opts = match DriverOptions::parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: {name} [--size tiny|single|multi] [--threads N] [--json] [--out DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run_experiment(e, &opts) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("{name}: simulation fault: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pretty = report.json.render_pretty();
+    {
+        // Tolerate a closed pipe (`pimsim exp ... | head`): losing stdout
+        // mid-table is the downstream reader's choice, not a fault.
+        use std::io::Write;
+        let out = if opts.json_stdout { &pretty } else { &report.text };
+        let _ = std::io::stdout().write_all(out.as_bytes());
+    }
+    let path = opts.out_dir.join(format!("{name}.json"));
+    if let Err(err) =
+        std::fs::create_dir_all(&opts.out_dir).and_then(|()| std::fs::write(&path, &pretty))
+    {
+        eprintln!("{name}: could not write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if !opts.json_stdout {
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Entry point for the per-figure binaries: [`run_with_args`] over
+/// `std::env::args`.
+#[must_use]
+pub fn run_cli(name: &str) -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_with_args(name, &args)
+}
+
+fn header(title: &str, size: DatasetSize) -> String {
+    format!("== {title} ({size:?}) ==\n")
+}
+
+fn json_doc(name: &str, size: DatasetSize, rows: Json, extra: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("experiment".to_string(), Json::from(name)),
+        ("size".to_string(), Json::from(size_label(size))),
+        ("rows".to_string(), rows),
+    ];
+    for (k, v) in extra {
+        pairs.push((k.to_string(), v));
+    }
+    Json::Obj(pairs)
+}
+
+// ---------------------------------------------------------------------
+// Per-experiment table + JSON formatting
+// ---------------------------------------------------------------------
+
+fn run_fig05(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig05_utilization(&ctx.rt, ctx.size, &PAPER_THREADS)?;
+    let mut t = Table::new(&["workload", "threads", "compute util", "mem read util"]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![
+            r.workload.clone(),
+            r.threads.to_string(),
+            pct(r.compute_util),
+            pct(r.mem_util),
+        ]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("threads", Json::from(r.threads)),
+            ("compute_util", Json::from(r.compute_util)),
+            ("mem_read_util", Json::from(r.mem_util)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 5: compute & MRAM-read-bandwidth utilization", ctx.size) + &t.render(),
+        json: json_doc("fig05_utilization", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig06(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig06_breakdown(&ctx.rt, ctx.size, &PAPER_THREADS)?;
+    let mut t =
+        Table::new(&["workload", "threads", "active", "idle(mem)", "idle(revolver)", "idle(RF)"]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![
+            r.workload.clone(),
+            r.threads.to_string(),
+            pct(r.active),
+            pct(r.idle_memory),
+            pct(r.idle_revolver),
+            pct(r.idle_rf),
+        ]);
+        json_rows.push(breakdown_json(&r));
+    }
+    Ok(ExpReport {
+        text: header("Fig 6: runtime breakdown", ctx.size) + &t.render(),
+        json: json_doc("fig06_breakdown", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn breakdown_json(r: &exp::BreakdownRow) -> Json {
+    Json::obj([
+        ("workload", Json::from(r.workload.clone())),
+        ("threads", Json::from(r.threads)),
+        ("active", Json::from(r.active)),
+        ("idle_memory", Json::from(r.idle_memory)),
+        ("idle_revolver", Json::from(r.idle_revolver)),
+        ("idle_rf", Json::from(r.idle_rf)),
+    ])
+}
+
+fn run_fig07(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig07_tlp_histogram(&ctx.rt, ctx.size, 16)?;
+    // Bin exactly as the paper plots: 0 / 1 / 2 / 3 / 4 / 5-8 / 9-16.
+    let bins: &[(usize, usize, &str)] = &[
+        (0, 0, "0"),
+        (1, 1, "1"),
+        (2, 2, "2"),
+        (3, 3, "3"),
+        (4, 4, "4"),
+        (5, 8, "5-8"),
+        (9, 16, "9-16"),
+    ];
+    let mut hdr = vec!["workload"];
+    hdr.extend(bins.iter().map(|b| b.2));
+    hdr.push("avg issuable");
+    let mut t = Table::new(&hdr);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        let mut cells = vec![r.workload.clone()];
+        let mut binned = Vec::new();
+        for (lo, hi, label) in bins {
+            let f: f64 = r.fractions.iter().skip(*lo).take(hi - lo + 1).sum();
+            cells.push(pct(f));
+            binned.push(((*label).to_string(), Json::from(f)));
+        }
+        cells.push(format!("{:.2}", r.mean));
+        t.row_owned(cells);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("bins", Json::Obj(binned)),
+            ("fractions", Json::arr(r.fractions.iter().map(|&f| Json::from(f)))),
+            ("mean_issuable", Json::from(r.mean)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 7: issuable-tasklet histogram @16 tasklets", ctx.size) + &t.render(),
+        json: json_doc("fig07_tlp_histogram", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig08(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig08_tlp_timeline(&ctx.rt, ctx.size, 16)?;
+    let mut text = header("Fig 8: TLP over time @16 tasklets", ctx.size);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        let _ = writeln!(text, "\n{} (windows of {} cycles):", r.workload, r.window);
+        // Coarse ASCII sparkline plus the first raw windows.
+        let marks = "_123456789ABCDEFG";
+        let line: String = r
+            .series
+            .iter()
+            .map(|&v| {
+                let idx = (v.round() as usize).min(16);
+                marks.chars().nth(idx).unwrap_or('?')
+            })
+            .collect();
+        let _ = writeln!(text, "  sparkline(avg issuable/window): {line}");
+        let preview: Vec<String> = r.series.iter().take(24).map(|v| format!("{v:.1}")).collect();
+        let _ = writeln!(text, "  first windows: {}", preview.join(" "));
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("window_cycles", Json::from(r.window)),
+            ("series", Json::arr(r.series.iter().map(|&v| Json::from(f64::from(v))))),
+        ]));
+    }
+    Ok(ExpReport {
+        text,
+        json: json_doc("fig08_tlp_timeline", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig09(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig09_instr_mix(&ctx.rt, ctx.size, &PAPER_THREADS)?;
+    let mut hdr = vec!["workload".to_string(), "threads".to_string()];
+    hdr.extend(InstrClass::ALL.iter().map(|c| c.label().to_string()));
+    let hdr_refs: Vec<&str> = hdr.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr_refs);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        let mut cells = vec![r.workload.clone(), r.threads.to_string()];
+        cells.extend(r.fractions.iter().map(|f| pct(*f)));
+        t.row_owned(cells);
+        let mix: Vec<(String, Json)> = InstrClass::ALL
+            .iter()
+            .zip(r.fractions)
+            .map(|(c, f)| (c.label().to_string(), Json::from(f)))
+            .collect();
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("threads", Json::from(r.threads)),
+            ("mix", Json::Obj(mix)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 9: instruction mix", ctx.size) + &t.render(),
+        json: json_doc("fig09_instr_mix", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig10(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    // The paper sweeps 1/16/64 DPUs on the multi-DPU datasets; the tiny
+    // smoke datasets only split 4 ways.
+    let dpus: &[u32] = if ctx.size == DatasetSize::Tiny { &[1, 2, 4] } else { &[1, 16, 64] };
+    let rows = exp::fig10_strong_scaling(&ctx.rt, ctx.size, dpus, 16)?;
+    let mut t =
+        Table::new(&["workload", "DPUs", "CPU->DPU", "kernel", "DPU->CPU", "total ms", "speedup"]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        let total = r.to_dpu_ns + r.kernel_ns + r.from_dpu_ns;
+        t.row_owned(vec![
+            r.workload.clone(),
+            r.n_dpus.to_string(),
+            pct(r.to_dpu_ns / total),
+            pct(r.kernel_ns / total),
+            pct(r.from_dpu_ns / total),
+            format!("{:.3}", total / 1e6),
+            speedup(r.speedup),
+        ]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("n_dpus", Json::from(r.n_dpus)),
+            ("to_dpu_ns", Json::from(r.to_dpu_ns)),
+            ("kernel_ns", Json::from(r.kernel_ns)),
+            ("from_dpu_ns", Json::from(r.from_dpu_ns)),
+            ("speedup", Json::from(r.speedup)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 10: multi-DPU strong scaling", ctx.size) + &t.render(),
+        json: json_doc("fig10_strong_scaling", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig11(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig11_simt(&ctx.rt, ctx.size, 16)?;
+    let mut t = Table::new(&["design point", "IPC", "speedup vs Base"]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![r.label.clone(), format!("{:.2}", r.ipc), speedup(r.speedup)]);
+        json_rows.push(Json::obj([
+            ("design", Json::from(r.label)),
+            ("ipc", Json::from(r.ipc)),
+            ("speedup", Json::from(r.speedup)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 11: SIMT case study on GEMV", ctx.size) + &t.render(),
+        json: json_doc("fig11_simt", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig12(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig12_ilp_ablation(&ctx.rt, ctx.size, 16)?;
+    let mut t = Table::new(&[
+        "workload",
+        "design",
+        "speedup",
+        "active",
+        "idle(mem)",
+        "idle(revolver)",
+        "idle(RF)",
+    ]);
+    let (mut sum, mut max_speedup, mut n) = (0.0f64, 1.0f64, 0u32);
+    for r in &rows {
+        if r.label == "Base+DRSF" {
+            max_speedup = max_speedup.max(r.speedup);
+            sum += r.speedup;
+            n += 1;
+        }
+    }
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![
+            r.workload.clone(),
+            r.label.clone(),
+            speedup(r.speedup),
+            pct(r.breakdown.active),
+            pct(r.breakdown.idle_memory),
+            pct(r.breakdown.idle_revolver),
+            pct(r.breakdown.idle_rf),
+        ]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("design", Json::from(r.label)),
+            ("speedup", Json::from(r.speedup)),
+            ("breakdown", breakdown_json(&r.breakdown)),
+        ]));
+    }
+    let avg = sum / f64::from(n.max(1));
+    let text = header("Fig 12: ILP ablation @16 tasklets", ctx.size)
+        + &t.render()
+        + &format!(
+            "\nBase+DRSF speedup: avg {} / max {}  (paper: avg 2.7x, max 6.2x)\n",
+            speedup(avg),
+            speedup(max_speedup)
+        );
+    let summary = Json::obj([
+        ("avg_drsf_speedup", Json::from(avg)),
+        ("max_drsf_speedup", Json::from(max_speedup)),
+    ]);
+    Ok(ExpReport {
+        text,
+        json: json_doc(
+            "fig12_ilp_ablation",
+            ctx.size,
+            Json::Arr(json_rows),
+            vec![("summary", summary)],
+        ),
+    })
+}
+
+fn run_fig13(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let scales = [1.0, 2.0, 3.0, 4.0];
+    let rows = exp::fig13_mram_scaling(&ctx.rt, ctx.size, 16, &scales)?;
+    let mut t = Table::new(&["workload", "design", "x1", "x2", "x3", "x4"]);
+    let mut json_rows = Vec::new();
+    // One table row per (workload, design) group of `scales.len()` points.
+    for group in rows.chunks(scales.len()) {
+        let mut cells = vec![group[0].workload.clone(), group[0].config.clone()];
+        cells.extend(group.iter().map(|r| speedup(r.speedup)));
+        t.row_owned(cells);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(group[0].workload.clone())),
+            ("design", Json::from(group[0].config.clone())),
+            (
+                "speedups",
+                Json::Obj(
+                    group
+                        .iter()
+                        .map(|r| (format!("x{}", r.scale as u32), Json::from(r.speedup)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 13: MRAM bandwidth scaling @16 tasklets", ctx.size) + &t.render(),
+        json: json_doc("fig13_mram_scaling", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig15(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig15_cache_vs_scratchpad(&ctx.rt, ctx.size, &PAPER_THREADS)?;
+    let mut t = Table::new(&["workload", "threads", "cache time / scratchpad time"]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![r.workload.clone(), r.threads.to_string(), pct(r.normalized_time)]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("threads", Json::from(r.threads)),
+            ("cache_over_scratchpad_time", Json::from(r.normalized_time)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 15: cache-centric vs scratchpad-centric", ctx.size) + &t.render(),
+        json: json_doc("fig15_cache_vs_scratchpad", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_fig16(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::fig16_bytes_read(&ctx.rt, ctx.size, &PAPER_THREADS)?;
+    let mut t = Table::new(&[
+        "workload",
+        "threads",
+        "scratchpad bytes",
+        "cache bytes",
+        "ratio",
+        "scratchpad ms",
+        "cache ms",
+    ]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![
+            r.workload.clone(),
+            r.threads.to_string(),
+            r.scratchpad_bytes.to_string(),
+            r.cache_bytes.to_string(),
+            format!("{:.2}x", r.scratchpad_bytes as f64 / r.cache_bytes.max(1) as f64),
+            format!("{:.3}", r.scratchpad_ns / 1e6),
+            format!("{:.3}", r.cache_ns / 1e6),
+        ]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("threads", Json::from(r.threads)),
+            ("scratchpad_bytes", Json::from(r.scratchpad_bytes)),
+            ("cache_bytes", Json::from(r.cache_bytes)),
+            ("scratchpad_ns", Json::from(r.scratchpad_ns)),
+            ("cache_ns", Json::from(r.cache_ns)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Fig 16: DRAM bytes read, scratchpad vs cache", ctx.size) + &t.render(),
+        json: json_doc("fig16_bytes_read", ctx.size, Json::Arr(json_rows), vec![]),
+    })
+}
+
+fn run_mmu(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let rows = exp::mmu_overhead(&ctx.rt, ctx.size, 16)?;
+    let mut t = Table::new(&["workload", "overhead", "TLB hit rate"]);
+    let (mut sum, mut max) = (0.0f64, 0.0f64);
+    for r in &rows {
+        sum += r.overhead;
+        max = max.max(r.overhead);
+    }
+    let n = rows.len() as f64;
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row_owned(vec![r.workload.clone(), pct(r.overhead), pct(r.tlb_hit_rate)]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(r.workload)),
+            ("overhead", Json::from(r.overhead)),
+            ("tlb_hit_rate", Json::from(r.tlb_hit_rate)),
+        ]));
+    }
+    let text = header("\u{a7}V-C: MMU address-translation overhead @16 tasklets", ctx.size)
+        + &t.render()
+        + &format!(
+            "\naverage overhead {} / max {}  (paper: avg 0.8%, max 14.1%)\n",
+            pct(sum / n),
+            pct(max)
+        );
+    let summary =
+        Json::obj([("avg_overhead", Json::from(sum / n)), ("max_overhead", Json::from(max))]);
+    Ok(ExpReport {
+        text,
+        json: json_doc(
+            "exp_mmu_overhead",
+            ctx.size,
+            Json::Arr(json_rows),
+            vec![("summary", summary)],
+        ),
+    })
+}
+
+fn run_multi_tenant(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let r = exp::multi_tenant()?;
+    let mut text = String::from("== \u{a7}V-C: multi-tenant co-location ==\n");
+    let _ = writeln!(
+        text,
+        "memory-bound tenant alone (8 tasklets)  : {:>9} cycles",
+        r.alone_mem_cycles
+    );
+    let _ = writeln!(
+        text,
+        "compute-bound tenant alone (8 tasklets) : {:>9} cycles",
+        r.alone_compute_cycles
+    );
+    let _ = writeln!(
+        text,
+        "co-located: memory tenant finished at   : {:>9} cycles",
+        r.coloc_mem_finish
+    );
+    let _ = writeln!(
+        text,
+        "co-located: compute tenant finished at  : {:>9} cycles",
+        r.coloc_compute_finish
+    );
+    let _ =
+        writeln!(text, "co-located makespan                     : {:>9} cycles", r.coloc_makespan);
+    let _ = writeln!(
+        text,
+        "consolidation gain vs time-slicing      : {}",
+        speedup(r.consolidation_gain)
+    );
+    let _ = writeln!(text);
+    let _ = writeln!(text, "scratchpad transparency failure (combined 80 KB working set):");
+    let _ = writeln!(text, "  -> {}", r.scratchpad_overflow_error);
+    let _ = writeln!(
+        text,
+        "same tenants under the cache-centric model: {}",
+        if r.cache_mode_colocates { "co-locate fine" } else { "still fail" }
+    );
+    let _ = writeln!(text, "\n(paper \u{a7}V-C: scratchpad-centric co-location requires intrusive");
+    let _ = writeln!(text, " program changes and fails on WRAM capacity; on-demand caches");
+    let _ = writeln!(text, " restore transparency.)");
+    let json = json_doc(
+        "exp_multi_tenant",
+        ctx.size,
+        Json::arr([Json::obj([
+            ("alone_mem_cycles", Json::from(r.alone_mem_cycles)),
+            ("alone_compute_cycles", Json::from(r.alone_compute_cycles)),
+            ("coloc_mem_finish", Json::from(r.coloc_mem_finish)),
+            ("coloc_compute_finish", Json::from(r.coloc_compute_finish)),
+            ("coloc_makespan", Json::from(r.coloc_makespan)),
+            ("consolidation_gain", Json::from(r.consolidation_gain)),
+            ("scratchpad_overflow_error", Json::from(r.scratchpad_overflow_error)),
+            ("cache_mode_colocates", Json::from(r.cache_mode_colocates)),
+        ])]),
+        vec![],
+    );
+    Ok(ExpReport { text, json })
+}
+
+fn run_sim_rate(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    use std::time::Instant;
+    let mut text = header("\u{a7}III-D: simulation rate", ctx.size);
+    let mut json_rows = Vec::new();
+    for name in ["VA", "GEMV", "BS", "RED"] {
+        let job = SimJob::single(name, ctx.size, DpuConfig::paper_baseline(16));
+        let start = Instant::now();
+        let out = job.execute()?;
+        let wall = start.elapsed().as_secs_f64();
+        let instrs = out.stats.instructions;
+        let kips = instrs as f64 / wall / 1e3;
+        let _ =
+            writeln!(text, "{name:8} {instrs:>12} instructions in {wall:>7.2}s = {kips:>9.1} KIPS");
+        json_rows.push(Json::obj([
+            ("workload", Json::from(name)),
+            ("instructions", Json::from(instrs)),
+            ("wall_seconds", Json::from(wall)),
+            ("kips", Json::from(kips)),
+        ]));
+    }
+    let _ = writeln!(text, "(paper's PIMulator: ~3 KIPS)");
+    Ok(ExpReport { text, json: json_doc("exp_sim_rate", ctx.size, Json::Arr(json_rows), vec![]) })
+}
+
+fn run_validation(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    use prim_suite::{all_workloads, workload_by_name, RunConfig};
+
+    // The full cross-product the paper validates (§III-C), as independent
+    // cases fanned out over the worker pool. Unlike the figure sweeps,
+    // validation *collects* failures instead of panicking on them.
+    struct Case {
+        workload: String,
+        size: DatasetSize,
+        threads: u32,
+        n_dpus: u32,
+    }
+    let mut cases = Vec::new();
+    let sizes: &[DatasetSize] = if ctx.size == DatasetSize::Tiny {
+        &[DatasetSize::Tiny]
+    } else {
+        &[DatasetSize::Tiny, DatasetSize::SingleDpu]
+    };
+    for &size in sizes {
+        for w in all_workloads() {
+            for t in [1u32, 2, 4, 8, 16, 24] {
+                cases.push(Case { workload: w.name().to_string(), size, threads: t, n_dpus: 1 });
+            }
+        }
+    }
+    for d in [4u32, 16] {
+        for w in all_workloads() {
+            cases.push(Case {
+                workload: w.name().to_string(),
+                size: ctx.size,
+                threads: 16,
+                n_dpus: d,
+            });
+        }
+    }
+    let verdicts: Vec<Option<String>> = ctx.rt.map(&cases, |_, c| {
+        let w = workload_by_name(&c.workload).expect("workload exists");
+        let cfg = DpuConfig::paper_baseline(c.threads);
+        let run_cfg =
+            if c.n_dpus == 1 { RunConfig::single(cfg) } else { RunConfig::multi(c.n_dpus, cfg) };
+        let tag = if c.n_dpus == 1 {
+            format!("{} {:?} @{}t", c.workload, c.size, c.threads)
+        } else {
+            format!("{} x{}", c.workload, c.n_dpus)
+        };
+        match w.run(c.size, &run_cfg) {
+            Ok(run) => match run.validation {
+                Ok(()) => None,
+                Err(e) => Some(format!("{tag}: {e}")),
+            },
+            Err(e) => Some(format!("{tag}: fault {e}")),
+        }
+    });
+    let failures: Vec<&String> = verdicts.iter().flatten().collect();
+    let total = cases.len();
+    let ok = total - failures.len();
+    let mut text = String::from("== \u{a7}III-C validation sweep (functional, hardware-free) ==\n");
+    let _ =
+        writeln!(text, "{ok}/{total} data points bit-exact against the reference implementations");
+    for f in &failures {
+        let _ = writeln!(text, "FAILED: {f}");
+    }
+    let _ = writeln!(
+        text,
+        "(paper: 710 single-DPU points at 98.4% time-correlation; this \
+         reproduction substitutes output-exactness, per DESIGN.md \u{a7}1)"
+    );
+    assert!(failures.is_empty(), "{} validation failures", failures.len());
+    let json = json_doc(
+        "exp_validation",
+        ctx.size,
+        Json::arr([]),
+        vec![(
+            "summary",
+            Json::obj([
+                ("total", Json::from(total as u64)),
+                ("passed", Json::from(ok as u64)),
+                ("failures", Json::arr(failures.iter().map(|f| Json::from(f.as_str())))),
+            ]),
+        )],
+    );
+    Ok(ExpReport { text, json })
+}
 
 #[cfg(test)]
 mod tests {
@@ -42,5 +917,46 @@ mod tests {
     #[test]
     fn default_size_passes_through() {
         assert_eq!(parse_size_arg(DatasetSize::Tiny), DatasetSize::Tiny);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: Vec<&str> = experiments().iter().map(|e| e.name).collect();
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate experiment names");
+        assert!(experiment_by_name("fig05_utilization").is_some());
+        assert!(experiment_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn driver_options_parse_the_full_flag_set() {
+        let args: Vec<String> = ["--size", "tiny", "--threads", "3", "--json", "--out", "/tmp/r"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let o = DriverOptions::parse(&args).unwrap();
+        assert_eq!(o.size, Some(DatasetSize::Tiny));
+        assert_eq!(o.threads, Some(3));
+        assert!(o.json_stdout);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/r"));
+        assert!(DriverOptions::parse(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(DriverOptions::parse(&["--what".to_string()]).is_err());
+    }
+
+    #[test]
+    fn fig11_report_has_table_and_json() {
+        let e = experiment_by_name("fig11_simt").unwrap();
+        let opts = DriverOptions {
+            size: Some(DatasetSize::Tiny),
+            threads: Some(2),
+            ..DriverOptions::default()
+        };
+        let r = run_experiment(e, &opts).unwrap();
+        assert!(r.text.contains("SIMT+AC+16x"));
+        let rendered = r.json.render();
+        assert!(rendered.starts_with(r#"{"experiment":"fig11_simt","size":"tiny""#));
+        assert!(rendered.contains(r#""design":"SIMT+AC""#));
     }
 }

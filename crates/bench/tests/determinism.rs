@@ -1,0 +1,28 @@
+//! The job engine must be bit-reproducible: a figure regenerated on a
+//! parallel worker pool has to match a single-worker run byte for byte,
+//! in both the human-readable table and the JSON document. Anything less
+//! means thread scheduling leaked into the results.
+
+use pim_bench::{experiment_by_name, run_experiment, DriverOptions};
+use prim_suite::DatasetSize;
+
+fn reports_for(name: &str, threads: usize) -> (String, String) {
+    let e = experiment_by_name(name).expect("experiment is registered");
+    let opts = DriverOptions {
+        size: Some(DatasetSize::Tiny),
+        threads: Some(threads),
+        ..DriverOptions::default()
+    };
+    let report = run_experiment(e, &opts).expect("experiment runs");
+    (report.text, report.json.render_pretty())
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_to_serial() {
+    for name in ["fig05_utilization", "fig12_ilp_ablation"] {
+        let (serial_text, serial_json) = reports_for(name, 1);
+        let (parallel_text, parallel_json) = reports_for(name, 8);
+        assert_eq!(serial_text, parallel_text, "{name}: table rows diverged");
+        assert_eq!(serial_json, parallel_json, "{name}: JSON diverged");
+    }
+}

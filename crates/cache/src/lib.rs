@@ -223,9 +223,7 @@ impl Cache {
         let set = self.set_of(addr) as usize;
         let tag = self.tag_of(addr);
         let ways = self.cfg.ways as usize;
-        self.lines[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[set * ways..(set + 1) * ways].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Performs an access (read if `write` is false, write otherwise),
@@ -260,12 +258,7 @@ impl Cache {
                 .find(|(_, l)| !l.valid)
                 .map(|(i, _)| i)
                 .unwrap_or_else(|| {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.last_use)
-                        .expect("ways > 0")
-                        .0
+                    slice.iter().enumerate().min_by_key(|(_, l)| l.last_use).expect("ways > 0").0
                 });
             base + idx
         };
@@ -277,13 +270,8 @@ impl Cache {
         } else {
             None
         };
-        self.lines[victim] =
-            Line { tag, valid: true, dirty: write, last_use: self.use_clock };
-        AccessOutcome {
-            hit: false,
-            fill_line: Some(self.cfg.line_addr(addr)),
-            writeback_line,
-        }
+        self.lines[victim] = Line { tag, valid: true, dirty: write, last_use: self.use_clock };
+        AccessOutcome { hit: false, fill_line: Some(self.cfg.line_addr(addr)), writeback_line }
     }
 
     /// Writes back and invalidates every line; returns the addresses of the
@@ -306,10 +294,6 @@ impl Cache {
             }
         }
         dirty
-    }
-
-    fn reconstruct_addr(&self, tag: u32, set: u32) -> u32 {
-        (tag * self.cfg.sets() + set) * self.cfg.line_bytes
     }
 }
 
@@ -417,6 +401,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "whole number")]
     fn degenerate_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 100, ways: 3, line_bytes: 64, hashed_index: false });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+            hashed_index: false,
+        });
     }
 }

@@ -1,9 +1,10 @@
-//! Property test: the cache's hit/miss decisions match a naive LRU oracle.
+//! Randomized property test (seeded, dependency-free): the cache's hit/miss
+//! decisions match a naive LRU oracle.
 
 use std::collections::HashMap;
 
 use pim_cache::{Cache, CacheConfig};
-use proptest::prelude::*;
+use pim_rng::StdRng;
 
 /// A trivially correct set-associative LRU model: per set, an ordered list
 /// of resident line tags, most recent last.
@@ -36,49 +37,53 @@ impl Oracle {
     }
 }
 
-proptest! {
-    #[test]
-    fn hits_and_misses_match_oracle(
-        addrs in prop::collection::vec(0u32..1 << 16, 1..500),
-        writes in prop::collection::vec(any::<bool>(), 500),
-    ) {
+#[test]
+fn hits_and_misses_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4_E001);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..500);
+        let addrs: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1 << 16)).collect();
+        let writes: Vec<bool> = (0..500).map(|_| rng.gen_bool()).collect();
         let cfg = CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64, hashed_index: false };
         let mut cache = Cache::new(cfg);
         let mut oracle = Oracle::new(cfg);
         for (i, &a) in addrs.iter().enumerate() {
             let expected = oracle.access(a);
             let got = cache.access(a, writes[i % writes.len()]).hit;
-            prop_assert_eq!(got, expected, "divergence at access {} (addr {:#x})", i, a);
+            assert_eq!(got, expected, "divergence at access {i} (addr {a:#x})");
         }
-        prop_assert_eq!(
-            cache.stats().accesses(),
-            addrs.len() as u64
-        );
+        assert_eq!(cache.stats().accesses(), addrs.len() as u64);
     }
+}
 
-    #[test]
-    fn fill_is_reported_iff_miss(addrs in prop::collection::vec(0u32..1 << 14, 1..200)) {
+#[test]
+fn fill_is_reported_iff_miss() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4_E002);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..200);
+        let addrs: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1 << 14)).collect();
         let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 32, hashed_index: false };
         let mut cache = Cache::new(cfg);
         for &a in &addrs {
             let out = cache.access(a, false);
-            prop_assert_eq!(out.hit, out.fill_line.is_none());
+            assert_eq!(out.hit, out.fill_line.is_none());
             if let Some(line) = out.fill_line {
-                prop_assert_eq!(line, cfg.line_addr(a));
+                assert_eq!(line, cfg.line_addr(a));
             }
         }
     }
 }
 
-proptest! {
-    /// Under hashed indexing, every reported writeback address must be a
-    /// line that was previously written and still resident — i.e. the
-    /// (tag, hashed-set) → address inversion is exact.
-    #[test]
-    fn hashed_writeback_addresses_are_previously_written_lines(
-        addrs in prop::collection::vec(0u32..1 << 16, 1..400),
-        writes in prop::collection::vec(any::<bool>(), 400),
-    ) {
+/// Under hashed indexing, every reported writeback address must be a line
+/// that was previously written and still resident — i.e. the
+/// (tag, hashed-set) → address inversion is exact.
+#[test]
+fn hashed_writeback_addresses_are_previously_written_lines() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4_E003);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..400);
+        let addrs: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1 << 16)).collect();
+        let writes: Vec<bool> = (0..400).map(|_| rng.gen_bool()).collect();
         let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, hashed_index: true };
         let mut cache = Cache::new(cfg);
         let mut dirty: std::collections::HashSet<u32> = std::collections::HashSet::new();
@@ -86,11 +91,10 @@ proptest! {
             let w = writes[i % writes.len()];
             let out = cache.access(a, w);
             if let Some(wb) = out.writeback_line {
-                prop_assert_eq!(wb % cfg.line_bytes, 0, "writeback must be line-aligned");
-                prop_assert!(
+                assert_eq!(wb % cfg.line_bytes, 0, "writeback must be line-aligned");
+                assert!(
                     dirty.remove(&wb),
-                    "writeback {:#x} was never dirtied (access {} addr {:#x})",
-                    wb, i, a
+                    "writeback {wb:#x} was never dirtied (access {i} addr {a:#x})"
                 );
             }
             if w {

@@ -9,6 +9,11 @@
 //!     --cache          cache-centric memory model (§V-D)
 //!     --mmu            MMU in front of MRAM (§V-C)
 //!     --ilp DRSF       any subset of the Fig 12 features
+//! pimsim exp    <name|--list> [options]      regenerate a paper figure
+//!     --size tiny|single|multi    dataset size
+//!     --threads N                 simulation worker threads
+//!     --json                      print the JSON document to stdout
+//!     --out DIR                   where <name>.json is written
 //! ```
 
 use std::process::ExitCode;
@@ -19,13 +24,38 @@ use pim_dpu::{Dpu, DpuConfig, IlpFeatures};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pimsim asm    <file.s>\n  pimsim disasm <file.s>\n  pimsim run    <file.s> \
-         [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]"
+         [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]\n  pimsim exp    \
+         <name|--list> [--size tiny|single|multi] [--threads N] [--json] [--out DIR]"
     );
     ExitCode::from(2)
 }
 
+/// `pimsim exp`: the figure-regeneration driver shared with `pim-bench`.
+fn exp(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("pimsim exp: which experiment? (try `pimsim exp --list`)");
+        return ExitCode::from(2);
+    };
+    if name == "--list" {
+        // Tolerate a closed pipe (`pimsim exp --list | head`).
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for e in pim_bench::experiments() {
+            if writeln!(out, "{:26} {}", e.name, e.title).is_err() {
+                break;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    pim_bench::run_with_args(name, &args[1..])
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("exp") {
+        return exp(&args[1..]);
+    }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };

@@ -1,14 +1,21 @@
 //! The experiment harness: one function per figure/table of the paper's
-//! evaluation, returning structured rows that the `pim-bench` binaries
-//! print and the integration tests sanity-check.
+//! evaluation, returning structured rows that the `pim-bench` driver
+//! prints and the integration tests sanity-check.
 //!
 //! Every function takes the [`DatasetSize`] to run at, so the same code
 //! regenerates the paper's numbers (`SingleDpu`/`MultiDpu`, Table II) and
 //! runs fast in CI (`Tiny`).
+//!
+//! Each sweep is declared as a flat list of [`SimJob`]s and executed
+//! through a [`JobRunner`], so independent simulations fan out across
+//! worker threads; results come back in job order, and all derived
+//! quantities (speedup baselines, breakdowns) are computed serially from
+//! that ordered list — output is bit-identical at any worker count.
 
+use crate::jobs::{JobRunner, SimJob, SimJobOutput};
 use pim_dpu::{DpuConfig, IlpFeatures, SimError, SimtConfig};
 use pim_isa::InstrClass;
-use prim_suite::{all_workloads, workload_by_name, DatasetSize, RunConfig, Workload};
+use prim_suite::{all_workloads, DatasetSize};
 
 /// The baseline configuration used by the characterization figures.
 #[must_use]
@@ -16,16 +23,9 @@ pub fn baseline(threads: u32) -> DpuConfig {
     DpuConfig::paper_baseline(threads)
 }
 
-fn run_single(
-    w: &dyn Workload,
-    size: DatasetSize,
-    cfg: DpuConfig,
-) -> Result<pim_dpu::DpuRunStats, SimError> {
-    let run = w.run(size, &RunConfig::single(cfg))?;
-    run.validation
-        .as_ref()
-        .unwrap_or_else(|e| panic!("{} failed validation: {e}", w.name()));
-    Ok(run.merged())
+/// Names of all PrIM workloads, in suite order.
+fn workload_names() -> Vec<String> {
+    all_workloads().iter().map(|w| w.name().to_string()).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -52,22 +52,25 @@ pub struct UtilRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig05_utilization(
+    rt: &JobRunner,
     size: DatasetSize,
     threads: &[u32],
 ) -> Result<Vec<UtilRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        for &t in threads {
-            let s = run_single(w.as_ref(), size, baseline(t))?;
-            out.push(UtilRow {
-                workload: w.name().to_string(),
-                threads: t,
-                compute_util: s.compute_utilization(),
-                mem_util: s.mram_read_utilization(),
-            });
-        }
-    }
-    Ok(out)
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| threads.iter().map(|&t| SimJob::single(w, size, baseline(t))))
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .iter()
+        .zip(&outs)
+        .map(|(job, o)| UtilRow {
+            workload: job.workload.clone(),
+            threads: job.threads(),
+            compute_util: o.stats.compute_utilization(),
+            mem_util: o.stats.mram_read_utilization(),
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -97,25 +100,28 @@ pub struct BreakdownRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig06_breakdown(
+    rt: &JobRunner,
     size: DatasetSize,
     threads: &[u32],
 ) -> Result<Vec<BreakdownRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        for &t in threads {
-            let s = run_single(w.as_ref(), size, baseline(t))?;
-            let (active, m, r, f) = s.breakdown();
-            out.push(BreakdownRow {
-                workload: w.name().to_string(),
-                threads: t,
-                active,
-                idle_memory: m,
-                idle_revolver: r,
-                idle_rf: f,
-            });
-        }
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| threads.iter().map(|&t| SimJob::single(w, size, baseline(t))))
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs.iter().zip(&outs).map(|(job, o)| breakdown_row(job, o)).collect())
+}
+
+fn breakdown_row(job: &SimJob, o: &SimJobOutput) -> BreakdownRow {
+    let (active, m, r, f) = o.stats.breakdown();
+    BreakdownRow {
+        workload: job.workload.clone(),
+        threads: job.threads(),
+        active,
+        idle_memory: m,
+        idle_revolver: r,
+        idle_rf: f,
     }
-    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -139,23 +145,28 @@ pub struct TlpHistRow {
 /// # Errors
 ///
 /// Propagates the first simulation fault.
-pub fn fig07_tlp_histogram(size: DatasetSize, threads: u32) -> Result<Vec<TlpHistRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        let s = run_single(w.as_ref(), size, baseline(threads))?;
-        let total: u64 = s.tlp_histogram.iter().sum();
-        let fractions = s
-            .tlp_histogram
-            .iter()
-            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
-            .collect();
-        out.push(TlpHistRow {
-            workload: w.name().to_string(),
-            fractions,
-            mean: s.mean_issuable(),
-        });
-    }
-    Ok(out)
+pub fn fig07_tlp_histogram(
+    rt: &JobRunner,
+    size: DatasetSize,
+    threads: u32,
+) -> Result<Vec<TlpHistRow>, SimError> {
+    let jobs: Vec<SimJob> =
+        workload_names().iter().map(|w| SimJob::single(w, size, baseline(threads))).collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .iter()
+        .zip(&outs)
+        .map(|(job, o)| {
+            let total: u64 = o.stats.tlp_histogram.iter().sum();
+            let fractions = o
+                .stats
+                .tlp_histogram
+                .iter()
+                .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                .collect();
+            TlpHistRow { workload: job.workload.clone(), fractions, mean: o.stats.mean_issuable() }
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -179,20 +190,24 @@ pub struct TlpTimelineRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig08_tlp_timeline(
+    rt: &JobRunner,
     size: DatasetSize,
     threads: u32,
 ) -> Result<Vec<TlpTimelineRow>, SimError> {
-    let mut out = Vec::new();
-    for name in ["BS", "GEMV", "SCAN-SSA"] {
-        let w = workload_by_name(name).expect("paper workload exists");
-        let s = run_single(w.as_ref(), size, baseline(threads))?;
-        out.push(TlpTimelineRow {
-            workload: name.to_string(),
-            window: s.tlp_window,
-            series: s.tlp_timeline,
-        });
-    }
-    Ok(out)
+    let jobs: Vec<SimJob> = ["BS", "GEMV", "SCAN-SSA"]
+        .iter()
+        .map(|name| SimJob::single(name, size, baseline(threads)))
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .iter()
+        .zip(outs)
+        .map(|(job, o)| TlpTimelineRow {
+            workload: job.workload.clone(),
+            window: o.stats.tlp_window,
+            series: o.stats.tlp_timeline,
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -215,19 +230,27 @@ pub struct MixRow {
 /// # Errors
 ///
 /// Propagates the first simulation fault.
-pub fn fig09_instr_mix(size: DatasetSize, threads: &[u32]) -> Result<Vec<MixRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        for &t in threads {
-            let s = run_single(w.as_ref(), size, baseline(t))?;
+pub fn fig09_instr_mix(
+    rt: &JobRunner,
+    size: DatasetSize,
+    threads: &[u32],
+) -> Result<Vec<MixRow>, SimError> {
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| threads.iter().map(|&t| SimJob::single(w, size, baseline(t))))
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .iter()
+        .zip(&outs)
+        .map(|(job, o)| {
             let mut fractions = [0.0; 6];
             for (i, c) in InstrClass::ALL.iter().enumerate() {
-                fractions[i] = s.class_fraction(*c);
+                fractions[i] = o.stats.class_fraction(*c);
             }
-            out.push(MixRow { workload: w.name().to_string(), threads: t, fractions });
-        }
-    }
-    Ok(out)
+            MixRow { workload: job.workload.clone(), threads: job.threads(), fractions }
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -257,28 +280,30 @@ pub struct ScalingRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig10_strong_scaling(
+    rt: &JobRunner,
     size: DatasetSize,
     dpus: &[u32],
     threads: u32,
 ) -> Result<Vec<ScalingRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        let mut base_total = None;
-        for &d in dpus {
-            let run = w.run(size, &RunConfig::multi(d, baseline(threads)))?;
-            run.validation
-                .as_ref()
-                .unwrap_or_else(|e| panic!("{} x{d} failed validation: {e}", w.name()));
-            let t = run.timeline;
-            let total = t.total_ns();
-            let base = *base_total.get_or_insert(total);
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| dpus.iter().map(|&d| SimJob::multi(w, size, d, baseline(threads))))
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    // The speedup baseline is the first DPU count of each workload group —
+    // computed serially over the ordered results.
+    let mut out = Vec::with_capacity(jobs.len());
+    for (jobs, outs) in jobs.chunks(dpus.len()).zip(outs.chunks(dpus.len())) {
+        let base = outs[0].timeline.total_ns();
+        for (job, o) in jobs.iter().zip(outs) {
+            let t = &o.timeline;
             out.push(ScalingRow {
-                workload: w.name().to_string(),
-                n_dpus: d,
+                workload: job.workload.clone(),
+                n_dpus: job.run.n_dpus,
                 to_dpu_ns: t.to_dpu_ns,
                 kernel_ns: t.kernel_ns,
                 from_dpu_ns: t.from_dpu_ns,
-                speedup: base / total,
+                speedup: base / t.total_ns(),
             });
         }
     }
@@ -306,40 +331,35 @@ pub struct SimtRow {
 /// # Errors
 ///
 /// Propagates the first simulation fault.
-pub fn fig11_simt(size: DatasetSize, threads: u32) -> Result<Vec<SimtRow>, SimError> {
-    let gemv = workload_by_name("GEMV").expect("GEMV exists");
-    let points: Vec<(String, DpuConfig)> = vec![
-        ("Base".into(), baseline(threads)),
-        (
-            "SIMT".into(),
-            baseline(threads).with_simt(SimtConfig { coalescing: false, ..SimtConfig::default() }),
-        ),
-        (
-            "SIMT+AC".into(),
-            baseline(threads).with_simt(SimtConfig { coalescing: true, ..SimtConfig::default() }),
-        ),
-        (
-            "SIMT+AC+4x".into(),
-            baseline(threads)
-                .with_simt(SimtConfig { coalescing: true, ..SimtConfig::default() })
-                .with_mram_bw_scale(4.0),
-        ),
-        (
-            "SIMT+AC+16x".into(),
-            baseline(threads)
-                .with_simt(SimtConfig { coalescing: true, ..SimtConfig::default() })
-                .with_mram_bw_scale(16.0),
-        ),
+pub fn fig11_simt(
+    rt: &JobRunner,
+    size: DatasetSize,
+    threads: u32,
+) -> Result<Vec<SimtRow>, SimError> {
+    let simt = SimtConfig { coalescing: false, ..SimtConfig::default() };
+    let simt_ac = SimtConfig { coalescing: true, ..SimtConfig::default() };
+    let points: Vec<(&str, DpuConfig)> = vec![
+        ("Base", baseline(threads)),
+        ("SIMT", baseline(threads).with_simt(simt)),
+        ("SIMT+AC", baseline(threads).with_simt(simt_ac)),
+        ("SIMT+AC+4x", baseline(threads).with_simt(simt_ac).with_mram_bw_scale(4.0)),
+        ("SIMT+AC+16x", baseline(threads).with_simt(simt_ac).with_mram_bw_scale(16.0)),
     ];
-    let mut out = Vec::new();
-    let mut base_time = None;
-    for (label, cfg) in points {
-        let s = run_single(gemv.as_ref(), size, cfg)?;
-        let time = s.time_ns();
-        let base = *base_time.get_or_insert(time);
-        out.push(SimtRow { label, ipc: s.ipc(), speedup: base / time });
-    }
-    Ok(out)
+    let jobs: Vec<SimJob> = points
+        .into_iter()
+        .map(|(label, cfg)| SimJob::single("GEMV", size, cfg).tagged(label))
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    let base = outs[0].stats.time_ns();
+    Ok(jobs
+        .iter()
+        .zip(&outs)
+        .map(|(job, o)| SimtRow {
+            label: job.tag.clone(),
+            ipc: o.stats.ipc(),
+            speedup: base / o.stats.time_ns(),
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -375,28 +395,30 @@ pub fn ilp_ladder() -> Vec<IlpFeatures> {
 /// # Errors
 ///
 /// Propagates the first simulation fault.
-pub fn fig12_ilp_ablation(size: DatasetSize, threads: u32) -> Result<Vec<AblationRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        let mut base_time = None;
-        for ilp in ilp_ladder() {
-            let cfg = baseline(threads).with_ilp(ilp);
-            let s = run_single(w.as_ref(), size, cfg)?;
-            let time = s.time_ns();
-            let base = *base_time.get_or_insert(time);
-            let (active, m, r, f) = s.breakdown();
+pub fn fig12_ilp_ablation(
+    rt: &JobRunner,
+    size: DatasetSize,
+    threads: u32,
+) -> Result<Vec<AblationRow>, SimError> {
+    let ladder = ilp_ladder();
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| {
+            ladder.iter().map(|ilp| {
+                SimJob::single(w, size, baseline(threads).with_ilp(*ilp)).tagged(ilp.label())
+            })
+        })
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    let mut out = Vec::with_capacity(jobs.len());
+    for (jobs, outs) in jobs.chunks(ladder.len()).zip(outs.chunks(ladder.len())) {
+        let base = outs[0].stats.time_ns();
+        for (job, o) in jobs.iter().zip(outs) {
             out.push(AblationRow {
-                workload: w.name().to_string(),
-                label: ilp.label(),
-                speedup: base / time,
-                breakdown: BreakdownRow {
-                    workload: w.name().to_string(),
-                    threads,
-                    active,
-                    idle_memory: m,
-                    idle_revolver: r,
-                    idle_rf: f,
-                },
+                workload: job.workload.clone(),
+                label: job.tag.clone(),
+                speedup: base / o.stats.time_ns(),
+                breakdown: breakdown_row(job, o),
             });
         }
     }
@@ -427,28 +449,35 @@ pub struct BwScaleRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig13_mram_scaling(
+    rt: &JobRunner,
     size: DatasetSize,
     threads: u32,
     scales: &[f64],
 ) -> Result<Vec<BwScaleRow>, SimError> {
-    let configs =
-        [("Base", IlpFeatures::default()), ("Base+DRSF", IlpFeatures::all())];
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        for (label, ilp) in configs {
-            let mut base_time = None;
-            for &scale in scales {
-                let cfg = baseline(threads).with_ilp(ilp).with_mram_bw_scale(scale);
-                let s = run_single(w.as_ref(), size, cfg)?;
-                let time = s.time_ns();
-                let base = *base_time.get_or_insert(time);
-                out.push(BwScaleRow {
-                    workload: w.name().to_string(),
-                    config: label.to_string(),
-                    scale,
-                    speedup: base / time,
-                });
-            }
+    let configs = [("Base", IlpFeatures::default()), ("Base+DRSF", IlpFeatures::all())];
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| {
+            configs.iter().flat_map(move |(label, ilp)| {
+                scales.iter().map(move |&scale| {
+                    let cfg = baseline(threads).with_ilp(*ilp).with_mram_bw_scale(scale);
+                    SimJob::single(w, size, cfg).tagged(*label)
+                })
+            })
+        })
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    // The ×1 point of each (workload, config) group is its baseline.
+    let mut out = Vec::with_capacity(jobs.len());
+    for (jobs, outs) in jobs.chunks(scales.len()).zip(outs.chunks(scales.len())) {
+        let base = outs[0].stats.time_ns();
+        for ((job, o), &scale) in jobs.iter().zip(outs).zip(scales) {
+            out.push(BwScaleRow {
+                workload: job.workload.clone(),
+                config: job.tag.clone(),
+                scale,
+                speedup: base / o.stats.time_ns(),
+            });
         }
     }
     Ok(out)
@@ -476,19 +505,33 @@ pub struct MmuRow {
 /// # Errors
 ///
 /// Propagates the first simulation fault.
-pub fn mmu_overhead(size: DatasetSize, threads: u32) -> Result<Vec<MmuRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        let base = run_single(w.as_ref(), size, baseline(threads))?;
-        let with = run_single(w.as_ref(), size, baseline(threads).with_paper_mmu())?;
-        let overhead = with.cycles as f64 / base.cycles as f64 - 1.0;
-        out.push(MmuRow {
-            workload: w.name().to_string(),
-            overhead,
-            tlb_hit_rate: with.mmu.map_or(0.0, |m| m.hit_rate()),
-        });
-    }
-    Ok(out)
+pub fn mmu_overhead(
+    rt: &JobRunner,
+    size: DatasetSize,
+    threads: u32,
+) -> Result<Vec<MmuRow>, SimError> {
+    let jobs: Vec<SimJob> = workload_names()
+        .iter()
+        .flat_map(|w| {
+            [
+                SimJob::single(w, size, baseline(threads)).tagged("base"),
+                SimJob::single(w, size, baseline(threads).with_paper_mmu()).tagged("mmu"),
+            ]
+        })
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .chunks(2)
+        .zip(outs.chunks(2))
+        .map(|(jobs, pair)| {
+            let (base, with) = (&pair[0].stats, &pair[1].stats);
+            MmuRow {
+                workload: jobs[0].workload.clone(),
+                overhead: with.cycles as f64 / base.cycles as f64 - 1.0,
+                tlb_hit_rate: with.mmu.map_or(0.0, |m| m.hit_rate()),
+            }
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -513,25 +556,32 @@ pub struct CacheVsRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig15_cache_vs_scratchpad(
+    rt: &JobRunner,
     size: DatasetSize,
     threads: &[u32],
 ) -> Result<Vec<CacheVsRow>, SimError> {
-    let mut out = Vec::new();
-    for w in all_workloads() {
-        if !w.supports_cache_mode() {
-            continue;
-        }
-        for &t in threads {
-            let sp = run_single(w.as_ref(), size, baseline(t))?;
-            let ca = run_single(w.as_ref(), size, baseline(t).with_paper_caches())?;
-            out.push(CacheVsRow {
-                workload: w.name().to_string(),
-                threads: t,
-                normalized_time: ca.time_ns() / sp.time_ns(),
-            });
-        }
-    }
-    Ok(out)
+    let jobs: Vec<SimJob> = all_workloads()
+        .iter()
+        .filter(|w| w.supports_cache_mode())
+        .flat_map(|w| {
+            threads.iter().flat_map(|&t| {
+                [
+                    SimJob::single(w.name(), size, baseline(t)).tagged("scratchpad"),
+                    SimJob::single(w.name(), size, baseline(t).with_paper_caches()).tagged("cache"),
+                ]
+            })
+        })
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .chunks(2)
+        .zip(outs.chunks(2))
+        .map(|(jobs, pair)| CacheVsRow {
+            workload: jobs[0].workload.clone(),
+            threads: jobs[0].threads(),
+            normalized_time: pair[1].stats.time_ns() / pair[0].stats.time_ns(),
+        })
+        .collect())
 }
 
 /// One bar pair of Fig 16.
@@ -558,26 +608,37 @@ pub struct BytesReadRow {
 ///
 /// Propagates the first simulation fault.
 pub fn fig16_bytes_read(
+    rt: &JobRunner,
     size: DatasetSize,
     threads: &[u32],
 ) -> Result<Vec<BytesReadRow>, SimError> {
-    let mut out = Vec::new();
-    for name in ["BS", "UNI"] {
-        let w = workload_by_name(name).expect("paper workload exists");
-        for &t in threads {
-            let sp = run_single(w.as_ref(), size, baseline(t))?;
-            let ca = run_single(w.as_ref(), size, baseline(t).with_paper_caches())?;
-            out.push(BytesReadRow {
-                workload: name.to_string(),
-                threads: t,
+    let jobs: Vec<SimJob> = ["BS", "UNI"]
+        .iter()
+        .flat_map(|name| {
+            threads.iter().flat_map(|&t| {
+                [
+                    SimJob::single(name, size, baseline(t)).tagged("scratchpad"),
+                    SimJob::single(name, size, baseline(t).with_paper_caches()).tagged("cache"),
+                ]
+            })
+        })
+        .collect();
+    let outs = rt.run_sims(&jobs)?;
+    Ok(jobs
+        .chunks(2)
+        .zip(outs.chunks(2))
+        .map(|(jobs, pair)| {
+            let (sp, ca) = (&pair[0].stats, &pair[1].stats);
+            BytesReadRow {
+                workload: jobs[0].workload.clone(),
+                threads: jobs[0].threads(),
                 scratchpad_bytes: sp.dram.bytes_read,
                 cache_bytes: ca.dram.bytes_read,
                 scratchpad_ns: sp.time_ns(),
                 cache_ns: ca.time_ns(),
-            });
-        }
-    }
-    Ok(out)
+            }
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -688,11 +749,7 @@ pub fn multi_tenant() -> Result<MultiTenantReport, SimError> {
     dpu.load_colocated(&merged)?;
     let stats = dpu.launch()?;
     let finish = |i: usize| {
-        merged.tasklets_of[i]
-            .clone()
-            .map(|t| stats.tasklet_stop_cycle[t])
-            .max()
-            .unwrap_or(0)
+        merged.tasklets_of[i].clone().map(|t| stats.tasklet_stop_cycle[t]).max().unwrap_or(0)
     };
     let (f_mem, f_compute) = (finish(0), finish(1));
     let makespan = stats.cycles;
@@ -761,7 +818,7 @@ mod tests {
 
     #[test]
     fn fig11_points_cover_the_paper() {
-        let rows = fig11_simt(DatasetSize::Tiny, 16).unwrap();
+        let rows = fig11_simt(&JobRunner::default(), DatasetSize::Tiny, 16).unwrap();
         let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
         assert_eq!(labels, ["Base", "SIMT", "SIMT+AC", "SIMT+AC+4x", "SIMT+AC+16x"]);
         assert!((rows[0].speedup - 1.0).abs() < 1e-9);
@@ -774,7 +831,7 @@ mod tests {
 
     #[test]
     fn fig16_shows_bs_overfetch_and_uni_favouring_scratchpad() {
-        let rows = fig16_bytes_read(DatasetSize::Tiny, &[16]).unwrap();
+        let rows = fig16_bytes_read(&JobRunner::default(), DatasetSize::Tiny, &[16]).unwrap();
         let bs = rows.iter().find(|r| r.workload == "BS").unwrap();
         assert!(
             bs.scratchpad_bytes > bs.cache_bytes,

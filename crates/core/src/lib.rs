@@ -43,12 +43,13 @@
 //! ```
 
 pub mod experiments;
+pub mod jobs;
 pub mod report;
 
 pub use pim_asm;
 pub use pim_cache;
-pub use pim_dram;
 pub use pim_dpu;
+pub use pim_dram;
 pub use pim_host;
 pub use pim_isa;
 pub use pim_mmu;
@@ -57,9 +58,7 @@ pub use prim_suite;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use pim_asm::{assemble, DpuProgram, KernelBuilder};
-    pub use pim_dpu::{
-        Dpu, DpuConfig, DpuRunStats, IlpFeatures, MemoryMode, SimError, SimtConfig,
-    };
+    pub use pim_dpu::{Dpu, DpuConfig, DpuRunStats, IlpFeatures, MemoryMode, SimError, SimtConfig};
     pub use pim_host::{ExecutionTimeline, PimSystem, TransferConfig};
     pub use prim_suite::{
         all_workloads, workload_by_name, DatasetSize, RunConfig, Workload, WorkloadRun,

@@ -1,4 +1,10 @@
-//! Plain-text table rendering for the figure-regeneration binaries.
+//! Plain-text table rendering and a hand-rolled JSON emitter for the
+//! figure-regeneration binaries.
+//!
+//! The JSON side is deliberately dependency-free: experiments emit a
+//! [`Json`] tree (object keys keep insertion order, floats use Rust's
+//! shortest-round-trip formatting) so that `results/<name>.json` is
+//! byte-reproducible across runs and worker counts.
 
 use std::fmt::Write as _;
 
@@ -76,6 +82,227 @@ impl Table {
     }
 }
 
+/// A JSON value, hand-rolled so the workspace stays dependency-free.
+///
+/// Object keys preserve insertion order and numbers render with Rust's
+/// shortest-round-trip `Display`, so rendering is deterministic: the same
+/// tree always serializes to the same bytes.
+///
+/// # Example
+///
+/// ```
+/// use pimulator::report::Json;
+///
+/// let j = Json::obj([
+///     ("workload", Json::from("VA")),
+///     ("ipc", Json::from(0.93)),
+///     ("threads", Json::from(16u64)),
+/// ]);
+/// assert_eq!(j.render(), r#"{"workload":"VA","ipc":0.93,"threads":16}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also the rendering of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (renders without a decimal point).
+    Int(i64),
+    /// An unsigned integer (renders without a decimal point).
+    UInt(u64),
+    /// A double (non-finite values render as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    #[must_use]
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Self {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline — the
+    /// format written to `results/<name>.json`.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Shortest round-trip formatting; force a decimal point (or an
+        // exponent) so the value reads back as a float. Display never uses
+        // exponent notation, so huge magnitudes would expand to hundreds of
+        // digits — switch to `{:e}` whenever that form is shorter.
+        let s = format!("{x}");
+        if s.contains(['.', 'e', 'E']) {
+            out.push_str(&s);
+        } else {
+            let exp = format!("{x:e}");
+            if exp.len() < s.len() + 2 {
+                out.push_str(&exp);
+            } else {
+                out.push_str(&s);
+                out.push_str(".0");
+            }
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Self {
+        Json::UInt(u)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(u: u32) -> Self {
+        Json::UInt(u64::from(u))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Self {
+        Json::Int(i)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 #[must_use]
 pub fn pct(x: f64) -> String {
@@ -115,5 +342,35 @@ mod tests {
     fn formatters() {
         assert_eq!(pct(0.5), "50.0%");
         assert_eq!(speedup(2.6), "2.60x");
+    }
+
+    #[test]
+    fn json_renders_compactly_with_ordered_keys() {
+        let j = Json::obj([
+            ("b", Json::from(1u64)),
+            ("a", Json::arr([Json::Null, Json::from(true), Json::from(-3i64)])),
+        ]);
+        assert_eq!(j.render(), r#"{"b":1,"a":[null,true,-3]}"#);
+    }
+
+    #[test]
+    fn json_floats_round_trip_and_keep_a_decimal_point() {
+        assert_eq!(Json::from(0.1).render(), "0.1");
+        assert_eq!(Json::from(3.0).render(), "3.0");
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+        assert_eq!(Json::from(1e300).render(), "1e300");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_pretty_is_indented_and_ends_with_newline() {
+        let j = Json::obj([("xs", Json::arr([Json::from(1u64)])), ("e", Json::arr([]))]);
+        assert_eq!(j.render_pretty(), "{\n  \"xs\": [\n    1\n  ],\n  \"e\": []\n}\n");
     }
 }

@@ -374,9 +374,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scratchpad-centric")]
     fn simt_with_caches_is_invalid() {
-        let c = DpuConfig::paper_baseline(16)
-            .with_paper_caches()
-            .with_simt(SimtConfig::default());
+        let c = DpuConfig::paper_baseline(16).with_paper_caches().with_simt(SimtConfig::default());
         c.assert_valid();
     }
 

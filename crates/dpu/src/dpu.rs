@@ -267,10 +267,8 @@ impl Dpu {
         // Reset per-launch architectural state.
         let n = self.cfg.n_tasklets as usize;
         self.state.regs = vec![[0; 24]; n];
-        self.state.pc =
-            (0..n).map(|t| self.entry.get(t).copied().unwrap_or(0)).collect();
-        self.state.tid_base =
-            (0..n).map(|t| self.tid_base.get(t).copied().unwrap_or(0)).collect();
+        self.state.pc = (0..n).map(|t| self.entry.get(t).copied().unwrap_or(0)).collect();
+        self.state.tid_base = (0..n).map(|t| self.tid_base.get(t).copied().unwrap_or(0)).collect();
         for b in &mut self.state.atomic {
             *b = false;
         }
@@ -355,20 +353,14 @@ impl Dpu {
 
         // True when tasklet `t`'s next instruction has all operands
         // forwarded (always true without data forwarding).
-        let deps_ready_at = |t: usize,
-                             pc: u32,
-                             reg_ready: &Vec<[u64; 24]>|
-         -> u64 {
+        let deps_ready_at = |t: usize, pc: u32, reg_ready: &Vec<[u64; 24]>| -> u64 {
             if !fwd {
                 return 0;
             }
             match program.instrs.get(pc as usize) {
-                Some(i) => i
-                    .srcs()
-                    .iter()
-                    .map(|r| reg_ready[t][r.index() as usize])
-                    .max()
-                    .unwrap_or(0),
+                Some(i) => {
+                    i.srcs().iter().map(|r| reg_ready[t][r.index() as usize]).max().unwrap_or(0)
+                }
                 None => 0,
             }
         };
@@ -409,10 +401,8 @@ impl Dpu {
             // per-tasklet wait reasons (paper Fig 6 categorizes by thread
             // status), then fast-forward to the next possible event.
             if issuable.is_empty() {
-                let n_sched =
-                    status.iter().filter(|s| **s == TaskletStatus::Ready).count() as f64;
-                let n_mem =
-                    status.iter().filter(|s| **s == TaskletStatus::Blocked).count() as f64;
+                let n_sched = status.iter().filter(|s| **s == TaskletStatus::Ready).count() as f64;
+                let n_mem = status.iter().filter(|s| **s == TaskletStatus::Blocked).count() as f64;
                 let mut next = u64::MAX;
                 for t in 0..n {
                     if status[t] == TaskletStatus::Ready {
@@ -489,11 +479,7 @@ impl Dpu {
                                     write: false,
                                 }];
                                 if let Some(wb) = out.writeback_line {
-                                    segs.push(Segment {
-                                        addr: wb,
-                                        bytes: line_bytes,
-                                        write: true,
-                                    });
+                                    segs.push(Segment { addr: wb, bytes: line_bytes, write: true });
                                 }
                                 mem.issue(t as u64, segs, now);
                                 continue;
@@ -502,8 +488,7 @@ impl Dpu {
                     }
                 }
                 // Register-file structural hazard (even/odd banks).
-                let hazard =
-                    if unified_rf { 0 } else { u64::from(instr.rf_hazard_cycles()) };
+                let hazard = if unified_rf { 0 } else { u64::from(instr.rf_hazard_cycles()) };
                 if stats.trace.len() < self.cfg.trace_limit {
                     stats.trace.push(crate::stats::TraceEntry {
                         cycle: now,
@@ -532,11 +517,7 @@ impl Dpu {
                     Effect::Dma { mram, len, write } => {
                         self.state.pc[t] = pc + 1;
                         status[t] = TaskletStatus::Blocked;
-                        mem.issue(
-                            t as u64,
-                            vec![Segment { addr: mram, bytes: len, write }],
-                            now,
-                        );
+                        mem.issue(t as u64, vec![Segment { addr: mram, bytes: len, write }], now);
                     }
                 }
                 issued += 1;

@@ -100,13 +100,7 @@ impl ArchState {
         }
     }
 
-    fn check_ls(
-        &self,
-        addr: u32,
-        width: Width,
-        tasklet: u32,
-        pc: u32,
-    ) -> Result<(), SimError> {
+    fn check_ls(&self, addr: u32, width: Width, tasklet: u32, pc: u32) -> Result<(), SimError> {
         let bytes = width.bytes();
         if !addr.is_multiple_of(bytes) {
             return Err(SimError::Unaligned { addr, align: bytes, tasklet, pc });
@@ -248,10 +242,11 @@ impl ArchState {
             Instruction::Jr { ra } => Ok(Effect::Jump(self.reg(tasklet, ra))),
             Instruction::Acquire { bit } => {
                 let b = self.operand(tasklet, bit);
-                let slot = self
-                    .atomic
-                    .get_mut(b as usize)
-                    .ok_or(SimError::BadAtomicBit { bit: b, tasklet, pc })?;
+                let slot = self.atomic.get_mut(b as usize).ok_or(SimError::BadAtomicBit {
+                    bit: b,
+                    tasklet,
+                    pc,
+                })?;
                 if *slot {
                     Ok(Effect::AcquireRetry)
                 } else {
@@ -261,10 +256,11 @@ impl ArchState {
             }
             Instruction::Release { bit } => {
                 let b = self.operand(tasklet, bit);
-                let slot = self
-                    .atomic
-                    .get_mut(b as usize)
-                    .ok_or(SimError::BadAtomicBit { bit: b, tasklet, pc })?;
+                let slot = self.atomic.get_mut(b as usize).ok_or(SimError::BadAtomicBit {
+                    bit: b,
+                    tasklet,
+                    pc,
+                })?;
                 *slot = false;
                 Ok(Effect::Advance)
             }
@@ -287,12 +283,7 @@ mod tests {
         s.execute(0, &Instruction::Movi { rd: Reg::r(1), imm: 7 }).unwrap();
         s.execute(
             0,
-            &Instruction::Alu {
-                op: AluOp::Add,
-                rd: Reg::r(2),
-                ra: Reg::r(1),
-                rb: Operand::Imm(5),
-            },
+            &Instruction::Alu { op: AluOp::Add, rd: Reg::r(2), ra: Reg::r(1), rb: Operand::Imm(5) },
         )
         .unwrap();
         assert_eq!(s.reg(0, Reg::r(2)), 12);
@@ -312,16 +303,46 @@ mod tests {
         let mut s = state();
         s.set_reg(0, Reg::r(0), 100);
         s.set_reg(0, Reg::r(1), 0xAABB_CCDD);
-        s.execute(0, &Instruction::Store { width: Width::Word, rs: Reg::r(1), base: Reg::r(0), offset: 0 })
-            .unwrap();
-        s.execute(0, &Instruction::Load { width: Width::Word, signed: false, rd: Reg::r(2), base: Reg::r(0), offset: 0 })
-            .unwrap();
+        s.execute(
+            0,
+            &Instruction::Store { width: Width::Word, rs: Reg::r(1), base: Reg::r(0), offset: 0 },
+        )
+        .unwrap();
+        s.execute(
+            0,
+            &Instruction::Load {
+                width: Width::Word,
+                signed: false,
+                rd: Reg::r(2),
+                base: Reg::r(0),
+                offset: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(s.reg(0, Reg::r(2)), 0xAABB_CCDD);
-        s.execute(0, &Instruction::Load { width: Width::Byte, signed: true, rd: Reg::r(3), base: Reg::r(0), offset: 3 })
-            .unwrap();
+        s.execute(
+            0,
+            &Instruction::Load {
+                width: Width::Byte,
+                signed: true,
+                rd: Reg::r(3),
+                base: Reg::r(0),
+                offset: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(s.reg(0, Reg::r(3)), 0xAAu8 as i8 as i32 as u32);
-        s.execute(0, &Instruction::Load { width: Width::Half, signed: false, rd: Reg::r(4), base: Reg::r(0), offset: 2 })
-            .unwrap();
+        s.execute(
+            0,
+            &Instruction::Load {
+                width: Width::Half,
+                signed: false,
+                rd: Reg::r(4),
+                base: Reg::r(0),
+                offset: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(s.reg(0, Reg::r(4)), 0xAABB);
     }
 
@@ -330,7 +351,16 @@ mod tests {
         let mut s = state();
         s.set_reg(0, Reg::r(0), 2);
         let e = s
-            .execute(0, &Instruction::Load { width: Width::Word, signed: false, rd: Reg::r(1), base: Reg::r(0), offset: 0 })
+            .execute(
+                0,
+                &Instruction::Load {
+                    width: Width::Word,
+                    signed: false,
+                    rd: Reg::r(1),
+                    base: Reg::r(0),
+                    offset: 0,
+                },
+            )
             .unwrap_err();
         assert!(matches!(e, SimError::Unaligned { addr: 2, align: 4, .. }));
     }
@@ -340,7 +370,15 @@ mod tests {
         let mut s = state();
         s.set_reg(0, Reg::r(0), 64 * 1024 - 2);
         let e = s
-            .execute(0, &Instruction::Store { width: Width::Word, rs: Reg::r(1), base: Reg::r(0), offset: 0 })
+            .execute(
+                0,
+                &Instruction::Store {
+                    width: Width::Word,
+                    rs: Reg::r(1),
+                    base: Reg::r(0),
+                    offset: 0,
+                },
+            )
             .unwrap_err();
         // 64K-2 is not 4-aligned either, but bounds uses the aligned check
         // first only when aligned; here alignment fails first.
@@ -354,13 +392,19 @@ mod tests {
         s.set_reg(0, Reg::r(0), 16); // wram
         s.set_reg(0, Reg::r(1), 1000); // mram
         let eff = s
-            .execute(0, &Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(8) })
+            .execute(
+                0,
+                &Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(8) },
+            )
             .unwrap();
         assert_eq!(eff, Effect::Dma { mram: 1000, len: 8, write: false });
         assert_eq!(&s.wram[16..24], &[1, 2, 3, 4, 5, 6, 7, 8]);
         // And back out with sdma.
         let eff = s
-            .execute(0, &Instruction::Sdma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(8) })
+            .execute(
+                0,
+                &Instruction::Sdma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(8) },
+            )
             .unwrap();
         assert_eq!(eff, Effect::Dma { mram: 1000, len: 8, write: true });
     }
@@ -369,7 +413,10 @@ mod tests {
     fn dma_with_zero_length_faults() {
         let mut s = state();
         let e = s
-            .execute(0, &Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(0) })
+            .execute(
+                0,
+                &Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(0) },
+            )
             .unwrap_err();
         assert!(matches!(e, SimError::BadDmaLength { len: 0, .. }));
     }
@@ -379,11 +426,27 @@ mod tests {
         let mut s = state();
         s.set_reg(0, Reg::r(0), 5);
         let taken = s
-            .execute(0, &Instruction::Branch { cond: Cond::Lt, ra: Reg::r(0), rb: Operand::Imm(10), target: 42 })
+            .execute(
+                0,
+                &Instruction::Branch {
+                    cond: Cond::Lt,
+                    ra: Reg::r(0),
+                    rb: Operand::Imm(10),
+                    target: 42,
+                },
+            )
             .unwrap();
         assert_eq!(taken, Effect::Jump(42));
         let not_taken = s
-            .execute(0, &Instruction::Branch { cond: Cond::Geu, ra: Reg::r(0), rb: Operand::Imm(10), target: 42 })
+            .execute(
+                0,
+                &Instruction::Branch {
+                    cond: Cond::Geu,
+                    ra: Reg::r(0),
+                    rb: Operand::Imm(10),
+                    target: 42,
+                },
+            )
             .unwrap();
         assert_eq!(not_taken, Effect::Advance);
         s.pc[0] = 7;
@@ -417,9 +480,7 @@ mod tests {
     fn runtime_atomic_bit_out_of_range_faults() {
         let mut s = state();
         s.set_reg(0, Reg::r(0), 999);
-        let e = s
-            .execute(0, &Instruction::Acquire { bit: Operand::Reg(Reg::r(0)) })
-            .unwrap_err();
+        let e = s.execute(0, &Instruction::Acquire { bit: Operand::Reg(Reg::r(0)) }).unwrap_err();
         assert!(matches!(e, SimError::BadAtomicBit { bit: 999, .. }));
     }
 }

@@ -63,10 +63,8 @@ mod simt;
 pub mod stats;
 pub mod tenancy;
 
-pub use config::{
-    DmaConfig, DpuConfig, IlpFeatures, MemoryMode, SimtConfig, MAX_TASKLETS,
-};
+pub use config::{DmaConfig, DpuConfig, IlpFeatures, MemoryMode, SimtConfig, MAX_TASKLETS};
 pub use dpu::Dpu;
 pub use error::SimError;
 pub use stats::{DpuRunStats, IdleCause, TraceEntry};
-pub use tenancy::{colocate, Colocated, ColocateError, Tenant};
+pub use tenancy::{colocate, ColocateError, Colocated, Tenant};

@@ -157,14 +157,17 @@ impl MemEngine {
         let start = now + u64::from(self.setup) + tlb_cycles;
         if walk_reads.is_empty() {
             let pending = self.enqueue_data(slot, &physical, start);
-            self.requests.insert(slot, Request {
-                token,
-                phase: Phase::Data,
-                held: Vec::new(),
-                pending,
-                finish: start, // at minimum
-                all_enqueued: true,
-            });
+            self.requests.insert(
+                slot,
+                Request {
+                    token,
+                    phase: Phase::Data,
+                    held: Vec::new(),
+                    pending,
+                    finish: start, // at minimum
+                    all_enqueued: true,
+                },
+            );
         } else {
             walk_reads.sort_unstable();
             walk_reads.dedup();
@@ -174,14 +177,17 @@ impl MemEngine {
                 let id = self.bank.enqueue(Access::read(*pte, 4), arrival);
                 self.owner.insert(id, (slot, true));
             }
-            self.requests.insert(slot, Request {
-                token,
-                phase: Phase::Walk { remaining },
-                held: physical,
-                pending: 0,
-                finish: start,
-                all_enqueued: false,
-            });
+            self.requests.insert(
+                slot,
+                Request {
+                    token,
+                    phase: Phase::Walk { remaining },
+                    held: physical,
+                    pending: 0,
+                    finish: start,
+                    all_enqueued: false,
+                },
+            );
         }
     }
 
@@ -196,11 +202,8 @@ impl MemEngine {
             let mut left = seg.bytes;
             while left > 0 {
                 let chunk = (burst - addr % burst).min(left);
-                let access = if seg.write {
-                    Access::write(addr, chunk)
-                } else {
-                    Access::read(addr, chunk)
-                };
+                let access =
+                    if seg.write { Access::write(addr, chunk) } else { Access::read(addr, chunk) };
                 let id = self.bank.enqueue(access, arrival);
                 self.owner.insert(id, (slot, false));
                 addr += chunk;
@@ -415,8 +418,7 @@ mod tests {
     #[test]
     fn walk_delays_data_relative_to_no_mmu() {
         let run = |mmu: Option<Mmu>| {
-            let mut e =
-                MemEngine::new(DramConfig::ddr4_2400(), mmu, 1200.0 / 350.0, 2.0, 24);
+            let mut e = MemEngine::new(DramConfig::ddr4_2400(), mmu, 1200.0 / 350.0, 2.0, 24);
             e.issue(1, vec![Segment { addr: 0, bytes: 2048, write: false }], 0);
             run_until_done(&mut e, 0)[0].1
         };

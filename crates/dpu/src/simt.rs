@@ -92,11 +92,7 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
         let issuable_lanes: usize = issuable
             .iter()
             .map(|&wi| {
-                warps[wi]
-                    .lanes
-                    .clone()
-                    .filter(|&l| status[l] == TaskletStatus::Ready)
-                    .count()
+                warps[wi].lanes.clone().filter(|&l| status[l] == TaskletStatus::Ready).count()
             })
             .sum();
         if port_block > 0 {
@@ -134,10 +130,7 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
         }
         stats.record_tlp_span(issuable_lanes.min(n), 1, &mut window_acc);
         // Pick one warp round-robin.
-        let wi = *issuable
-            .iter()
-            .find(|&&wi| wi >= rr)
-            .unwrap_or(&issuable[0]);
+        let wi = *issuable.iter().find(|&&wi| wi >= rr).unwrap_or(&issuable[0]);
         rr = wi + 1;
         // Fair rotation among the distinct PC groups whose operands are
         // forwarded; fall back to a pipeline stall if none is ready.
@@ -157,12 +150,7 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
                 .lanes
                 .clone()
                 .filter(|&l| status[l] == TaskletStatus::Ready && dpu.state.pc[l] == pc)
-                .all(|l| {
-                    instr
-                        .srcs()
-                        .iter()
-                        .all(|r| reg_ready[l][r.index() as usize] <= now)
-                })
+                .all(|l| instr.srcs().iter().all(|r| reg_ready[l][r.index() as usize] <= now))
         };
         let rot = warps[wi].rotation;
         let chosen = (0..pcs.len())
@@ -193,10 +181,7 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
         // vector loads/stores (one slot per 64 B segment with coalescing,
         // one per active lane without).
         let mut hazard = if unified_rf { 0 } else { u64::from(instr.rf_hazard_cycles()) };
-        if matches!(
-            instr,
-            pim_isa::Instruction::Load { .. } | pim_isa::Instruction::Store { .. }
-        ) {
+        if matches!(instr, pim_isa::Instruction::Load { .. } | pim_isa::Instruction::Store { .. }) {
             let slots = if simt.coalescing {
                 // Coalesced accesses occupy one slot per group of
                 // `wram_ports` distinct 64 B segments (banked WRAM).
@@ -256,10 +241,7 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
                 let mut merged: Vec<Segment> = Vec::with_capacity(dma_segments.len());
                 for s in dma_segments {
                     match merged.last_mut() {
-                        Some(prev)
-                            if prev.write == s.write
-                                && s.addr <= prev.addr + prev.bytes =>
-                        {
+                        Some(prev) if prev.write == s.write && s.addr <= prev.addr + prev.bytes => {
                             let end = (s.addr + s.bytes).max(prev.addr + prev.bytes);
                             prev.bytes = end - prev.addr;
                         }

@@ -119,13 +119,9 @@ impl DpuRunStats {
             *a += b;
         }
         if self.per_tasklet_instructions.len() < other.per_tasklet_instructions.len() {
-            self.per_tasklet_instructions
-                .resize(other.per_tasklet_instructions.len(), 0);
+            self.per_tasklet_instructions.resize(other.per_tasklet_instructions.len(), 0);
         }
-        for (a, b) in self
-            .per_tasklet_instructions
-            .iter_mut()
-            .zip(&other.per_tasklet_instructions)
+        for (a, b) in self.per_tasklet_instructions.iter_mut().zip(&other.per_tasklet_instructions)
         {
             *a += b;
         }
@@ -255,12 +251,7 @@ impl DpuRunStats {
         if cycles == 0 {
             return 0.0;
         }
-        let weighted: u64 = self
-            .tlp_histogram
-            .iter()
-            .enumerate()
-            .map(|(k, n)| k as u64 * n)
-            .sum();
+        let weighted: u64 = self.tlp_histogram.iter().enumerate().map(|(k, n)| k as u64 * n).sum();
         weighted as f64 / cycles as f64
     }
 

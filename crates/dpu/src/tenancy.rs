@@ -148,8 +148,10 @@ pub fn colocate(
             if a0 < b1 && b0 < a1 && a1 > a0 && b1 > b0 {
                 return Err(ColocateError::WramOverlap { a, b });
             }
-            let (m0, m1) = (ta.program.atomic_base, ta.program.atomic_base + ta.program.atomic_bits_used);
-            let (n0, n1) = (tb.program.atomic_base, tb.program.atomic_base + tb.program.atomic_bits_used);
+            let (m0, m1) =
+                (ta.program.atomic_base, ta.program.atomic_base + ta.program.atomic_bits_used);
+            let (n0, n1) =
+                (tb.program.atomic_base, tb.program.atomic_base + tb.program.atomic_bits_used);
             if m0 < n1 && n0 < m1 && m1 > m0 && n1 > n0 {
                 return Err(ColocateError::AtomicOverlap { a, b });
             }
@@ -157,10 +159,7 @@ pub fn colocate(
     }
     let footprint = tenants.iter().map(|t| t.program.wram_bytes()).max().unwrap_or(0);
     if !allow_wram_overflow && footprint > layout.wram_bytes {
-        return Err(ColocateError::WramOverflow {
-            bytes: footprint,
-            capacity: layout.wram_bytes,
-        });
+        return Err(ColocateError::WramOverflow { bytes: footprint, capacity: layout.wram_bytes });
     }
     let total_instrs: usize = tenants.iter().map(|t| t.program.instrs.len()).sum();
     if total_instrs as u32 > layout.iram_instrs() {
@@ -189,9 +188,7 @@ pub fn colocate(
                     Instruction::Branch { cond, ra, rb, target: target + off }
                 }
                 Instruction::Jump { target } => Instruction::Jump { target: target + off },
-                Instruction::Jal { rd, target } => {
-                    Instruction::Jal { rd, target: target + off }
-                }
+                Instruction::Jal { rd, target } => Instruction::Jal { rd, target: target + off },
                 other => other,
             });
         }

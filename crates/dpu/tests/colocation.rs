@@ -66,16 +66,10 @@ fn colocated_tenants_compute_independently() {
     assert_eq!(sum_a, (0..6).sum::<i32>(), "tenant A must see local ids 0..6");
     assert_eq!(sum_b, (0..10).sum::<i32>(), "tenant B must see local ids 0..10");
     // Per-tenant completion times are recorded.
-    let finish_a = merged.tasklets_of[0]
-        .clone()
-        .map(|t| stats.tasklet_stop_cycle[t])
-        .max()
-        .unwrap();
-    let finish_b = merged.tasklets_of[1]
-        .clone()
-        .map(|t| stats.tasklet_stop_cycle[t])
-        .max()
-        .unwrap();
+    let finish_a =
+        merged.tasklets_of[0].clone().map(|t| stats.tasklet_stop_cycle[t]).max().unwrap();
+    let finish_b =
+        merged.tasklets_of[1].clone().map(|t| stats.tasklet_stop_cycle[t]).max().unwrap();
     assert!(finish_a > 0 && finish_b > 0);
     assert!(finish_a.max(finish_b) <= stats.cycles);
 }

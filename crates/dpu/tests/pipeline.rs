@@ -80,10 +80,7 @@ fn forwarding_respects_true_dependences() {
     let program = k.build().unwrap();
     let d = IlpFeatures { data_forwarding: true, ..IlpFeatures::default() };
     let chain = run(DpuConfig::paper_baseline(1).with_ilp(d), &program);
-    let indep = run(
-        DpuConfig::paper_baseline(1).with_ilp(d),
-        &independent_alu_kernel(100),
-    );
+    let indep = run(DpuConfig::paper_baseline(1).with_ilp(d), &independent_alu_kernel(100));
     // The chain waits ~alu_forward_latency per instruction.
     assert!(
         chain.cycles > indep.cycles * 2,
@@ -129,11 +126,7 @@ fn superscalar_doubles_throughput_with_enough_tlp() {
     };
     let base = run(DpuConfig::paper_baseline(16), &program);
     let fast = run(DpuConfig::paper_baseline(16).with_ilp(drs), &program);
-    assert!(
-        fast.ipc() > 1.5,
-        "2-way superscalar IPC {} should approach 2",
-        fast.ipc()
-    );
+    assert!(fast.ipc() > 1.5, "2-way superscalar IPC {} should approach 2", fast.ipc());
     assert!(fast.ipc() > base.ipc() * 1.5);
 }
 
@@ -166,7 +159,7 @@ fn dma_functional_round_trip_through_mram() {
     k.movi(w, buf as i32);
     k.movi(m, 4096);
     k.ldma(w, m, 64); // MRAM → WRAM
-    // Increment first word.
+                      // Increment first word.
     let v = k.reg("v");
     k.lw(v, w, 0);
     k.add(v, v, 1);
@@ -270,7 +263,8 @@ fn simt_runs_lockstep_and_beats_scalar_on_data_parallel_code() {
 
     let scalar = run(DpuConfig::paper_baseline(n), &program);
     let mut dpu = Dpu::new(
-        DpuConfig::paper_baseline(n).with_simt(SimtConfig { coalescing: true, ..SimtConfig::default() }),
+        DpuConfig::paper_baseline(n)
+            .with_simt(SimtConfig { coalescing: true, ..SimtConfig::default() }),
     );
     dpu.load_program(&program).unwrap();
     let simt = dpu.launch().unwrap();
@@ -307,7 +301,8 @@ fn simt_intra_warp_lock_makes_progress() {
     k.stop();
     let program = k.build().unwrap();
     let mut dpu = Dpu::new(
-        DpuConfig::paper_baseline(n).with_simt(SimtConfig { coalescing: false, ..SimtConfig::default() }),
+        DpuConfig::paper_baseline(n)
+            .with_simt(SimtConfig { coalescing: false, ..SimtConfig::default() }),
     );
     dpu.load_program(&program).unwrap();
     dpu.launch().unwrap();
@@ -440,10 +435,7 @@ fn cycle_limit_catches_runaway_kernels() {
     cfg.max_cycles = 10_000;
     let mut dpu = Dpu::new(cfg);
     dpu.load_program(&program).unwrap();
-    assert!(matches!(
-        dpu.launch(),
-        Err(pim_dpu::SimError::CycleLimit { limit: 10_000 })
-    ));
+    assert!(matches!(dpu.launch(), Err(pim_dpu::SimError::CycleLimit { limit: 10_000 })));
 }
 
 #[test]
@@ -461,10 +453,8 @@ fn breakdown_is_conserved() {
     let program = independent_alu_kernel(64);
     for n in [1, 4, 16] {
         let stats = run(DpuConfig::paper_baseline(n), &program);
-        let covered = stats.active_cycles as f64
-            + stats.idle_memory
-            + stats.idle_revolver
-            + stats.idle_rf;
+        let covered =
+            stats.active_cycles as f64 + stats.idle_memory + stats.idle_revolver + stats.idle_rf;
         assert!(
             (covered - stats.cycles as f64).abs() < 1e-6,
             "attribution must cover all cycles at n={n}: {covered} vs {}",
@@ -561,7 +551,7 @@ fn semaphore_bounds_concurrency() {
     dpu.launch().unwrap();
     let max = i32::from_le_bytes(dpu.read_wram_symbol("max_occ").try_into().unwrap());
     let end = i32::from_le_bytes(dpu.read_wram_symbol("occ").try_into().unwrap());
-    assert!(max >= 1 && max <= 2, "semaphore must bound occupancy to 2, saw {max}");
+    assert!((1..=2).contains(&max), "semaphore must bound occupancy to 2, saw {max}");
     assert_eq!(end, 0, "every taker must have left");
 }
 
@@ -592,10 +582,8 @@ fn runtime_mem_alloc_returns_disjoint_aligned_blocks() {
     dpu.load_program(&program).unwrap();
     dpu.launch().unwrap();
     let out = dpu.read_wram_symbol("ptrs");
-    let mut ptrs: Vec<u32> = out
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let mut ptrs: Vec<u32> =
+        out.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
     ptrs.sort_unstable();
     for (i, p) in ptrs.iter().enumerate() {
         assert_eq!(p % 8, 0, "mem_alloc results must be 8-byte aligned");

@@ -153,8 +153,7 @@ impl DramBank {
     pub fn advance_to(&mut self, now: u64, completed: &mut Vec<AccessId>) {
         self.blocked_until = None;
         while !self.queue.is_empty() {
-            let min_arrival =
-                self.queue.iter().map(|q| q.arrival).min().expect("queue non-empty");
+            let min_arrival = self.queue.iter().map(|q| q.arrival).min().expect("queue non-empty");
             let decision = self.next_start.max(min_arrival);
             if decision > now {
                 self.blocked_until = Some(decision);
@@ -302,8 +301,7 @@ mod tests {
         let last_finish = cfg.t_rcd + 7 * cfg.t_ccd + cfg.t_cl + cfg.t_bl;
         assert!(drain(&mut DramBank::new(cfg), 0).is_empty());
         let mut bank2 = DramBank::new(cfg);
-        let ids2: Vec<_> =
-            (0..8).map(|i| bank2.enqueue(Access::read(i * 64, 64), 0)).collect();
+        let ids2: Vec<_> = (0..8).map(|i| bank2.enqueue(Access::read(i * 64, 64), 0)).collect();
         assert!(drain(&mut bank2, last_finish - 1).len() < ids2.len());
         assert_eq!(drain(&mut bank2, last_finish).len(), 1);
     }
@@ -369,10 +367,7 @@ mod tests {
                 break;
             }
         }
-        assert!(
-            served_miss_at.is_some(),
-            "row-miss request starved despite starvation cap"
-        );
+        assert!(served_miss_at.is_some(), "row-miss request starved despite starvation cap");
     }
 
     #[test]

@@ -1,18 +1,28 @@
-//! Property tests for the DRAM bank model.
+//! Randomized property tests (seeded, dependency-free) for the DRAM bank
+//! model.
 
 use pim_dram::{Access, DramBank, DramConfig};
-use proptest::prelude::*;
+use pim_rng::StdRng;
 
-proptest! {
-    /// Every enqueued access eventually completes, exactly once.
-    #[test]
-    fn conservation(
-        reqs in prop::collection::vec((0u32..1 << 20, 1u32..=64, any::<bool>(), 0u64..5000), 1..64)
-    ) {
+/// Every enqueued access eventually completes, exactly once.
+#[test]
+fn conservation() {
+    let mut rng = StdRng::seed_from_u64(0xD4A0_0001);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..64);
+        let mut reqs: Vec<(u32, u32, bool, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..1 << 20),
+                    rng.gen_range(1u32..65),
+                    rng.gen_bool(),
+                    rng.gen_range(0u64..5000),
+                )
+            })
+            .collect();
         let cfg = DramConfig::ddr4_2400();
         let mut bank = DramBank::new(cfg);
         let mut ids = Vec::new();
-        let mut reqs = reqs;
         reqs.sort_by_key(|r| r.3);
         let mut done = Vec::new();
         for (addr, bytes, write, arrival) in reqs {
@@ -31,20 +41,24 @@ proptest! {
                 now = now.max(next);
             }
             guard += 1;
-            prop_assert!(guard < 100_000, "bank failed to quiesce");
+            assert!(guard < 100_000, "bank failed to quiesce");
         }
         let mut sorted = done.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), ids.len(), "every access completes exactly once");
+        assert_eq!(sorted.len(), ids.len(), "every access completes exactly once");
     }
+}
 
-    /// Statistics are conserved: reads + writes equals enqueued accesses and
-    /// byte counters match.
-    #[test]
-    fn stats_conservation(
-        reqs in prop::collection::vec((0u32..1 << 16, any::<bool>()), 1..40)
-    ) {
+/// Statistics are conserved: reads + writes equals enqueued accesses and
+/// byte counters match.
+#[test]
+fn stats_conservation() {
+    let mut rng = StdRng::seed_from_u64(0xD4A0_0002);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..40);
+        let reqs: Vec<(u32, bool)> =
+            (0..n).map(|_| (rng.gen_range(0u32..1 << 16), rng.gen_bool())).collect();
         let mut bank = DramBank::new(DramConfig::ddr4_2400());
         let mut done = Vec::new();
         let (mut rbytes, mut wbytes) = (0u64, 0u64);
@@ -60,23 +74,26 @@ proptest! {
             bank.enqueue(access, 0);
         }
         bank.advance_to(u64::MAX / 2, &mut done);
-        prop_assert!(bank.is_idle());
-        prop_assert_eq!(bank.stats().accesses(), reqs.len() as u64);
-        prop_assert_eq!(bank.stats().bytes_read, rbytes);
-        prop_assert_eq!(bank.stats().bytes_written, wbytes);
-        prop_assert_eq!(
+        assert!(bank.is_idle());
+        assert_eq!(bank.stats().accesses(), reqs.len() as u64);
+        assert_eq!(bank.stats().bytes_read, rbytes);
+        assert_eq!(bank.stats().bytes_written, wbytes);
+        assert_eq!(
             bank.stats().row_hits + bank.stats().row_opens + bank.stats().row_conflicts,
             reqs.len() as u64
         );
     }
+}
 
-    /// Advancing in many small steps yields the same completion order as one
-    /// big step (the model is advance-granularity independent).
-    #[test]
-    fn advance_granularity_independent(
-        addrs in prop::collection::vec(0u32..1 << 18, 1..32),
-        step in 1u64..97
-    ) {
+/// Advancing in many small steps yields the same completion order as one
+/// big step (the model is advance-granularity independent).
+#[test]
+fn advance_granularity_independent() {
+    let mut rng = StdRng::seed_from_u64(0xD4A0_0003);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..32);
+        let addrs: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1 << 18)).collect();
+        let step = rng.gen_range(1u64..97);
         let cfg = DramConfig::ddr4_2400();
         let horizon = 200_000u64;
 
@@ -97,6 +114,6 @@ proptest! {
             t += step;
             small.advance_to(t.min(horizon), &mut small_done);
         }
-        prop_assert_eq!(big_done, small_done);
+        assert_eq!(big_done, small_done);
     }
 }

@@ -218,13 +218,15 @@ impl PimSystem {
         self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
     }
 
-    /// Reads a named WRAM symbol back from every DPU.
+    /// Reads a named WRAM symbol back from every DPU. As with every
+    /// parallel transfer, latency is that of the largest per-DPU chunk
+    /// (DESIGN §5.11) — symbols may be sized differently per DPU under
+    /// flexible linking.
     #[must_use]
     pub fn pull_from_symbol(&mut self, name: &str) -> Vec<Vec<u8>> {
-        let out: Vec<Vec<u8>> =
-            self.dpus.iter().map(|d| d.read_wram_symbol(name)).collect();
-        let bytes = out.first().map_or(0, Vec::len) as u64;
-        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(bytes);
+        let out: Vec<Vec<u8>> = self.dpus.iter().map(|d| d.read_wram_symbol(name)).collect();
+        let max_bytes = out.iter().map(Vec::len).max().unwrap_or(0) as u64;
+        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(max_bytes);
         out
     }
 
@@ -233,34 +235,39 @@ impl PimSystem {
     /// the slowest DPU; it accumulates into the timeline.
     ///
     /// DPUs are simulated on parallel host threads — the multi-threaded
-    /// simulation the paper leaves as future work (§III-D). This is safe
-    /// and bit-deterministic because DPUs share no state during a kernel
-    /// (§II-B: no inter-DPU datapath); results are collected in DPU order.
+    /// simulation the paper leaves as future work (§III-D). The set is
+    /// split into contiguous chunks over at most
+    /// `std::thread::available_parallelism` workers (one OS thread per
+    /// *worker*, not per DPU, so a 2048-DPU rank doesn't spawn 2048
+    /// threads). This is safe and bit-deterministic because DPUs share no
+    /// state during a kernel (§II-B: no inter-DPU datapath); results are
+    /// collected in DPU order.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError`] raised by any DPU.
+    /// Propagates the [`SimError`] of the lowest-indexed faulting DPU.
     pub fn launch_all(&mut self) -> Result<LaunchReport, SimError> {
-        let results: Vec<Result<DpuRunStats, SimError>> = if self.dpus.len() == 1 {
-            vec![self.dpus[0].launch()]
+        let n_workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(self.dpus.len());
+        let results: Vec<Result<DpuRunStats, SimError>> = if n_workers <= 1 {
+            self.dpus.iter_mut().map(Dpu::launch).collect()
         } else {
+            let chunk_len = self.dpus.len().div_ceil(n_workers);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .dpus
-                    .iter_mut()
-                    .map(|dpu| scope.spawn(move || dpu.launch()))
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| scope.spawn(move || chunk.iter_mut().map(Dpu::launch).collect()))
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("DPU simulation thread panicked"))
+                    .flat_map(|h| -> Vec<_> { h.join().expect("DPU simulation thread panicked") })
                     .collect()
             })
         };
         let per_dpu = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let kernel_ns = per_dpu
-            .iter()
-            .map(DpuRunStats::time_ns)
-            .fold(0.0f64, f64::max);
+        let kernel_ns = per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0f64, f64::max);
         self.timeline.kernel_ns += kernel_ns;
         self.timeline.launches += 1;
         Ok(LaunchReport { per_dpu, kernel_ns })
@@ -309,11 +316,7 @@ mod tests {
         sys.load(&program).unwrap();
         // DPU d gets words d*1000 .. d*1000+count.
         let chunks: Vec<Vec<u8>> = (0..4)
-            .map(|d| {
-                (0..count)
-                    .flat_map(|i| (d * 1000 + i as i32).to_le_bytes())
-                    .collect()
-            })
+            .map(|d| (0..count).flat_map(|i| (d * 1000 + i as i32).to_le_bytes()).collect())
             .collect();
         let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
         sys.push_to_mram(0, &refs);
@@ -400,5 +403,49 @@ mod tests {
     fn mismatched_chunks_panic() {
         let mut sys = PimSystem::new(2, DpuConfig::paper_baseline(1), TransferConfig::paper());
         sys.push_to_mram(0, &[&[0u8; 4] as &[u8]]);
+    }
+
+    /// A program whose only job is to own a WRAM symbol of a given size.
+    fn sym_program(bytes: u32) -> DpuProgram {
+        let mut k = KernelBuilder::new();
+        let _s = k.global_zeroed("sym", bytes);
+        k.stop();
+        k.build().unwrap()
+    }
+
+    #[test]
+    fn pull_from_symbol_charges_the_largest_chunk() {
+        let mut sys = PimSystem::new(3, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.dpu_mut(0).load_program(&sym_program(4096)).unwrap();
+        sys.dpu_mut(1).load_program(&sym_program(64)).unwrap();
+        sys.dpu_mut(2).load_program(&sym_program(256)).unwrap();
+        let out = sys.pull_from_symbol("sym");
+        assert_eq!(out.iter().map(Vec::len).collect::<Vec<_>>(), [4096, 64, 256]);
+        // DESIGN §5.11: the parallel readback takes the time of the
+        // max-bytes DPU, not whichever DPU happens to be first.
+        let expected = TransferConfig::paper().from_dpu_ns(4096);
+        assert!((sys.timeline().from_dpu_ns - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_all_chunks_dpus_over_bounded_workers() {
+        // More DPUs than typical core counts, and a count that does not
+        // divide evenly, to exercise the chunked worker path end-to-end.
+        let n = 19u32;
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(n, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let chunks: Vec<Vec<u8>> = (0..n as i32)
+            .map(|d| (0..64).flat_map(|i| (d * 100 + i).to_le_bytes()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        sys.push_to_mram(0, &refs);
+        let report = sys.launch_all().unwrap();
+        assert_eq!(report.per_dpu.len(), n as usize);
+        for (d, bytes) in sys.pull_from_symbol("sum").iter().enumerate() {
+            let got = i32::from_le_bytes(bytes.as_slice().try_into().unwrap());
+            let expect: i32 = (0..64).map(|i| d as i32 * 100 + i).sum();
+            assert_eq!(got, expect, "dpu {d} result must land at index {d}");
+        }
     }
 }

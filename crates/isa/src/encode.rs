@@ -135,14 +135,9 @@ impl Instruction {
             Instruction::Nop => pack(OP_NOP, 0, 0, 0, 0, 0),
             Instruction::Stop => pack(OP_STOP, 0, 0, 0, 0, 0),
             Instruction::Alu { op, rd, ra, rb } => match rb {
-                Operand::Reg(rb) => pack(
-                    OP_ALU_RR,
-                    rd.index(),
-                    ra.index(),
-                    rb.index(),
-                    alu_sub(op),
-                    0,
-                ),
+                Operand::Reg(rb) => {
+                    pack(OP_ALU_RR, rd.index(), ra.index(), rb.index(), alu_sub(op), 0)
+                }
                 Operand::Imm(imm) => {
                     pack(OP_ALU_RI, rd.index(), ra.index(), 0, alu_sub(op), imm as u32)
                 }
@@ -157,54 +152,25 @@ impl Instruction {
                 width_sub(width, signed && width != Width::Word),
                 offset as u32,
             ),
-            Instruction::Store { width, rs, base, offset } => pack(
-                OP_STORE,
-                0,
-                base.index(),
-                rs.index(),
-                width_sub(width, false),
-                offset as u32,
-            ),
+            Instruction::Store { width, rs, base, offset } => {
+                pack(OP_STORE, 0, base.index(), rs.index(), width_sub(width, false), offset as u32)
+            }
             Instruction::Ldma { wram, mram, len } => match len {
-                Operand::Reg(r) => pack(
-                    OP_LDMA_R,
-                    r.index(),
-                    wram.index(),
-                    mram.index(),
-                    0,
-                    0,
-                ),
-                Operand::Imm(n) => {
-                    pack(OP_LDMA_I, 0, wram.index(), mram.index(), 0, n as u32)
-                }
+                Operand::Reg(r) => pack(OP_LDMA_R, r.index(), wram.index(), mram.index(), 0, 0),
+                Operand::Imm(n) => pack(OP_LDMA_I, 0, wram.index(), mram.index(), 0, n as u32),
             },
             Instruction::Sdma { wram, mram, len } => match len {
-                Operand::Reg(r) => pack(
-                    OP_SDMA_R,
-                    r.index(),
-                    wram.index(),
-                    mram.index(),
-                    0,
-                    0,
-                ),
-                Operand::Imm(n) => {
-                    pack(OP_SDMA_I, 0, wram.index(), mram.index(), 0, n as u32)
-                }
+                Operand::Reg(r) => pack(OP_SDMA_R, r.index(), wram.index(), mram.index(), 0, 0),
+                Operand::Imm(n) => pack(OP_SDMA_I, 0, wram.index(), mram.index(), 0, n as u32),
             },
             Instruction::Branch { cond, ra, rb, target } => match rb {
-                Operand::Reg(rb) => pack(
-                    OP_BRANCH_RR,
-                    0,
-                    ra.index(),
-                    rb.index(),
-                    cond_sub(cond),
-                    target,
-                ),
+                Operand::Reg(rb) => {
+                    pack(OP_BRANCH_RR, 0, ra.index(), rb.index(), cond_sub(cond), target)
+                }
                 Operand::Imm(imm) => {
-                    let imm16 = i16::try_from(imm)
-                        .expect("branch immediate operand must fit i16");
-                    let target16 = u16::try_from(target)
-                        .expect("branch-with-immediate target must fit u16");
+                    let imm16 = i16::try_from(imm).expect("branch immediate operand must fit i16");
+                    let target16 =
+                        u16::try_from(target).expect("branch-with-immediate target must fit u16");
                     pack(
                         OP_BRANCH_RI,
                         0,
@@ -246,29 +212,16 @@ impl Instruction {
     /// is out of range, a sub-field is invalid, or reserved bits are set.
     pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
         let opcode = (word >> 56) as u8;
-        let (rd, ra, rb, sub, imm) = (
-            field_rd(word),
-            field_ra(word),
-            field_rb(word),
-            field_sub(word),
-            field_imm(word),
-        );
+        let (rd, ra, rb, sub, imm) =
+            (field_rd(word), field_ra(word), field_rb(word), field_sub(word), field_imm(word));
         // Bits 32..35 are reserved in every format.
         if (word >> 32) & 0b111 != 0 {
             return Err(DecodeError::ReservedBits(word));
         }
-        let alu_op = |sub: u8| {
-            AluOp::ALL
-                .get(sub as usize)
-                .copied()
-                .ok_or(DecodeError::BadSubfield(sub))
-        };
-        let cond = |sub: u8| {
-            Cond::ALL
-                .get(sub as usize)
-                .copied()
-                .ok_or(DecodeError::BadSubfield(sub))
-        };
+        let alu_op =
+            |sub: u8| AluOp::ALL.get(sub as usize).copied().ok_or(DecodeError::BadSubfield(sub));
+        let cond =
+            |sub: u8| Cond::ALL.get(sub as usize).copied().ok_or(DecodeError::BadSubfield(sub));
         let width = |sub: u8| match sub & 0b11 {
             0 => Ok(Width::Byte),
             1 => Ok(Width::Half),
@@ -311,26 +264,18 @@ impl Instruction {
                 base: reg(ra)?,
                 offset: imm as i32,
             },
-            OP_LDMA_R => Instruction::Ldma {
-                wram: reg(ra)?,
-                mram: reg(rb)?,
-                len: Operand::Reg(reg(rd)?),
-            },
-            OP_LDMA_I => Instruction::Ldma {
-                wram: reg(ra)?,
-                mram: reg(rb)?,
-                len: Operand::Imm(imm as i32),
-            },
-            OP_SDMA_R => Instruction::Sdma {
-                wram: reg(ra)?,
-                mram: reg(rb)?,
-                len: Operand::Reg(reg(rd)?),
-            },
-            OP_SDMA_I => Instruction::Sdma {
-                wram: reg(ra)?,
-                mram: reg(rb)?,
-                len: Operand::Imm(imm as i32),
-            },
+            OP_LDMA_R => {
+                Instruction::Ldma { wram: reg(ra)?, mram: reg(rb)?, len: Operand::Reg(reg(rd)?) }
+            }
+            OP_LDMA_I => {
+                Instruction::Ldma { wram: reg(ra)?, mram: reg(rb)?, len: Operand::Imm(imm as i32) }
+            }
+            OP_SDMA_R => {
+                Instruction::Sdma { wram: reg(ra)?, mram: reg(rb)?, len: Operand::Reg(reg(rd)?) }
+            }
+            OP_SDMA_I => {
+                Instruction::Sdma { wram: reg(ra)?, mram: reg(rb)?, len: Operand::Imm(imm as i32) }
+            }
             OP_BRANCH_RR => Instruction::Branch {
                 cond: cond(sub)?,
                 ra: reg(ra)?,
@@ -396,7 +341,12 @@ mod tests {
             Instruction::Sdma { wram: r(4), mram: r(5), len: Operand::Imm(8) },
             Instruction::Sdma { wram: r(4), mram: r(5), len: Operand::Reg(r(6)) },
             Instruction::Branch { cond: Cond::Eq, ra: r(0), rb: Operand::Reg(r(1)), target: 4095 },
-            Instruction::Branch { cond: Cond::Geu, ra: r(7), rb: Operand::Imm(-32768), target: 65535 },
+            Instruction::Branch {
+                cond: Cond::Geu,
+                ra: r(7),
+                rb: Operand::Imm(-32768),
+                target: 65535,
+            },
             Instruction::Jump { target: 12 },
             Instruction::Jal { rd: r(23), target: 100 },
             Instruction::Jr { ra: r(23) },
@@ -426,10 +376,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_opcode() {
-        assert!(matches!(
-            Instruction::decode(0xff << 56),
-            Err(DecodeError::UnknownOpcode(0xff))
-        ));
+        assert!(matches!(Instruction::decode(0xff << 56), Err(DecodeError::UnknownOpcode(0xff))));
     }
 
     #[test]

@@ -642,20 +642,13 @@ mod tests {
         assert_eq!(i.srcs(), vec![Reg::r(1), Reg::r(2)]);
         assert_eq!(i.dst(), Some(Reg::r(4)));
 
-        let s = Instruction::Store {
-            width: Width::Word,
-            rs: Reg::r(3),
-            base: Reg::r(5),
-            offset: 8,
-        };
+        let s =
+            Instruction::Store { width: Width::Word, rs: Reg::r(3), base: Reg::r(5), offset: 8 };
         assert_eq!(s.srcs(), vec![Reg::r(3), Reg::r(5)]);
         assert_eq!(s.dst(), None);
 
-        let d = Instruction::Ldma {
-            wram: Reg::r(0),
-            mram: Reg::r(2),
-            len: Operand::Reg(Reg::r(4)),
-        };
+        let d =
+            Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(2), len: Operand::Reg(Reg::r(4)) };
         assert_eq!(d.srcs().len(), 3);
         // three even-bank sources: two extra RF cycles.
         assert_eq!(d.rf_hazard_cycles(), 2);
@@ -666,18 +659,10 @@ mod tests {
         assert_eq!(Instruction::Nop.class(), InstrClass::Other);
         assert_eq!(Instruction::Stop.class(), InstrClass::Other);
         assert_eq!(Instruction::Tid { rd: Reg::r(0) }.class(), InstrClass::Arithmetic);
-        assert_eq!(
-            Instruction::Acquire { bit: Operand::Imm(1) }.class(),
-            InstrClass::Sync
-        );
+        assert_eq!(Instruction::Acquire { bit: Operand::Imm(1) }.class(), InstrClass::Sync);
         assert_eq!(Instruction::Jump { target: 0 }.class(), InstrClass::Control);
         assert_eq!(
-            Instruction::Ldma {
-                wram: Reg::r(0),
-                mram: Reg::r(1),
-                len: Operand::Imm(64)
-            }
-            .class(),
+            Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(1), len: Operand::Imm(64) }.class(),
             InstrClass::Dma
         );
     }

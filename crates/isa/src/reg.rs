@@ -34,10 +34,7 @@ impl Reg {
     /// Panics if `index >= NUM_GP_REGS` (24).
     #[must_use]
     pub fn r(index: u8) -> Self {
-        assert!(
-            index < NUM_GP_REGS,
-            "register index {index} out of range (0..{NUM_GP_REGS})"
-        );
+        assert!(index < NUM_GP_REGS, "register index {index} out of range (0..{NUM_GP_REGS})");
         Reg(index)
     }
 

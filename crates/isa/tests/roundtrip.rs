@@ -1,104 +1,127 @@
-//! Property tests: every constructible instruction encodes and decodes back
-//! to itself.
+//! Randomized property tests (seeded, dependency-free): every constructible
+//! instruction encodes and decodes back to itself.
 
 use pim_isa::{AluOp, Cond, Instruction, Operand, Reg, Width};
-use proptest::prelude::*;
+use pim_rng::StdRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..24).prop_map(Reg::r)
+fn arb_reg(rng: &mut StdRng) -> Reg {
+    Reg::r(rng.gen_range(0u8..24))
 }
 
-fn arb_operand_i16() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        (i16::MIN..=i16::MAX).prop_map(|i| Operand::Imm(i32::from(i))),
-    ]
+fn arb_operand_i16(rng: &mut StdRng) -> Operand {
+    if rng.gen_bool() {
+        Operand::Reg(arb_reg(rng))
+    } else {
+        Operand::Imm(i32::from(rng.gen_range(i16::MIN..i16::MAX)))
+    }
 }
 
-fn arb_operand_i32() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        any::<i32>().prop_map(Operand::Imm),
-    ]
+fn arb_operand_i32(rng: &mut StdRng) -> Operand {
+    if rng.gen_bool() {
+        Operand::Reg(arb_reg(rng))
+    } else {
+        Operand::Imm(rng.next_u32() as i32)
+    }
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
+fn arb_width_signed(rng: &mut StdRng) -> (Width, bool) {
+    match rng.gen_range(0u8..3) {
+        0 => (Width::Byte, rng.gen_bool()),
+        1 => (Width::Half, rng.gen_bool()),
+        _ => (Width::Word, false),
+    }
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::ALL.to_vec())
-}
-
-fn arb_width_signed() -> impl Strategy<Value = (Width, bool)> {
-    prop_oneof![
-        any::<bool>().prop_map(|s| (Width::Byte, s)),
-        any::<bool>().prop_map(|s| (Width::Half, s)),
-        Just((Width::Word, false)),
-    ]
-}
-
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        Just(Instruction::Nop),
-        Just(Instruction::Stop),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_operand_i32())
-            .prop_map(|(op, rd, ra, rb)| Instruction::Alu { op, rd, ra, rb }),
-        (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instruction::Movi { rd, imm }),
-        arb_reg().prop_map(|rd| Instruction::Tid { rd }),
-        (arb_width_signed(), arb_reg(), arb_reg(), any::<i32>()).prop_map(
-            |((width, signed), rd, base, offset)| Instruction::Load {
+fn arb_instruction(rng: &mut StdRng) -> Instruction {
+    match rng.gen_range(0u8..15) {
+        0 => Instruction::Nop,
+        1 => Instruction::Stop,
+        2 => Instruction::Alu {
+            op: *rng.choose(&AluOp::ALL),
+            rd: arb_reg(rng),
+            ra: arb_reg(rng),
+            rb: arb_operand_i32(rng),
+        },
+        3 => Instruction::Movi { rd: arb_reg(rng), imm: rng.next_u32() as i32 },
+        4 => Instruction::Tid { rd: arb_reg(rng) },
+        5 => {
+            let (width, signed) = arb_width_signed(rng);
+            Instruction::Load {
                 width,
                 signed,
-                rd,
-                base,
-                offset
+                rd: arb_reg(rng),
+                base: arb_reg(rng),
+                offset: rng.next_u32() as i32,
             }
-        ),
-        (arb_width_signed(), arb_reg(), arb_reg(), any::<i32>()).prop_map(
-            |((width, _), rs, base, offset)| Instruction::Store { width, rs, base, offset }
-        ),
-        (arb_reg(), arb_reg(), arb_operand_i32())
-            .prop_map(|(wram, mram, len)| Instruction::Ldma { wram, mram, len }),
-        (arb_reg(), arb_reg(), arb_operand_i32())
-            .prop_map(|(wram, mram, len)| Instruction::Sdma { wram, mram, len }),
-        (arb_cond(), arb_reg(), arb_operand_i16(), 0u32..=0xffff)
-            .prop_map(|(cond, ra, rb, target)| Instruction::Branch { cond, ra, rb, target }),
-        (0u32..=0xffff_ffff).prop_map(|target| Instruction::Jump { target }),
-        (arb_reg(), 0u32..=0xffff_ffff)
-            .prop_map(|(rd, target)| Instruction::Jal { rd, target }),
-        arb_reg().prop_map(|ra| Instruction::Jr { ra }),
-        prop_oneof![
-            arb_reg().prop_map(Operand::Reg),
-            (0i32..256).prop_map(Operand::Imm)
-        ]
-        .prop_map(|bit| Instruction::Acquire { bit }),
-        prop_oneof![
-            arb_reg().prop_map(Operand::Reg),
-            (0i32..256).prop_map(Operand::Imm)
-        ]
-        .prop_map(|bit| Instruction::Release { bit }),
-    ]
+        }
+        6 => {
+            let (width, _) = arb_width_signed(rng);
+            Instruction::Store {
+                width,
+                rs: arb_reg(rng),
+                base: arb_reg(rng),
+                offset: rng.next_u32() as i32,
+            }
+        }
+        7 => {
+            Instruction::Ldma { wram: arb_reg(rng), mram: arb_reg(rng), len: arb_operand_i32(rng) }
+        }
+        8 => {
+            Instruction::Sdma { wram: arb_reg(rng), mram: arb_reg(rng), len: arb_operand_i32(rng) }
+        }
+        9 => Instruction::Branch {
+            cond: *rng.choose(&Cond::ALL),
+            ra: arb_reg(rng),
+            rb: arb_operand_i16(rng),
+            target: rng.gen_range(0u32..0x1_0000),
+        },
+        10 => Instruction::Jump { target: rng.next_u32() },
+        11 => Instruction::Jal { rd: arb_reg(rng), target: rng.next_u32() },
+        12 => Instruction::Jr { ra: arb_reg(rng) },
+        13 => Instruction::Acquire {
+            bit: if rng.gen_bool() {
+                Operand::Reg(arb_reg(rng))
+            } else {
+                Operand::Imm(rng.gen_range(0i32..256))
+            },
+        },
+        _ => Instruction::Release {
+            bit: if rng.gen_bool() {
+                Operand::Reg(arb_reg(rng))
+            } else {
+                Operand::Imm(rng.gen_range(0i32..256))
+            },
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trip(instr in arb_instruction()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x1547_0001);
+    for _ in 0..4096 {
+        let instr = arb_instruction(&mut rng);
         let word = instr.encode();
         let back = Instruction::decode(word).expect("decode of encoded word");
-        prop_assert_eq!(back, instr);
+        assert_eq!(back, instr, "round trip failed for {instr:?}");
     }
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u64>()) {
+#[test]
+fn decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x1547_0002);
+    for _ in 0..65_536 {
         // Arbitrary bit patterns must either decode cleanly or error.
-        let _ = Instruction::decode(word);
+        let _ = Instruction::decode(rng.next_u64());
     }
+}
 
-    #[test]
-    fn rf_hazard_bounded_by_sources(instr in arb_instruction()) {
+#[test]
+fn rf_hazard_bounded_by_sources() {
+    let mut rng = StdRng::seed_from_u64(0x1547_0003);
+    for _ in 0..4096 {
+        let instr = arb_instruction(&mut rng);
         let srcs = instr.srcs();
-        prop_assert!(srcs.len() <= 3);
-        prop_assert!(instr.rf_hazard_cycles() <= srcs.len().saturating_sub(1) as u32);
+        assert!(srcs.len() <= 3);
+        assert!(instr.rf_hazard_cycles() <= srcs.len().saturating_sub(1) as u32);
     }
 }

@@ -229,20 +229,13 @@ impl Mmu {
         }
         // Miss: walk.
         self.stats.tlb_misses += 1;
-        let ppn = self
-            .table
-            .lookup(vpn)
-            .unwrap_or_else(|| panic!("virtual page {vpn} not mapped"));
+        let ppn = self.table.lookup(vpn).unwrap_or_else(|| panic!("virtual page {vpn} not mapped"));
         let walk_reads = self.walk_addresses(vpn);
         // Fill (LRU replace).
         if self.tlb.len() < self.cfg.tlb_entries as usize {
             self.tlb.push(TlbEntry { vpn, ppn, last_use: self.clock });
         } else {
-            let lru = self
-                .tlb
-                .iter_mut()
-                .min_by_key(|e| e.last_use)
-                .expect("tlb_entries > 0");
+            let lru = self.tlb.iter_mut().min_by_key(|e| e.last_use).expect("tlb_entries > 0");
             *lru = TlbEntry { vpn, ppn, last_use: self.clock };
         }
         Translation {
@@ -348,7 +341,8 @@ mod tests {
         let cfg = MmuConfig::paper();
         let mut m = Mmu::new(cfg, table.clone());
         // Find some page that moves.
-        let moved = (0..64).find(|&v| table.lookup(v) != Some(v)).expect("permutation moves a page");
+        let moved =
+            (0..64).find(|&v| table.lookup(v) != Some(v)).expect("permutation moves a page");
         let t = m.translate(moved * cfg.page_bytes + 12);
         assert_eq!(t.paddr, table.lookup(moved).unwrap() * cfg.page_bytes + 12);
         assert_ne!(t.paddr, moved * cfg.page_bytes + 12);

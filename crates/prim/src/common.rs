@@ -29,10 +29,7 @@ pub fn to_bytes(words: &[i32]) -> Vec<u8> {
 #[must_use]
 pub fn from_bytes(bytes: &[u8]) -> Vec<i32> {
     assert_eq!(bytes.len() % 4, 0, "byte buffer must hold whole words");
-    bytes
-        .chunks_exact(4)
-        .map(|c| i32::from_le_bytes(c.try_into().expect("chunk of 4")))
-        .collect()
+    bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().expect("chunk of 4"))).collect()
 }
 
 /// Splits `total` items into `parts` contiguous chunks, spreading the
@@ -94,11 +91,7 @@ pub fn parallel_pull_words(
         return vec![Vec::new(); lens_bytes.len()];
     }
     let pulled = sys.pull_from_mram(addr, max);
-    pulled
-        .into_iter()
-        .zip(lens_bytes)
-        .map(|(b, &l)| from_bytes(&b[..l as usize]))
-        .collect()
+    pulled.into_iter().zip(lens_bytes).map(|(b, &l)| from_bytes(&b[..l as usize])).collect()
 }
 
 /// Compares a simulated output word stream against the reference,
@@ -154,10 +147,7 @@ impl Params {
     ///
     /// Panics if the parameter was not declared.
     pub fn load(&self, k: &mut KernelBuilder, dst: Reg, name: &str) {
-        let addr = *self
-            .offsets
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown parameter `{name}`"));
+        let addr = *self.offsets.get(name).unwrap_or_else(|| panic!("unknown parameter `{name}`"));
         k.movi(dst, addr as i32);
         k.lw(dst, dst, 0);
     }

@@ -45,8 +45,8 @@ pub fn hst(size: DatasetSize) -> (usize, usize) {
 pub fn trns(size: DatasetSize) -> (usize, usize) {
     match size {
         DatasetSize::Tiny => (64, 32),
-        DatasetSize::SingleDpu => (512, 256),  // 128K elements
-        DatasetSize::MultiDpu => (1024, 256),  // 256K elements
+        DatasetSize::SingleDpu => (512, 256), // 128K elements
+        DatasetSize::MultiDpu => (1024, 256), // 256K elements
     }
 }
 

@@ -172,7 +172,5 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
 /// Looks up one workload by its PrIM name (case-insensitive).
 #[must_use]
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
-    all_workloads()
-        .into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(name))
+    all_workloads().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
 }

@@ -12,8 +12,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{from_bytes, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -35,10 +34,8 @@ fn kernel(n_tasklets: u32, vtotal: u32, flat: bool) -> (DpuProgram, Params) {
     assert_eq!(vtotal % 32, 0);
     let front_bytes = vtotal / 8;
     let mut k = KernelBuilder::new();
-    let params = Params::define(
-        &mut k,
-        &["depth", "owned", "vs", "rp_base", "col_base", "level_base"],
-    );
+    let params =
+        Params::define(&mut k, &["depth", "owned", "vs", "rp_base", "col_base", "level_base"]);
     let in_front = k.global_zeroed("in_front", front_bytes);
     let next_front = k.global_zeroed("next_front", front_bytes);
     let active = k.global_zeroed("active", front_bytes);
@@ -341,10 +338,9 @@ impl Workload for Bfs {
             .map(|b| g.colidx[g.rowptr[b.start] as usize..g.rowptr[b.end] as usize].to_vec())
             .collect();
         let rp_cap = ((owned + 1) as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
-        let col_cap = (col_slices.iter().map(|s| s.len().max(1)).max().unwrap() as u32 * 4)
-            .div_ceil(8)
-            * 8
-            + crate::common::REGION_SKEW;
+        let col_cap =
+            (col_slices.iter().map(|s| s.len().max(1)).max().unwrap() as u32 * 4).div_ceil(8) * 8
+                + crate::common::REGION_SKEW;
         let lvl_cap = (owned as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
         let (rp_base, col_base, level_base) = (0u32, rp_cap, rp_cap + col_cap);
         let flat_base = if rc.cached() {
@@ -375,8 +371,7 @@ impl Workload for Bfs {
         let mut depth: u32 = 0;
         let mut per_dpu: Vec<pim_dpu::DpuRunStats> = Vec::new();
         loop {
-            let front_bytes: Vec<u8> =
-                in_front.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let front_bytes: Vec<u8> = in_front.iter().flat_map(|w| w.to_le_bytes()).collect();
             sys.broadcast_to_symbol("in_front", &front_bytes);
             let pbs: Vec<Vec<u8>> = (0..n_dpus)
                 .map(|d| {
@@ -464,9 +459,8 @@ mod tests {
 
     #[test]
     fn bfs_uses_multiple_launches() {
-        let run = Bfs
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(4)))
-            .unwrap();
+        let run =
+            Bfs.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(4))).unwrap();
         assert!(run.timeline.launches > 2, "BFS must iterate levels through the host");
     }
 }

@@ -14,8 +14,7 @@ use pim_asm::{DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{
     chunk_range, emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params,
@@ -159,16 +158,15 @@ impl Workload for Bs {
         let mut arr: Vec<i32> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
         arr.sort_unstable();
         let queries: Vec<i32> = (0..n_queries).map(|_| rng.gen_range(0..1_000_000)).collect();
-        let expect: Vec<i32> = queries
-            .iter()
-            .map(|q| arr.partition_point(|v| v < q) as i32)
-            .collect();
+        let expect: Vec<i32> =
+            queries.iter().map(|q| arr.partition_point(|v| v < q) as i32).collect();
         let n_dpus = rc.n_dpus as usize;
         let (program, params) = kernel(rc.dpu.n_tasklets, rc.cached());
         let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
         sys.load(&program)?;
         let arr_bytes = (n as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
-        let qcap = (chunk_range(n_queries, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+        let qcap = (chunk_range(n_queries, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8
+            + crate::common::REGION_SKEW;
         let (arr_base, q_base, out_base) = if rc.cached() {
             assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
             let base = program.heap_base.div_ceil(64) * 64;
@@ -199,9 +197,8 @@ impl Workload for Bs {
             .collect();
         sys.push_to_symbol("params", &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let report = sys.launch_all()?;
-        let lens: Vec<u32> = (0..n_dpus)
-            .map(|d| chunk_range(n_queries, n_dpus, d).len() as u32 * 4)
-            .collect();
+        let lens: Vec<u32> =
+            (0..n_dpus).map(|d| chunk_range(n_queries, n_dpus, d).len() as u32 * 4).collect();
         let got: Vec<i32> = if rc.cached() {
             from_bytes(&sys.dpu(0).read_wram(out_base, lens[0]))
         } else {
@@ -249,9 +246,8 @@ mod tests {
     fn bs_scratchpad_overfetches_vs_cache() {
         // The Fig 16 effect: per-probe block staging reads far more DRAM
         // bytes than on-demand 64 B lines with cross-query reuse.
-        let sp = Bs
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16)))
-            .unwrap();
+        let sp =
+            Bs.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16))).unwrap();
         let cfg = DpuConfig::paper_baseline(16).with_paper_caches();
         let ca = Bs.run(DatasetSize::Tiny, &RunConfig::single(cfg)).unwrap();
         let sp_read = sp.per_dpu[0].dram.bytes_read;

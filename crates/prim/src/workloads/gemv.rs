@@ -7,8 +7,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{chunk_range, from_bytes, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -126,9 +125,7 @@ impl Workload for Gemv {
         let x: Vec<i32> = (0..cols).map(|_| rng.gen_range(-50..50)).collect();
         let expect: Vec<i32> = (0..rows)
             .map(|r| {
-                (0..cols)
-                    .map(|c| a[r * cols + c].wrapping_mul(x[c]))
-                    .fold(0i32, i32::wrapping_add)
+                (0..cols).map(|c| a[r * cols + c].wrapping_mul(x[c])).fold(0i32, i32::wrapping_add)
             })
             .collect();
         let n_dpus = rc.n_dpus as usize;

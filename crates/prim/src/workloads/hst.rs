@@ -13,8 +13,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{
     chunk_range, emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params,
@@ -58,11 +57,8 @@ fn kernel(n_tasklets: u32, bins: u32, flat: bool, flavour: Flavour) -> (DpuProgr
     } else {
         0
     };
-    let priv_base = if flavour == Flavour::Small {
-        k.alloc_wram(4 * bins * n_tasklets, 8)
-    } else {
-        0
-    };
+    let priv_base =
+        if flavour == Flavour::Small { k.alloc_wram(4 * bins * n_tasklets, 8) } else { 0 };
     let buf = if flat { 0 } else { k.alloc_wram(BLOCK * n_tasklets, 8) };
 
     let [nbytes, t, start, end] = k.regs(["nbytes", "t", "start", "end"]);
@@ -189,9 +185,8 @@ fn run_hst(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Worklo
         sys.dpu_mut(0).write_wram(base, &to_bytes(&input));
         base
     } else {
-        let chunks: Vec<Vec<u8>> = (0..n_dpus)
-            .map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)]))
-            .collect();
+        let chunks: Vec<Vec<u8>> =
+            (0..n_dpus).map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)])).collect();
         sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
         0
     };

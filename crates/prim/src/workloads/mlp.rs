@@ -15,8 +15,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{chunk_range, from_bytes, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -237,9 +236,8 @@ impl Workload for Mlp {
     fn run(&self, size: DatasetSize, rc: &RunConfig) -> Result<WorkloadRun, SimError> {
         let (layers, cols) = datasets::mlp(size);
         let mut rng = StdRng::seed_from_u64(0x4d_4c50);
-        let weights: Vec<Vec<i32>> = (0..layers)
-            .map(|_| (0..cols * cols).map(|_| rng.gen_range(-4..4)).collect())
-            .collect();
+        let weights: Vec<Vec<i32>> =
+            (0..layers).map(|_| (0..cols * cols).map(|_| rng.gen_range(-4..4)).collect()).collect();
         let x: Vec<i32> = (0..cols).map(|_| rng.gen_range(0..8)).collect();
         let expect = reference(&weights, &x, layers, cols);
         if rc.n_dpus == 1 {
@@ -271,15 +269,8 @@ impl Mlp {
             let dpu = sys.dpu_mut(0);
             dpu.write_wram(base, &all_w);
             dpu.write_wram(base + w_bytes * layers as u32, &to_bytes(x));
-            dpu.write_wram(
-                base + w_bytes * layers as u32 + x_cap,
-                &vec![0u8; cols * 4],
-            );
-            (
-                base,
-                base + w_bytes * layers as u32,
-                base + w_bytes * layers as u32 + x_cap,
-            )
+            dpu.write_wram(base + w_bytes * layers as u32 + x_cap, &vec![0u8; cols * 4]);
+            (base, base + w_bytes * layers as u32, base + w_bytes * layers as u32 + x_cap)
         } else {
             sys.broadcast_to_mram(0, &all_w);
             sys.broadcast_to_mram(w_bytes * layers as u32, &to_bytes(x));

@@ -18,8 +18,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{from_bytes, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -162,8 +161,12 @@ fn kernel(n_tasklets: u32, flat: bool) -> (DpuProgram, Params) {
     k.movi(tmp, MATCH);
     k.place(&noeq);
     // Neighbour loads.
-    let cell_addr = |k: &mut KernelBuilder, ii: pim_isa::Reg, jj: pim_isa::Reg,
-                         di: i32, dj: i32, dst: pim_isa::Reg| {
+    let cell_addr = |k: &mut KernelBuilder,
+                     ii: pim_isa::Reg,
+                     jj: pim_isa::Reg,
+                     di: i32,
+                     dj: i32,
+                     dst: pim_isa::Reg| {
         if flat {
             // H[gr0 + ii + di][gc0 + jj + dj]
             k.mul(dst, bi, B as i32);
@@ -456,4 +459,3 @@ mod tests {
         Nw.run(DatasetSize::Tiny, &RunConfig::single(cfg)).unwrap().assert_valid();
     }
 }
-

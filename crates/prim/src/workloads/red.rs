@@ -9,12 +9,9 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
-use crate::common::{
-    chunk_range, emit_tasklet_byte_range, to_bytes, validate_words, Params,
-};
+use crate::common::{chunk_range, emit_tasklet_byte_range, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
 
 const BLOCK: u32 = 1024;
@@ -119,9 +116,8 @@ impl Workload for Red {
             sys.dpu_mut(0).write_wram(base, &to_bytes(&input));
             base
         } else {
-            let chunks: Vec<Vec<u8>> = (0..n_dpus)
-                .map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)]))
-                .collect();
+            let chunks: Vec<Vec<u8>> =
+                (0..n_dpus).map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)])).collect();
             sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
             0
         };
@@ -133,10 +129,7 @@ impl Workload for Red {
                 ])
             })
             .collect();
-        sys.push_to_symbol(
-            "params",
-            &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>(),
-        );
+        sys.push_to_symbol("params", &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let report = sys.launch_all()?;
         // Host-side final reduction across DPUs.
         let results = sys.pull_from_symbol("result");

@@ -17,8 +17,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{
     chunk_range, emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params,
@@ -243,7 +242,8 @@ fn run_scan(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Workl
     let (program, params) = kernel(rc.dpu.n_tasklets, rc.cached(), flavour);
     let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
     sys.load(&program)?;
-    let cap_bytes = (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+    let cap_bytes =
+        (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
     let (in_base, out_base) = if rc.cached() {
         assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
         let base = program.heap_base.div_ceil(64) * 64;
@@ -251,9 +251,8 @@ fn run_scan(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Workl
         sys.dpu_mut(0).write_wram(base + cap_bytes, &vec![0u8; n * 4]);
         (base, base + cap_bytes)
     } else {
-        let chunks: Vec<Vec<u8>> = (0..n_dpus)
-            .map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)]))
-            .collect();
+        let chunks: Vec<Vec<u8>> =
+            (0..n_dpus).map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)])).collect();
         sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
         (0, cap_bytes)
     };
@@ -272,7 +271,11 @@ fn run_scan(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Workl
         sys.push_to_symbol("params", &bytes.iter().map(Vec::as_slice).collect::<Vec<_>>());
     };
     // Launch 1: local scan (SSA) / reduce (RSS) publishing per-DPU totals.
-    push_params(&mut sys, if n_dpus == 1 && flavour == Flavour::Rss { 1 } else { 0 }, &vec![0; n_dpus]);
+    push_params(
+        &mut sys,
+        if n_dpus == 1 && flavour == Flavour::Rss { 1 } else { 0 },
+        &vec![0; n_dpus],
+    );
     let mut report = sys.launch_all()?;
     if n_dpus > 1 {
         // Host-side exclusive scan of the per-DPU totals, then launch 2.
@@ -292,8 +295,7 @@ fn run_scan(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Workl
         // Single-DPU SSA completed in one launch (mode 0 includes the add
         // pass); nothing further.
     }
-    let lens: Vec<u32> =
-        (0..n_dpus).map(|d| chunk_range(n, n_dpus, d).len() as u32 * 4).collect();
+    let lens: Vec<u32> = (0..n_dpus).map(|d| chunk_range(n, n_dpus, d).len() as u32 * 4).collect();
     let got: Vec<i32> = if rc.cached() {
         from_bytes(&sys.dpu(0).read_wram(out_base, lens[0]))
     } else {

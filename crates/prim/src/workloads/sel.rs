@@ -12,8 +12,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{
     chunk_range, emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params,
@@ -46,10 +45,7 @@ fn kernel(n_tasklets: u32, flat: bool) -> (DpuProgram, Params) {
     let (buf_in, buf_out) = if flat {
         (0, 0)
     } else {
-        (
-            k.alloc_wram(BLOCK * n_tasklets, 8),
-            k.alloc_wram(BLOCK * n_tasklets, 8),
-        )
+        (k.alloc_wram(BLOCK * n_tasklets, 8), k.alloc_wram(BLOCK * n_tasklets, 8))
     };
     let [nbytes, t, start, end] = k.regs(["nbytes", "t", "start", "end"]);
     let [cnt, off, len, m] = k.regs(["cnt", "off", "len", "m"]);
@@ -199,18 +195,17 @@ impl Workload for Sel {
         let (program, params) = kernel(rc.dpu.n_tasklets, rc.cached());
         let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
         sys.load(&program)?;
-        let cap_bytes = (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+        let cap_bytes = (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8
+            + crate::common::REGION_SKEW;
         let (in_base, out_base) = if rc.cached() {
             assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
             let base = program.heap_base.div_ceil(64) * 64;
             sys.dpu_mut(0).write_wram(base, &to_bytes(&input));
-            sys.dpu_mut(0)
-                .write_wram(base + cap_bytes, &vec![0u8; n * 4]);
+            sys.dpu_mut(0).write_wram(base + cap_bytes, &vec![0u8; n * 4]);
             (base, base + cap_bytes)
         } else {
-            let chunks: Vec<Vec<u8>> = (0..n_dpus)
-                .map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)]))
-                .collect();
+            let chunks: Vec<Vec<u8>> =
+                (0..n_dpus).map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)])).collect();
             sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
             (0, cap_bytes)
         };
@@ -223,17 +218,12 @@ impl Workload for Sel {
                 ])
             })
             .collect();
-        sys.push_to_symbol(
-            "params",
-            &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>(),
-        );
+        sys.push_to_symbol("params", &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let report = sys.launch_all()?;
         // Gather: per-DPU survivor counts, then the compacted prefixes.
         let counts = sys.pull_from_symbol("counts");
-        let lens: Vec<u32> = counts
-            .iter()
-            .map(|c| from_bytes(c).iter().sum::<i32>() as u32 * 4)
-            .collect();
+        let lens: Vec<u32> =
+            counts.iter().map(|c| from_bytes(c).iter().sum::<i32>() as u32 * 4).collect();
         let got: Vec<i32> = if rc.cached() {
             from_bytes(&sys.dpu(0).read_wram(out_base, lens[0]))
         } else {

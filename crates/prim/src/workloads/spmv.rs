@@ -9,8 +9,7 @@ use pim_asm::{DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{chunk_range, from_bytes, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -69,10 +68,8 @@ fn reference(m: &Csr, x: &[i32]) -> Vec<i32> {
 #[allow(clippy::too_many_lines)]
 fn kernel(n_tasklets: u32, flat: bool) -> (DpuProgram, Params) {
     let mut k = KernelBuilder::new();
-    let params = Params::define(
-        &mut k,
-        &["rows", "rp_base", "col_base", "val_base", "x_base", "y_base"],
-    );
+    let params =
+        Params::define(&mut k, &["rows", "rp_base", "col_base", "val_base", "x_base", "y_base"]);
     let (rp_buf, col_buf, val_buf, x_buf, y_buf) = if flat {
         (0, 0, 0, 0, 0)
     } else {
@@ -258,19 +255,14 @@ impl Workload for Spmv {
                 m.rowptr[b.start..=b.end].iter().map(|v| v - base).collect()
             })
             .collect();
-        let nnz_slices: Vec<std::ops::Range<usize>> = bands
-            .iter()
-            .map(|b| m.rowptr[b.start] as usize..m.rowptr[b.end] as usize)
-            .collect();
-        let rp_cap = (rp_slices.iter().map(Vec::len).max().unwrap_or(1) as u32 * 4)
+        let nnz_slices: Vec<std::ops::Range<usize>> =
+            bands.iter().map(|b| m.rowptr[b.start] as usize..m.rowptr[b.end] as usize).collect();
+        let rp_cap = (rp_slices.iter().map(Vec::len).max().unwrap_or(1) as u32 * 4).div_ceil(8) * 8
+            + crate::common::REGION_SKEW;
+        let nnz_cap = (nnz_slices.iter().map(|s| s.len().max(1)).max().unwrap_or(1) as u32 * 4)
             .div_ceil(8)
             * 8
             + crate::common::REGION_SKEW;
-        let nnz_cap =
-            (nnz_slices.iter().map(|s| s.len().max(1)).max().unwrap_or(1) as u32 * 4)
-                .div_ceil(8)
-                * 8
-                + crate::common::REGION_SKEW;
         let x_cap = (cols as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
         let rp_base = 0u32;
         let col_base = rp_cap;
@@ -368,9 +360,8 @@ mod tests {
 
     #[test]
     fn spmv_is_memory_bound() {
-        let run = Spmv
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16)))
-            .unwrap();
+        let run =
+            Spmv.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16))).unwrap();
         let (_, mem, ..) = run.per_dpu[0].breakdown();
         assert!(mem > 0.2, "SpMV@16t should show memory idling, got {mem:.2}");
     }

@@ -10,12 +10,9 @@ use pim_asm::{DpuProgram, KernelBuilder, Mutex};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
-use crate::common::{
-    emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params,
-};
+use crate::common::{emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
 
 /// Tile edge in words (16×16 words = 1 KB per tile buffer).
@@ -196,8 +193,7 @@ impl Workload for Trns {
             assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
             let base = program.heap_base.div_ceil(64) * 64;
             sys.dpu_mut(0).write_wram(base, &to_bytes(&input));
-            sys.dpu_mut(0)
-                .write_wram(base + band_bytes, &vec![0u8; rows * cols * 4]);
+            sys.dpu_mut(0).write_wram(base + band_bytes, &vec![0u8; rows * cols * 4]);
             (base, base + band_bytes)
         } else {
             let chunks: Vec<Vec<u8>> = (0..n_dpus)
@@ -223,11 +219,7 @@ impl Workload for Trns {
         let pulled: Vec<Vec<i32>> = if rc.cached() {
             vec![from_bytes(&sys.dpu(0).read_wram(out_base, (rows * cols * 4) as u32))]
         } else {
-            crate::common::parallel_pull_words(
-                &mut sys,
-                out_base,
-                &vec![band_bytes; n_dpus],
-            )
+            crate::common::parallel_pull_words(&mut sys, out_base, &vec![band_bytes; n_dpus])
         };
         let mut got = vec![0i32; rows * cols];
         for (d, part) in pulled.iter().enumerate() {
@@ -275,9 +267,8 @@ mod tests {
 
     #[test]
     fn trns_queue_generates_sync_traffic() {
-        let run = Trns
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16)))
-            .unwrap();
+        let run =
+            Trns.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16))).unwrap();
         assert!(run.per_dpu[0].class_fraction(InstrClass::Sync) > 0.0);
     }
 }

@@ -11,8 +11,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{chunk_range, to_bytes, validate_words, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -191,7 +190,9 @@ impl Workload for Ts {
         // Each DPU gets its position range plus the qlen-1 overlap tail.
         let series_base = 0u32;
         let qcap = (qlen as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
-        let query_base_off = |slice_words: usize| (slice_words as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+        let query_base_off = |slice_words: usize| {
+            (slice_words as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW
+        };
         let slices: Vec<(usize, usize)> = (0..n_dpus)
             .map(|d| {
                 let r = chunk_range(npos, n_dpus, d);
@@ -200,10 +201,8 @@ impl Workload for Ts {
             .collect();
         let max_slice = slices.iter().map(|(_, l)| l + qlen - 1).max().unwrap_or(0);
         let q_base = query_base_off(max_slice);
-        let chunks: Vec<Vec<u8>> = slices
-            .iter()
-            .map(|&(s, l)| to_bytes(&series[s..s + l + qlen - 1]))
-            .collect();
+        let chunks: Vec<Vec<u8>> =
+            slices.iter().map(|&(s, l)| to_bytes(&series[s..s + l + qlen - 1])).collect();
         if rc.cached() {
             assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
             let base = program.heap_base.div_ceil(64) * 64;
@@ -283,9 +282,8 @@ mod tests {
 
     #[test]
     fn ts_is_compute_bound_at_16_threads() {
-        let run = Ts
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16)))
-            .unwrap();
+        let run =
+            Ts.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16))).unwrap();
         let s = &run.per_dpu[0];
         assert!(
             s.compute_utilization() > 0.5,

@@ -13,8 +13,7 @@ use pim_asm::{Barrier, DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{
     chunk_range, emit_tasklet_byte_range, from_bytes, to_bytes, validate_words, Params,
@@ -204,7 +203,8 @@ impl Workload for Uni {
         let (program, params) = kernel(rc.dpu.n_tasklets, rc.cached());
         let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
         sys.load(&program)?;
-        let cap_bytes = (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+        let cap_bytes = (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8
+            + crate::common::REGION_SKEW;
         let (in_base, out_base) = if rc.cached() {
             assert_eq!(rc.n_dpus, 1, "cache-centric runs are single-DPU");
             let base = program.heap_base.div_ceil(64) * 64;
@@ -212,9 +212,8 @@ impl Workload for Uni {
             sys.dpu_mut(0).write_wram(base + cap_bytes, &vec![0u8; n * 4]);
             (base, base + cap_bytes)
         } else {
-            let chunks: Vec<Vec<u8>> = (0..n_dpus)
-                .map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)]))
-                .collect();
+            let chunks: Vec<Vec<u8>> =
+                (0..n_dpus).map(|d| to_bytes(&input[chunk_range(n, n_dpus, d)])).collect();
             sys.push_to_mram(0, &chunks.iter().map(Vec::as_slice).collect::<Vec<_>>());
             (0, cap_bytes)
         };
@@ -222,11 +221,8 @@ impl Workload for Uni {
             .map(|d| {
                 // The host hands each DPU its predecessor element — the
                 // inter-DPU handoff.
-                let prev = if d == 0 {
-                    NO_PREV
-                } else {
-                    input[chunk_range(n, n_dpus, d - 1).end - 1]
-                };
+                let prev =
+                    if d == 0 { NO_PREV } else { input[chunk_range(n, n_dpus, d - 1).end - 1] };
                 params.bytes(&[
                     ("nbytes", chunk_range(n, n_dpus, d).len() as u32 * 4),
                     ("in_base", in_base),
@@ -235,16 +231,11 @@ impl Workload for Uni {
                 ])
             })
             .collect();
-        sys.push_to_symbol(
-            "params",
-            &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>(),
-        );
+        sys.push_to_symbol("params", &param_bytes.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let report = sys.launch_all()?;
         let counts = sys.pull_from_symbol("counts");
-        let lens: Vec<u32> = counts
-            .iter()
-            .map(|c| from_bytes(c).iter().sum::<i32>() as u32 * 4)
-            .collect();
+        let lens: Vec<u32> =
+            counts.iter().map(|c| from_bytes(c).iter().sum::<i32>() as u32 * 4).collect();
         let got: Vec<i32> = if rc.cached() {
             from_bytes(&sys.dpu(0).read_wram(out_base, lens[0]))
         } else {

@@ -6,8 +6,7 @@ use pim_asm::{DpuProgram, KernelBuilder};
 use pim_dpu::SimError;
 use pim_host::PimSystem;
 use pim_isa::{AluOp, Cond};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pim_rng::StdRng;
 
 use crate::common::{chunk_range, from_bytes, to_bytes, Params};
 use crate::{datasets, DatasetSize, RunConfig, Workload, WorkloadRun};
@@ -150,7 +149,8 @@ fn run_scratchpad(
     let mut sys = PimSystem::new(rc.n_dpus, rc.dpu.clone(), rc.xfer);
     sys.load(&program)?;
     // Uniform MRAM layout sized for the largest chunk.
-    let cap_bytes = (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
+    let cap_bytes =
+        (chunk_range(n, n_dpus, 0).len() as u32 * 4).div_ceil(8) * 8 + crate::common::REGION_SKEW;
     let (a_base, b_base, c_base) = (0u32, cap_bytes, 2 * cap_bytes);
     let chunks_a: Vec<Vec<u8>> =
         (0..n_dpus).map(|d| to_bytes(&a[chunk_range(n, n_dpus, d)])).collect();
@@ -183,12 +183,7 @@ fn run_scratchpad(
     })
 }
 
-fn run_flat(
-    a: &[i32],
-    b: &[i32],
-    expect: &[i32],
-    rc: &RunConfig,
-) -> Result<WorkloadRun, SimError> {
+fn run_flat(a: &[i32], b: &[i32], expect: &[i32], rc: &RunConfig) -> Result<WorkloadRun, SimError> {
     assert_eq!(rc.n_dpus, 1, "the cache-centric case study runs on a single DPU");
     let n = a.len() as u32;
     let (program, params) = kernel_flat(rc.dpu.n_tasklets);
@@ -260,9 +255,8 @@ mod tests {
     #[test]
     fn va_more_threads_do_not_break_partitioning() {
         // Uneven element counts vs tasklet counts.
-        let run = Va
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(7)))
-            .unwrap();
+        let run =
+            Va.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(7))).unwrap();
         run.assert_valid();
     }
 }

@@ -11,9 +11,7 @@ use pimulator::prelude::*;
 
 fn time_of(name: &str, cfg: DpuConfig) -> f64 {
     let w = workload_by_name(name).expect("known workload");
-    let run = w
-        .run(DatasetSize::Tiny, &RunConfig::single(cfg))
-        .expect("runs");
+    let run = w.run(DatasetSize::Tiny, &RunConfig::single(cfg)).expect("runs");
     run.validation.as_ref().expect("validates");
     run.merged().time_ns()
 }
@@ -37,10 +35,7 @@ fn main() {
     // §V-C: an MMU in front of every MRAM access.
     let t0 = time_of("VA", base.clone());
     let t1 = time_of("VA", base.clone().with_paper_mmu());
-    println!(
-        "§V-C  MMU on VA                : {:.1}% overhead",
-        (t1 / t0 - 1.0) * 100.0
-    );
+    println!("§V-C  MMU on VA                : {:.1}% overhead", (t1 / t0 - 1.0) * 100.0);
 
     // §V-D: on-demand caches instead of the scratchpad.
     let t0 = time_of("BS", base.clone());

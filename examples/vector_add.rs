@@ -70,11 +70,8 @@ fn main() {
     let b: Vec<i32> = (0..N as i32).map(|x| 10 * x).collect();
 
     // dpu_alloc + dpu_load
-    let mut sys = PimSystem::new(
-        N_DPUS,
-        DpuConfig::paper_baseline(N_TASKLETS),
-        TransferConfig::paper(),
-    );
+    let mut sys =
+        PimSystem::new(N_DPUS, DpuConfig::paper_baseline(N_TASKLETS), TransferConfig::paper());
     sys.load(&build_kernel()).expect("loads");
 
     // Partition and push inputs (dpu_push_xfer TO_DPU).

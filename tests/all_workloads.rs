@@ -51,12 +51,7 @@ fn every_workload_validates_under_caches() {
         let run = w
             .run(DatasetSize::Tiny, &RunConfig::single(cfg))
             .unwrap_or_else(|e| panic!("{} cached faulted: {e}", w.name()));
-        assert!(
-            run.validation.is_ok(),
-            "{} cached: {}",
-            w.name(),
-            run.validation.unwrap_err()
-        );
+        assert!(run.validation.is_ok(), "{} cached: {}", w.name(), run.validation.unwrap_err());
         let s = &run.per_dpu[0];
         assert!(s.dcache.is_some(), "{} must collect D-cache stats", w.name());
         assert!(s.icache.is_some(), "{} must collect I-cache stats", w.name());
@@ -80,12 +75,10 @@ fn every_workload_validates_under_the_mmu() {
 #[test]
 fn attribution_is_conserved_for_every_workload() {
     for w in all_workloads() {
-        let run = w
-            .run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16)))
-            .unwrap();
+        let run =
+            w.run(DatasetSize::Tiny, &RunConfig::single(DpuConfig::paper_baseline(16))).unwrap();
         let s = &run.per_dpu[0];
-        let covered =
-            s.active_cycles as f64 + s.idle_memory + s.idle_revolver + s.idle_rf;
+        let covered = s.active_cycles as f64 + s.idle_memory + s.idle_revolver + s.idle_rf;
         assert!(
             (covered - s.cycles as f64).abs() < 1e-3,
             "{}: {} attributed vs {} cycles",
@@ -117,11 +110,7 @@ fn more_tasklets_never_slow_a_workload_down_dramatically() {
             .unwrap()
             .merged()
             .cycles;
-        assert!(
-            t16 <= t1,
-            "{}: 16 tasklets ({t16} cycles) slower than 1 ({t1} cycles)",
-            w.name()
-        );
+        assert!(t16 <= t1, "{}: 16 tasklets ({t16} cycles) slower than 1 ({t1} cycles)", w.name());
     }
 }
 

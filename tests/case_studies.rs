@@ -4,6 +4,7 @@
 
 use pim_dpu::{DpuConfig, IlpFeatures, SimtConfig};
 use pimulator::experiments;
+use pimulator::jobs::JobRunner;
 use prim_suite::{workload_by_name, DatasetSize, RunConfig};
 
 fn time_of(name: &str, cfg: DpuConfig) -> f64 {
@@ -16,7 +17,7 @@ fn time_of(name: &str, cfg: DpuConfig) -> f64 {
 #[test]
 fn simt_ladder_is_monotone_on_gemv() {
     // Fig 11: Base < SIMT < SIMT+AC < SIMT+AC+4x ≤ SIMT+AC+16x.
-    let rows = experiments::fig11_simt(DatasetSize::Tiny, 16).unwrap();
+    let rows = experiments::fig11_simt(&JobRunner::default(), DatasetSize::Tiny, 16).unwrap();
     assert!(rows[1].speedup > 1.0, "SIMT must beat Base");
     assert!(rows[2].speedup > rows[1].speedup, "+AC must add speedup");
     assert!(rows[3].speedup > rows[2].speedup * 0.99, "+4x must not regress");
@@ -36,18 +37,10 @@ fn ilp_features_are_additive_on_a_compute_bound_workload() {
     let first = prev;
     for ilp in experiments::ilp_ladder().into_iter().skip(1) {
         let t = time_of("TS", base.clone().with_ilp(ilp));
-        assert!(
-            t <= prev * 1.02,
-            "{} regressed: {t} vs {prev}",
-            ilp.label()
-        );
+        assert!(t <= prev * 1.02, "{} regressed: {t} vs {prev}", ilp.label());
         prev = t;
     }
-    assert!(
-        first / prev > 2.0,
-        "full DRSF ladder should speed TS >2x, got {:.2}x",
-        first / prev
-    );
+    assert!(first / prev > 2.0, "full DRSF ladder should speed TS >2x, got {:.2}x", first / prev);
 }
 
 #[test]
@@ -62,10 +55,9 @@ fn frequency_doubling_helps_memory_bound_workloads_less() {
         double_frequency: false,
     };
     let drsf = IlpFeatures { double_frequency: true, ..drs };
-    let ts_gain = time_of("TS", base.clone().with_ilp(drs))
-        / time_of("TS", base.clone().with_ilp(drsf));
-    let bs_gain = time_of("BS", base.clone().with_ilp(drs))
-        / time_of("BS", base.with_ilp(drsf));
+    let ts_gain =
+        time_of("TS", base.clone().with_ilp(drs)) / time_of("TS", base.clone().with_ilp(drsf));
+    let bs_gain = time_of("BS", base.clone().with_ilp(drs)) / time_of("BS", base.with_ilp(drsf));
     assert!(
         ts_gain > bs_gain,
         "F must help compute-bound TS ({ts_gain:.2}x) more than memory-bound BS ({bs_gain:.2}x)"
@@ -77,7 +69,8 @@ fn mram_bandwidth_scaling_helps_memory_bound_only() {
     // Fig 13: BS (memory-bound) scales with MRAM bandwidth; TS
     // (compute-bound) does not.
     let rows =
-        experiments::fig13_mram_scaling(DatasetSize::Tiny, 16, &[1.0, 4.0]).unwrap();
+        experiments::fig13_mram_scaling(&JobRunner::default(), DatasetSize::Tiny, 16, &[1.0, 4.0])
+            .unwrap();
     let get = |w: &str, c: &str, s: f64| {
         rows.iter()
             .find(|r| r.workload == w && r.config == c && (r.scale - s).abs() < 1e-9)
@@ -93,7 +86,7 @@ fn mram_bandwidth_scaling_helps_memory_bound_only() {
 #[test]
 fn mmu_overheads_are_small_and_function_preserving() {
     // §V-C: the paper reports avg 0.8% / max 14.1% slowdown.
-    let rows = experiments::mmu_overhead(DatasetSize::Tiny, 16).unwrap();
+    let rows = experiments::mmu_overhead(&JobRunner::default(), DatasetSize::Tiny, 16).unwrap();
     let avg: f64 = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
     let max = rows.iter().map(|r| r.overhead).fold(0.0f64, f64::max);
     assert!(avg < 0.05, "average MMU overhead {avg:.3} should be small");
@@ -108,14 +101,20 @@ fn mmu_overheads_are_small_and_function_preserving() {
             r.workload,
             -r.overhead
         );
-        assert!(r.tlb_hit_rate > 0.5, "{}: DMA is page-local, hit rate {}", r.workload, r.tlb_hit_rate);
+        assert!(
+            r.tlb_hit_rate > 0.5,
+            "{}: DMA is page-local, hit rate {}",
+            r.workload,
+            r.tlb_hit_rate
+        );
     }
 }
 
 #[test]
 fn caches_beat_scratchpads_on_bs_and_both_modes_validate() {
     // Fig 15/16's headline: BS overfetches under scratchpads.
-    let rows = experiments::fig16_bytes_read(DatasetSize::Tiny, &[16]).unwrap();
+    let rows =
+        experiments::fig16_bytes_read(&JobRunner::default(), DatasetSize::Tiny, &[16]).unwrap();
     let bs = rows.iter().find(|r| r.workload == "BS").unwrap();
     assert!(bs.scratchpad_bytes > 2 * bs.cache_bytes);
     assert!(bs.cache_ns < bs.scratchpad_ns, "BS should run faster under caches");

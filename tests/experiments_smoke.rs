@@ -2,13 +2,14 @@
 //! experiment returns complete, internally consistent rows.
 
 use pimulator::experiments::*;
+use pimulator::jobs::JobRunner;
 use prim_suite::DatasetSize;
 
 const N_WORKLOADS: usize = 16;
 
 #[test]
 fn fig05_covers_every_workload_and_thread_count() {
-    let rows = fig05_utilization(DatasetSize::Tiny, &[1, 16]).unwrap();
+    let rows = fig05_utilization(&JobRunner::default(), DatasetSize::Tiny, &[1, 16]).unwrap();
     assert_eq!(rows.len(), N_WORKLOADS * 2);
     for r in &rows {
         assert!((0.0..=1.0 + 1e-9).contains(&r.compute_util), "{}", r.workload);
@@ -27,7 +28,7 @@ fn fig05_covers_every_workload_and_thread_count() {
 
 #[test]
 fn fig06_fractions_sum_to_one() {
-    let rows = fig06_breakdown(DatasetSize::Tiny, &[16]).unwrap();
+    let rows = fig06_breakdown(&JobRunner::default(), DatasetSize::Tiny, &[16]).unwrap();
     assert_eq!(rows.len(), N_WORKLOADS);
     for r in rows {
         let sum = r.active + r.idle_memory + r.idle_revolver + r.idle_rf;
@@ -37,7 +38,7 @@ fn fig06_fractions_sum_to_one() {
 
 #[test]
 fn fig07_histogram_fractions_sum_to_one() {
-    let rows = fig07_tlp_histogram(DatasetSize::Tiny, 16).unwrap();
+    let rows = fig07_tlp_histogram(&JobRunner::default(), DatasetSize::Tiny, 16).unwrap();
     assert_eq!(rows.len(), N_WORKLOADS);
     for r in rows {
         let sum: f64 = r.fractions.iter().sum();
@@ -48,7 +49,7 @@ fn fig07_histogram_fractions_sum_to_one() {
 
 #[test]
 fn fig08_produces_the_three_paper_traces() {
-    let rows = fig08_tlp_timeline(DatasetSize::Tiny, 16).unwrap();
+    let rows = fig08_tlp_timeline(&JobRunner::default(), DatasetSize::Tiny, 16).unwrap();
     let names: Vec<&str> = rows.iter().map(|r| r.workload.as_str()).collect();
     assert_eq!(names, ["BS", "GEMV", "SCAN-SSA"]);
     for r in rows {
@@ -58,7 +59,7 @@ fn fig08_produces_the_three_paper_traces() {
 
 #[test]
 fn fig09_mixes_sum_to_one() {
-    let rows = fig09_instr_mix(DatasetSize::Tiny, &[16]).unwrap();
+    let rows = fig09_instr_mix(&JobRunner::default(), DatasetSize::Tiny, &[16]).unwrap();
     for r in rows {
         let sum: f64 = r.fractions.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "{}: mix sums to {sum}", r.workload);
@@ -67,7 +68,7 @@ fn fig09_mixes_sum_to_one() {
 
 #[test]
 fn fig10_speedups_are_relative_to_one_dpu() {
-    let rows = fig10_strong_scaling(DatasetSize::Tiny, &[1, 4], 8).unwrap();
+    let rows = fig10_strong_scaling(&JobRunner::default(), DatasetSize::Tiny, &[1, 4], 8).unwrap();
     for r in rows.iter().filter(|r| r.n_dpus == 1) {
         assert!((r.speedup - 1.0).abs() < 1e-9, "{}", r.workload);
     }
@@ -78,24 +79,21 @@ fn fig10_speedups_are_relative_to_one_dpu() {
 
 #[test]
 fn fig12_base_rows_have_unit_speedup() {
-    let rows = fig12_ilp_ablation(DatasetSize::Tiny, 16).unwrap();
+    let rows = fig12_ilp_ablation(&JobRunner::default(), DatasetSize::Tiny, 16).unwrap();
     assert_eq!(rows.len(), N_WORKLOADS * 5);
     for r in rows.iter().filter(|r| r.label == "Base") {
         assert!((r.speedup - 1.0).abs() < 1e-9, "{}", r.workload);
     }
     // The full ladder must help on average (the paper reports avg 2.7x).
-    let drsf: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.label == "Base+DRSF")
-        .map(|r| r.speedup)
-        .collect();
+    let drsf: Vec<f64> =
+        rows.iter().filter(|r| r.label == "Base+DRSF").map(|r| r.speedup).collect();
     let avg = drsf.iter().sum::<f64>() / drsf.len() as f64;
     assert!(avg > 1.3, "average DRSF speedup {avg:.2} too small");
 }
 
 #[test]
 fn fig15_covers_cache_capable_workloads() {
-    let rows = fig15_cache_vs_scratchpad(DatasetSize::Tiny, &[16]).unwrap();
+    let rows = fig15_cache_vs_scratchpad(&JobRunner::default(), DatasetSize::Tiny, &[16]).unwrap();
     assert_eq!(rows.len(), N_WORKLOADS);
     for r in rows {
         assert!(r.normalized_time > 0.0, "{}", r.workload);

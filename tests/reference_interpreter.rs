@@ -6,8 +6,8 @@
 
 use pim_asm::DpuProgram;
 use pim_dpu::{Dpu, DpuConfig};
-use pim_isa::{AluOp, Cond, Instruction, Operand, Reg, Width};
-use proptest::prelude::*;
+use pim_isa::{AluOp, Cond, Instruction, Operand, Width};
+use pim_rng::StdRng;
 
 const WRAM_SIZE: usize = 64 * 1024;
 const MRAM_SIZE: usize = 64 * 1024 * 1024;
@@ -55,14 +55,13 @@ impl RefInterp {
                 Instruction::Movi { rd, imm } => self.regs[rd.index() as usize] = imm as u32,
                 Instruction::Tid { rd } => self.regs[rd.index() as usize] = 0,
                 Instruction::Load { width, signed, rd, base, offset } => {
-                    let a = self.regs[base.index() as usize].wrapping_add(offset as u32)
-                        as usize;
+                    let a = self.regs[base.index() as usize].wrapping_add(offset as u32) as usize;
                     let v = match (width, signed) {
                         (Width::Byte, false) => u32::from(self.wram[a]),
                         (Width::Byte, true) => self.wram[a] as i8 as i32 as u32,
-                        (Width::Half, false) => u32::from(u16::from_le_bytes(
-                            self.wram[a..a + 2].try_into().unwrap(),
-                        )),
+                        (Width::Half, false) => {
+                            u32::from(u16::from_le_bytes(self.wram[a..a + 2].try_into().unwrap()))
+                        }
                         (Width::Half, true) => {
                             u16::from_le_bytes(self.wram[a..a + 2].try_into().unwrap()) as i16
                                 as i32 as u32
@@ -74,8 +73,7 @@ impl RefInterp {
                     self.regs[rd.index() as usize] = v;
                 }
                 Instruction::Store { width, rs, base, offset } => {
-                    let a = self.regs[base.index() as usize].wrapping_add(offset as u32)
-                        as usize;
+                    let a = self.regs[base.index() as usize].wrapping_add(offset as u32) as usize;
                     let v = self.regs[rs.index() as usize];
                     match width {
                         Width::Byte => self.wram[a] = v as u8,
@@ -134,8 +132,8 @@ struct Recipe {
     dma_len: i32,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    let ops = prop::sample::select(vec![
+fn arb_recipe(rng: &mut StdRng) -> Recipe {
+    const OPS: [AluOp; 10] = [
         AluOp::Add,
         AluOp::Sub,
         AluOp::Xor,
@@ -146,13 +144,15 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
         AluOp::Srl,
         AluOp::Min,
         AluOp::Max,
-    ]);
-    (
-        1i32..20,
-        prop::collection::vec((0u8..4, ops, -500i32..500), 1..10),
-        prop::sample::select(vec![8i32, 64, 256, 1000]),
-    )
-        .prop_map(|(iters, body, dma_len)| Recipe { iters, body, dma_len })
+    ];
+    let body_len = rng.gen_range(1usize..10);
+    Recipe {
+        iters: rng.gen_range(1i32..20),
+        body: (0..body_len)
+            .map(|_| (rng.gen_range(0u8..4), *rng.choose(&OPS), rng.gen_range(-500i32..500)))
+            .collect(),
+        dma_len: *rng.choose(&[8i32, 64, 256, 1000]),
+    }
 }
 
 fn build(recipe: &Recipe) -> DpuProgram {
@@ -195,13 +195,13 @@ fn build(recipe: &Recipe) -> DpuProgram {
     k.build().expect("recipe builds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn simulator_matches_the_reference_interpreter(
-        recipe in arb_recipe(),
-        mram_seed in prop::collection::vec(any::<u8>(), 2048),
-    ) {
+#[test]
+fn simulator_matches_the_reference_interpreter() {
+    let mut rng = StdRng::seed_from_u64(0x0_0AC1E);
+    for case in 0..48 {
+        let recipe = arb_recipe(&mut rng);
+        let mut mram_seed = vec![0u8; 2048];
+        rng.fill_bytes(&mut mram_seed);
         let program = build(&recipe);
 
         let mut oracle = RefInterp::new(&program, &mram_seed);
@@ -214,8 +214,8 @@ proptest! {
 
         // Compare the full architectural memory state.
         let wram = dpu.read_wram(0, 16 * 1024);
-        prop_assert_eq!(&wram[..], &oracle.wram[..16 * 1024], "WRAM diverged");
+        assert_eq!(&wram[..], &oracle.wram[..16 * 1024], "WRAM diverged (case {case})");
         let mram = dpu.read_mram(0, 64 * 1024);
-        prop_assert_eq!(&mram[..], &oracle.mram[..64 * 1024], "MRAM diverged");
+        assert_eq!(&mram[..], &oracle.mram[..64 * 1024], "MRAM diverged (case {case})");
     }
 }

@@ -7,7 +7,7 @@
 use pim_asm::KernelBuilder;
 use pim_dpu::{Dpu, DpuConfig, IlpFeatures, SimtConfig};
 use pim_isa::{AluOp, Cond};
-use proptest::prelude::*;
+use pim_rng::StdRng;
 
 /// Builds a little data-parallel kernel from a random recipe: each tasklet
 /// walks a disjoint WRAM slice applying a random ALU pipeline, with an
@@ -42,11 +42,7 @@ fn build_kernel(ops: &[(AluOp, i32)], with_lock: bool, n_tasklets: u32) -> pim_a
     k.build().expect("kernel builds")
 }
 
-fn run_with(
-    cfg: DpuConfig,
-    program: &pim_asm::DpuProgram,
-    input: &[u8],
-) -> (Vec<u8>, Vec<u8>) {
+fn run_with(cfg: DpuConfig, program: &pim_asm::DpuProgram, input: &[u8]) -> (Vec<u8>, Vec<u8>) {
     let mut dpu = Dpu::new(cfg);
     dpu.load_program(program).unwrap();
     dpu.write_wram_symbol("data", input);
@@ -54,8 +50,8 @@ fn run_with(
     (dpu.read_wram_symbol("data"), dpu.read_wram_symbol("shared"))
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(AluOp, i32)>> {
-    let safe_ops = vec![
+fn arb_ops(rng: &mut StdRng) -> Vec<(AluOp, i32)> {
+    const SAFE_OPS: [AluOp; 8] = [
         AluOp::Add,
         AluOp::Sub,
         AluOp::Xor,
@@ -65,30 +61,24 @@ fn arb_ops() -> impl Strategy<Value = Vec<(AluOp, i32)>> {
         AluOp::Min,
         AluOp::Max,
     ];
-    prop::collection::vec(
-        (prop::sample::select(safe_ops), -1000i32..1000),
-        1..6,
-    )
+    let len = rng.gen_range(1usize..6);
+    (0..len).map(|_| (*rng.choose(&SAFE_OPS), rng.gen_range(-1000i32..1000))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn every_timing_configuration_computes_the_same_result(
-        ops in arb_ops(),
-        with_lock in any::<bool>(),
-        input_words in prop::collection::vec(any::<i32>(), 64 * 16),
-    ) {
+#[test]
+fn every_timing_configuration_computes_the_same_result() {
+    let mut rng = StdRng::seed_from_u64(0x7131_46FD);
+    for _case in 0..24 {
+        let ops = arb_ops(&mut rng);
+        let with_lock = rng.gen_bool();
+        let input_words: Vec<i32> = (0..64 * 16).map(|_| rng.next_u32() as i32).collect();
         let n_tasklets = 16;
         let program = build_kernel(&ops, with_lock, n_tasklets);
         let input: Vec<u8> = input_words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let configs: Vec<(&str, DpuConfig)> = vec![
             ("base", DpuConfig::paper_baseline(n_tasklets)),
             ("one-thread", DpuConfig::paper_baseline(n_tasklets)),
-            (
-                "ilp-all",
-                DpuConfig::paper_baseline(n_tasklets).with_ilp(IlpFeatures::all()),
-            ),
+            ("ilp-all", DpuConfig::paper_baseline(n_tasklets).with_ilp(IlpFeatures::all())),
             (
                 "simt",
                 DpuConfig::paper_baseline(n_tasklets)
@@ -100,14 +90,8 @@ proptest! {
         let (golden_data, golden_shared) = run_with(configs[0].1.clone(), &program, &input);
         for (name, cfg) in &configs[1..] {
             let (data, shared) = run_with(cfg.clone(), &program, &input);
-            prop_assert_eq!(
-                &data, &golden_data,
-                "config `{}` changed the data output", name
-            );
-            prop_assert_eq!(
-                &shared, &golden_shared,
-                "config `{}` changed the shared counter", name
-            );
+            assert_eq!(&data, &golden_data, "config `{name}` changed the data output");
+            assert_eq!(&shared, &golden_shared, "config `{name}` changed the shared counter");
         }
     }
 }

@@ -12,14 +12,16 @@
 //! thin wrappers over [`run_with_args`].
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use pim_dpu::{DpuConfig, SimError};
 use pim_isa::InstrClass;
 use pimulator::experiments as exp;
 use pimulator::jobs::{JobRunner, SimJob};
+use pimulator::pim_trace::MetricsSink;
 use pimulator::report::{pct, speedup, Json, Table};
+use pimulator::trace::{chrome_trace, JobTrace};
 use prim_suite::DatasetSize;
 
 /// Parses the common `--size` argument from `std::env::args`.
@@ -40,11 +42,15 @@ pub fn parse_size_arg(default: DatasetSize) -> DatasetSize {
 }
 
 fn parse_size(v: &str) -> DatasetSize {
+    parse_size_value(v).unwrap_or_else(|msg| panic!("{msg}"))
+}
+
+fn parse_size_value(v: &str) -> Result<DatasetSize, String> {
     match v {
-        "tiny" => DatasetSize::Tiny,
-        "single" => DatasetSize::SingleDpu,
-        "multi" => DatasetSize::MultiDpu,
-        other => panic!("unknown --size `{other}` (expected tiny|single|multi)"),
+        "tiny" => Ok(DatasetSize::Tiny),
+        "single" => Ok(DatasetSize::SingleDpu),
+        "multi" => Ok(DatasetSize::MultiDpu),
+        other => Err(format!("unknown --size `{other}` (expected tiny|single|multi)")),
     }
 }
 
@@ -211,6 +217,9 @@ pub struct DriverOptions {
     pub json_stdout: bool,
     /// `--out DIR`: where `<name>.json` is written (default `results`).
     pub out_dir: PathBuf,
+    /// `--trace FILE`: run with event tracing and write a Chrome
+    /// trace-event document there (parent directories are created).
+    pub trace: Option<PathBuf>,
 }
 
 impl DriverOptions {
@@ -227,16 +236,7 @@ impl DriverOptions {
             match a.as_str() {
                 "--size" => {
                     let v = it.next().ok_or("--size needs a value (tiny|single|multi)")?;
-                    opts.size = Some(match v.as_str() {
-                        "tiny" => DatasetSize::Tiny,
-                        "single" => DatasetSize::SingleDpu,
-                        "multi" => DatasetSize::MultiDpu,
-                        other => {
-                            return Err(format!(
-                                "unknown --size `{other}` (expected tiny|single|multi)"
-                            ))
-                        }
-                    });
+                    opts.size = Some(parse_size_value(v)?);
                 }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a number")?;
@@ -251,9 +251,12 @@ impl DriverOptions {
                 "--out" => {
                     opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
                 }
+                "--trace" => {
+                    opts.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file path")?));
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --size/--threads/--json/--out)"
+                        "unknown flag `{other}` (expected --size/--threads/--json/--out/--trace)"
                     ))
                 }
             }
@@ -262,6 +265,12 @@ impl DriverOptions {
     }
 }
 
+/// Per-DPU event-ring capacity used by `--trace` and `pimsim trace`: deep
+/// enough to keep the whole steady state of the tiny/single sweeps while
+/// bounding memory on the long ones (the ring keeps the most recent
+/// events; drops are counted and reported).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
 /// Runs one experiment under the given options and returns its report.
 /// This is the pure core of the driver — no printing, no filesystem.
 ///
@@ -269,9 +278,39 @@ impl DriverOptions {
 ///
 /// Propagates the experiment's simulation fault.
 pub fn run_experiment(e: &Experiment, opts: &DriverOptions) -> Result<ExpReport, SimError> {
-    let ctx =
-        ExpContext { rt: JobRunner::new(opts.threads), size: opts.size.unwrap_or(e.default_size) };
-    (e.run)(&ctx)
+    run_experiment_with_traces(e, opts).map(|(report, _)| report)
+}
+
+/// Like [`run_experiment`], but when `opts.trace` is set the whole sweep
+/// runs with event tracing enabled and every job's labelled trace is
+/// returned alongside the report (empty otherwise).
+///
+/// # Errors
+///
+/// Propagates the experiment's simulation fault.
+pub fn run_experiment_with_traces(
+    e: &Experiment,
+    opts: &DriverOptions,
+) -> Result<(ExpReport, Vec<JobTrace>), SimError> {
+    let mut rt = JobRunner::new(opts.threads);
+    if opts.trace.is_some() {
+        rt = rt.collecting_traces(DEFAULT_TRACE_CAPACITY);
+    }
+    let ctx = ExpContext { rt, size: opts.size.unwrap_or(e.default_size) };
+    let report = (e.run)(&ctx)?;
+    Ok((report, ctx.rt.collected_traces()))
+}
+
+/// Writes `contents` to `path`, creating any missing parent directories
+/// first (so `--out results/nested/dir` and `--trace a/b/trace.json` work
+/// on a fresh checkout).
+fn write_with_parents(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 /// The shared binary entry point: parses `args`, runs experiment `name`,
@@ -291,18 +330,33 @@ pub fn run_with_args(name: &str, args: &[String]) -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
-                "usage: {name} [--size tiny|single|multi] [--threads N] [--json] [--out DIR]"
+                "usage: {name} [--size tiny|single|multi] [--threads N] [--json] [--out DIR] \
+                 [--trace FILE]"
             );
             return ExitCode::FAILURE;
         }
     };
-    let report = match run_experiment(e, &opts) {
+    let (mut report, traces) = match run_experiment_with_traces(e, &opts) {
         Ok(r) => r,
         Err(err) => {
             eprintln!("{name}: simulation fault: {err}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(trace_path) = &opts.trace {
+        let doc = chrome_trace(&traces);
+        if let Err(err) = write_with_parents(trace_path, &doc.render_pretty()) {
+            eprintln!("{name}: could not write {}: {err}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        // Record where the trace went in the machine-readable results.
+        if let Json::Obj(pairs) = &mut report.json {
+            pairs.push(("trace".to_string(), Json::from(trace_path.display().to_string())));
+        }
+        if !opts.json_stdout {
+            eprintln!("wrote {}", trace_path.display());
+        }
+    }
     let pretty = report.json.render_pretty();
     {
         // Tolerate a closed pipe (`pimsim exp ... | head`): losing stdout
@@ -312,15 +366,109 @@ pub fn run_with_args(name: &str, args: &[String]) -> ExitCode {
         let _ = std::io::stdout().write_all(out.as_bytes());
     }
     let path = opts.out_dir.join(format!("{name}.json"));
-    if let Err(err) =
-        std::fs::create_dir_all(&opts.out_dir).and_then(|()| std::fs::write(&path, &pretty))
-    {
+    if let Err(err) = write_with_parents(&path, &pretty) {
         eprintln!("{name}: could not write {}: {err}", path.display());
         return ExitCode::FAILURE;
     }
     if !opts.json_stdout {
         eprintln!("wrote {}", path.display());
     }
+    ExitCode::SUCCESS
+}
+
+/// Parses the `pimsim trace` flag set: the common `--size`/`--threads`
+/// plus `--out FILE` naming the Chrome trace file.
+fn parse_trace_args(args: &[String]) -> Result<(DriverOptions, Option<PathBuf>), String> {
+    let mut opts = DriverOptions { out_dir: PathBuf::from("results"), ..DriverOptions::default() };
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let v = it.next().ok_or("--size needs a value (tiny|single|multi)")?;
+                opts.size = Some(parse_size_value(v)?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = Some(n);
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file path")?)),
+            other => {
+                return Err(format!("unknown flag `{other}` (expected --size/--threads/--out)"))
+            }
+        }
+    }
+    Ok((opts, out))
+}
+
+/// The `pimsim trace <exp>` entry point: runs the experiment with event
+/// tracing, writes the Chrome trace-event file (default
+/// `results/<name>.trace.json`), and prints a metrics summary folded from
+/// every retained event.
+#[must_use]
+pub fn run_trace_with_args(name: &str, args: &[String]) -> ExitCode {
+    let Some(e) = experiment_by_name(name) else {
+        eprintln!("unknown experiment `{name}`; available:");
+        for e in experiments() {
+            eprintln!("  {:26} {}", e.name, e.title);
+        }
+        return ExitCode::FAILURE;
+    };
+    let (mut opts, out) = match parse_trace_args(args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: pimsim trace {name} [--size tiny|single|multi] [--threads N] [--out FILE]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = out.unwrap_or_else(|| opts.out_dir.join(format!("{name}.trace.json")));
+    opts.trace = Some(path.clone());
+    let (_, traces) = match run_experiment_with_traces(e, &opts) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("{name}: simulation fault: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = chrome_trace(&traces);
+    if let Err(err) = write_with_parents(&path, &doc.render_pretty()) {
+        eprintln!("{name}: could not write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let mut text = format!("== trace: {name} ==\n");
+    for jt in &traces {
+        let _ = writeln!(
+            text,
+            "{:24} {:>8} events retained, {:>6} dropped",
+            jt.label,
+            jt.trace.event_count(),
+            jt.trace.dropped()
+        );
+    }
+    let mut totals = MetricsSink::new();
+    for jt in &traces {
+        totals.absorb(&jt.trace.host);
+        for d in &jt.trace.per_dpu {
+            totals.absorb(&d.events);
+        }
+    }
+    let _ = writeln!(text, "metrics over retained events:");
+    for (k, v) in totals.counters() {
+        let _ = writeln!(text, "  {k:24} {v}");
+    }
+    {
+        use std::io::Write;
+        let _ = std::io::stdout().write_all(text.as_bytes());
+    }
+    eprintln!("wrote {}", path.display());
     ExitCode::SUCCESS
 }
 
@@ -932,17 +1080,51 @@ mod tests {
 
     #[test]
     fn driver_options_parse_the_full_flag_set() {
-        let args: Vec<String> = ["--size", "tiny", "--threads", "3", "--json", "--out", "/tmp/r"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let args: Vec<String> =
+            ["--size", "tiny", "--threads", "3", "--json", "--out", "/tmp/r", "--trace", "t.json"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
         let o = DriverOptions::parse(&args).unwrap();
         assert_eq!(o.size, Some(DatasetSize::Tiny));
         assert_eq!(o.threads, Some(3));
         assert!(o.json_stdout);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/r"));
+        assert_eq!(o.trace, Some(PathBuf::from("t.json")));
         assert!(DriverOptions::parse(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(DriverOptions::parse(&["--trace".to_string()]).is_err());
         assert!(DriverOptions::parse(&["--what".to_string()]).is_err());
+    }
+
+    #[test]
+    fn trace_args_parse_and_reject() {
+        let args: Vec<String> = ["--size", "tiny", "--threads", "2", "--out", "x/t.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (o, out) = parse_trace_args(&args).unwrap();
+        assert_eq!(o.size, Some(DatasetSize::Tiny));
+        assert_eq!(o.threads, Some(2));
+        assert_eq!(out, Some(PathBuf::from("x/t.json")));
+        assert!(parse_trace_args(&["--json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn traced_experiment_yields_job_traces() {
+        let e = experiment_by_name("fig11_simt").unwrap();
+        let opts = DriverOptions {
+            size: Some(DatasetSize::Tiny),
+            threads: Some(2),
+            trace: Some(PathBuf::from("unused.json")),
+            ..DriverOptions::default()
+        };
+        let (_, traces) = run_experiment_with_traces(e, &opts).unwrap();
+        assert!(!traces.is_empty());
+        assert!(traces.iter().all(|t| t.trace.event_count() > 0));
+        // Untraced runs return no traces.
+        let opts = DriverOptions { trace: None, ..opts };
+        let (_, none) = run_experiment_with_traces(e, &opts).unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

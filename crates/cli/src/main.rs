@@ -14,6 +14,11 @@
 //!     --threads N                 simulation worker threads
 //!     --json                      print the JSON document to stdout
 //!     --out DIR                   where <name>.json is written
+//!     --trace FILE                also write a Chrome trace-event file
+//! pimsim trace  <name> [options]             trace a paper figure
+//!     --size tiny|single|multi    dataset size
+//!     --threads N                 simulation worker threads
+//!     --out FILE                  trace file (default results/<name>.trace.json)
 //! ```
 
 use std::process::ExitCode;
@@ -25,7 +30,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pimsim asm    <file.s>\n  pimsim disasm <file.s>\n  pimsim run    <file.s> \
          [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]\n  pimsim exp    \
-         <name|--list> [--size tiny|single|multi] [--threads N] [--json] [--out DIR]"
+         <name|--list> [--size tiny|single|multi] [--threads N] [--json] [--out DIR] [--trace \
+         FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -51,10 +57,23 @@ fn exp(args: &[String]) -> ExitCode {
     pim_bench::run_with_args(name, &args[1..])
 }
 
+/// `pimsim trace`: run an experiment with structured event tracing and
+/// write a Chrome trace-event (Perfetto-loadable) file.
+fn trace(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("pimsim trace: which experiment? (try `pimsim exp --list`)");
+        return ExitCode::from(2);
+    };
+    pim_bench::run_trace_with_args(name, &args[1..])
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("exp") {
         return exp(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace(&args[1..]);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `pimsim` binary: exit codes, output-path
+//! creation, and the `trace` subcommand, driven through real process
+//! spawns so the argument parsing and `ExitCode` plumbing are covered.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use pimulator::report::Json;
+
+fn pimsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pimsim"))
+}
+
+/// A fresh scratch directory per test, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("pimsim-cli-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, rel: &str) -> PathBuf {
+        self.0.join(rel)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn parse_file(path: &Path) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Json::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let st = pimsim().status().expect("spawn pimsim");
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero() {
+    for sub in ["exp", "trace"] {
+        let out = pimsim().args([sub, "no_such_experiment"]).output().expect("spawn pimsim");
+        assert!(!out.status.success(), "`pimsim {sub} no_such_experiment` must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+        assert!(stderr.contains("fig05_utilization"), "should list alternatives: {stderr}");
+    }
+}
+
+#[test]
+fn exp_list_succeeds_and_names_every_experiment() {
+    let out = pimsim().args(["exp", "--list"]).output().expect("spawn pimsim");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for e in pim_bench::experiments() {
+        assert!(stdout.contains(e.name), "missing {} in --list", e.name);
+    }
+}
+
+#[test]
+fn exp_out_creates_missing_parent_dirs() {
+    let scratch = Scratch::new("exp-out");
+    let out_dir = scratch.path("a/b/c");
+    let st = pimsim()
+        .args(["exp", "fig11_simt", "--size", "tiny", "--threads", "2", "--json", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let doc = parse_file(&out_dir.join("fig11_simt.json"));
+    let Json::Obj(pairs) = &doc else { panic!("results doc not an object") };
+    assert_eq!(pairs[0], ("experiment".to_string(), Json::from("fig11_simt")));
+}
+
+#[test]
+fn trace_subcommand_writes_a_chrome_trace_and_records_the_path() {
+    let scratch = Scratch::new("trace");
+    let trace_path = scratch.path("nested/deep/trace.json");
+    let st = pimsim()
+        .args(["trace", "fig11_simt", "--size", "tiny", "--threads", "2", "--out"])
+        .arg(&trace_path)
+        .output()
+        .expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("metrics over retained events"), "stdout: {stdout}");
+    let doc = parse_file(&trace_path);
+    let Json::Obj(pairs) = &doc else { panic!("trace doc not an object") };
+    assert_eq!(pairs[0].0, "traceEvents");
+    assert!(matches!(&pairs[0].1, Json::Arr(evs) if !evs.is_empty()));
+
+    // `exp --trace` records where the trace went in the results document.
+    let out_dir = scratch.path("results");
+    let flag_trace = scratch.path("flagged.trace.json");
+    let st = pimsim()
+        .args(["exp", "fig11_simt", "--size", "tiny", "--threads", "2", "--json"])
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--trace")
+        .arg(&flag_trace)
+        .output()
+        .expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    assert!(flag_trace.is_file());
+    let doc = parse_file(&out_dir.join("fig11_simt.json"));
+    let Json::Obj(pairs) = &doc else { panic!("results doc not an object") };
+    let trace_field = pairs.iter().find(|(k, _)| k == "trace").expect("trace field");
+    assert_eq!(trace_field.1, Json::from(flag_trace.display().to_string()));
+}

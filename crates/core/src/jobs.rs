@@ -31,11 +31,14 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pim_dpu::{DpuConfig, DpuRunStats, SimError};
 use pim_host::ExecutionTimeline;
+use pim_trace::SystemTrace;
 use prim_suite::{workload_by_name, DatasetSize, RunConfig};
+
+use crate::trace::JobTrace;
 
 /// The number of workers [`JobRunner::new`] uses when none is requested:
 /// `std::thread::available_parallelism`, clamped to at least 1.
@@ -96,6 +99,17 @@ impl SimJob {
         self.run.dpu.n_tasklets
     }
 
+    /// A label naming this job in trace tracks and result files:
+    /// `workload[/tag]@threads`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.tag.is_empty() {
+            format!("{}@{}", self.workload, self.threads())
+        } else {
+            format!("{}/{}@{}", self.workload, self.tag, self.threads())
+        }
+    }
+
     /// Runs the job end-to-end and validates the output against the
     /// workload's reference implementation.
     ///
@@ -111,11 +125,16 @@ impl SimJob {
     pub fn execute(&self) -> Result<SimJobOutput, SimError> {
         let w = workload_by_name(&self.workload)
             .unwrap_or_else(|| panic!("unknown workload `{}`", self.workload));
-        let run = w.run(self.size, &self.run)?;
+        let mut run = w.run(self.size, &self.run)?;
         run.validation
             .as_ref()
             .unwrap_or_else(|e| panic!("{} failed validation: {e}", self.workload));
-        Ok(SimJobOutput { stats: run.merged(), per_dpu: run.per_dpu, timeline: run.timeline })
+        Ok(SimJobOutput {
+            stats: run.merged(),
+            per_dpu: run.per_dpu,
+            timeline: run.timeline,
+            trace: run.trace.take(),
+        })
     }
 }
 
@@ -128,6 +147,9 @@ pub struct SimJobOutput {
     pub per_dpu: Vec<DpuRunStats>,
     /// End-to-end transfer/kernel/transfer breakdown.
     pub timeline: ExecutionTimeline,
+    /// Structured event trace, present when the runner ran with
+    /// [`JobRunner::with_trace`] (or the job's config enabled tracing).
+    pub trace: Option<SystemTrace>,
 }
 
 /// A bounded scoped-thread worker pool that maps a function over a slice
@@ -135,6 +157,11 @@ pub struct SimJobOutput {
 #[derive(Debug, Clone)]
 pub struct JobRunner {
     workers: usize,
+    /// Per-DPU event-ring capacity applied to every job when tracing.
+    trace_capacity: Option<usize>,
+    /// Shared sink harvesting labelled traces out of experiment code that
+    /// only looks at stats (see [`JobRunner::collecting_traces`]).
+    trace_sink: Option<Arc<Mutex<Vec<JobTrace>>>>,
 }
 
 impl JobRunner {
@@ -142,7 +169,11 @@ impl JobRunner {
     /// Worker counts are clamped to at least 1.
     #[must_use]
     pub fn new(workers: Option<usize>) -> Self {
-        JobRunner { workers: workers.unwrap_or_else(default_workers).max(1) }
+        JobRunner {
+            workers: workers.unwrap_or_else(default_workers).max(1),
+            trace_capacity: None,
+            trace_sink: None,
+        }
     }
 
     /// A single-worker runner: jobs execute one by one on the caller's
@@ -150,7 +181,37 @@ impl JobRunner {
     /// checked for bit-identical output.
     #[must_use]
     pub fn serial() -> Self {
-        JobRunner { workers: 1 }
+        JobRunner { workers: 1, trace_capacity: None, trace_sink: None }
+    }
+
+    /// Enables structured event tracing: every job runs with a per-DPU
+    /// event ring of `capacity` entries, and its [`SimJobOutput::trace`] is
+    /// populated. Capacity 0 disables tracing again.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = (capacity > 0).then_some(capacity);
+        self
+    }
+
+    /// Like [`JobRunner::with_trace`], but additionally moves every job's
+    /// trace out of its [`SimJobOutput`] into a shared collector, labelled
+    /// with [`SimJob::label`]. Experiment code that only reads stats can
+    /// then run unmodified while the driver harvests the traces afterwards
+    /// with [`JobRunner::collected_traces`]. Clones share the collector.
+    #[must_use]
+    pub fn collecting_traces(mut self, capacity: usize) -> Self {
+        self = self.with_trace(capacity);
+        self.trace_sink = self.trace_capacity.map(|_| Arc::new(Mutex::new(Vec::new())));
+        self
+    }
+
+    /// Drains the traces harvested so far, in batch-completion order
+    /// (within a batch, in job order).
+    #[must_use]
+    pub fn collected_traces(&self) -> Vec<JobTrace> {
+        self.trace_sink
+            .as_ref()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut *s.lock().expect("trace sink poisoned")))
     }
 
     /// The worker cap.
@@ -203,6 +264,27 @@ impl JobRunner {
     /// (independent of which worker hit a fault first, to keep error
     /// reporting deterministic too).
     pub fn run_sims(&self, jobs: &[SimJob]) -> Result<Vec<SimJobOutput>, SimError> {
+        if let Some(capacity) = self.trace_capacity {
+            let traced: Vec<SimJob> = jobs
+                .iter()
+                .map(|job| {
+                    let mut job = job.clone();
+                    job.run.dpu.event_trace_capacity = capacity;
+                    job
+                })
+                .collect();
+            let mut outs: Vec<SimJobOutput> =
+                self.map(&traced, |_, job| job.execute()).into_iter().collect::<Result<_, _>>()?;
+            if let Some(sink) = &self.trace_sink {
+                let mut sink = sink.lock().expect("trace sink poisoned");
+                for (job, out) in traced.iter().zip(outs.iter_mut()) {
+                    if let Some(trace) = out.trace.take() {
+                        sink.push(JobTrace { label: job.label(), trace });
+                    }
+                }
+            }
+            return Ok(outs);
+        }
         self.map(jobs, |_, job| job.execute()).into_iter().collect()
     }
 }
@@ -258,6 +340,26 @@ mod tests {
         assert_eq!(outs.len(), 3);
         assert!(outs.iter().all(|o| o.stats.instructions > 0));
         assert_eq!(outs[2].per_dpu.len(), 2);
+    }
+
+    #[test]
+    fn with_trace_populates_outputs() {
+        let rt = JobRunner::serial().with_trace(256);
+        let outs = rt.run_sims(&[SimJob::single("RED", DatasetSize::Tiny, baseline(2))]).unwrap();
+        assert!(outs[0].trace.as_ref().is_some_and(|t| t.event_count() > 0));
+    }
+
+    #[test]
+    fn collecting_traces_harvests_labelled_traces() {
+        let rt = JobRunner::new(Some(2)).collecting_traces(1024);
+        let jobs = vec![SimJob::single("VA", DatasetSize::Tiny, baseline(2)).tagged("t")];
+        let outs = rt.run_sims(&jobs).unwrap();
+        assert!(outs[0].trace.is_none(), "trace moved into the collector");
+        let traces = rt.collected_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].label, "VA/t@2");
+        assert!(traces[0].trace.event_count() > 0);
+        assert!(rt.collected_traces().is_empty(), "collector drains on read");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod experiments;
 pub mod jobs;
 pub mod report;
+pub mod trace;
 
 pub use pim_asm;
 pub use pim_cache;
@@ -53,6 +54,8 @@ pub use pim_dram;
 pub use pim_host;
 pub use pim_isa;
 pub use pim_mmu;
+pub use pim_ref;
+pub use pim_trace;
 pub use prim_suite;
 
 /// The most commonly used types, for glob import.

@@ -171,6 +171,16 @@ pub struct DpuConfig {
     /// Collect the first N issued instructions into
     /// [`crate::DpuRunStats::trace`] for debugging (0 disables tracing).
     pub trace_limit: usize,
+    /// Capacity of the structured event ring buffer (`pim-trace`): the DPU
+    /// retains the most recent N [`pim_trace::TraceEvent`]s of a launch,
+    /// readable through [`crate::Dpu::take_trace`]. 0 (the default) keeps
+    /// the hot path on the zero-cost `NullSink`.
+    pub event_trace_capacity: usize,
+    /// Replay every launch through the `pim-ref` functional oracle and
+    /// fail with [`crate::SimError::OracleDivergence`] if the final
+    /// WRAM/MRAM state differs (differential testing; scratchpad-centric
+    /// runs only — the oracle does not model the flat cached space).
+    pub oracle_check: bool,
 }
 
 impl DpuConfig {
@@ -200,7 +210,23 @@ impl DpuConfig {
             max_cycles: 20_000_000_000,
             tlp_window: 10_000,
             trace_limit: 0,
+            event_trace_capacity: 0,
+            oracle_check: false,
         }
+    }
+
+    /// Enables structured event tracing with a ring of `capacity` events.
+    #[must_use]
+    pub fn with_event_trace(mut self, capacity: usize) -> Self {
+        self.event_trace_capacity = capacity;
+        self
+    }
+
+    /// Enables the per-launch functional-oracle divergence check.
+    #[must_use]
+    pub fn with_oracle_check(mut self) -> Self {
+        self.oracle_check = true;
+        self
     }
 
     /// Applies an ILP feature set, including the frequency doubling of `F`.

@@ -5,6 +5,7 @@ use pim_asm::DpuProgram;
 use pim_cache::Cache;
 use pim_isa::{AddressSpace, Instruction};
 use pim_mmu::{Mmu, PageTable};
+use pim_trace::{DpuTrace, NullSink, RingSink, StallCause, TraceEvent, TraceSink};
 
 use crate::config::{DpuConfig, MemoryMode};
 use crate::error::SimError;
@@ -53,6 +54,8 @@ pub struct Dpu {
     pub(crate) entry: Vec<u32>,
     /// Per-tasklet tasklet-id rebase (multi-tenant co-location).
     pub(crate) tid_base: Vec<u32>,
+    /// Structured event ring, present when `cfg.event_trace_capacity > 0`.
+    trace: Option<RingSink>,
 }
 
 impl Dpu {
@@ -67,7 +70,14 @@ impl Dpu {
         cfg.assert_valid();
         let ls_space = cfg.layout.wram_bytes;
         let state = ArchState::new(cfg.layout, cfg.n_tasklets, ls_space);
-        Dpu { cfg, program: None, state, entry: Vec::new(), tid_base: Vec::new() }
+        let trace = (cfg.event_trace_capacity > 0).then(|| RingSink::new(cfg.event_trace_capacity));
+        Dpu { cfg, program: None, state, entry: Vec::new(), tid_base: Vec::new(), trace }
+    }
+
+    /// Takes the structured events retained by the last launch, or `None`
+    /// when event tracing is disabled (`event_trace_capacity == 0`).
+    pub fn take_trace(&mut self) -> Option<DpuTrace> {
+        self.trace.as_mut().map(RingSink::take)
     }
 
     /// The DPU's configuration.
@@ -276,18 +286,81 @@ impl Dpu {
             let pages = self.cfg.layout.mram_bytes / mc.page_bytes;
             Mmu::new(mc, PageTable::identity(pages))
         });
-        let mem = MemEngine::new(
+        let mut mem = MemEngine::new(
             self.cfg.dram.scaled(self.cfg.mram_bw_scale),
             mmu,
             self.cfg.dram_per_core_ratio(),
             self.cfg.interface_rate(),
             self.cfg.dma.setup_cycles,
         );
-        if self.cfg.simt.is_some() {
-            crate::simt::run_simt(self, mem)
+        // The oracle snapshot must see the post-reset, pre-run state.
+        let oracle = self.build_oracle();
+        let result = if let Some(mut ring) = self.trace.take() {
+            mem.set_row_event_recording(true);
+            let r = if self.cfg.simt.is_some() {
+                crate::simt::run_simt(self, mem, &mut ring)
+            } else {
+                self.run_scalar(mem, &mut ring)
+            };
+            self.trace = Some(ring);
+            r
         } else {
-            self.run_scalar(mem)
+            let mut sink = NullSink;
+            if self.cfg.simt.is_some() {
+                crate::simt::run_simt(self, mem, &mut sink)
+            } else {
+                self.run_scalar(mem, &mut sink)
+            }
+        };
+        if result.is_ok() {
+            if let Some(oracle) = oracle {
+                self.check_against_oracle(oracle)?;
+            }
         }
+        result
+    }
+
+    /// Snapshots the pre-run state into a `pim-ref` interpreter when the
+    /// oracle check is enabled (scratchpad-centric runs only: the oracle
+    /// does not model the flat cached space).
+    fn build_oracle(&self) -> Option<pim_ref::RefInterpreter> {
+        if !self.cfg.oracle_check || !matches!(self.cfg.memory_mode, MemoryMode::Scratchpad) {
+            return None;
+        }
+        let program = self.program.as_ref().expect("checked in launch");
+        let mut oracle =
+            pim_ref::RefInterpreter::with_layout(program, self.cfg.layout, self.cfg.n_tasklets);
+        oracle.wram.copy_from_slice(&self.state.wram);
+        oracle.mram.copy_from_slice(&self.state.mram);
+        for t in 0..self.cfg.n_tasklets as usize {
+            oracle.set_entry(t as u32, self.state.pc[t], self.state.tid_base[t]);
+        }
+        Some(oracle)
+    }
+
+    /// Runs the oracle to completion and compares the final WRAM/MRAM state
+    /// byte for byte against the simulator's.
+    fn check_against_oracle(&self, mut oracle: pim_ref::RefInterpreter) -> Result<(), SimError> {
+        // The oracle interprets one instruction per step; any kernel that
+        // finishes under the cycle limit finishes well under this budget.
+        let budget = self.cfg.max_cycles.min(500_000_000);
+        oracle
+            .run(budget)
+            .map_err(|detail| SimError::OracleDivergence { detail })
+            .map(|_steps| ())?;
+        let diff = |name: &str, got: &[u8], want: &[u8]| -> Result<(), SimError> {
+            match got.iter().zip(want).position(|(g, w)| g != w) {
+                None => Ok(()),
+                Some(at) => Err(SimError::OracleDivergence {
+                    detail: format!(
+                        "{name} diverges at {at:#x}: simulator {:#04x}, oracle {:#04x}",
+                        got[at], want[at]
+                    ),
+                }),
+            }
+        };
+        diff("WRAM", &self.state.wram, &oracle.wram)?;
+        diff("MRAM", &self.state.mram, &oracle.mram)
     }
 
     /// Fresh statistics shell for a run.
@@ -319,9 +392,15 @@ impl Dpu {
         self.cfg.layout.mram_bytes - 256 * 1024
     }
 
-    /// The scalar (baseline / ILP-extended) cycle loop.
+    /// The scalar (baseline / ILP-extended) cycle loop. Generic over the
+    /// trace sink so the `NullSink` instantiation compiles the event
+    /// emission away entirely.
     #[allow(clippy::too_many_lines)]
-    fn run_scalar(&mut self, mut mem: MemEngine) -> Result<DpuRunStats, SimError> {
+    fn run_scalar<S: TraceSink>(
+        &mut self,
+        mut mem: MemEngine,
+        sink: &mut S,
+    ) -> Result<DpuRunStats, SimError> {
         let n = self.cfg.n_tasklets as usize;
         let program = self.program.clone().expect("checked in launch");
         let n_instrs = program.instrs.len() as u32;
@@ -374,10 +453,16 @@ impl Dpu {
             }
             // 1. Memory completions.
             mem.advance(now);
+            if sink.enabled() {
+                mem.drain_row_events(sink);
+            }
             for (token, at) in mem.drain_done() {
                 let t = token as usize;
                 status[t] = TaskletStatus::Ready;
                 next_issue[t] = next_issue[t].max(at + 1);
+                if sink.enabled() {
+                    sink.emit(TraceEvent::DmaEnd { cycle: at, tasklet: t as u32 });
+                }
             }
             // 2. Issuable set.
             issuable.clear();
@@ -393,6 +478,13 @@ impl Dpu {
             if rf_block > 0 {
                 stats.record_tlp_span(issuable.len(), 1, &mut window_acc);
                 stats.idle_rf += 1.0;
+                if sink.enabled() {
+                    sink.emit(TraceEvent::Stall {
+                        cycle: now,
+                        cycles: 1,
+                        cause: StallCause::RegisterFile,
+                    });
+                }
                 rf_block -= 1;
                 now += 1;
                 continue;
@@ -420,6 +512,17 @@ impl Dpu {
                 let tot = (n_sched + n_mem).max(1.0);
                 stats.idle_memory += span as f64 * n_mem / tot;
                 stats.idle_revolver += span as f64 * n_sched / tot;
+                if sink.enabled() {
+                    sink.emit(TraceEvent::Stall {
+                        cycle: now,
+                        cycles: span,
+                        cause: if n_mem >= n_sched {
+                            StallCause::Memory
+                        } else {
+                            StallCause::Revolver
+                        },
+                    });
+                }
                 now += span;
                 continue;
             }
@@ -446,15 +549,17 @@ impl Dpu {
                     if !out.hit {
                         status[t] = TaskletStatus::Blocked;
                         let line = out.fill_line.expect("miss has a fill");
-                        mem.issue(
-                            t as u64,
-                            vec![Segment {
-                                addr: line,
-                                bytes: ic.config().line_bytes,
+                        let bytes = ic.config().line_bytes;
+                        if sink.enabled() {
+                            sink.emit(TraceEvent::DmaBegin {
+                                cycle: now,
+                                tasklet: t as u32,
+                                mram: line,
+                                bytes,
                                 write: false,
-                            }],
-                            now,
-                        );
+                            });
+                        }
+                        mem.issue(t as u64, vec![Segment { addr: line, bytes, write: false }], now);
                         continue;
                     }
                 }
@@ -481,6 +586,15 @@ impl Dpu {
                                 if let Some(wb) = out.writeback_line {
                                     segs.push(Segment { addr: wb, bytes: line_bytes, write: true });
                                 }
+                                if sink.enabled() {
+                                    sink.emit(TraceEvent::DmaBegin {
+                                        cycle: now,
+                                        tasklet: t as u32,
+                                        mram: segs[0].addr,
+                                        bytes: segs.iter().map(|s| s.bytes).sum(),
+                                        write: false,
+                                    });
+                                }
                                 mem.issue(t as u64, segs, now);
                                 continue;
                             }
@@ -499,6 +613,28 @@ impl Dpu {
                 }
                 let effect = self.state.execute(t as u32, &instr)?;
                 stats.count_instruction(instr.class(), t as u32);
+                if sink.enabled() {
+                    sink.emit(TraceEvent::InstrRetire {
+                        cycle: now,
+                        tasklet: t as u32,
+                        pc,
+                        class: instr.class(),
+                    });
+                    match instr {
+                        Instruction::Acquire { bit } => sink.emit(TraceEvent::BarrierAcquire {
+                            cycle: now,
+                            tasklet: t as u32,
+                            bit: self.state.operand(t as u32, bit),
+                            acquired: effect != Effect::AcquireRetry,
+                        }),
+                        Instruction::Release { bit } => sink.emit(TraceEvent::BarrierRelease {
+                            cycle: now,
+                            tasklet: t as u32,
+                            bit: self.state.operand(t as u32, bit),
+                        }),
+                        _ => {}
+                    }
+                }
                 next_issue[t] = now + gap;
                 if fwd {
                     if let Some(rd) = instr.dst() {
@@ -517,6 +653,15 @@ impl Dpu {
                     Effect::Dma { mram, len, write } => {
                         self.state.pc[t] = pc + 1;
                         status[t] = TaskletStatus::Blocked;
+                        if sink.enabled() {
+                            sink.emit(TraceEvent::DmaBegin {
+                                cycle: now,
+                                tasklet: t as u32,
+                                mram,
+                                bytes: len,
+                                write,
+                            });
+                        }
                         mem.issue(t as u64, vec![Segment { addr: mram, bytes: len, write }], now);
                     }
                 }
@@ -533,6 +678,13 @@ impl Dpu {
             } else {
                 // Every candidate stalled on a cache fill this cycle.
                 stats.idle_memory += 1.0;
+                if sink.enabled() {
+                    sink.emit(TraceEvent::Stall {
+                        cycle: now,
+                        cycles: 1,
+                        cause: StallCause::Memory,
+                    });
+                }
             }
             now += 1;
         }

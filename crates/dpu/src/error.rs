@@ -77,6 +77,13 @@ pub enum SimError {
     },
     /// No program was loaded before launch.
     NoProgram,
+    /// The `pim-ref` functional oracle disagreed with the simulator about
+    /// the final architectural state (enabled by
+    /// [`crate::DpuConfig::with_oracle_check`]).
+    OracleDivergence {
+        /// Human-readable description of the first divergence.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -107,6 +114,9 @@ impl fmt::Display for SimError {
                 write!(f, "cycle limit of {limit} reached before all tasklets stopped")
             }
             SimError::NoProgram => write!(f, "no program loaded"),
+            SimError::OracleDivergence { detail } => {
+                write!(f, "functional-oracle divergence: {detail}")
+            }
         }
     }
 }

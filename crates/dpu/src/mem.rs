@@ -18,8 +18,9 @@
 
 use std::collections::HashMap;
 
-use pim_dram::{Access, AccessId, DramBank, DramConfig};
+use pim_dram::{Access, AccessId, DramBank, DramConfig, RowEventKind};
 use pim_mmu::Mmu;
+use pim_trace::{TraceEvent, TraceSink};
 
 /// A caller-chosen identifier reported back when a request completes.
 pub(crate) type Token = u64;
@@ -109,6 +110,23 @@ impl MemEngine {
 
     pub(crate) fn bank(&self) -> &DramBank {
         &self.bank
+    }
+
+    /// Turns DRAM row-buffer event recording on or off (for tracing).
+    pub(crate) fn set_row_event_recording(&mut self, on: bool) {
+        self.bank.set_event_recording(on);
+    }
+
+    /// Drains recorded row-buffer events into `sink`, converting their
+    /// timestamps from DRAM cycles to core cycles.
+    pub(crate) fn drain_row_events<S: TraceSink>(&mut self, sink: &mut S) {
+        for ev in self.bank.drain_row_events() {
+            let cycle = self.to_core(ev.at);
+            sink.emit(match ev.kind {
+                RowEventKind::Activate => TraceEvent::RowActivate { cycle, row: ev.row },
+                RowEventKind::Precharge => TraceEvent::RowPrecharge { cycle, row: ev.row },
+            });
+        }
     }
 
     pub(crate) fn mmu(&self) -> Option<&Mmu> {

@@ -20,6 +20,8 @@
 //! the DRAM row open), and scratchpad accesses falling in the same 64 B
 //! segment share one port slot instead of serializing per lane.
 
+use pim_trace::{StallCause, TraceEvent, TraceSink};
+
 use crate::dpu::{Dpu, TaskletStatus};
 use crate::error::SimError;
 use crate::exec::Effect;
@@ -38,7 +40,11 @@ struct Warp {
 }
 
 /// Runs the loaded kernel under the SIMT front-end.
-pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats, SimError> {
+pub(crate) fn run_simt<S: TraceSink>(
+    dpu: &mut Dpu,
+    mut mem: MemEngine,
+    sink: &mut S,
+) -> Result<DpuRunStats, SimError> {
     let cfg = dpu.cfg.clone();
     let simt = cfg.simt.expect("run_simt requires a SIMT config");
     let width = simt.warp_width as usize;
@@ -73,7 +79,13 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
             return Err(SimError::CycleLimit { limit: cfg.max_cycles });
         }
         mem.advance(now);
+        if sink.enabled() {
+            mem.drain_row_events(sink);
+        }
         for (token, at) in mem.drain_done() {
+            if sink.enabled() {
+                sink.emit(TraceEvent::DmaEnd { cycle: at, tasklet: token as u32 });
+            }
             let w = &mut warps[token as usize];
             w.pending_mem -= 1;
             if w.pending_mem == 0 {
@@ -98,6 +110,13 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
         if port_block > 0 {
             stats.record_tlp_span(issuable_lanes.min(n), 1, &mut window_acc);
             stats.idle_rf += 1.0;
+            if sink.enabled() {
+                sink.emit(TraceEvent::Stall {
+                    cycle: now,
+                    cycles: 1,
+                    cause: StallCause::RegisterFile,
+                });
+            }
             port_block -= 1;
             now += 1;
             continue;
@@ -125,6 +144,17 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
             let tot = (lanes_sched + lanes_mem).max(1.0);
             stats.idle_memory += span as f64 * lanes_mem / tot;
             stats.idle_revolver += span as f64 * lanes_sched / tot;
+            if sink.enabled() {
+                sink.emit(TraceEvent::Stall {
+                    cycle: now,
+                    cycles: span,
+                    cause: if lanes_mem >= lanes_sched {
+                        StallCause::Memory
+                    } else {
+                        StallCause::Revolver
+                    },
+                });
+            }
             now = next;
             continue;
         }
@@ -160,6 +190,9 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
         let Some(pc) = chosen else {
             // All groups waiting on forwarding: a pipeline stall cycle.
             stats.idle_revolver += 1.0;
+            if sink.enabled() {
+                sink.emit(TraceEvent::Stall { cycle: now, cycles: 1, cause: StallCause::Revolver });
+            }
             now += 1;
             continue;
         };
@@ -211,6 +244,32 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
             }
             let effect = dpu.state.execute(l as u32, &instr)?;
             stats.count_instruction(instr.class(), l as u32);
+            if sink.enabled() {
+                sink.emit(TraceEvent::InstrRetire {
+                    cycle: now,
+                    tasklet: l as u32,
+                    pc,
+                    class: instr.class(),
+                });
+                match instr {
+                    pim_isa::Instruction::Acquire { bit } => {
+                        sink.emit(TraceEvent::BarrierAcquire {
+                            cycle: now,
+                            tasklet: l as u32,
+                            bit: dpu.state.operand(l as u32, bit),
+                            acquired: effect != Effect::AcquireRetry,
+                        });
+                    }
+                    pim_isa::Instruction::Release { bit } => {
+                        sink.emit(TraceEvent::BarrierRelease {
+                            cycle: now,
+                            tasklet: l as u32,
+                            bit: dpu.state.operand(l as u32, bit),
+                        });
+                    }
+                    _ => {}
+                }
+            }
             if let Some(rd) = instr.dst() {
                 let lat = match instr {
                     pim_isa::Instruction::Load { .. } => u64::from(cfg.forward_load_latency),
@@ -249,12 +308,32 @@ pub(crate) fn run_simt(dpu: &mut Dpu, mut mem: MemEngine) -> Result<DpuRunStats,
                     }
                 }
                 warps[wi].pending_mem = 1;
+                if sink.enabled() {
+                    for s in &merged {
+                        sink.emit(TraceEvent::DmaBegin {
+                            cycle: now,
+                            tasklet: wi as u32,
+                            mram: s.addr,
+                            bytes: s.bytes,
+                            write: s.write,
+                        });
+                    }
+                }
                 mem.issue(wi as u64, merged, now);
             } else {
                 // One engine request per lane: per-request setup is paid
                 // for every scalar transfer, as in the uncoalesced design.
                 warps[wi].pending_mem = dma_lane_requests;
                 for s in dma_segments {
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::DmaBegin {
+                            cycle: now,
+                            tasklet: wi as u32,
+                            mram: s.addr,
+                            bytes: s.bytes,
+                            write: s.write,
+                        });
+                    }
                     mem.issue(wi as u64, vec![s], now);
                 }
             }

@@ -35,6 +35,29 @@ impl Access {
     }
 }
 
+/// Kind of row-buffer command recorded by [`DramBank`] event recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowEventKind {
+    /// A row was activated (opened) into the row buffer.
+    Activate,
+    /// The open row was precharged (closed).
+    Precharge,
+}
+
+/// A row-buffer command observed while event recording is enabled.
+///
+/// Times are in DRAM-clock cycles; the memory engine converts them to core
+/// cycles before handing them to a trace sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowEvent {
+    /// DRAM cycle at which the command issued.
+    pub at: u64,
+    /// The row involved.
+    pub row: u32,
+    /// Activate or precharge.
+    pub kind: RowEventKind,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Queued {
     id: AccessId,
@@ -73,6 +96,9 @@ pub struct DramBank {
     blocked_until: Option<u64>,
     next_id: u64,
     stats: DramStats,
+    /// Row-buffer commands recorded while `record_events` is set.
+    row_events: Vec<RowEvent>,
+    record_events: bool,
 }
 
 impl DramBank {
@@ -89,7 +115,23 @@ impl DramBank {
             blocked_until: None,
             next_id: 0,
             stats: DramStats::default(),
+            row_events: Vec::new(),
+            record_events: false,
         }
+    }
+
+    /// Enables or disables row-buffer event recording. Off by default; the
+    /// bank buffers nothing unless a tracer asks for it.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.record_events = on;
+        if !on {
+            self.row_events.clear();
+        }
+    }
+
+    /// Takes the row-buffer events recorded since the last drain.
+    pub fn drain_row_events(&mut self) -> Vec<RowEvent> {
+        std::mem::take(&mut self.row_events)
     }
 
     /// The bank's configuration.
@@ -235,17 +277,32 @@ impl DramBank {
                 self.stats.row_hits += 1;
                 start
             }
-            Some(_) => {
+            Some(open) => {
                 self.stats.row_conflicts += 1;
                 // Precharge may not issue before tRAS has elapsed since ACT.
                 let pre_at = start.max(self.act_cycle + cfg.t_ras);
                 let act_at = pre_at + cfg.t_rp;
+                if self.record_events {
+                    self.row_events.push(RowEvent {
+                        at: pre_at,
+                        row: open,
+                        kind: RowEventKind::Precharge,
+                    });
+                    self.row_events.push(RowEvent {
+                        at: act_at,
+                        row,
+                        kind: RowEventKind::Activate,
+                    });
+                }
                 self.act_cycle = act_at;
                 self.open_row = Some(row);
                 act_at + cfg.t_rcd
             }
             None => {
                 self.stats.row_opens += 1;
+                if self.record_events {
+                    self.row_events.push(RowEvent { at: start, row, kind: RowEventKind::Activate });
+                }
                 self.act_cycle = start;
                 self.open_row = Some(row);
                 start + cfg.t_rcd

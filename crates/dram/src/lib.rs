@@ -34,6 +34,6 @@ pub mod bank;
 pub mod config;
 pub mod stats;
 
-pub use bank::{Access, AccessId, DramBank};
+pub use bank::{Access, AccessId, DramBank, RowEvent, RowEventKind};
 pub use config::DramConfig;
 pub use stats::DramStats;

@@ -2,6 +2,7 @@
 
 use pim_asm::DpuProgram;
 use pim_dpu::{Dpu, DpuConfig, DpuRunStats, SimError};
+use pim_trace::{SystemTrace, TraceEvent};
 
 use crate::xfer::TransferConfig;
 
@@ -78,6 +79,9 @@ pub struct PimSystem {
     dpus: Vec<Dpu>,
     xfer: TransferConfig,
     timeline: ExecutionTimeline,
+    /// Host-side transfer events, recorded when the DPU config enables
+    /// event tracing (`event_trace_capacity > 0`).
+    trace_host: Option<Vec<TraceEvent>>,
 }
 
 impl PimSystem {
@@ -90,8 +94,32 @@ impl PimSystem {
     #[must_use]
     pub fn new(n_dpus: u32, cfg: DpuConfig, xfer: TransferConfig) -> Self {
         assert!(n_dpus > 0, "a PIM system needs at least one DPU");
+        let trace_host = (cfg.event_trace_capacity > 0).then(Vec::new);
         let dpus = (0..n_dpus).map(|_| Dpu::new(cfg.clone())).collect();
-        PimSystem { dpus, xfer, timeline: ExecutionTimeline::default() }
+        PimSystem { dpus, xfer, timeline: ExecutionTimeline::default(), trace_host }
+    }
+
+    /// Records a host transfer event at the current timeline position.
+    /// Call *before* the transfer time is added to the timeline so `at_ns`
+    /// marks the transfer's start.
+    fn record_host(&mut self, pull: bool, ns: f64, bytes: u64) {
+        if let Some(events) = self.trace_host.as_mut() {
+            let at_ns = self.timeline.total_ns();
+            events.push(if pull {
+                TraceEvent::HostPull { at_ns, ns, bytes }
+            } else {
+                TraceEvent::HostPush { at_ns, ns, bytes }
+            });
+        }
+    }
+
+    /// Takes the structured trace accumulated since the last call: host
+    /// transfer events plus every DPU's event ring. Returns `None` unless
+    /// the system was built with `event_trace_capacity > 0`.
+    pub fn take_trace(&mut self) -> Option<SystemTrace> {
+        let host = self.trace_host.as_mut().map(std::mem::take)?;
+        let per_dpu = self.dpus.iter_mut().map(|d| d.take_trace().unwrap_or_default()).collect();
+        Some(SystemTrace { freq_mhz: self.dpus[0].config().freq_mhz, host, per_dpu })
     }
 
     /// Number of DPUs in the set.
@@ -157,7 +185,9 @@ impl PimSystem {
         for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
             dpu.write_mram(addr, chunk);
         }
-        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(max_bytes);
+        let ns = self.xfer.to_dpu_ns(max_bytes);
+        self.record_host(false, ns, max_bytes);
+        self.timeline.to_dpu_ns += ns;
     }
 
     /// Broadcast CPU→DPU transfer: the same bytes to every DPU's MRAM.
@@ -165,14 +195,18 @@ impl PimSystem {
         for dpu in &mut self.dpus {
             dpu.write_mram(addr, data);
         }
-        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
+        let ns = self.xfer.to_dpu_ns(data.len() as u64);
+        self.record_host(false, ns, data.len() as u64);
+        self.timeline.to_dpu_ns += ns;
     }
 
     /// Single-DPU CPU→DPU transfer into MRAM (serial; accumulates its own
     /// transfer time).
     pub fn copy_to_mram(&mut self, dpu: u32, addr: u32, data: &[u8]) {
         self.dpus[dpu as usize].write_mram(addr, data);
-        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
+        let ns = self.xfer.to_dpu_ns(data.len() as u64);
+        self.record_host(false, ns, data.len() as u64);
+        self.timeline.to_dpu_ns += ns;
     }
 
     /// Parallel CPU←DPU transfer out of MRAM (`dpu_push_xfer(FROM_DPU)`).
@@ -181,7 +215,9 @@ impl PimSystem {
     #[must_use]
     pub fn pull_from_mram(&mut self, addr: u32, len: u32) -> Vec<Vec<u8>> {
         let out: Vec<Vec<u8>> = self.dpus.iter().map(|d| d.read_mram(addr, len)).collect();
-        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(u64::from(len));
+        let ns = self.xfer.from_dpu_ns(u64::from(len));
+        self.record_host(true, ns, u64::from(len));
+        self.timeline.from_dpu_ns += ns;
         out
     }
 
@@ -189,7 +225,9 @@ impl PimSystem {
     #[must_use]
     pub fn copy_from_mram(&mut self, dpu: u32, addr: u32, len: u32) -> Vec<u8> {
         let out = self.dpus[dpu as usize].read_mram(addr, len);
-        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(u64::from(len));
+        let ns = self.xfer.from_dpu_ns(u64::from(len));
+        self.record_host(true, ns, u64::from(len));
+        self.timeline.from_dpu_ns += ns;
         out
     }
 
@@ -207,7 +245,9 @@ impl PimSystem {
         for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
             dpu.write_wram_symbol(name, chunk);
         }
-        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(max_bytes);
+        let ns = self.xfer.to_dpu_ns(max_bytes);
+        self.record_host(false, ns, max_bytes);
+        self.timeline.to_dpu_ns += ns;
     }
 
     /// Broadcast the same bytes into a named WRAM symbol on every DPU.
@@ -215,7 +255,9 @@ impl PimSystem {
         for dpu in &mut self.dpus {
             dpu.write_wram_symbol(name, data);
         }
-        self.timeline.to_dpu_ns += self.xfer.to_dpu_ns(data.len() as u64);
+        let ns = self.xfer.to_dpu_ns(data.len() as u64);
+        self.record_host(false, ns, data.len() as u64);
+        self.timeline.to_dpu_ns += ns;
     }
 
     /// Reads a named WRAM symbol back from every DPU. As with every
@@ -226,7 +268,9 @@ impl PimSystem {
     pub fn pull_from_symbol(&mut self, name: &str) -> Vec<Vec<u8>> {
         let out: Vec<Vec<u8>> = self.dpus.iter().map(|d| d.read_wram_symbol(name)).collect();
         let max_bytes = out.iter().map(Vec::len).max().unwrap_or(0) as u64;
-        self.timeline.from_dpu_ns += self.xfer.from_dpu_ns(max_bytes);
+        let ns = self.xfer.from_dpu_ns(max_bytes);
+        self.record_host(true, ns, max_bytes);
+        self.timeline.from_dpu_ns += ns;
         out
     }
 

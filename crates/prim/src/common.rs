@@ -118,6 +118,18 @@ pub fn validate_words(name: &str, got: &[i32], expect: &[i32]) -> Result<(), Str
     }
 }
 
+/// Assembles a [`crate::WorkloadRun`] from a finished system, harvesting
+/// the structured event trace (if tracing was enabled) alongside the
+/// timeline. Every workload's `run` ends here so traces are never lost.
+#[must_use]
+pub fn finish_run(
+    sys: &mut pim_host::PimSystem,
+    per_dpu: Vec<pim_dpu::DpuRunStats>,
+    validation: Result<(), String>,
+) -> crate::WorkloadRun {
+    crate::WorkloadRun { timeline: *sys.timeline(), per_dpu, validation, trace: sys.take_trace() }
+}
+
 /// The host↔kernel parameter block: an ordered list of named `u32` values
 /// living in the WRAM symbol `"params"`, mirroring how PrIM host code sets
 /// scalars like `size_per_dpu` before launch (paper Fig 2(a), line 18-20).

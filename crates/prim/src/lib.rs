@@ -96,6 +96,9 @@ pub struct WorkloadRun {
     pub per_dpu: Vec<DpuRunStats>,
     /// `Ok` when the pulled outputs matched the reference implementation.
     pub validation: Result<(), String>,
+    /// Structured event trace, present when the DPU config enabled event
+    /// tracing (`event_trace_capacity > 0`).
+    pub trace: Option<pim_trace::SystemTrace>,
 }
 
 impl WorkloadRun {

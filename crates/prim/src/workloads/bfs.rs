@@ -422,11 +422,7 @@ impl Workload for Bfs {
             .flatten()
             .collect()
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu,
-            validation: validate_words("BFS", &got, &expect),
-        })
+        Ok(crate::common::finish_run(&mut sys, per_dpu, validate_words("BFS", &got, &expect)))
     }
 }
 

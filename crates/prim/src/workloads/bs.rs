@@ -207,11 +207,7 @@ impl Workload for Bs {
                 .flatten()
                 .collect()
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("BS", &got, &expect),
-        })
+        Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate_words("BS", &got, &expect)))
     }
 }
 

@@ -176,11 +176,11 @@ impl Workload for Gemv {
                 .flatten()
                 .collect()
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("GEMV", &got, &expect),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("GEMV", &got, &expect),
+        ))
     }
 }
 

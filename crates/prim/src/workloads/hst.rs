@@ -209,11 +209,7 @@ fn run_hst(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Worklo
         }
     }
     let name = if flavour == Flavour::Small { "HST-S" } else { "HST-L" };
-    Ok(WorkloadRun {
-        timeline: *sys.timeline(),
-        per_dpu: report.per_dpu,
-        validation: validate_words(name, &got, &expect),
-    })
+    Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate_words(name, &got, &expect)))
 }
 
 impl Workload for HstS {

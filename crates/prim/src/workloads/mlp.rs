@@ -289,11 +289,7 @@ impl Mlp {
         } else {
             from_bytes(&sys.copy_from_mram(0, y_base, cols as u32 * 4))
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("MLP", &got, expect),
-        })
+        Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate_words("MLP", &got, expect)))
     }
 
     #[allow(clippy::needless_range_loop)] // layer index also selects weight bases
@@ -359,11 +355,7 @@ impl Mlp {
                 .flatten()
                 .collect();
         }
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu,
-            validation: validate_words("MLP", &act, expect),
-        })
+        Ok(crate::common::finish_run(&mut sys, per_dpu, validate_words("MLP", &act, expect)))
     }
 }
 

@@ -345,11 +345,7 @@ impl Nw {
         } else {
             from_bytes(&sys.copy_from_mram(0, h_base, h_bytes))
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("NW", &got, expect),
-        })
+        Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate_words("NW", &got, expect)))
     }
 
     /// Host-level anti-diagonal wavefront over `D×D` super-blocks, one DPU
@@ -424,11 +420,7 @@ impl Nw {
                 }
             }
         }
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu,
-            validation: validate_words("NW", &h, expect),
-        })
+        Ok(crate::common::finish_run(&mut sys, per_dpu, validate_words("NW", &h, expect)))
     }
 }
 

@@ -137,11 +137,11 @@ impl Workload for Red {
             .iter()
             .map(|b| i32::from_le_bytes(b.as_slice().try_into().expect("4-byte result")))
             .fold(0i32, |a, b| a.wrapping_add(b));
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("RED", &[got], &[expect]),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("RED", &[got], &[expect]),
+        ))
     }
 }
 

@@ -305,11 +305,7 @@ fn run_scan(flavour: Flavour, size: DatasetSize, rc: &RunConfig) -> Result<Workl
             .collect()
     };
     let name = if flavour == Flavour::Ssa { "SCAN-SSA" } else { "SCAN-RSS" };
-    Ok(WorkloadRun {
-        timeline: *sys.timeline(),
-        per_dpu: report.per_dpu,
-        validation: validate_words(name, &got, &expect),
-    })
+    Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate_words(name, &got, &expect)))
 }
 
 impl Workload for ScanSsa {

@@ -232,11 +232,11 @@ impl Workload for Sel {
                 .flatten()
                 .collect()
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("SEL", &got, &expect),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("SEL", &got, &expect),
+        ))
     }
 }
 

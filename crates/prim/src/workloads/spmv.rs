@@ -323,11 +323,11 @@ impl Workload for Spmv {
                 .flatten()
                 .collect()
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("SpMV", &got, &expect),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("SpMV", &got, &expect),
+        ))
     }
 }
 

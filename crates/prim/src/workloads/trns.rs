@@ -229,11 +229,11 @@ impl Workload for Trns {
                 }
             }
         }
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("TRNS", &got, &expect),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("TRNS", &got, &expect),
+        ))
     }
 }
 

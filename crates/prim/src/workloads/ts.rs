@@ -245,11 +245,11 @@ impl Workload for Ts {
                 gidx = i;
             }
         }
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("TS", &[gmin, gidx], &[emin, eidx]),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("TS", &[gmin, gidx], &[emin, eidx]),
+        ))
     }
 }
 

@@ -244,11 +244,11 @@ impl Workload for Uni {
                 .flatten()
                 .collect()
         };
-        Ok(WorkloadRun {
-            timeline: *sys.timeline(),
-            per_dpu: report.per_dpu,
-            validation: validate_words("UNI", &got, &expect),
-        })
+        Ok(crate::common::finish_run(
+            &mut sys,
+            report.per_dpu,
+            validate_words("UNI", &got, &expect),
+        ))
     }
 }
 

@@ -176,11 +176,7 @@ fn run_scratchpad(
         let len = chunk_range(n, n_dpus, d).len();
         got.extend(&from_bytes(bytes)[..len]);
     }
-    Ok(WorkloadRun {
-        timeline: *sys.timeline(),
-        per_dpu: report.per_dpu,
-        validation: validate(&got, expect),
-    })
+    Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate(&got, expect)))
 }
 
 fn run_flat(a: &[i32], b: &[i32], expect: &[i32], rc: &RunConfig) -> Result<WorkloadRun, SimError> {
@@ -205,11 +201,7 @@ fn run_flat(a: &[i32], b: &[i32], expect: &[i32], rc: &RunConfig) -> Result<Work
     sys.push_to_symbol("params", &[pbytes.as_slice()]);
     let report = sys.launch_all()?;
     let got = from_bytes(&sys.dpu(0).read_wram(c_base, n * 4));
-    Ok(WorkloadRun {
-        timeline: *sys.timeline(),
-        per_dpu: report.per_dpu,
-        validation: validate(&got, expect),
-    })
+    Ok(crate::common::finish_run(&mut sys, report.per_dpu, validate(&got, expect)))
 }
 
 fn validate(got: &[i32], expect: &[i32]) -> Result<(), String> {

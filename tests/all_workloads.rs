@@ -73,6 +73,29 @@ fn every_workload_validates_under_the_mmu() {
 }
 
 #[test]
+fn every_workload_matches_the_functional_oracle() {
+    // Differential sweep against the timing-free `pim-ref` interpreter:
+    // with the oracle check enabled, every launch replays on the oracle
+    // and faults on the first diverging WRAM/MRAM byte — so the
+    // cycle-level pipeline (revolver scheduling, DMA timing, hazards)
+    // must be *functionally* invisible for every PrIM workload.
+    for w in all_workloads() {
+        for threads in [1, 8] {
+            let cfg = DpuConfig::paper_baseline(threads).with_oracle_check();
+            let run = w
+                .run(DatasetSize::Tiny, &RunConfig::single(cfg))
+                .unwrap_or_else(|e| panic!("{} @{threads}t vs oracle: {e}", w.name()));
+            assert!(
+                run.validation.is_ok(),
+                "{} @{threads}t: {}",
+                w.name(),
+                run.validation.unwrap_err()
+            );
+        }
+    }
+}
+
+#[test]
 fn attribution_is_conserved_for_every_workload() {
     for w in all_workloads() {
         let run =

@@ -1,0 +1,59 @@
+//! Golden-snapshot tests: the committed `results/golden/*.json` documents
+//! must regenerate **byte-identically** — same simulation results, same
+//! float shortest-round-trip rendering, same key order — regardless of
+//! worker count (the job engine restores job order) or host.
+//!
+//! If a change legitimately shifts the numbers, regenerate with:
+//!
+//! ```text
+//! cargo run --release -p pim-cli --bin pimsim -- \
+//!     exp <name> --size tiny --json --out results/golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::Path;
+
+use pim_bench::{experiment_by_name, run_experiment, DriverOptions};
+use prim_suite::DatasetSize;
+
+fn check_golden(name: &str) {
+    let e = experiment_by_name(name).unwrap_or_else(|| panic!("unknown experiment {name}"));
+    let opts = DriverOptions {
+        size: Some(DatasetSize::Tiny),
+        threads: Some(2),
+        ..DriverOptions::default()
+    };
+    let report = run_experiment(e, &opts).unwrap_or_else(|e| panic!("{name} faulted: {e}"));
+    let got = report.json.render_pretty();
+
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("results/golden").join(format!("{name}.json"));
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden {} unreadable: {e}", path.display()));
+    assert!(
+        got == want,
+        "{name}: regeneration is not byte-identical to {} — if the change is intended, \
+         regenerate the golden (see this file's header) and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn fig05_regenerates_byte_identically() {
+    check_golden("fig05_utilization");
+}
+
+#[test]
+fn fig12_regenerates_byte_identically() {
+    check_golden("fig12_ilp_ablation");
+}
+
+#[test]
+fn goldens_are_independent_of_worker_count() {
+    let e = experiment_by_name("fig05_utilization").unwrap();
+    let base = DriverOptions { size: Some(DatasetSize::Tiny), ..DriverOptions::default() };
+    let serial = run_experiment(e, &DriverOptions { threads: Some(1), ..base.clone() }).unwrap();
+    let parallel = run_experiment(e, &DriverOptions { threads: Some(8), ..base }).unwrap();
+    assert_eq!(serial.json.render_pretty(), parallel.json.render_pretty());
+}

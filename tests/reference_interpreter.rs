@@ -1,126 +1,15 @@
-//! Functional oracle: a ~100-line, timing-free reference interpreter for
-//! the ISA, written independently of the simulator's execution engine.
-//! Random (terminating-by-construction) single-tasklet programs must leave
-//! WRAM and MRAM in exactly the same state under both implementations —
-//! catching functional bugs that every timing configuration would share.
+//! Functional oracle, single-tasklet edition: random
+//! (terminating-by-construction) programs must leave WRAM and MRAM in
+//! exactly the same state under the cycle-level simulator and the
+//! timing-free [`pim_ref::RefInterpreter`] — catching functional bugs that
+//! every timing configuration would share. Multi-tasklet coverage lives in
+//! `tests/random_differential.rs`.
 
 use pim_asm::DpuProgram;
 use pim_dpu::{Dpu, DpuConfig};
-use pim_isa::{AluOp, Cond, Instruction, Operand, Width};
+use pim_isa::{AluOp, Cond};
+use pim_ref::RefInterpreter;
 use pim_rng::StdRng;
-
-const WRAM_SIZE: usize = 64 * 1024;
-const MRAM_SIZE: usize = 64 * 1024 * 1024;
-
-/// The independent interpreter: straight fetch-execute, no pipeline.
-struct RefInterp {
-    regs: [u32; 24],
-    pc: u32,
-    wram: Vec<u8>,
-    mram: Vec<u8>,
-    atomic: [bool; 256],
-}
-
-impl RefInterp {
-    fn new(program: &DpuProgram, mram_seed: &[u8]) -> Self {
-        let mut wram = vec![0u8; WRAM_SIZE];
-        let base = program.wram_base as usize;
-        wram[base..base + program.wram_init.len()].copy_from_slice(&program.wram_init);
-        let mut mram = vec![0u8; MRAM_SIZE];
-        mram[..mram_seed.len()].copy_from_slice(mram_seed);
-        RefInterp { regs: [0; 24], pc: 0, wram, mram, atomic: [false; 256] }
-    }
-
-    fn op(&self, o: Operand) -> u32 {
-        match o {
-            Operand::Reg(r) => self.regs[r.index() as usize],
-            Operand::Imm(i) => i as u32,
-        }
-    }
-
-    fn run(&mut self, program: &DpuProgram, max_steps: u64) {
-        let mut steps = 0;
-        loop {
-            steps += 1;
-            assert!(steps < max_steps, "reference interpreter ran away");
-            let instr = program.instrs[self.pc as usize];
-            self.pc += 1;
-            match instr {
-                Instruction::Nop => {}
-                Instruction::Stop => return,
-                Instruction::Alu { op, rd, ra, rb } => {
-                    let v = op.eval(self.regs[ra.index() as usize], self.op(rb));
-                    self.regs[rd.index() as usize] = v;
-                }
-                Instruction::Movi { rd, imm } => self.regs[rd.index() as usize] = imm as u32,
-                Instruction::Tid { rd } => self.regs[rd.index() as usize] = 0,
-                Instruction::Load { width, signed, rd, base, offset } => {
-                    let a = self.regs[base.index() as usize].wrapping_add(offset as u32) as usize;
-                    let v = match (width, signed) {
-                        (Width::Byte, false) => u32::from(self.wram[a]),
-                        (Width::Byte, true) => self.wram[a] as i8 as i32 as u32,
-                        (Width::Half, false) => {
-                            u32::from(u16::from_le_bytes(self.wram[a..a + 2].try_into().unwrap()))
-                        }
-                        (Width::Half, true) => {
-                            u16::from_le_bytes(self.wram[a..a + 2].try_into().unwrap()) as i16
-                                as i32 as u32
-                        }
-                        (Width::Word, _) => {
-                            u32::from_le_bytes(self.wram[a..a + 4].try_into().unwrap())
-                        }
-                    };
-                    self.regs[rd.index() as usize] = v;
-                }
-                Instruction::Store { width, rs, base, offset } => {
-                    let a = self.regs[base.index() as usize].wrapping_add(offset as u32) as usize;
-                    let v = self.regs[rs.index() as usize];
-                    match width {
-                        Width::Byte => self.wram[a] = v as u8,
-                        Width::Half => {
-                            self.wram[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes());
-                        }
-                        Width::Word => {
-                            self.wram[a..a + 4].copy_from_slice(&v.to_le_bytes());
-                        }
-                    }
-                }
-                Instruction::Ldma { wram, mram, len } => {
-                    let w = self.regs[wram.index() as usize] as usize;
-                    let m = self.regs[mram.index() as usize] as usize;
-                    let l = self.op(len) as usize;
-                    let tmp = self.mram[m..m + l].to_vec();
-                    self.wram[w..w + l].copy_from_slice(&tmp);
-                }
-                Instruction::Sdma { wram, mram, len } => {
-                    let w = self.regs[wram.index() as usize] as usize;
-                    let m = self.regs[mram.index() as usize] as usize;
-                    let l = self.op(len) as usize;
-                    let tmp = self.wram[w..w + l].to_vec();
-                    self.mram[m..m + l].copy_from_slice(&tmp);
-                }
-                Instruction::Branch { cond, ra, rb, target } => {
-                    if cond.eval(self.regs[ra.index() as usize], self.op(rb)) {
-                        self.pc = target;
-                    }
-                }
-                Instruction::Jump { target } => self.pc = target,
-                Instruction::Jal { rd, target } => {
-                    self.regs[rd.index() as usize] = self.pc;
-                    self.pc = target;
-                }
-                Instruction::Jr { ra } => self.pc = self.regs[ra.index() as usize],
-                Instruction::Acquire { bit } => {
-                    // Single tasklet: acquire always succeeds.
-                    self.atomic[self.op(bit) as usize] = true;
-                }
-                Instruction::Release { bit } => {
-                    self.atomic[self.op(bit) as usize] = false;
-                }
-            }
-        }
-    }
-}
 
 /// A random, terminating-by-construction single-tasklet program: a bounded
 /// loop whose body applies random ALU/memory operations over a small WRAM
@@ -204,8 +93,9 @@ fn simulator_matches_the_reference_interpreter() {
         rng.fill_bytes(&mut mram_seed);
         let program = build(&recipe);
 
-        let mut oracle = RefInterp::new(&program, &mram_seed);
-        oracle.run(&program, 2_000_000);
+        let mut oracle = RefInterpreter::new(&program, 1);
+        oracle.write_mram(0, &mram_seed);
+        oracle.run(2_000_000).unwrap_or_else(|e| panic!("oracle fault (case {case}): {e}"));
 
         let mut dpu = Dpu::new(DpuConfig::paper_baseline(1));
         dpu.load_program(&program).unwrap();
@@ -214,8 +104,20 @@ fn simulator_matches_the_reference_interpreter() {
 
         // Compare the full architectural memory state.
         let wram = dpu.read_wram(0, 16 * 1024);
-        assert_eq!(&wram[..], &oracle.wram[..16 * 1024], "WRAM diverged (case {case})");
+        assert_eq!(&wram[..], &oracle.read_wram(0, 16 * 1024)[..], "WRAM diverged (case {case})");
         let mram = dpu.read_mram(0, 64 * 1024);
-        assert_eq!(&mram[..], &oracle.mram[..64 * 1024], "MRAM diverged (case {case})");
+        assert_eq!(&mram[..], &oracle.read_mram(0, 64 * 1024)[..], "MRAM diverged (case {case})");
     }
+}
+
+#[test]
+fn builtin_oracle_check_passes_and_reports_divergence_context() {
+    // The same differential, but through `DpuConfig::with_oracle_check`:
+    // the simulator itself replays the launch on the interpreter and
+    // compares final memory.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let program = build(&arb_recipe(&mut rng));
+    let mut dpu = Dpu::new(DpuConfig::paper_baseline(1).with_oracle_check());
+    dpu.load_program(&program).unwrap();
+    dpu.launch().expect("oracle agrees with the pipeline");
 }

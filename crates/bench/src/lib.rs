@@ -181,6 +181,12 @@ pub fn experiments() -> &'static [Experiment] {
             run: run_multi_tenant,
         },
         Experiment {
+            name: "exp_serving",
+            title: "Serving: saturation sweep (throughput plateau, p99 knee)",
+            default_size: DatasetSize::SingleDpu,
+            run: run_serving,
+        },
+        Experiment {
             name: "exp_sim_rate",
             title: "\u{a7}III-D: simulation rate",
             default_size: DatasetSize::SingleDpu,
@@ -469,6 +475,133 @@ pub fn run_trace_with_args(name: &str, args: &[String]) -> ExitCode {
         let _ = std::io::stdout().write_all(text.as_bytes());
     }
     eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+/// Parses the `pimsim serve` flag set: the serving knobs
+/// (`--seed/--duration-ms/--load/--policy`) plus the common
+/// `--threads/--json/--out/--trace`.
+fn parse_serve_args(args: &[String]) -> Result<(pim_serve::ServeOptions, DriverOptions), String> {
+    let mut serve = pim_serve::ServeOptions::default();
+    let mut opts = DriverOptions { out_dir: PathBuf::from("results"), ..DriverOptions::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                serve.seed = v.parse().map_err(|_| format!("--seed: `{v}` is not a number"))?;
+            }
+            "--duration-ms" => {
+                let v = it.next().ok_or("--duration-ms needs a number")?;
+                serve.duration_ms =
+                    v.parse().map_err(|_| format!("--duration-ms: `{v}` is not a number"))?;
+            }
+            "--load" => {
+                let v = it.next().ok_or("--load needs a number")?;
+                let load: f64 = v.parse().map_err(|_| format!("--load: `{v}` is not a number"))?;
+                if load.is_nan() || load <= 0.0 {
+                    return Err("--load must be positive".to_string());
+                }
+                serve.load = load;
+            }
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a name")?;
+                if pim_serve::policy_by_name(v).is_none() {
+                    return Err(format!(
+                        "--policy: unknown policy `{v}` (expected fifo|size_class|weighted_fair)"
+                    ));
+                }
+                serve.policy = Some(v.clone());
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                serve.threads = Some(n);
+            }
+            "--json" => opts.json_stdout = true,
+            "--out" => {
+                opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file path")?));
+                serve.trace_capacity = DEFAULT_TRACE_CAPACITY;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --seed/--duration-ms/--load/--policy/\
+                     --threads/--json/--out/--trace)"
+                ))
+            }
+        }
+    }
+    Ok((serve, opts))
+}
+
+/// The `pimsim serve <scenario>` entry point: runs one serving scenario,
+/// prints the per-tenant table (or the JSON document under `--json`),
+/// and writes `<out>/serve_<scenario>.json`. With `--trace FILE` the
+/// composition profiles run with event tracing and a Chrome trace-event
+/// document lands there.
+#[must_use]
+pub fn run_serve_with_args(name: &str, args: &[String]) -> ExitCode {
+    let Some(scenario) = pim_serve::scenario_by_name(name) else {
+        eprintln!("unknown scenario `{name}`; available:");
+        for s in pim_serve::scenarios() {
+            eprintln!("  {:26} {}", s.name, s.title);
+        }
+        return ExitCode::FAILURE;
+    };
+    let (serve_opts, opts) = match parse_serve_args(args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: pimsim serve {name} [--seed N] [--duration-ms M] [--load X] \
+                 [--policy P] [--threads N] [--json] [--out DIR] [--trace FILE]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match pim_serve::run_scenario(scenario, &serve_opts) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("serve {name}: simulation fault: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut doc = pim_serve::outcome_json(&out);
+    if let Some(trace_path) = &opts.trace {
+        let trace_doc = chrome_trace(&out.traces);
+        if let Err(err) = write_with_parents(trace_path, &trace_doc.render_pretty()) {
+            eprintln!("serve {name}: could not write {}: {err}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("trace".to_string(), Json::from(trace_path.display().to_string())));
+        }
+        if !opts.json_stdout {
+            eprintln!("wrote {}", trace_path.display());
+        }
+    }
+    let pretty = doc.render_pretty();
+    {
+        use std::io::Write;
+        let text = pim_serve::outcome_table(&out);
+        let printed = if opts.json_stdout { &pretty } else { &text };
+        let _ = std::io::stdout().write_all(printed.as_bytes());
+    }
+    let path = opts.out_dir.join(format!("serve_{name}.json"));
+    if let Err(err) = write_with_parents(&path, &pretty) {
+        eprintln!("serve {name}: could not write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if !opts.json_stdout {
+        eprintln!("wrote {}", path.display());
+    }
     ExitCode::SUCCESS
 }
 
@@ -948,6 +1081,70 @@ fn run_multi_tenant(ctx: &ExpContext) -> Result<ExpReport, SimError> {
         vec![],
     );
     Ok(ExpReport { text, json })
+}
+
+fn run_serving(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    use pim_serve::{run_scenario, scenario_by_name, ServeOptions};
+
+    // Sweep the load multiplier across the saturation point of the demo
+    // scenario: throughput should plateau once the rank saturates while
+    // the aggregate p99 knees upward — the classic serving curve, here
+    // produced entirely from cycle-level composition profiles.
+    let scenario = scenario_by_name("demo").expect("demo scenario exists");
+    let duration_ms: u64 = if ctx.size == DatasetSize::Tiny { 2 } else { 20 };
+    let loads = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let mut t = Table::new(&[
+        "load",
+        "offered",
+        "admitted",
+        "rejected",
+        "completed",
+        "rps",
+        "p50_us",
+        "p99_us",
+    ]);
+    let mut json_rows = Vec::new();
+    for &load in &loads {
+        let opts = ServeOptions {
+            duration_ms,
+            load,
+            threads: Some(ctx.rt.workers()),
+            ..ServeOptions::default()
+        };
+        let out = run_scenario(scenario, &opts)?;
+        let (p50, p95, p99) = out.aggregate_latency().total.slo_triple();
+        t.row_owned(vec![
+            format!("{load}"),
+            out.offered().to_string(),
+            out.admitted().to_string(),
+            out.rejected().to_string(),
+            out.completed().to_string(),
+            format!("{:.0}", out.throughput_rps()),
+            format!("{:.1}", p50 as f64 / 1000.0),
+            format!("{:.1}", p99 as f64 / 1000.0),
+        ]);
+        json_rows.push(Json::obj([
+            ("load", Json::from(load)),
+            ("offered", Json::UInt(out.offered())),
+            ("admitted", Json::UInt(out.admitted())),
+            ("rejected", Json::UInt(out.rejected())),
+            ("completed", Json::UInt(out.completed())),
+            ("throughput_rps", Json::from(out.throughput_rps())),
+            ("p50_ns", Json::UInt(p50)),
+            ("p95_ns", Json::UInt(p95)),
+            ("p99_ns", Json::UInt(p99)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Serving: saturation sweep (throughput plateau, p99 knee)", ctx.size)
+            + &t.render(),
+        json: json_doc(
+            "exp_serving",
+            ctx.size,
+            Json::Arr(json_rows),
+            vec![("scenario", Json::from(scenario.name)), ("duration_ms", Json::UInt(duration_ms))],
+        ),
+    })
 }
 
 fn run_sim_rate(ctx: &ExpContext) -> Result<ExpReport, SimError> {

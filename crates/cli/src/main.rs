@@ -19,6 +19,15 @@
 //!     --size tiny|single|multi    dataset size
 //!     --threads N                 simulation worker threads
 //!     --out FILE                  trace file (default results/<name>.trace.json)
+//! pimsim serve  <scenario|--list> [options]  run a multi-tenant serving scenario
+//!     --seed N                    traffic seed (default 42)
+//!     --duration-ms M             simulated run length (scenario default)
+//!     --load X                    load multiplier on the base rate
+//!     --policy P                  fifo | size_class | weighted_fair
+//!     --threads N                 composition-profiling worker threads
+//!     --json                      print the JSON document to stdout
+//!     --out DIR                   where serve_<scenario>.json is written
+//!     --trace FILE                also write a Chrome trace-event file
 //! ```
 
 use std::process::ExitCode;
@@ -31,7 +40,9 @@ fn usage() -> ExitCode {
         "usage:\n  pimsim asm    <file.s>\n  pimsim disasm <file.s>\n  pimsim run    <file.s> \
          [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]\n  pimsim exp    \
          <name|--list> [--size tiny|single|multi] [--threads N] [--json] [--out DIR] [--trace \
-         FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]"
+         FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]\n  \
+         pimsim serve  <scenario|--list> [--seed N] [--duration-ms M] [--load X] [--policy P] \
+         [--threads N] [--json] [--out DIR] [--trace FILE]"
     );
     ExitCode::from(2)
 }
@@ -67,6 +78,27 @@ fn trace(args: &[String]) -> ExitCode {
     pim_bench::run_trace_with_args(name, &args[1..])
 }
 
+/// `pimsim serve`: the multi-tenant serving runtime driver.
+fn serve(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("pimsim serve: which scenario? (try `pimsim serve --list`)");
+        return ExitCode::from(2);
+    };
+    if name == "--list" {
+        // Tolerate a closed pipe (`pimsim serve --list | head`).
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for s in pim_serve::scenarios() {
+            if writeln!(out, "{:26} {}", s.name, s.title).is_err() {
+                break;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    pim_bench::run_serve_with_args(name, &args[1..])
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("exp") {
@@ -74,6 +106,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("trace") {
         return trace(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();

@@ -82,6 +82,74 @@ fn exp_out_creates_missing_parent_dirs() {
 }
 
 #[test]
+fn serve_list_succeeds_and_names_every_scenario() {
+    let out = pimsim().args(["serve", "--list"]).output().expect("spawn pimsim");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for s in pim_serve::scenarios() {
+        assert!(stdout.contains(s.name), "missing {} in --list", s.name);
+    }
+}
+
+#[test]
+fn unknown_scenario_exits_nonzero_and_lists_alternatives() {
+    let out = pimsim().args(["serve", "no_such_scenario"]).output().expect("spawn pimsim");
+    assert!(!out.status.success(), "`pimsim serve no_such_scenario` must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario"), "stderr: {stderr}");
+    assert!(stderr.contains("tiny"), "should list alternatives: {stderr}");
+    // Malformed flags fail too, with a usage line.
+    let out = pimsim().args(["serve", "tiny", "--policy", "lifo"]).output().expect("spawn pimsim");
+    assert!(!out.status.success(), "unknown policy must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+#[test]
+fn serve_writes_the_results_document() {
+    let scratch = Scratch::new("serve-out");
+    let out_dir = scratch.path("nested/results");
+    let st = pimsim()
+        .args(["serve", "tiny", "--duration-ms", "1", "--threads", "2", "--json", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let doc = parse_file(&out_dir.join("serve_tiny.json"));
+    let Json::Obj(pairs) = &doc else { panic!("results doc not an object") };
+    assert_eq!(pairs[0], ("serve".to_string(), Json::from("tiny")));
+    for key in ["policy", "tenants", "totals", "timeline", "metrics"] {
+        assert!(pairs.iter().any(|(k, _)| k == key), "missing key {key}");
+    }
+    // stdout under --json is the same document that landed on disk.
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert_eq!(Json::parse(&stdout).expect("stdout parses"), doc);
+}
+
+#[test]
+fn serve_trace_writes_a_chrome_trace() {
+    let scratch = Scratch::new("serve-trace");
+    let trace_path = scratch.path("deep/serve.trace.json");
+    let out_dir = scratch.path("results");
+    let st = pimsim()
+        .args(["serve", "tiny", "--duration-ms", "1", "--threads", "2", "--json"])
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let doc = parse_file(&trace_path);
+    let Json::Obj(pairs) = &doc else { panic!("trace doc not an object") };
+    assert_eq!(pairs[0].0, "traceEvents");
+    assert!(matches!(&pairs[0].1, Json::Arr(evs) if !evs.is_empty()));
+    let results = parse_file(&out_dir.join("serve_tiny.json"));
+    let Json::Obj(pairs) = &results else { panic!("results doc not an object") };
+    let trace_field = pairs.iter().find(|(k, _)| k == "trace").expect("trace field");
+    assert_eq!(trace_field.1, Json::from(trace_path.display().to_string()));
+}
+
+#[test]
 fn trace_subcommand_writes_a_chrome_trace_and_records_the_path() {
     let scratch = Scratch::new("trace");
     let trace_path = scratch.path("nested/deep/trace.json");

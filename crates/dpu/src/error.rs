@@ -77,6 +77,23 @@ pub enum SimError {
     },
     /// No program was loaded before launch.
     NoProgram,
+    /// A host-side transfer named a DPU index outside the system
+    /// (`try_copy_to_mram`/`try_copy_from_mram`).
+    BadDpuIndex {
+        /// The offending DPU index.
+        dpu: u32,
+        /// Number of DPUs in the system.
+        n_dpus: u32,
+    },
+    /// A parallel host transfer supplied the wrong number of per-DPU
+    /// chunks (`try_push_to_mram`/`try_push_to_symbol`) — under partial-rank
+    /// scheduling a mis-sized batch must surface as an error, not an abort.
+    ChunkCountMismatch {
+        /// Chunks supplied by the caller.
+        chunks: usize,
+        /// DPUs in the system (one chunk per DPU is required).
+        n_dpus: u32,
+    },
     /// The `pim-ref` functional oracle disagreed with the simulator about
     /// the final architectural state (enabled by
     /// [`crate::DpuConfig::with_oracle_check`]).
@@ -114,6 +131,13 @@ impl fmt::Display for SimError {
                 write!(f, "cycle limit of {limit} reached before all tasklets stopped")
             }
             SimError::NoProgram => write!(f, "no program loaded"),
+            SimError::BadDpuIndex { dpu, n_dpus } => {
+                write!(f, "DPU index {dpu} out of range (system has {n_dpus} DPUs)")
+            }
+            SimError::ChunkCountMismatch { chunks, n_dpus } => write!(
+                f,
+                "parallel transfer supplied {chunks} chunks for {n_dpus} DPUs (one chunk per DPU)"
+            ),
             SimError::OracleDivergence { detail } => {
                 write!(f, "functional-oracle divergence: {detail}")
             }

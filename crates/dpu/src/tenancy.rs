@@ -119,6 +119,20 @@ impl Colocated {
     pub fn n_tasklets(&self) -> u32 {
         self.entry.len() as u32
     }
+
+    /// Per-tenant finish cycle: the max of `tasklet_stop_cycle` (from
+    /// [`crate::DpuRunStats`]) over each tenant's tasklet range. A tenant
+    /// with no tasklets (or stop cycles missing from the slice) finishes
+    /// at cycle 0.
+    #[must_use]
+    pub fn tenant_finish_cycles(&self, tasklet_stop_cycle: &[u64]) -> Vec<u64> {
+        self.tasklets_of
+            .iter()
+            .map(|r| {
+                r.clone().filter_map(|t| tasklet_stop_cycle.get(t)).copied().max().unwrap_or(0)
+            })
+            .collect()
+    }
 }
 
 /// Merges partition-built tenants into one loadable image.

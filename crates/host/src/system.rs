@@ -172,6 +172,24 @@ impl PimSystem {
         Ok(())
     }
 
+    /// Validates that a parallel transfer has one chunk per DPU.
+    fn check_chunks(&self, chunks: usize) -> Result<(), SimError> {
+        if chunks == self.dpus.len() {
+            Ok(())
+        } else {
+            Err(SimError::ChunkCountMismatch { chunks, n_dpus: self.dpus.len() as u32 })
+        }
+    }
+
+    /// Validates a DPU index against the system size.
+    fn check_dpu(&self, dpu: u32) -> Result<(), SimError> {
+        if (dpu as usize) < self.dpus.len() {
+            Ok(())
+        } else {
+            Err(SimError::BadDpuIndex { dpu, n_dpus: self.dpus.len() as u32 })
+        }
+    }
+
     /// Parallel CPU→DPU transfer into MRAM (`dpu_push_xfer(TO_DPU)`):
     /// `chunks[i]` is written to DPU `i` at `addr`. Takes the time of the
     /// largest chunk.
@@ -180,7 +198,19 @@ impl PimSystem {
     ///
     /// Panics if `chunks` does not have one entry per DPU.
     pub fn push_to_mram(&mut self, addr: u32, chunks: &[&[u8]]) {
-        assert_eq!(chunks.len(), self.dpus.len(), "one chunk per DPU");
+        self.try_push_to_mram(addr, chunks).expect("one chunk per DPU");
+    }
+
+    /// Fallible [`PimSystem::push_to_mram`]: a mis-sized batch (e.g. a
+    /// scheduler packing fewer tenants than DPUs) surfaces as
+    /// [`SimError::ChunkCountMismatch`] instead of aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChunkCountMismatch`] unless `chunks` has exactly
+    /// one entry per DPU.
+    pub fn try_push_to_mram(&mut self, addr: u32, chunks: &[&[u8]]) -> Result<(), SimError> {
+        self.check_chunks(chunks.len())?;
         let max_bytes = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
         for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
             dpu.write_mram(addr, chunk);
@@ -188,6 +218,7 @@ impl PimSystem {
         let ns = self.xfer.to_dpu_ns(max_bytes);
         self.record_host(false, ns, max_bytes);
         self.timeline.to_dpu_ns += ns;
+        Ok(())
     }
 
     /// Broadcast CPU→DPU transfer: the same bytes to every DPU's MRAM.
@@ -202,11 +233,28 @@ impl PimSystem {
 
     /// Single-DPU CPU→DPU transfer into MRAM (serial; accumulates its own
     /// transfer time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dpu` is out of range; use
+    /// [`PimSystem::try_copy_to_mram`] where the index is not statically
+    /// known to be valid.
     pub fn copy_to_mram(&mut self, dpu: u32, addr: u32, data: &[u8]) {
+        self.try_copy_to_mram(dpu, addr, data).expect("DPU index in range");
+    }
+
+    /// Fallible [`PimSystem::copy_to_mram`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadDpuIndex`] when `dpu` is out of range.
+    pub fn try_copy_to_mram(&mut self, dpu: u32, addr: u32, data: &[u8]) -> Result<(), SimError> {
+        self.check_dpu(dpu)?;
         self.dpus[dpu as usize].write_mram(addr, data);
         let ns = self.xfer.to_dpu_ns(data.len() as u64);
         self.record_host(false, ns, data.len() as u64);
         self.timeline.to_dpu_ns += ns;
+        Ok(())
     }
 
     /// Parallel CPU←DPU transfer out of MRAM (`dpu_push_xfer(FROM_DPU)`).
@@ -222,13 +270,34 @@ impl PimSystem {
     }
 
     /// Single-DPU CPU←DPU transfer out of MRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dpu` is out of range; use
+    /// [`PimSystem::try_copy_from_mram`] where the index is not statically
+    /// known to be valid.
     #[must_use]
     pub fn copy_from_mram(&mut self, dpu: u32, addr: u32, len: u32) -> Vec<u8> {
+        self.try_copy_from_mram(dpu, addr, len).expect("DPU index in range")
+    }
+
+    /// Fallible [`PimSystem::copy_from_mram`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadDpuIndex`] when `dpu` is out of range.
+    pub fn try_copy_from_mram(
+        &mut self,
+        dpu: u32,
+        addr: u32,
+        len: u32,
+    ) -> Result<Vec<u8>, SimError> {
+        self.check_dpu(dpu)?;
         let out = self.dpus[dpu as usize].read_mram(addr, len);
         let ns = self.xfer.from_dpu_ns(u64::from(len));
         self.record_host(true, ns, u64::from(len));
         self.timeline.from_dpu_ns += ns;
-        out
+        Ok(out)
     }
 
     /// Parallel transfer into a named WRAM symbol on every DPU
@@ -240,7 +309,22 @@ impl PimSystem {
     /// Panics if `chunks` does not have one entry per DPU or the symbol is
     /// unknown.
     pub fn push_to_symbol(&mut self, name: &str, chunks: &[&[u8]]) {
-        assert_eq!(chunks.len(), self.dpus.len(), "one chunk per DPU");
+        self.try_push_to_symbol(name, chunks).expect("one chunk per DPU");
+    }
+
+    /// Fallible [`PimSystem::push_to_symbol`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChunkCountMismatch`] unless `chunks` has exactly
+    /// one entry per DPU.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the symbol is unknown on some DPU (a programming
+    /// error, not a batch-sizing error).
+    pub fn try_push_to_symbol(&mut self, name: &str, chunks: &[&[u8]]) -> Result<(), SimError> {
+        self.check_chunks(chunks.len())?;
         let max_bytes = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
         for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
             dpu.write_wram_symbol(name, chunk);
@@ -248,6 +332,7 @@ impl PimSystem {
         let ns = self.xfer.to_dpu_ns(max_bytes);
         self.record_host(false, ns, max_bytes);
         self.timeline.to_dpu_ns += ns;
+        Ok(())
     }
 
     /// Broadcast the same bytes into a named WRAM symbol on every DPU.

@@ -1,0 +1,424 @@
+//! Request classes and the composition profiler.
+//!
+//! Serving requests are not full PrIM runs — a PrIM workload's kernel is
+//! linked at WRAM base 0 and cannot be co-located. Each PrIM workload
+//! therefore maps to a *proxy request kernel*: a partition-built kernel
+//! (mem-bound DMA loop, compute-bound MAC loop, or a mixed loop) whose
+//! intensity is calibrated per workload, built per *slot* so four
+//! requests share one 16-tasklet DPU through [`pim_dpu::colocate`] —
+//! exactly the paper's §V-C co-location machinery, now under load.
+//!
+//! A DPU's *composition* is the vector of request classes occupying its
+//! slots. Execution cost is obtained by cycle-level simulation of the
+//! co-located image once per distinct composition and memoized: rounds
+//! re-use profiles, and only first-seen compositions pay for simulation
+//! (those simulations are what `--threads` parallelizes).
+
+use std::collections::BTreeMap;
+
+use pimulator::pim_asm::{KernelBuilder, LinkOptions};
+use pimulator::pim_dpu::{colocate, Colocated, DpuConfig, SimError, Tenant};
+use pimulator::pim_host::{PimSystem, TransferConfig};
+use pimulator::pim_isa::{Cond, MemLayout};
+use pimulator::trace::JobTrace;
+
+/// Request slots per DPU: four co-located tenants of four tasklets each
+/// fill the paper's 16-tasklet baseline.
+pub const SLOTS_PER_DPU: usize = 4;
+
+/// Tasklets each slot receives.
+pub const TASKLETS_PER_SLOT: u32 = 4;
+
+/// WRAM partition size per slot (4 × 16 KB fills the 64 KB scratchpad).
+pub const SLOT_WRAM_BYTES: u32 = 16 * 1024;
+
+/// MRAM staging region per slot (inputs land at `slot * SLOT_MRAM_BYTES`).
+pub const SLOT_MRAM_BYTES: u32 = 1 << 20;
+
+/// Sentinel class for an unoccupied slot.
+pub const EMPTY_SLOT: u16 = u16::MAX;
+
+/// Broad behavioural shape of a proxy request kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Dominated by WRAM←MRAM DMA (pointer-chasing probes, streaming).
+    MemBound,
+    /// Dominated by the ALU (long multiply–accumulate chains).
+    ComputeBound,
+    /// Alternating DMA and arithmetic.
+    Mixed,
+}
+
+/// One request class: the proxy kernel standing in for a PrIM workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestClass {
+    /// The PrIM workload this class proxies.
+    pub workload: &'static str,
+    /// Kernel shape.
+    pub kind: KernelKind,
+    /// Loop trip count (per tasklet), the intensity knob.
+    pub iters: u32,
+    /// Host→DPU bytes staged per request.
+    pub input_bytes: u32,
+    /// DPU→host bytes pulled per request.
+    pub output_bytes: u32,
+}
+
+/// The class table: one proxy per PrIM workload, in the suite's order.
+/// Intensities are coarse calibrations of each workload's character
+/// (memory-bound probes vs long compute chains), not timing models.
+#[must_use]
+pub fn request_classes() -> &'static [RequestClass] {
+    const MEM_IN: u32 = 4096;
+    const CPU_IN: u32 = 512;
+    const MIX_IN: u32 = 2048;
+    const OUT: u32 = 256;
+    const CLASSES: &[RequestClass] = &[
+        RequestClass {
+            workload: "BFS",
+            kind: KernelKind::Mixed,
+            iters: 24,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "BS",
+            kind: KernelKind::MemBound,
+            iters: 40,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "GEMV",
+            kind: KernelKind::ComputeBound,
+            iters: 1200,
+            input_bytes: CPU_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "HST-L",
+            kind: KernelKind::Mixed,
+            iters: 32,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "HST-S",
+            kind: KernelKind::Mixed,
+            iters: 28,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "MLP",
+            kind: KernelKind::ComputeBound,
+            iters: 1600,
+            input_bytes: CPU_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "NW",
+            kind: KernelKind::Mixed,
+            iters: 36,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "RED",
+            kind: KernelKind::MemBound,
+            iters: 48,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "SCAN-RSS",
+            kind: KernelKind::MemBound,
+            iters: 44,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "SCAN-SSA",
+            kind: KernelKind::MemBound,
+            iters: 40,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "SEL",
+            kind: KernelKind::MemBound,
+            iters: 36,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "SpMV",
+            kind: KernelKind::Mixed,
+            iters: 40,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "TRNS",
+            kind: KernelKind::MemBound,
+            iters: 52,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "TS",
+            kind: KernelKind::ComputeBound,
+            iters: 2000,
+            input_bytes: CPU_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "UNI",
+            kind: KernelKind::MemBound,
+            iters: 32,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "VA",
+            kind: KernelKind::MemBound,
+            iters: 28,
+            input_bytes: MEM_IN,
+            output_bytes: OUT,
+        },
+    ];
+    CLASSES
+}
+
+/// Resolves a PrIM workload name (case-insensitive, as
+/// `prim_suite::workload_by_name`) to its class index.
+#[must_use]
+pub fn class_index(workload: &str) -> Option<u16> {
+    request_classes()
+        .iter()
+        .position(|c| c.workload.eq_ignore_ascii_case(workload))
+        .map(|i| i as u16)
+}
+
+/// Builds the partition-built proxy kernel for `class` in `slot`
+/// (`None` builds the idle filler for an empty slot).
+fn slot_program(class: Option<&RequestClass>, slot: usize) -> pimulator::pim_asm::DpuProgram {
+    let wram_base = slot as u32 * SLOT_WRAM_BYTES;
+    let mram_base = (slot as u32 * SLOT_MRAM_BYTES) as i32;
+    let mut k = KernelBuilder::with_partition(wram_base, slot as u32 * 8);
+    match class.map(|c| c.kind) {
+        None => k.stop(),
+        Some(KernelKind::MemBound) => {
+            let c = class.unwrap();
+            let buf = k.alloc_wram(2048, 8);
+            let [w, m, i, t] = k.regs(["w", "m", "i", "t"]);
+            k.tid(t);
+            k.mul(w, t, 256);
+            k.add(w, w, buf as i32);
+            k.mul(m, t, 16 * 1024);
+            k.add(m, m, mram_base);
+            k.movi(i, c.iters as i32);
+            let top = k.label_here("loop");
+            k.ldma(w, m, 256);
+            k.add(m, m, 1024);
+            k.sub(i, i, 1);
+            k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+        Some(KernelKind::ComputeBound) => {
+            let c = class.unwrap();
+            let [a, b, i] = k.regs(["a", "b", "i"]);
+            k.movi(a, 1);
+            k.movi(b, 3);
+            k.movi(i, c.iters as i32);
+            let top = k.label_here("loop");
+            k.mul(a, a, b);
+            k.add(a, a, 7);
+            k.sub(i, i, 1);
+            k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+        Some(KernelKind::Mixed) => {
+            let c = class.unwrap();
+            let buf = k.alloc_wram(2048, 8);
+            let [w, m, i, t, a] = k.regs(["w", "m", "i", "t", "a"]);
+            k.tid(t);
+            k.mul(w, t, 256);
+            k.add(w, w, buf as i32);
+            k.mul(m, t, 16 * 1024);
+            k.add(m, m, mram_base);
+            k.movi(a, 1);
+            k.movi(i, c.iters as i32);
+            let top = k.label_here("loop");
+            k.ldma(w, m, 256);
+            k.mul(a, a, 3);
+            k.add(a, a, 1);
+            k.add(m, m, 1024);
+            k.sub(i, i, 1);
+            k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+    }
+    k.build_with(&LinkOptions::default()).expect("proxy request kernel builds")
+}
+
+/// Merges the slot programs of one composition into a loadable image.
+///
+/// # Panics
+///
+/// Panics if the slots cannot co-locate — the slot partitioning is a
+/// static invariant of this module, so failure is a bug, not load error.
+#[must_use]
+pub fn colocate_composition(comp: &[u16]) -> Colocated {
+    let classes = request_classes();
+    let programs: Vec<_> = comp
+        .iter()
+        .enumerate()
+        .map(|(slot, &c)| slot_program((c != EMPTY_SLOT).then(|| &classes[c as usize]), slot))
+        .collect();
+    let tenants: Vec<Tenant<'_>> =
+        programs.iter().map(|p| Tenant { program: p, n_tasklets: TASKLETS_PER_SLOT }).collect();
+    colocate(&tenants, &MemLayout::default(), false).expect("serving slots co-locate")
+}
+
+/// The memoized cost of one composition.
+#[derive(Debug, Clone)]
+pub struct CompositionProfile {
+    /// Per-slot kernel finish time, ns from launch (0 for empty slots).
+    pub slot_exec_ns: Vec<f64>,
+    /// Kernel makespan of the whole DPU, ns.
+    pub makespan_ns: f64,
+}
+
+/// Cycle-simulates one composition on a single-DPU system and returns
+/// its profile (plus the harvested event trace when `trace_capacity` is
+/// non-zero). Inputs are staged and outputs pulled through the fallible
+/// transfer API — a serving batch must never abort the process on a
+/// routing bug.
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] from the staged transfers or the launch.
+pub fn profile_composition(
+    comp: &[u16],
+    cfg: &DpuConfig,
+    trace_capacity: usize,
+) -> Result<(CompositionProfile, Option<JobTrace>), SimError> {
+    let classes = request_classes();
+    let merged = colocate_composition(comp);
+    let mut sim_cfg = cfg.clone();
+    if trace_capacity > 0 {
+        sim_cfg = sim_cfg.with_event_trace(trace_capacity);
+    }
+    let mut sys = PimSystem::new(1, sim_cfg, TransferConfig::paper());
+    for (slot, &c) in comp.iter().enumerate() {
+        if c != EMPTY_SLOT {
+            let input = vec![0u8; classes[c as usize].input_bytes as usize];
+            sys.try_copy_to_mram(0, slot as u32 * SLOT_MRAM_BYTES, &input)?;
+        }
+    }
+    sys.dpu_mut(0).load_colocated(&merged)?;
+    let report = sys.launch_all()?;
+    let stats = &report.per_dpu[0];
+    let finishes = merged.tenant_finish_cycles(&stats.tasklet_stop_cycle);
+    let to_ns = |cycles: u64| cycles as f64 * 1000.0 / f64::from(stats.freq_mhz.max(1));
+    for (slot, &c) in comp.iter().enumerate() {
+        if c != EMPTY_SLOT {
+            let _ = sys.try_copy_from_mram(
+                0,
+                slot as u32 * SLOT_MRAM_BYTES,
+                classes[c as usize].output_bytes,
+            )?;
+        }
+    }
+    let profile = CompositionProfile {
+        slot_exec_ns: finishes.iter().map(|&f| to_ns(f)).collect(),
+        makespan_ns: stats.time_ns(),
+    };
+    let trace = sys.take_trace().map(|t| JobTrace { label: composition_label(comp), trace: t });
+    Ok((profile, trace))
+}
+
+/// A human-readable label for a composition (`"BS+TS+--+VA"`).
+#[must_use]
+pub fn composition_label(comp: &[u16]) -> String {
+    let classes = request_classes();
+    comp.iter()
+        .map(|&c| if c == EMPTY_SLOT { "--" } else { classes[c as usize].workload })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// The memoization table, keyed by composition vector. `BTreeMap` keeps
+/// iteration (and therefore any reporting derived from it) deterministic.
+pub type CompositionCache = BTreeMap<Vec<u16>, CompositionProfile>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimulator::pim_dpu::MAX_TASKLETS;
+
+    #[test]
+    fn class_table_covers_all_prim_workloads() {
+        let classes = request_classes();
+        assert_eq!(classes.len(), pimulator::prim_suite::all_workloads().len());
+        for c in classes {
+            assert!(
+                pimulator::prim_suite::workload_by_name(c.workload).is_some(),
+                "{} is not a PrIM workload",
+                c.workload
+            );
+            assert!(c.iters > 0 && c.input_bytes > 0 && c.output_bytes > 0);
+        }
+        assert_eq!(class_index("va"), class_index("VA"));
+        assert!(class_index("nope").is_none());
+    }
+
+    #[test]
+    fn slot_geometry_fits_the_hardware() {
+        assert!(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT <= MAX_TASKLETS);
+        assert!(SLOTS_PER_DPU as u32 * SLOT_WRAM_BYTES <= MemLayout::default().wram_bytes);
+        assert!(SLOTS_PER_DPU as u32 * SLOT_MRAM_BYTES <= MemLayout::default().mram_bytes);
+    }
+
+    #[test]
+    fn every_class_profiles_alone_and_empty_slots_cost_nothing() {
+        let cfg = DpuConfig::paper_baseline(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT);
+        let comp = vec![class_index("VA").unwrap(), EMPTY_SLOT, EMPTY_SLOT, EMPTY_SLOT];
+        let (p, trace) = profile_composition(&comp, &cfg, 0).unwrap();
+        assert!(trace.is_none());
+        assert!(p.slot_exec_ns[0] > 0.0);
+        assert!(p.makespan_ns >= p.slot_exec_ns[0]);
+        // Idle slots stop immediately; their finish must be far below the
+        // occupied slot's.
+        assert!(p.slot_exec_ns[1] < p.slot_exec_ns[0] / 2.0);
+    }
+
+    #[test]
+    fn compute_heavy_classes_run_longer_than_light_ones() {
+        let cfg = DpuConfig::paper_baseline(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT);
+        let ts = vec![class_index("TS").unwrap(); SLOTS_PER_DPU];
+        let va = vec![class_index("VA").unwrap(); SLOTS_PER_DPU];
+        let (p_ts, _) = profile_composition(&ts, &cfg, 0).unwrap();
+        let (p_va, _) = profile_composition(&va, &cfg, 0).unwrap();
+        assert!(p_ts.makespan_ns > p_va.makespan_ns);
+    }
+
+    #[test]
+    fn profiling_is_deterministic_and_traceable() {
+        let cfg = DpuConfig::paper_baseline(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT);
+        let comp = vec![
+            class_index("BS").unwrap(),
+            class_index("TS").unwrap(),
+            EMPTY_SLOT,
+            class_index("VA").unwrap(),
+        ];
+        let (a, _) = profile_composition(&comp, &cfg, 0).unwrap();
+        let (b, trace) = profile_composition(&comp, &cfg, 256).unwrap();
+        assert_eq!(a.slot_exec_ns, b.slot_exec_ns);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        let trace = trace.expect("tracing enabled");
+        assert_eq!(trace.label, "BS+TS+--+VA");
+        assert!(trace.trace.event_count() > 0);
+    }
+}

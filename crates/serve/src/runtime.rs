@@ -1,0 +1,421 @@
+//! The serving runtime: a deterministic virtual-time event loop.
+//!
+//! One run is a pure function of `(scenario, options)`. Arrivals are
+//! generated up front from the seed; the loop then alternates between
+//! admitting arrivals whose timestamp has passed and dispatching one
+//! *round* — a batch drained by the scheduling policy and packed onto the
+//! rank's slots. Each round's cost comes from cycle-level simulation of
+//! its per-DPU compositions, memoized in a [`CompositionCache`]; only
+//! first-seen compositions are simulated, and those simulations are the
+//! one thing `--threads` parallelizes (via the order-preserving
+//! [`JobRunner::map`]), so results are byte-identical at any worker
+//! count.
+
+use pimulator::jobs::JobRunner;
+use pimulator::pim_dpu::{DpuConfig, SimError};
+use pimulator::pim_host::{ExecutionTimeline, TransferConfig};
+use pimulator::pim_trace::MetricsSink;
+use pimulator::trace::JobTrace;
+
+use crate::kernels::{
+    profile_composition, request_classes, CompositionCache, EMPTY_SLOT, SLOTS_PER_DPU,
+    TASKLETS_PER_SLOT,
+};
+use crate::queue::{AdmissionQueue, TenantAdmission};
+use crate::scenario::Scenario;
+use crate::sched::policy_by_name_with_weights;
+use crate::slo::LatencySplit;
+use crate::traffic::{generate, to_request};
+
+/// Knobs of one serving run (everything the CLI exposes).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Traffic seed.
+    pub seed: u64,
+    /// Simulated run length in ms; 0 uses the scenario default.
+    pub duration_ms: u64,
+    /// Load multiplier on the scenario's base arrival rate.
+    pub load: f64,
+    /// Worker threads for composition profiling (`None` ⇒ default).
+    pub threads: Option<usize>,
+    /// Scheduling-policy override (`None` uses the scenario's).
+    pub policy: Option<String>,
+    /// Per-DPU event-ring capacity for profiling traces; 0 disables.
+    pub trace_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            seed: 42,
+            duration_ms: 0,
+            load: 1.0,
+            threads: None,
+            policy: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Per-tenant results of one run.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Tenant name from the scenario.
+    pub name: &'static str,
+    /// Traffic share (arrival-side weight) from the scenario.
+    pub share: u32,
+    /// Weighted-fair scheduling weight from the scenario.
+    pub weight: u32,
+    /// Admission counters (offered / admitted / rejected, by reason).
+    pub admission: TenantAdmission,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Completions per second of simulated time.
+    pub throughput_rps: f64,
+    /// Queue / transfer / execute / total latency histograms.
+    pub latency: LatencySplit,
+}
+
+/// The full, deterministic result of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// The policy that actually ran (after any override).
+    pub policy: &'static str,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Load multiplier.
+    pub load: f64,
+    /// Simulated run length, ns (the arrival window; completions may
+    /// land later — the loop drains the queue).
+    pub duration_ns: u64,
+    /// DPUs in the rank.
+    pub n_dpus: u32,
+    /// Per-tenant outcomes, in scenario order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Accumulated transfer/kernel split across all rounds.
+    pub timeline: ExecutionTimeline,
+    /// Serving counters (`serve_*`), deterministic iteration order.
+    pub metrics: MetricsSink,
+    /// Scheduling rounds dispatched.
+    pub rounds: u64,
+    /// Distinct DPU compositions simulated (cache size).
+    pub distinct_compositions: usize,
+    /// Profiling event traces, one per distinct composition, present
+    /// when [`ServeOptions::trace_capacity`] was non-zero.
+    pub traces: Vec<JobTrace>,
+}
+
+impl ServeOutcome {
+    /// Requests offered across all tenants.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.tenants.iter().map(|t| t.admission.offered).sum()
+    }
+
+    /// Requests admitted across all tenants.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.tenants.iter().map(|t| t.admission.admitted).sum()
+    }
+
+    /// Requests rejected across all tenants (both reasons).
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.tenants.iter().map(|t| t.admission.rejected()).sum()
+    }
+
+    /// Requests completed across all tenants.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Aggregate completions per simulated second.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        self.tenants.iter().map(|t| t.throughput_rps).sum()
+    }
+
+    /// All tenants' latency populations merged into one split (for
+    /// whole-scenario percentiles like the saturation sweep's p99).
+    #[must_use]
+    pub fn aggregate_latency(&self) -> LatencySplit {
+        let mut all = LatencySplit::default();
+        for t in &self.tenants {
+            all.merge(&t.latency);
+        }
+        all
+    }
+}
+
+/// Runs one serving scenario to completion (all admitted requests are
+/// served; the arrival window closes after `duration`, then the queue
+/// drains).
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] from composition profiling — a staged
+/// transfer out of range or a launch failure.
+///
+/// # Panics
+///
+/// Panics if the policy name (override or scenario default) is unknown
+/// or the load multiplier is not positive; the CLI layer validates both
+/// before calling.
+pub fn run_scenario(scenario: &Scenario, opts: &ServeOptions) -> Result<ServeOutcome, SimError> {
+    let duration_ms =
+        if opts.duration_ms > 0 { opts.duration_ms } else { scenario.default_duration_ms };
+    let duration_ns = duration_ms * 1_000_000;
+    let arrivals = generate(scenario, opts.seed, opts.load, duration_ns);
+
+    let mut cfg = DpuConfig::paper_baseline(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT);
+    if scenario.mmu {
+        cfg = cfg.with_paper_mmu();
+    }
+    let xfer = TransferConfig::paper();
+    let weights: Vec<u64> = scenario.tenants.iter().map(|t| u64::from(t.weight)).collect();
+    let policy_name = opts.policy.as_deref().unwrap_or(scenario.policy);
+    let mut policy = policy_by_name_with_weights(policy_name, &weights)
+        .unwrap_or_else(|| panic!("unknown scheduling policy {policy_name}"));
+
+    let quotas: Vec<usize> = scenario.tenants.iter().map(|t| t.quota).collect();
+    let mut queue = AdmissionQueue::new(scenario.queue_capacity, quotas);
+    let runner = JobRunner::new(opts.threads);
+    let mut cache = CompositionCache::new();
+    let mut traces: Vec<JobTrace> = Vec::new();
+
+    let n_dpus = scenario.n_dpus as usize;
+    let rank_slots = n_dpus * SLOTS_PER_DPU;
+    let classes = request_classes();
+    let mut splits: Vec<LatencySplit> = vec![LatencySplit::default(); scenario.tenants.len()];
+    let mut completed: Vec<u64> = vec![0; scenario.tenants.len()];
+    let mut timeline = ExecutionTimeline::default();
+    let mut rounds = 0u64;
+
+    let mut vtime = 0u64;
+    let mut next = 0usize;
+    loop {
+        // Admit everything that has arrived by now; rejects are counted
+        // inside the queue, never dropped silently.
+        while next < arrivals.len() && arrivals[next].at_ns <= vtime {
+            queue.offer(to_request(next as u64, arrivals[next]));
+            next += 1;
+        }
+        if queue.is_empty() {
+            let Some(a) = arrivals.get(next) else { break };
+            vtime = a.at_ns;
+            continue;
+        }
+
+        // One round: drain a batch and pack it slot by slot onto the rank.
+        let batch = policy.next_batch(&mut queue, rank_slots);
+        assert!(!batch.is_empty(), "policies drain a non-empty queue");
+        let mut comps = vec![vec![EMPTY_SLOT; SLOTS_PER_DPU]; n_dpus];
+        for (i, r) in batch.iter().enumerate() {
+            comps[i / SLOTS_PER_DPU][i % SLOTS_PER_DPU] = r.class;
+        }
+
+        // Profile each composition in *canonical* (sorted) form: the
+        // cycle cost of a co-located image depends on the multiset of
+        // kernels sharing the DPU, not on which slot each occupies, so
+        // canonicalizing collapses the cache keyspace from ordered
+        // tuples to multisets. `assign` maps each original slot to its
+        // position in the canonical form (duplicates taken in order) so
+        // per-request execute times read the right profile entry.
+        let canon: Vec<Vec<u16>> = comps
+            .iter()
+            .map(|c| {
+                let mut s = c.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let assign: Vec<Vec<usize>> = comps
+            .iter()
+            .zip(&canon)
+            .map(|(orig, c)| {
+                let mut used = vec![false; c.len()];
+                orig.iter()
+                    .map(|&cls| {
+                        let j = c
+                            .iter()
+                            .enumerate()
+                            .position(|(j, &cc)| cc == cls && !used[j])
+                            .expect("canonical form is a permutation");
+                        used[j] = true;
+                        j
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Simulate first-seen compositions, in sorted order on the
+        // order-preserving runner so threading cannot reorder results.
+        let mut missing: Vec<Vec<u16>> =
+            canon.iter().filter(|c| !cache.contains_key(c.as_slice())).cloned().collect();
+        missing.sort_unstable();
+        missing.dedup();
+        let profiled =
+            runner.map(&missing, |_, comp| profile_composition(comp, &cfg, opts.trace_capacity));
+        for (comp, res) in missing.into_iter().zip(profiled) {
+            let (profile, trace) = res?;
+            cache.insert(comp, profile);
+            traces.extend(trace);
+        }
+
+        // The round's cost: parallel transfers charge the largest per-DPU
+        // chunk (as `push_to_mram` does); the kernel phase is the slowest
+        // DPU's makespan.
+        let dpu_bytes = |occupied: fn(&crate::kernels::RequestClass) -> u32| {
+            comps
+                .iter()
+                .map(|comp| {
+                    comp.iter()
+                        .filter(|&&c| c != EMPTY_SLOT)
+                        .map(|&c| u64::from(occupied(&classes[c as usize])))
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let to_ns = xfer.to_dpu_ns(dpu_bytes(|c| c.input_bytes));
+        let from_ns = xfer.from_dpu_ns(dpu_bytes(|c| c.output_bytes));
+        let exec_max_ns = canon
+            .iter()
+            .filter(|c| c.iter().any(|&s| s != EMPTY_SLOT))
+            .map(|c| cache[c].makespan_ns)
+            .fold(0.0f64, f64::max);
+
+        let start = vtime;
+        for (i, r) in batch.iter().enumerate() {
+            let (dpu, slot) = (i / SLOTS_PER_DPU, i % SLOTS_PER_DPU);
+            let profile = &cache[&canon[dpu]];
+            let queue_ns = start - r.arrival_ns;
+            let transfer_ns = (to_ns + from_ns) as u64;
+            let execute_ns = profile.slot_exec_ns[assign[dpu][slot]] as u64;
+            splits[r.tenant].record(queue_ns, transfer_ns, execute_ns);
+            completed[r.tenant] += 1;
+        }
+        timeline.to_dpu_ns += to_ns;
+        timeline.kernel_ns += exec_max_ns;
+        timeline.from_dpu_ns += from_ns;
+        timeline.launches += 1;
+        rounds += 1;
+        vtime = (start + (to_ns + exec_max_ns + from_ns) as u64).max(start + 1);
+    }
+
+    let mut metrics = MetricsSink::new();
+    let stats = queue.stats().to_vec();
+    metrics.incr("serve_offered", stats.iter().map(|s| s.offered).sum());
+    metrics.incr("serve_admitted", stats.iter().map(|s| s.admitted).sum());
+    metrics.incr("serve_rejected_capacity", stats.iter().map(|s| s.rejected_capacity).sum());
+    metrics.incr("serve_rejected_quota", stats.iter().map(|s| s.rejected_quota).sum());
+    metrics.incr("serve_completed", completed.iter().sum());
+    metrics.incr("serve_rounds", rounds);
+    metrics.incr("serve_compositions", cache.len() as u64);
+
+    let tenants = scenario
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| TenantOutcome {
+            name: spec.name,
+            share: spec.share,
+            weight: spec.weight,
+            admission: stats[t],
+            completed: completed[t],
+            throughput_rps: completed[t] as f64 * 1e9 / duration_ns as f64,
+            latency: splits[t].clone(),
+        })
+        .collect();
+
+    Ok(ServeOutcome {
+        scenario: scenario.name,
+        policy: policy.name(),
+        seed: opts.seed,
+        load: opts.load,
+        duration_ns,
+        n_dpus: scenario.n_dpus,
+        tenants,
+        timeline,
+        metrics,
+        rounds,
+        distinct_compositions: cache.len(),
+        traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::scenario_by_name;
+
+    fn opts(threads: usize) -> ServeOptions {
+        ServeOptions { threads: Some(threads), ..ServeOptions::default() }
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let s = scenario_by_name("tiny").unwrap();
+        let out = run_scenario(s, &opts(1)).unwrap();
+        assert!(out.offered() > 0);
+        assert_eq!(out.offered(), out.admitted() + out.rejected());
+        // Open-loop with a drain phase: everything admitted completes.
+        assert_eq!(out.admitted(), out.completed());
+        for t in &out.tenants {
+            assert_eq!(t.latency.total.count(), t.completed);
+        }
+        assert_eq!(out.metrics.get("serve_completed"), out.completed());
+        assert_eq!(out.rounds, u64::from(out.timeline.launches));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_outcome() {
+        let s = scenario_by_name("tiny").unwrap();
+        let a = run_scenario(s, &opts(1)).unwrap();
+        let b = run_scenario(s, &opts(4)).unwrap();
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.timeline, b.timeline);
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.admission, y.admission);
+            assert_eq!(x.latency.total.slo_triple(), y.latency.total.slo_triple());
+            assert_eq!(x.latency.queue.slo_triple(), y.latency.queue.slo_triple());
+        }
+    }
+
+    #[test]
+    fn overload_produces_counted_rejects_and_a_latency_knee() {
+        let s = scenario_by_name("tiny").unwrap();
+        let light = run_scenario(s, &ServeOptions { load: 0.25, ..opts(2) }).unwrap();
+        let heavy = run_scenario(s, &ServeOptions { load: 8.0, ..opts(2) }).unwrap();
+        assert!(heavy.rejected() > 0, "overload must hit admission limits");
+        let (p99_light, p99_heavy) = (
+            light.tenants[0].latency.total.quantile_ns(0.99),
+            heavy.tenants[0].latency.total.quantile_ns(0.99),
+        );
+        assert!(
+            p99_heavy > 2 * p99_light,
+            "p99 should knee under overload ({p99_light} vs {p99_heavy})"
+        );
+    }
+
+    #[test]
+    fn policy_override_is_honoured() {
+        let s = scenario_by_name("tiny").unwrap();
+        let out =
+            run_scenario(s, &ServeOptions { policy: Some("weighted_fair".into()), ..opts(1) })
+                .unwrap();
+        assert_eq!(out.policy, "weighted_fair");
+    }
+
+    #[test]
+    fn tracing_captures_one_trace_per_composition() {
+        let s = scenario_by_name("tiny").unwrap();
+        let out = run_scenario(s, &ServeOptions { trace_capacity: 256, ..opts(2) }).unwrap();
+        assert_eq!(out.traces.len(), out.distinct_compositions);
+        assert!(out.traces.iter().all(|t| t.trace.event_count() > 0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Serving scenarios: named, fully static descriptions of a tenant
+//! population and its traffic, the serving-side analogue of the
+//! experiment registry in `pim-bench`.
+//!
+//! A scenario pins everything the runtime needs to be reproducible: the
+//! DPU rank size, the MMU knob, the scheduling policy, admission-queue
+//! bounds, the base arrival rate, and per-tenant workload mixes drawn
+//! from the PrIM suite. `pimsim serve --list` enumerates this registry
+//! exactly like `pimsim exp --list` enumerates experiments.
+
+/// One tenant of a serving scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantSpec {
+    /// Tenant name, used in reports and per-tenant SLO accounting.
+    pub name: &'static str,
+    /// Relative share of *offered* traffic (arrival-side weight).
+    pub share: u32,
+    /// Weighted-fair scheduling weight (service-side weight). Distinct
+    /// from [`TenantSpec::share`] so fairness can be measured against a
+    /// traffic pattern that does not already match the weights.
+    pub weight: u32,
+    /// Maximum requests this tenant may hold in the admission queue;
+    /// arrivals beyond it are rejected (and counted) as quota violations.
+    pub quota: usize,
+    /// Workload mix: `(PrIM workload name, draw weight)` pairs.
+    pub mix: &'static [(&'static str, u32)],
+}
+
+/// A named serving scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable name — the `pimsim serve` argument.
+    pub name: &'static str,
+    /// One-line description shown by `pimsim serve --list`.
+    pub title: &'static str,
+    /// DPUs in the serving rank.
+    pub n_dpus: u32,
+    /// Whether DPUs run with the paper's MMU model (§V-C) in front of
+    /// MRAM — serving across tenants is exactly the scenario the paper's
+    /// address-translation case study motivates.
+    pub mmu: bool,
+    /// Default scheduling policy (`fifo` | `size_class` | `weighted_fair`).
+    pub policy: &'static str,
+    /// Global admission-queue capacity (requests).
+    pub queue_capacity: usize,
+    /// Mean inter-arrival gap at load 1.0, in simulated nanoseconds.
+    pub mean_gap_ns: u64,
+    /// Default run length in simulated milliseconds.
+    pub default_duration_ms: u64,
+    /// The tenant population.
+    pub tenants: &'static [TenantSpec],
+}
+
+/// All scenarios, in registry order.
+#[must_use]
+pub fn scenarios() -> &'static [Scenario] {
+    const REGISTRY: &[Scenario] = &[
+        Scenario {
+            name: "tiny",
+            title: "1 DPU, 2 tenants — the fast smoke/golden scenario",
+            n_dpus: 1,
+            mmu: false,
+            policy: "fifo",
+            queue_capacity: 32,
+            mean_gap_ns: 20_000,
+            default_duration_ms: 2,
+            tenants: &[
+                TenantSpec {
+                    name: "latency",
+                    share: 1,
+                    weight: 1,
+                    quota: 16,
+                    mix: &[("BS", 1), ("VA", 1)],
+                },
+                TenantSpec { name: "batch", share: 1, weight: 1, quota: 16, mix: &[("TS", 1)] },
+            ],
+        },
+        Scenario {
+            name: "demo",
+            title: "4 DPUs, 3 tenants over a mixed PrIM population",
+            n_dpus: 4,
+            mmu: false,
+            policy: "size_class",
+            queue_capacity: 128,
+            mean_gap_ns: 20_000,
+            default_duration_ms: 50,
+            tenants: &[
+                TenantSpec {
+                    name: "interactive",
+                    share: 2,
+                    weight: 2,
+                    quota: 48,
+                    mix: &[("BS", 2), ("VA", 2), ("SEL", 1)],
+                },
+                TenantSpec {
+                    name: "analytics",
+                    share: 1,
+                    weight: 1,
+                    quota: 48,
+                    mix: &[("GEMV", 1), ("TS", 1)],
+                },
+                TenantSpec {
+                    name: "batch",
+                    share: 1,
+                    weight: 1,
+                    quota: 48,
+                    mix: &[("RED", 1), ("MLP", 1)],
+                },
+            ],
+        },
+        Scenario {
+            name: "saturate",
+            title: "2 DPUs under overload, weighted-fair 3:1, MMU on",
+            n_dpus: 2,
+            mmu: true,
+            policy: "weighted_fair",
+            queue_capacity: 64,
+            mean_gap_ns: 2_000,
+            default_duration_ms: 10,
+            tenants: &[
+                TenantSpec { name: "gold", share: 1, weight: 3, quota: 32, mix: &[("VA", 1)] },
+                TenantSpec { name: "bronze", share: 1, weight: 1, quota: 32, mix: &[("TS", 1)] },
+            ],
+        },
+    ];
+    REGISTRY
+}
+
+/// Looks up one scenario by name.
+#[must_use]
+pub fn scenario_by_name(name: &str) -> Option<&'static Scenario> {
+    scenarios().iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        assert!(scenario_by_name("demo").is_some());
+        assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_mix_entry_is_a_real_prim_workload() {
+        for s in scenarios() {
+            for t in s.tenants {
+                assert!(!t.mix.is_empty(), "{}/{} has an empty mix", s.name, t.name);
+                for (w, weight) in t.mix {
+                    assert!(
+                        pimulator::prim_suite::workload_by_name(w).is_some(),
+                        "{}/{} names unknown workload {w}",
+                        s.name,
+                        t.name
+                    );
+                    assert!(*weight > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_scenario_policy_resolves() {
+        for s in scenarios() {
+            assert!(
+                crate::sched::policy_by_name(s.policy).is_some(),
+                "{} names unknown policy {}",
+                s.name,
+                s.policy
+            );
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Log-bucketed latency histograms and SLO percentile accounting.
+//!
+//! Latencies are recorded in nanoseconds into power-of-two octaves with
+//! four sub-buckets each (HdrHistogram-style, ~19% worst-case relative
+//! error) — pure integer bit-twiddling, no transcendental functions, so
+//! quantiles are bit-identical on every platform. Quantiles report the
+//! lower bound of the containing bucket, which keeps them deterministic
+//! and conservative.
+
+/// Sub-buckets per octave (power of two).
+const SUBS: u64 = 4;
+/// log2([`SUBS`]).
+const SUB_BITS: u32 = 2;
+/// Total buckets: values 0..4 get exact buckets, then 4 sub-buckets for
+/// each of the remaining 62 octaves.
+const BUCKETS: usize = (SUBS as usize) + 62 * (SUBS as usize);
+
+/// The bucket index holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let sub = (v >> (octave - SUB_BITS)) & (SUBS - 1);
+    (SUBS + (u64::from(octave) - u64::from(SUB_BITS)) * SUBS + sub) as usize
+}
+
+/// The smallest value mapping to bucket `idx` (the quantile estimate).
+fn lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        return idx;
+    }
+    let octave = (idx - SUBS) / SUBS + u64::from(SUB_BITS);
+    let sub = (idx - SUBS) % SUBS;
+    (1 << octave) + sub * (1 << (octave - u64::from(SUB_BITS)))
+}
+
+/// A log-bucketed latency histogram over nanosecond samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the exact (unbucketed) samples, ns.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Largest exact sample, ns.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the lower bound of the bucket
+    /// holding the ⌈q·n⌉-th smallest sample; 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return lower_bound(idx);
+            }
+        }
+        lower_bound(BUCKETS - 1)
+    }
+
+    /// `(p50, p95, p99)` in ns — the SLO triple every report uses.
+    #[must_use]
+    pub fn slo_triple(&self) -> (u64, u64, u64) {
+        (self.quantile_ns(0.50), self.quantile_ns(0.95), self.quantile_ns(0.99))
+    }
+
+    /// Folds another histogram's population into this one (bucket-wise;
+    /// exact because both sides share the same bucket boundaries).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// The queue-wait / transfer / execute / total split of one latency
+/// population (per tenant), reusing the `ExecutionTimeline` phase
+/// boundaries the rest of the repo reports.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySplit {
+    /// Time from arrival to batch start.
+    pub queue: LatencyHistogram,
+    /// CPU→DPU plus DPU→CPU transfer time of the request's round.
+    pub transfer: LatencyHistogram,
+    /// Kernel time until the request's slot finished.
+    pub execute: LatencyHistogram,
+    /// Arrival-to-completion.
+    pub total: LatencyHistogram,
+}
+
+impl LatencySplit {
+    /// Records one completed request's phase breakdown.
+    pub fn record(&mut self, queue_ns: u64, transfer_ns: u64, execute_ns: u64) {
+        self.queue.record(queue_ns);
+        self.transfer.record(transfer_ns);
+        self.execute.record(execute_ns);
+        self.total.record(queue_ns + transfer_ns + execute_ns);
+    }
+
+    /// Folds another split's populations into this one, phase by phase.
+    pub fn merge(&mut self, other: &Self) {
+        self.queue.merge(&other.queue);
+        self.transfer.merge(&other.transfer);
+        self.execute.merge(&other.execute);
+        self.total.merge(&other.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_exact_below_four() {
+        for v in 0..4u64 {
+            assert_eq!(lower_bound(bucket_of(v)), v);
+        }
+        let mut last = 0;
+        for v in [4u64, 5, 7, 8, 100, 1023, 1024, 1_000_000, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(lower_bound(b) <= v, "lb({b}) > {v}");
+            assert!(b >= last, "bucket index regressed at {v}");
+            last = b;
+        }
+        // A bucket's lower bound maps back to the same bucket.
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_of(lower_bound(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [10u64, 99, 1_000, 123_456, 10_000_000] {
+            let lb = lower_bound(bucket_of(v));
+            assert!(lb <= v && v - lb <= v / 4, "error at {v}: lb {lb}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_population() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        let (p50, p95, p99) = h.slo_triple();
+        // Bucket lower bounds are conservative but within a sub-bucket of
+        // the exact rank value.
+        assert!((40_000..=50_000).contains(&p50), "p50 {p50}");
+        assert!((80_000..=95_000).contains(&p95), "p95 {p95}");
+        assert!((96_000..=99_000).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.max_ns(), 100_000);
+        assert!((h.mean_ns() - 50_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.slo_triple(), (0, 0, 0));
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn merging_is_equivalent_to_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [5u64, 70, 900, 12_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 450, 80_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max_ns(), both.max_ns());
+        assert_eq!(a.slo_triple(), both.slo_triple());
+        assert!((a.mean_ns() - both.mean_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_total_is_the_sum_of_phases() {
+        let mut s = LatencySplit::default();
+        s.record(10, 20, 30);
+        assert_eq!(s.total.count(), 1);
+        assert_eq!(s.total.max_ns(), 60);
+        assert_eq!(s.queue.max_ns(), 10);
+        assert_eq!(s.transfer.max_ns(), 20);
+        assert_eq!(s.execute.max_ns(), 30);
+    }
+}

@@ -282,6 +282,13 @@ impl MetricsSink {
         *self.counters.entry(name).or_insert(0) += n;
     }
 
+    /// Increments a named counter directly, for subsystems (like the
+    /// serving runtime) whose bookkeeping is not expressed as
+    /// [`TraceEvent`]s but should land in the same deterministic registry.
+    pub fn incr(&mut self, name: &'static str, n: u64) {
+        self.add(name, n);
+    }
+
     /// Reads one counter (0 if never incremented).
     #[must_use]
     pub fn get(&self, name: &str) -> u64 {

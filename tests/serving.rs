@@ -1,0 +1,83 @@
+//! Integration tests of the serving runtime: byte-identical results at
+//! any worker count, conservation of the admission accounting, and
+//! weighted-fair service shares under saturation.
+
+use pim_serve::{outcome_json, run_scenario, scenario_by_name, ServeOptions};
+
+fn opts(threads: usize) -> ServeOptions {
+    ServeOptions { threads: Some(threads), ..ServeOptions::default() }
+}
+
+#[test]
+fn serving_json_is_byte_identical_across_worker_counts() {
+    let scenario = scenario_by_name("tiny").unwrap();
+    let reference = outcome_json(&run_scenario(scenario, &opts(1)).unwrap()).render_pretty();
+    for threads in [4usize, 8] {
+        let got = outcome_json(&run_scenario(scenario, &opts(threads)).unwrap()).render_pretty();
+        assert!(got == reference, "serve tiny at --threads {threads} diverged from the serial run");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_traffic() {
+    let scenario = scenario_by_name("tiny").unwrap();
+    let a = run_scenario(scenario, &opts(2)).unwrap();
+    let b = run_scenario(scenario, &ServeOptions { seed: 7, ..opts(2) }).unwrap();
+    assert_ne!(
+        (a.offered(), a.rounds),
+        (b.offered(), b.rounds),
+        "seed must steer the arrival schedule"
+    );
+}
+
+#[test]
+fn admission_accounting_is_conserved_under_overload() {
+    let scenario = scenario_by_name("saturate").unwrap();
+    let out = run_scenario(scenario, &ServeOptions { load: 4.0, ..opts(2) }).unwrap();
+    assert_eq!(out.offered(), out.admitted() + out.rejected());
+    assert_eq!(out.admitted(), out.completed(), "admitted requests all complete (drain phase)");
+    assert!(out.rejected() > 0, "overload must produce counted rejects");
+    for t in &out.tenants {
+        assert_eq!(t.admission.offered, t.admission.admitted + t.admission.rejected());
+        assert_eq!(t.latency.total.count(), t.completed);
+    }
+    assert_eq!(out.metrics.get("serve_offered"), out.offered());
+    assert_eq!(
+        out.metrics.get("serve_rejected_quota"),
+        out.tenants.iter().map(|t| t.admission.rejected_quota).sum::<u64>()
+    );
+}
+
+#[test]
+fn weighted_fair_shares_track_weights_under_saturation() {
+    // `saturate` offers gold and bronze equal traffic but weights them
+    // 3:1; under sustained backlog the *completed* shares must follow
+    // the weights, not the arrivals.
+    let scenario = scenario_by_name("saturate").unwrap();
+    let out = run_scenario(scenario, &ServeOptions { load: 4.0, ..opts(2) }).unwrap();
+    let gold = out.tenants[0].completed as f64;
+    let bronze = out.tenants[1].completed as f64;
+    assert!(bronze > 0.0, "bronze must not starve");
+    let ratio = gold / bronze;
+    assert!(
+        (2.2..=3.8).contains(&ratio),
+        "completed share {gold}:{bronze} (ratio {ratio:.2}) strayed from the 3:1 weights"
+    );
+}
+
+#[test]
+fn overload_bends_the_latency_curve_but_not_the_transfer_split() {
+    let scenario = scenario_by_name("tiny").unwrap();
+    let light = run_scenario(scenario, &ServeOptions { load: 0.25, ..opts(2) }).unwrap();
+    let heavy = run_scenario(scenario, &ServeOptions { load: 8.0, ..opts(2) }).unwrap();
+    let p99 = |o: &pim_serve::ServeOutcome| o.aggregate_latency().total.quantile_ns(0.99);
+    assert!(p99(&heavy) > p99(&light), "queueing under overload must raise p99");
+    // The execute phase is load-independent: the same compositions cost
+    // the same cycles no matter how long the queue is.
+    let exec_p50 = |o: &pim_serve::ServeOutcome| o.aggregate_latency().execute.quantile_ns(0.5);
+    let (l, h) = (exec_p50(&light), exec_p50(&heavy));
+    assert!(
+        l > 0 && h > 0 && h < l * 8,
+        "execute phase should not explode with load (light {l}, heavy {h})"
+    );
+}

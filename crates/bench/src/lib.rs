@@ -11,6 +11,8 @@
 //! fig05_utilization`) and the `pimsim exp <name>` subcommand are both
 //! thin wrappers over [`run_with_args`].
 
+pub mod perf;
+
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -18,7 +20,7 @@ use std::process::ExitCode;
 use pim_dpu::{DpuConfig, SimError};
 use pim_isa::InstrClass;
 use pimulator::experiments as exp;
-use pimulator::jobs::{JobRunner, SimJob};
+use pimulator::jobs::JobRunner;
 use pimulator::pim_trace::MetricsSink;
 use pimulator::report::{pct, speedup, Json, Table};
 use pimulator::trace::{chrome_trace, JobTrace};
@@ -1148,26 +1150,41 @@ fn run_serving(ctx: &ExpContext) -> Result<ExpReport, SimError> {
 }
 
 fn run_sim_rate(ctx: &ExpContext) -> Result<ExpReport, SimError> {
-    use std::time::Instant;
     let mut text = header("\u{a7}III-D: simulation rate", ctx.size);
     let mut json_rows = Vec::new();
+    let reps = 3;
     for name in ["VA", "GEMV", "BS", "RED"] {
-        let job = SimJob::single(name, ctx.size, DpuConfig::paper_baseline(16));
-        let start = Instant::now();
-        let out = job.execute()?;
-        let wall = start.elapsed().as_secs_f64();
-        let instrs = out.stats.instructions;
-        let kips = instrs as f64 / wall / 1e3;
-        let _ =
-            writeln!(text, "{name:8} {instrs:>12} instructions in {wall:>7.2}s = {kips:>9.1} KIPS");
+        // Before/after on the same simulated work: the naive per-cycle
+        // reference loop (`DpuConfig::naive_loop`) vs the optimized
+        // scheduler. Both are timing-identical (see
+        // `tests/loop_differential.rs`), so `instructions` is shared.
+        let cfg = DpuConfig::paper_baseline(16);
+        let naive = perf::measure_prim(name, ctx.size, &cfg.clone().with_naive_loop(), reps)?;
+        let fast = perf::measure_prim(name, ctx.size, &cfg, reps)?;
+        assert_eq!(
+            (naive.instructions, naive.cycles),
+            (fast.instructions, fast.cycles),
+            "{name}: naive and optimized loops disagree on simulated work"
+        );
+        let kips_naive = naive.instrs_per_sec() / 1e3;
+        let kips = fast.instrs_per_sec() / 1e3;
+        let speedup = kips / kips_naive;
+        let _ = writeln!(
+            text,
+            "{name:8} {instrs:>12} instructions  naive {kips_naive:>9.1} KIPS -> optimized {kips:>9.1} KIPS ({speedup:.2}x)",
+            instrs = fast.instructions,
+        );
         json_rows.push(Json::obj([
             ("workload", Json::from(name)),
-            ("instructions", Json::from(instrs)),
-            ("wall_seconds", Json::from(wall)),
+            ("instructions", Json::from(fast.instructions)),
+            ("wall_seconds_naive", Json::from(naive.wall_seconds)),
+            ("wall_seconds", Json::from(fast.wall_seconds)),
+            ("kips_naive", Json::from(kips_naive)),
             ("kips", Json::from(kips)),
+            ("speedup", Json::from(speedup)),
         ]));
     }
-    let _ = writeln!(text, "(paper's PIMulator: ~3 KIPS)");
+    let _ = writeln!(text, "(paper's PIMulator: ~3 KIPS; `pimsim bench` runs the full suite)");
     Ok(ExpReport { text, json: json_doc("exp_sim_rate", ctx.size, Json::Arr(json_rows), vec![]) })
 }
 

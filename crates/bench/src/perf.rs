@@ -1,0 +1,601 @@
+//! The `pimsim bench` micro-harness: simulator-throughput tracking.
+//!
+//! Measures how fast the *simulator* runs (wall time), not how fast the
+//! simulated hardware is: every workload is seeded and deterministic, so
+//! its simulated cycle/instruction counts are fixed, and the interesting
+//! output is simulated kilo-cycles per wall-second and instructions per
+//! wall-second. The suite is all 16 PrIM kernels plus two synthetics that
+//! stress the memory engine (`DMA-HEAVY`) and the scheduler's
+//! acquire/release retry path (`BARRIER-HEAVY`).
+//!
+//! Results are written to `BENCH.json` so the perf trajectory is tracked
+//! across PRs; `--baseline OLD.json` prints per-workload speedups against
+//! a previous run, and CI validates the schema with `--quick`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pim_asm::{DpuProgram, KernelBuilder};
+use pim_dpu::{Dpu, DpuConfig, SimError};
+use pim_isa::Cond;
+use pimulator::jobs::SimJob;
+use pimulator::report::Json;
+use prim_suite::{all_workloads, DatasetSize};
+
+use crate::{parse_size_value, size_label};
+
+/// Schema tag written to (and required in) `BENCH.json`.
+pub const BENCH_SCHEMA: &str = "pim-bench/1";
+
+/// Tasklet count every benchmark runs at (the paper's full-occupancy
+/// configuration).
+pub const BENCH_TASKLETS: u32 = 16;
+
+/// One measured workload: fixed simulated work plus the median wall time
+/// it took the simulator to produce it.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name (`VA` … `UNI`, `DMA-HEAVY`, `BARRIER-HEAVY`).
+    pub name: String,
+    /// `"prim"` or `"synthetic"`.
+    pub kind: &'static str,
+    /// Tasklets per DPU.
+    pub tasklets: u32,
+    /// Simulated instructions executed (identical across reps).
+    pub instructions: u64,
+    /// Simulated core cycles (identical across reps).
+    pub cycles: u64,
+    /// Median-of-k wall seconds.
+    pub wall_seconds: f64,
+}
+
+impl Measurement {
+    /// Simulated kilo-cycles advanced per wall-second.
+    #[must_use]
+    pub fn kilo_cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds / 1e3
+    }
+
+    /// Simulated instructions executed per wall-second.
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.wall_seconds
+    }
+}
+
+/// Median of `walls` (mean of the middle two for even counts).
+fn median(walls: &mut [f64]) -> f64 {
+    walls.sort_by(f64::total_cmp);
+    let n = walls.len();
+    if n % 2 == 1 {
+        walls[n / 2]
+    } else {
+        (walls[n / 2 - 1] + walls[n / 2]) / 2.0
+    }
+}
+
+/// Measures one PrIM workload end-to-end (dataset staging, simulation,
+/// host transfers, and reference validation) `reps` times under `cfg`.
+///
+/// # Errors
+///
+/// Propagates the simulation fault, if any.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown or the simulated cycle count is
+/// not identical across reps (the workloads are seeded and deterministic).
+pub fn measure_prim(
+    name: &str,
+    size: DatasetSize,
+    cfg: &DpuConfig,
+    reps: usize,
+) -> Result<Measurement, SimError> {
+    let job = SimJob::single(name, size, cfg.clone());
+    let mut walls = Vec::with_capacity(reps);
+    let mut sim: Option<(u64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = job.execute()?;
+        walls.push(start.elapsed().as_secs_f64());
+        let got = (out.stats.instructions, out.stats.cycles);
+        match sim {
+            None => sim = Some(got),
+            Some(prev) => {
+                assert_eq!(prev, got, "{name}: simulated work must not vary across reps");
+            }
+        }
+    }
+    let (instructions, cycles) = sim.expect("at least one rep ran");
+    Ok(Measurement {
+        name: name.to_string(),
+        kind: "prim",
+        tasklets: cfg.n_tasklets,
+        instructions,
+        cycles,
+        wall_seconds: median(&mut walls),
+    })
+}
+
+/// The two synthetic stress kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Synthetic {
+    /// Each tasklet streams `ldma`/`sdma` blocks back and forth: the run is
+    /// dominated by memory-engine and DRAM-bank events.
+    DmaHeavy,
+    /// Every tasklet fights over one atomic bit around a tiny critical
+    /// section: the run is dominated by acquire-retry issue slots.
+    BarrierHeavy,
+}
+
+impl Synthetic {
+    /// Report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Synthetic::DmaHeavy => "DMA-HEAVY",
+            Synthetic::BarrierHeavy => "BARRIER-HEAVY",
+        }
+    }
+
+    /// Per-tasklet loop iterations at the given dataset size.
+    fn iterations(self, size: DatasetSize) -> i32 {
+        match (self, size) {
+            (Synthetic::DmaHeavy, DatasetSize::Tiny) => 4,
+            (Synthetic::DmaHeavy, DatasetSize::SingleDpu) => 64,
+            (Synthetic::DmaHeavy, DatasetSize::MultiDpu) => 128,
+            (Synthetic::BarrierHeavy, DatasetSize::Tiny) => 32,
+            (Synthetic::BarrierHeavy, DatasetSize::SingleDpu) => 512,
+            (Synthetic::BarrierHeavy, DatasetSize::MultiDpu) => 1024,
+        }
+    }
+}
+
+/// DMA block size of [`Synthetic::DmaHeavy`], in bytes.
+const DMA_BLOCK: u32 = 2048;
+
+/// Builds the synthetic kernel for `n_tasklets` tasklets.
+fn synthetic_kernel(which: Synthetic, size: DatasetSize, n_tasklets: u32) -> DpuProgram {
+    let iters = which.iterations(size);
+    let mut k = KernelBuilder::new();
+    match which {
+        Synthetic::DmaHeavy => {
+            let buf = k.alloc_wram(DMA_BLOCK * n_tasklets, 8);
+            let [t, w, m, i] = k.regs(["t", "w", "m", "i"]);
+            k.tid(t);
+            k.mul(w, t, DMA_BLOCK as i32);
+            k.add(w, w, buf as i32);
+            // Disjoint MRAM stream per tasklet.
+            k.mul(m, t, iters * DMA_BLOCK as i32);
+            k.movi(i, iters);
+            let top = k.label_here("stream");
+            k.ldma(w, m, DMA_BLOCK as i32);
+            k.sdma(w, m, DMA_BLOCK as i32);
+            k.add(m, m, DMA_BLOCK as i32);
+            k.sub(i, i, 1);
+            k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+        Synthetic::BarrierHeavy => {
+            let bit = k.alloc_atomic_bit();
+            let ctr = k.global_zeroed("counter", 4);
+            let [i, a, v] = k.regs(["i", "a", "v"]);
+            k.movi(a, ctr as i32);
+            k.movi(i, iters);
+            let top = k.label_here("contend");
+            k.acquire(bit as i32);
+            k.lw(v, a, 0);
+            k.add(v, v, 1);
+            k.sw(v, a, 0);
+            k.release(bit as i32);
+            k.sub(i, i, 1);
+            k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+    }
+    k.build().expect("synthetic kernel builds")
+}
+
+/// Measures a synthetic kernel: program load is outside the timed region,
+/// each rep times one [`Dpu::launch`].
+///
+/// # Errors
+///
+/// Propagates the simulation fault, if any.
+///
+/// # Panics
+///
+/// Panics if the simulated cycle count varies across reps.
+pub fn measure_synthetic(
+    which: Synthetic,
+    size: DatasetSize,
+    cfg: &DpuConfig,
+    reps: usize,
+) -> Result<Measurement, SimError> {
+    let program = synthetic_kernel(which, size, cfg.n_tasklets);
+    let mut dpu = Dpu::new(cfg.clone());
+    dpu.load_program(&program)?;
+    let mut walls = Vec::with_capacity(reps);
+    let mut sim: Option<(u64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let stats = dpu.launch()?;
+        walls.push(start.elapsed().as_secs_f64());
+        let got = (stats.instructions, stats.cycles);
+        match sim {
+            None => sim = Some(got),
+            Some(prev) => {
+                assert_eq!(prev, got, "{}: simulated work must not vary across reps", which.name());
+            }
+        }
+    }
+    let (instructions, cycles) = sim.expect("at least one rep ran");
+    Ok(Measurement {
+        name: which.name().to_string(),
+        kind: "synthetic",
+        tasklets: cfg.n_tasklets,
+        instructions,
+        cycles,
+        wall_seconds: median(&mut walls),
+    })
+}
+
+/// Options of `pimsim bench`.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Dataset size (default single; `--quick` forces tiny).
+    pub size: DatasetSize,
+    /// Wall-time repetitions per workload (median is reported).
+    pub reps: usize,
+    /// Where the JSON document is written.
+    pub out: PathBuf,
+    /// Print the JSON document instead of the table.
+    pub json_stdout: bool,
+    /// A previous `BENCH.json` to compare instrs/sec against.
+    pub baseline: Option<PathBuf>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            size: DatasetSize::SingleDpu,
+            reps: 3,
+            out: PathBuf::from("BENCH.json"),
+            json_stdout: false,
+            baseline: None,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Parses the `pimsim bench` flag set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or malformed value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = BenchOptions::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => {
+                    o.size = DatasetSize::Tiny;
+                    o.reps = 1;
+                }
+                "--size" => {
+                    let v = it.next().ok_or("--size needs a value (tiny|single|multi)")?;
+                    o.size = parse_size_value(v)?;
+                }
+                "--reps" => {
+                    let v = it.next().ok_or("--reps needs a number")?;
+                    let n: usize =
+                        v.parse().map_err(|_| format!("--reps: `{v}` is not a number"))?;
+                    if n == 0 {
+                        return Err("--reps must be at least 1".to_string());
+                    }
+                    o.reps = n;
+                }
+                "--out" => o.out = PathBuf::from(it.next().ok_or("--out needs a file path")?),
+                "--json" => o.json_stdout = true,
+                "--baseline" => {
+                    o.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected \
+                         --quick/--size/--reps/--out/--json/--baseline)"
+                    ))
+                }
+            }
+        }
+        Ok(o)
+    }
+}
+
+/// Runs the full suite (16 PrIM kernels + 2 synthetics) and returns the
+/// measurements in suite order.
+///
+/// # Errors
+///
+/// Propagates the first simulation fault.
+pub fn run_suite(size: DatasetSize, reps: usize) -> Result<Vec<Measurement>, SimError> {
+    let cfg = DpuConfig::paper_baseline(BENCH_TASKLETS);
+    let mut out = Vec::new();
+    for w in all_workloads() {
+        out.push(measure_prim(w.name(), size, &cfg, reps)?);
+    }
+    for s in [Synthetic::DmaHeavy, Synthetic::BarrierHeavy] {
+        out.push(measure_synthetic(s, size, &cfg, reps)?);
+    }
+    Ok(out)
+}
+
+/// Renders the `BENCH.json` document.
+#[must_use]
+pub fn bench_json(size: DatasetSize, reps: usize, rows: &[Measurement]) -> Json {
+    Json::obj([
+        ("schema", Json::from(BENCH_SCHEMA)),
+        ("size", Json::from(size_label(size))),
+        ("reps", Json::UInt(reps as u64)),
+        (
+            "workloads",
+            Json::Arr(
+                rows.iter()
+                    .map(|m| {
+                        Json::obj([
+                            ("name", Json::from(m.name.as_str())),
+                            ("kind", Json::from(m.kind)),
+                            ("tasklets", Json::from(m.tasklets)),
+                            ("instructions", Json::UInt(m.instructions)),
+                            ("cycles", Json::UInt(m.cycles)),
+                            ("wall_seconds", Json::from(m.wall_seconds)),
+                            ("kilo_cycles_per_sec", Json::from(m.kilo_cycles_per_sec())),
+                            ("instrs_per_sec", Json::from(m.instrs_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Validates a parsed `BENCH.json` document against the schema `pimsim
+/// bench` writes (used by the CI smoke step and by `--baseline` loading).
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
+    let Json::Obj(top) = doc else {
+        return Err("top level must be an object".to_string());
+    };
+    let field = |name: &str| -> Result<&Json, String> {
+        top.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing top-level field `{name}`"))
+    };
+    match field("schema")? {
+        Json::Str(s) if s == BENCH_SCHEMA => {}
+        other => return Err(format!("schema must be \"{BENCH_SCHEMA}\", got {}", other.render())),
+    }
+    if !matches!(field("size")?, Json::Str(_)) {
+        return Err("`size` must be a string".to_string());
+    }
+    if !matches!(field("reps")?, Json::UInt(r) if *r >= 1) {
+        return Err("`reps` must be a positive integer".to_string());
+    }
+    let Json::Arr(rows) = field("workloads")? else {
+        return Err("`workloads` must be an array".to_string());
+    };
+    if rows.is_empty() {
+        return Err("`workloads` must not be empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let Json::Obj(pairs) = row else {
+            return Err(format!("workloads[{i}] must be an object"));
+        };
+        let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let Some(Json::Str(name)) = get("name") else {
+            return Err(format!("workloads[{i}] needs a string `name`"));
+        };
+        for key in ["instructions", "cycles"] {
+            match get(key) {
+                Some(Json::UInt(v)) if *v > 0 => {}
+                _ => return Err(format!("{name}: `{key}` must be a positive integer")),
+            }
+        }
+        for key in ["wall_seconds", "kilo_cycles_per_sec", "instrs_per_sec"] {
+            match get(key) {
+                Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => {}
+                _ => return Err(format!("{name}: `{key}` must be a positive number")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `name → instrs_per_sec` from a validated `BENCH.json`.
+fn instr_rates(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Json::Obj(top) = doc {
+        if let Some((_, Json::Arr(rows))) = top.iter().find(|(k, _)| k == "workloads") {
+            for row in rows {
+                if let Json::Obj(pairs) = row {
+                    let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                    if let (Some(Json::Str(name)), Some(Json::Num(ips))) =
+                        (get("name"), get("instrs_per_sec"))
+                    {
+                        out.push((name.clone(), *ips));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the human-readable table, with baseline speedups when given.
+#[must_use]
+pub fn bench_table(
+    size: DatasetSize,
+    reps: usize,
+    rows: &[Measurement],
+    baseline: Option<&Json>,
+) -> String {
+    use std::fmt::Write as _;
+    let base_rates = baseline.map(instr_rates);
+    let mut text = format!("== pimsim bench ({} size, median of {reps}) ==\n", size_label(size));
+    for m in rows {
+        let _ = write!(
+            text,
+            "{:14} {:>12} instrs {:>12} cycles in {:>8.3}s = {:>10.1} Kcyc/s, {:>11.0} instrs/s",
+            m.name,
+            m.instructions,
+            m.cycles,
+            m.wall_seconds,
+            m.kilo_cycles_per_sec(),
+            m.instrs_per_sec()
+        );
+        if let Some(rates) = &base_rates {
+            if let Some((_, old)) = rates.iter().find(|(n, _)| *n == m.name) {
+                let _ = write!(text, "  ({:.2}x vs baseline)", m.instrs_per_sec() / old);
+            }
+        }
+        text.push('\n');
+    }
+    text
+}
+
+/// `pimsim bench`: runs the suite, prints the table (or JSON), writes and
+/// re-validates the `BENCH.json` document.
+#[must_use]
+pub fn run_bench_with_args(args: &[String]) -> ExitCode {
+    let opts = match BenchOptions::parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: pimsim bench [--quick] [--size tiny|single|multi] [--reps K] [--out \
+                 FILE] [--json] [--baseline FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match &opts.baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|s| {
+            let doc = Json::parse(&s)?;
+            validate_bench_json(&doc)?;
+            Ok(doc)
+        }) {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("pimsim bench: bad baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let rows = match run_suite(opts.size, opts.reps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pimsim bench: simulation fault: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = bench_json(opts.size, opts.reps, &rows);
+    let pretty = doc.render_pretty();
+    {
+        use std::io::Write as _;
+        let table = bench_table(opts.size, opts.reps, &rows, baseline.as_ref());
+        let out = if opts.json_stdout { &pretty } else { &table };
+        let _ = std::io::stdout().write_all(out.as_bytes());
+    }
+    if let Err(e) = crate::write_with_parents(&opts.out, &pretty) {
+        eprintln!("pimsim bench: could not write {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    // Round-trip the file through the schema validator so CI catches a
+    // malformed document at write time, not at first consumption.
+    let check = std::fs::read_to_string(&opts.out)
+        .map_err(|e| e.to_string())
+        .and_then(|s| Json::parse(&s))
+        .and_then(|d| validate_bench_json(&d));
+    match check {
+        Ok(()) => eprintln!("wrote {} (schema {BENCH_SCHEMA} OK)", opts.out.display()),
+        Err(e) => {
+            eprintln!("pimsim bench: {} failed schema validation: {e}", opts.out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_quick_and_flags() {
+        let args: Vec<String> =
+            ["--quick", "--out", "x.json", "--reps", "5"].iter().map(|s| s.to_string()).collect();
+        let o = BenchOptions::parse(&args).unwrap();
+        assert_eq!(o.size, DatasetSize::Tiny);
+        assert_eq!(o.reps, 5, "--reps after --quick overrides the quick rep count");
+        assert_eq!(o.out, PathBuf::from("x.json"));
+        assert!(BenchOptions::parse(&["--reps".to_string(), "0".to_string()]).is_err());
+        assert!(BenchOptions::parse(&["--what".to_string()]).is_err());
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert!((median(&mut [3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&mut [4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_validates() {
+        let m = Measurement {
+            name: "VA".to_string(),
+            kind: "prim",
+            tasklets: 16,
+            instructions: 1000,
+            cycles: 2000,
+            wall_seconds: 0.5,
+        };
+        let doc = bench_json(DatasetSize::Tiny, 1, &[m]);
+        validate_bench_json(&doc).unwrap();
+        let reparsed = Json::parse(&doc.render_pretty()).unwrap();
+        validate_bench_json(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_bench_json(&Json::Arr(vec![])).is_err());
+        let no_rows = Json::obj([
+            ("schema", Json::from(BENCH_SCHEMA)),
+            ("size", Json::from("tiny")),
+            ("reps", Json::UInt(1)),
+            ("workloads", Json::Arr(vec![])),
+        ]);
+        assert!(validate_bench_json(&no_rows).is_err());
+        let bad_schema = Json::obj([
+            ("schema", Json::from("nope")),
+            ("size", Json::from("tiny")),
+            ("reps", Json::UInt(1)),
+            ("workloads", Json::Arr(vec![Json::obj([("name", Json::from("VA"))])])),
+        ]);
+        assert!(validate_bench_json(&bad_schema).is_err());
+    }
+
+    #[test]
+    fn synthetics_are_deterministic_and_measurable() {
+        let cfg = DpuConfig::paper_baseline(4);
+        for s in [Synthetic::DmaHeavy, Synthetic::BarrierHeavy] {
+            let m = measure_synthetic(s, DatasetSize::Tiny, &cfg, 2).unwrap();
+            assert!(m.instructions > 0 && m.cycles > 0, "{} ran", s.name());
+            assert!(m.wall_seconds > 0.0);
+        }
+    }
+}

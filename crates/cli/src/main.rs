@@ -19,6 +19,13 @@
 //!     --size tiny|single|multi    dataset size
 //!     --threads N                 simulation worker threads
 //!     --out FILE                  trace file (default results/<name>.trace.json)
+//! pimsim bench  [options]                    simulator-throughput micro-harness
+//!     --quick                     tiny datasets, 1 rep (CI smoke)
+//!     --size tiny|single|multi    dataset size
+//!     --reps K                    wall-time repetitions (median reported)
+//!     --out FILE                  where BENCH.json is written
+//!     --json                      print the JSON document to stdout
+//!     --baseline FILE             print speedups vs a previous BENCH.json
 //! pimsim serve  <scenario|--list> [options]  run a multi-tenant serving scenario
 //!     --seed N                    traffic seed (default 42)
 //!     --duration-ms M             simulated run length (scenario default)
@@ -41,8 +48,9 @@ fn usage() -> ExitCode {
          [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]\n  pimsim exp    \
          <name|--list> [--size tiny|single|multi] [--threads N] [--json] [--out DIR] [--trace \
          FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]\n  \
-         pimsim serve  <scenario|--list> [--seed N] [--duration-ms M] [--load X] [--policy P] \
-         [--threads N] [--json] [--out DIR] [--trace FILE]"
+         pimsim bench  [--quick] [--size tiny|single|multi] [--reps K] [--out FILE] [--json] \
+         [--baseline FILE]\n  pimsim serve  <scenario|--list> [--seed N] [--duration-ms M] \
+         [--load X] [--policy P] [--threads N] [--json] [--out DIR] [--trace FILE]"
     );
     ExitCode::from(2)
 }
@@ -109,6 +117,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return pim_bench::perf::run_bench_with_args(&args[1..]);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();

@@ -181,6 +181,12 @@ pub struct DpuConfig {
     /// WRAM/MRAM state differs (differential testing; scratchpad-centric
     /// runs only — the oracle does not model the flat cached space).
     pub oracle_check: bool,
+    /// Force the naive per-cycle scheduling loop: no pre-decoded side
+    /// tables, no event-driven wakeup caching, and the memory engine is
+    /// advanced every iteration. Timing-identical to the optimized loop by
+    /// construction — exists only so differential tests can pin that
+    /// equivalence. Slow; never enable outside tests.
+    pub naive_loop: bool,
 }
 
 impl DpuConfig {
@@ -212,7 +218,16 @@ impl DpuConfig {
             trace_limit: 0,
             event_trace_capacity: 0,
             oracle_check: false,
+            naive_loop: false,
         }
+    }
+
+    /// Forces the naive per-cycle scheduling loop (differential testing of
+    /// the hot-path optimizations; see [`DpuConfig::naive_loop`]).
+    #[must_use]
+    pub fn with_naive_loop(mut self) -> Self {
+        self.naive_loop = true;
+        self
     }
 
     /// Enables structured event tracing with a ring of `capacity` events.

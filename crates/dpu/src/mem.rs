@@ -81,6 +81,10 @@ pub(crate) struct MemEngine {
     /// Requests issued (for stats).
     pub requests_issued: u64,
     scratch: Vec<AccessId>,
+    /// Reusable buffer for walk-completion bookkeeping in `advance`.
+    walk_scratch: Vec<(u64, u64)>,
+    /// Reusable buffer for MMU-translated segments in `issue`.
+    phys_scratch: Vec<Segment>,
 }
 
 impl MemEngine {
@@ -105,6 +109,8 @@ impl MemEngine {
             done: Vec::new(),
             requests_issued: 0,
             scratch: Vec::new(),
+            walk_scratch: Vec::new(),
+            phys_scratch: Vec::new(),
         }
     }
 
@@ -143,7 +149,11 @@ impl MemEngine {
 
     /// Issues a request of one or more MRAM segments at core cycle `now`.
     /// Addresses are virtual when an MMU is configured.
-    pub(crate) fn issue(&mut self, token: Token, segments: Vec<Segment>, now: u64) {
+    ///
+    /// Allocation-free on the common paths (no MMU, or every page TLB-hits):
+    /// translated segments go through a pooled scratch buffer and walk-read
+    /// collection only allocates on an actual TLB miss.
+    pub(crate) fn issue(&mut self, token: Token, segments: &[Segment], now: u64) {
         debug_assert!(!segments.is_empty());
         self.requests_issued += 1;
         let slot = self.next_slot;
@@ -151,10 +161,11 @@ impl MemEngine {
         // Translate (MMU) — collect physical segments plus walk reads.
         let mut walk_reads: Vec<u32> = Vec::new();
         let mut tlb_cycles: u64 = 0;
-        let mut physical: Vec<Segment> = Vec::new();
+        let mut physical = std::mem::take(&mut self.phys_scratch);
+        physical.clear();
         if let Some(mmu) = self.mmu.as_mut() {
             let page = mmu.config().page_bytes;
-            for seg in &segments {
+            for seg in segments {
                 let mut addr = seg.addr;
                 let mut left = seg.bytes;
                 while left > 0 {
@@ -169,12 +180,14 @@ impl MemEngine {
                     left -= in_page;
                 }
             }
-        } else {
-            physical = segments;
         }
         let start = now + u64::from(self.setup) + tlb_cycles;
         if walk_reads.is_empty() {
-            let pending = self.enqueue_data(slot, &physical, start);
+            let pending = if self.mmu.is_some() {
+                self.enqueue_data(slot, &physical, start)
+            } else {
+                self.enqueue_data(slot, segments, start)
+            };
             self.requests.insert(
                 slot,
                 Request {
@@ -186,6 +199,7 @@ impl MemEngine {
                     all_enqueued: true,
                 },
             );
+            self.phys_scratch = physical;
         } else {
             walk_reads.sort_unstable();
             walk_reads.dedup();
@@ -237,7 +251,8 @@ impl MemEngine {
         let mut bank_done = std::mem::take(&mut self.scratch);
         bank_done.clear();
         self.bank.advance_to(self.to_dram(now), &mut bank_done);
-        let mut walk_finished: Vec<(u64, u64)> = Vec::new();
+        let mut walk_finished = std::mem::take(&mut self.walk_scratch);
+        walk_finished.clear();
         for id in &bank_done {
             let (slot, is_walk) = self.owner.remove(id).expect("burst has an owner");
             if is_walk {
@@ -265,7 +280,7 @@ impl MemEngine {
         self.scratch = bank_done;
         self.scratch.clear();
         // Requests whose walk completed: enqueue their data bursts now.
-        for (slot, at) in walk_finished {
+        for (slot, at) in walk_finished.drain(..) {
             let held =
                 std::mem::take(&mut self.requests.get_mut(&slot).expect("live request").held);
             let pending = self.enqueue_data(slot, &held, at);
@@ -275,6 +290,7 @@ impl MemEngine {
             req.all_enqueued = true;
             req.finish = req.finish.max(at);
         }
+        self.walk_scratch = walk_finished;
         // Report and drop finished requests.
         let done = &mut self.done;
         self.requests.retain(|_, req| {
@@ -287,9 +303,20 @@ impl MemEngine {
         });
     }
 
-    /// Takes the completions accumulated by [`MemEngine::advance`].
-    pub(crate) fn drain_done(&mut self) -> Vec<(Token, u64)> {
-        std::mem::take(&mut self.done)
+    /// Moves the completions accumulated by [`MemEngine::advance`] into
+    /// `out` (cleared first), swapping buffers so neither side allocates in
+    /// steady state.
+    pub(crate) fn drain_done_into(&mut self, out: &mut Vec<(Token, u64)>) {
+        out.clear();
+        std::mem::swap(&mut self.done, out);
+    }
+
+    /// Whether a request is outstanding or a completion is unreported.
+    /// When false, [`MemEngine::advance`] is a no-op (the bank holds no
+    /// queued or in-flight bursts — every burst belongs to a live request)
+    /// and the cycle loop may skip it.
+    pub(crate) fn is_active(&self) -> bool {
+        !self.requests.is_empty() || !self.done.is_empty()
     }
 
     /// The next core cycle at which progress may occur, or `None` if idle.
@@ -329,10 +356,12 @@ mod tests {
 
     fn run_until_done(e: &mut MemEngine, mut now: u64) -> Vec<(Token, u64)> {
         let mut out = Vec::new();
+        let mut buf = Vec::new();
         let mut guard = 0;
         loop {
             e.advance(now);
-            out.extend(e.drain_done());
+            e.drain_done_into(&mut buf);
+            out.extend_from_slice(&buf);
             if e.is_idle() && !out.is_empty() {
                 return out;
             }
@@ -349,7 +378,7 @@ mod tests {
     #[test]
     fn single_small_read_completes() {
         let mut e = engine();
-        e.issue(7, vec![Segment { addr: 0, bytes: 8, write: false }], 0);
+        e.issue(7, &[Segment { addr: 0, bytes: 8, write: false }], 0);
         let done = run_until_done(&mut e, 0);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, 7);
@@ -362,7 +391,7 @@ mod tests {
     fn large_transfer_throughput_near_interface_rate() {
         let mut e = engine();
         let bytes = 64 * 1024u32;
-        e.issue(1, vec![Segment { addr: 0, bytes, write: false }], 0);
+        e.issue(1, &[Segment { addr: 0, bytes, write: false }], 0);
         let done = run_until_done(&mut e, 0);
         let cycles = done[0].1;
         let rate = f64::from(bytes) / cycles as f64;
@@ -377,7 +406,7 @@ mod tests {
     fn unaligned_transfer_splits_into_partial_bursts() {
         let mut e = engine();
         // 100 bytes starting at byte 60: bursts of 4 + 64 + 32.
-        e.issue(2, vec![Segment { addr: 60, bytes: 100, write: false }], 0);
+        e.issue(2, &[Segment { addr: 60, bytes: 100, write: false }], 0);
         let done = run_until_done(&mut e, 0);
         assert_eq!(done.len(), 1);
         assert_eq!(e.bank().stats().reads, 3);
@@ -387,7 +416,7 @@ mod tests {
     #[test]
     fn writes_flow_to_bank_as_writes() {
         let mut e = engine();
-        e.issue(3, vec![Segment { addr: 128, bytes: 64, write: true }], 0);
+        e.issue(3, &[Segment { addr: 128, bytes: 64, write: true }], 0);
         run_until_done(&mut e, 0);
         assert_eq!(e.bank().stats().writes, 1);
         assert_eq!(e.bank().stats().bytes_written, 64);
@@ -398,8 +427,8 @@ mod tests {
         let mut e = engine();
         // Two 4 KB streams issued together: combined time must reflect the
         // shared 2 B/cycle interface, i.e. ~4096 cycles, not ~2048.
-        e.issue(1, vec![Segment { addr: 0, bytes: 4096, write: false }], 0);
-        e.issue(2, vec![Segment { addr: 1 << 20, bytes: 4096, write: false }], 0);
+        e.issue(1, &[Segment { addr: 0, bytes: 4096, write: false }], 0);
+        e.issue(2, &[Segment { addr: 1 << 20, bytes: 4096, write: false }], 0);
         let done = run_until_done(&mut e, 0);
         let last = done.iter().map(|d| d.1).max().unwrap();
         assert!(last >= 4096, "two 4 KB reads through a 2 B/cycle pipe need ≥4096 cycles");
@@ -410,14 +439,14 @@ mod tests {
         let pages = 16 * 1024;
         let mmu = Mmu::new(MmuConfig::paper(), PageTable::identity(pages));
         let mut e = MemEngine::new(DramConfig::ddr4_2400(), Some(mmu), 1200.0 / 350.0, 2.0, 24);
-        e.issue(1, vec![Segment { addr: 8192, bytes: 64, write: false }], 0);
+        e.issue(1, &[Segment { addr: 8192, bytes: 64, write: false }], 0);
         let done = run_until_done(&mut e, 0);
         assert_eq!(done.len(), 1);
         // 2 PTE reads + 1 data burst.
         assert_eq!(e.bank().stats().reads, 3);
         assert_eq!(e.mmu().unwrap().stats().tlb_misses, 1);
         // Second access to the same page: TLB hit, single data burst.
-        e.issue(2, vec![Segment { addr: 8256, bytes: 64, write: false }], done[0].1);
+        e.issue(2, &[Segment { addr: 8256, bytes: 64, write: false }], done[0].1);
         run_until_done(&mut e, done[0].1);
         assert_eq!(e.mmu().unwrap().stats().tlb_hits, 1);
         assert_eq!(e.bank().stats().reads, 4);
@@ -428,7 +457,7 @@ mod tests {
         let mmu = Mmu::new(MmuConfig::paper(), PageTable::identity(16 * 1024));
         let mut e = MemEngine::new(DramConfig::ddr4_2400(), Some(mmu), 1200.0 / 350.0, 2.0, 0);
         // 6000 bytes starting mid-page: touches pages 0 and 1.
-        e.issue(1, vec![Segment { addr: 2048, bytes: 6000, write: false }], 0);
+        e.issue(1, &[Segment { addr: 2048, bytes: 6000, write: false }], 0);
         run_until_done(&mut e, 0);
         assert_eq!(e.mmu().unwrap().stats().tlb_misses, 2);
     }
@@ -437,7 +466,7 @@ mod tests {
     fn walk_delays_data_relative_to_no_mmu() {
         let run = |mmu: Option<Mmu>| {
             let mut e = MemEngine::new(DramConfig::ddr4_2400(), mmu, 1200.0 / 350.0, 2.0, 24);
-            e.issue(1, vec![Segment { addr: 0, bytes: 2048, write: false }], 0);
+            e.issue(1, &[Segment { addr: 0, bytes: 2048, write: false }], 0);
             run_until_done(&mut e, 0)[0].1
         };
         let without = run(None);
@@ -450,7 +479,7 @@ mod tests {
         let mut e = engine();
         e.issue(
             9,
-            vec![
+            &[
                 Segment { addr: 0, bytes: 64, write: false },
                 Segment { addr: 4096, bytes: 64, write: false },
             ],

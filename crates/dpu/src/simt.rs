@@ -20,6 +20,7 @@
 //! the DRAM row open), and scratchpad accesses falling in the same 64 B
 //! segment share one port slot instead of serializing per lane.
 
+use pim_isa::DecodedProgram;
 use pim_trace::{StallCause, TraceEvent, TraceSink};
 
 use crate::dpu::{Dpu, TaskletStatus};
@@ -45,13 +46,17 @@ pub(crate) fn run_simt<S: TraceSink>(
     mut mem: MemEngine,
     sink: &mut S,
 ) -> Result<DpuRunStats, SimError> {
+    const NREGS: usize = pim_isa::NUM_GP_REGS as usize;
     let cfg = dpu.cfg.clone();
     let simt = cfg.simt.expect("run_simt requires a SIMT config");
     let width = simt.warp_width as usize;
     let n = cfg.n_tasklets as usize;
     let program = dpu.program.clone().expect("checked in launch");
+    let decoded = DecodedProgram::decode(&program.instrs);
     let n_instrs = program.instrs.len() as u32;
     let unified_rf = cfg.ilp.unified_rf;
+    let fwd_alu = u64::from(cfg.forward_alu_latency);
+    let fwd_load = u64::from(cfg.forward_load_latency);
 
     let mut warps: Vec<Warp> = (0..n)
         .step_by(width)
@@ -63,13 +68,24 @@ pub(crate) fn run_simt<S: TraceSink>(
         })
         .collect();
     let mut status = vec![TaskletStatus::Ready; n];
-    let mut reg_ready = vec![[0u64; 24]; n];
+    // Forwarding scoreboard, flattened: lane `l`, register `r` lives at
+    // `reg_ready[l * NREGS + r]` (one allocation, cache-friendly rows).
+    let mut reg_ready = vec![0u64; n * NREGS];
     let mut stats = dpu.new_stats();
     let mut window_acc = (0u64, 0u64);
     let mut live = n;
     let mut now: u64 = 0;
     let mut port_block: u64 = 0;
     let mut rr = 0usize;
+    // Scratch buffers reused across iterations so the steady-state loop
+    // performs no heap allocation.
+    let mut issuable: Vec<usize> = Vec::with_capacity(warps.len());
+    let mut pcs: Vec<u32> = Vec::with_capacity(width);
+    let mut active: Vec<usize> = Vec::with_capacity(width);
+    let mut seg_slots: Vec<u32> = Vec::with_capacity(width);
+    let mut dma_segments: Vec<Segment> = Vec::with_capacity(width);
+    let mut merged: Vec<Segment> = Vec::with_capacity(width);
+    let mut done_buf: Vec<(u64, u64)> = Vec::with_capacity(warps.len());
 
     loop {
         if live == 0 {
@@ -78,29 +94,31 @@ pub(crate) fn run_simt<S: TraceSink>(
         if now >= cfg.max_cycles {
             return Err(SimError::CycleLimit { limit: cfg.max_cycles });
         }
-        mem.advance(now);
-        if sink.enabled() {
-            mem.drain_row_events(sink);
-        }
-        for (token, at) in mem.drain_done() {
+        if mem.is_active() {
+            mem.advance(now);
             if sink.enabled() {
-                sink.emit(TraceEvent::DmaEnd { cycle: at, tasklet: token as u32 });
+                mem.drain_row_events(sink);
             }
-            let w = &mut warps[token as usize];
-            w.pending_mem -= 1;
-            if w.pending_mem == 0 {
-                w.next_issue = w.next_issue.max(at + 1);
+            mem.drain_done_into(&mut done_buf);
+            for &(token, at) in &done_buf {
+                if sink.enabled() {
+                    sink.emit(TraceEvent::DmaEnd { cycle: at, tasklet: token as u32 });
+                }
+                let w = &mut warps[token as usize];
+                w.pending_mem -= 1;
+                if w.pending_mem == 0 {
+                    w.next_issue = w.next_issue.max(at + 1);
+                }
             }
         }
         // Issuable warps (live lanes, no outstanding memory, past gap).
-        let issuable: Vec<usize> = (0..warps.len())
-            .filter(|&wi| {
-                let w = &warps[wi];
-                w.pending_mem == 0
-                    && now >= w.next_issue
-                    && w.lanes.clone().any(|l| status[l] == TaskletStatus::Ready)
-            })
-            .collect();
+        issuable.clear();
+        issuable.extend((0..warps.len()).filter(|&wi| {
+            let w = &warps[wi];
+            w.pending_mem == 0
+                && now >= w.next_issue
+                && w.lanes.clone().any(|l| status[l] == TaskletStatus::Ready)
+        }));
         let issuable_lanes: usize = issuable
             .iter()
             .map(|&wi| {
@@ -164,23 +182,35 @@ pub(crate) fn run_simt<S: TraceSink>(
         rr = wi + 1;
         // Fair rotation among the distinct PC groups whose operands are
         // forwarded; fall back to a pipeline stall if none is ready.
-        let mut pcs: Vec<u32> = warps[wi]
-            .lanes
-            .clone()
-            .filter(|&l| status[l] == TaskletStatus::Ready)
-            .map(|l| dpu.state.pc[l])
-            .collect();
+        pcs.clear();
+        pcs.extend(
+            warps[wi]
+                .lanes
+                .clone()
+                .filter(|&l| status[l] == TaskletStatus::Ready)
+                .map(|l| dpu.state.pc[l]),
+        );
         pcs.sort_unstable();
         pcs.dedup();
-        let group_ready = |pc: u32, dpu: &Dpu, reg_ready: &Vec<[u64; 24]>| -> bool {
-            let Some(instr) = program.instrs.get(pc as usize) else {
+        let group_ready = |pc: u32, dpu: &Dpu, reg_ready: &[u64]| -> bool {
+            let Some(d) = decoded.get(pc) else {
                 return true; // fault surfaces at execution
             };
             warps[wi]
                 .lanes
                 .clone()
                 .filter(|&l| status[l] == TaskletStatus::Ready && dpu.state.pc[l] == pc)
-                .all(|l| instr.srcs().iter().all(|r| reg_ready[l][r.index() as usize] <= now))
+                .all(|l| {
+                    let mut mask = d.src_mask;
+                    while mask != 0 {
+                        let r = mask.trailing_zeros() as usize;
+                        if reg_ready[l * NREGS + r] > now {
+                            return false;
+                        }
+                        mask &= mask - 1;
+                    }
+                    true
+                })
         };
         let rot = warps[wi].rotation;
         let chosen = (0..pcs.len())
@@ -205,33 +235,38 @@ pub(crate) fn run_simt<S: TraceSink>(
             return Err(SimError::PcOutOfRange { pc, tasklet: lane as u32 });
         }
         let instr = program.instrs[pc as usize];
-        let active: Vec<usize> = warps[wi]
-            .lanes
-            .clone()
-            .filter(|&l| status[l] == TaskletStatus::Ready && dpu.state.pc[l] == pc)
-            .collect();
+        let d = *decoded.get(pc).expect("pc bounds-checked above");
+        active.clear();
+        active.extend(
+            warps[wi]
+                .lanes
+                .clone()
+                .filter(|&l| status[l] == TaskletStatus::Ready && dpu.state.pc[l] == pc),
+        );
         // Structural hazards: split RF banks, and the scratchpad port for
         // vector loads/stores (one slot per 64 B segment with coalescing,
         // one per active lane without).
-        let mut hazard = if unified_rf { 0 } else { u64::from(instr.rf_hazard_cycles()) };
+        let mut hazard = if unified_rf { 0 } else { u64::from(d.rf_hazard) };
         if matches!(instr, pim_isa::Instruction::Load { .. } | pim_isa::Instruction::Store { .. }) {
             let slots = if simt.coalescing {
                 // Coalesced accesses occupy one slot per group of
                 // `wram_ports` distinct 64 B segments (banked WRAM).
-                let mut segs: Vec<u32> = active
-                    .iter()
-                    .filter_map(|&l| dpu.state.ls_addr(l as u32, &instr).map(|(a, _)| a / 64))
-                    .collect();
-                segs.sort_unstable();
-                segs.dedup();
-                (segs.len() as u32).div_ceil(simt.wram_ports.max(1)).max(1) as usize
+                seg_slots.clear();
+                seg_slots.extend(
+                    active
+                        .iter()
+                        .filter_map(|&l| dpu.state.ls_addr(l as u32, &instr).map(|(a, _)| a / 64)),
+                );
+                seg_slots.sort_unstable();
+                seg_slots.dedup();
+                (seg_slots.len() as u32).div_ceil(simt.wram_ports.max(1)).max(1) as usize
             } else {
                 active.len()
             };
             hazard += slots as u64 - 1;
         }
         // Execute over the active lanes; gather DMA segments.
-        let mut dma_segments: Vec<Segment> = Vec::new();
+        dma_segments.clear();
         let mut dma_lane_requests = 0usize;
         for &l in &active {
             if stats.trace.len() < cfg.trace_limit {
@@ -243,13 +278,13 @@ pub(crate) fn run_simt<S: TraceSink>(
                 });
             }
             let effect = dpu.state.execute(l as u32, &instr)?;
-            stats.count_instruction(instr.class(), l as u32);
+            stats.count_instruction(d.class, l as u32);
             if sink.enabled() {
                 sink.emit(TraceEvent::InstrRetire {
                     cycle: now,
                     tasklet: l as u32,
                     pc,
-                    class: instr.class(),
+                    class: d.class,
                 });
                 match instr {
                     pim_isa::Instruction::Acquire { bit } => {
@@ -270,12 +305,9 @@ pub(crate) fn run_simt<S: TraceSink>(
                     _ => {}
                 }
             }
-            if let Some(rd) = instr.dst() {
-                let lat = match instr {
-                    pim_isa::Instruction::Load { .. } => u64::from(cfg.forward_load_latency),
-                    _ => u64::from(cfg.forward_alu_latency),
-                };
-                reg_ready[l][rd.index() as usize] = now + lat;
+            if let Some(rd) = d.dst {
+                let lat = if d.is_load { fwd_load } else { fwd_alu };
+                reg_ready[l * NREGS + rd as usize] = now + lat;
             }
             match effect {
                 Effect::Advance => dpu.state.pc[l] = pc + 1,
@@ -297,8 +329,8 @@ pub(crate) fn run_simt<S: TraceSink>(
             if simt.coalescing {
                 // Merge touching ranges of the same direction.
                 dma_segments.sort_by_key(|s| (s.write, s.addr));
-                let mut merged: Vec<Segment> = Vec::with_capacity(dma_segments.len());
-                for s in dma_segments {
+                merged.clear();
+                for s in dma_segments.drain(..) {
                     match merged.last_mut() {
                         Some(prev) if prev.write == s.write && s.addr <= prev.addr + prev.bytes => {
                             let end = (s.addr + s.bytes).max(prev.addr + prev.bytes);
@@ -319,12 +351,12 @@ pub(crate) fn run_simt<S: TraceSink>(
                         });
                     }
                 }
-                mem.issue(wi as u64, merged, now);
+                mem.issue(wi as u64, &merged, now);
             } else {
                 // One engine request per lane: per-request setup is paid
                 // for every scalar transfer, as in the uncoalesced design.
                 warps[wi].pending_mem = dma_lane_requests;
-                for s in dma_segments {
+                for s in dma_segments.drain(..) {
                     if sink.enabled() {
                         sink.emit(TraceEvent::DmaBegin {
                             cycle: now,
@@ -334,7 +366,7 @@ pub(crate) fn run_simt<S: TraceSink>(
                             write: s.write,
                         });
                     }
-                    mem.issue(wi as u64, vec![s], now);
+                    mem.issue(wi as u64, &[s], now);
                 }
             }
         }

@@ -206,17 +206,12 @@ impl DramBank {
             let finish = self.service(q, decision);
             self.in_flight.push(InFlight { id: q.id, finish });
         }
-        // Retire accesses whose data is complete.
+        // Retire accesses whose data is complete. After the sort the
+        // finished prefix is contiguous, so a partition point + drain
+        // retires in completion order without a temporary vector.
         self.in_flight.sort_by_key(|f| f.finish);
-        let mut retained = Vec::with_capacity(self.in_flight.len());
-        for f in self.in_flight.drain(..) {
-            if f.finish <= now {
-                completed.push(f.id);
-            } else {
-                retained.push(f);
-            }
-        }
-        self.in_flight = retained;
+        let done = self.in_flight.partition_point(|f| f.finish <= now);
+        completed.extend(self.in_flight.drain(..done).map(|f| f.id));
     }
 
     /// The next DRAM cycle at which calling [`DramBank::advance_to`] could

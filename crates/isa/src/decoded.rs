@@ -1,0 +1,179 @@
+//! Pre-decoded program side tables for simulator hot paths.
+//!
+//! The cycle loop in `pim-dpu` needs a handful of facts about the
+//! instruction at each tasklet's PC every cycle: which registers it reads
+//! (for the forwarding scoreboard), what it writes, its class, and its
+//! register-file hazard cost. Re-deriving those from the [`Instruction`]
+//! enum per cycle means a `match` plus a `Vec<Reg>` allocation in the
+//! innermost loop. A [`DecodedProgram`] is built once at launch and
+//! answers all of them with flat-array lookups.
+
+use crate::instr::{InstrClass, Instruction};
+use crate::reg::rf_conflict_cycles;
+
+/// Everything the issue/scoreboard path needs to know about one
+/// instruction, pre-computed from the [`Instruction`] enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// Bit `i` set when `r<i>` is a source ([`Instruction::src_mask`]).
+    pub src_mask: u32,
+    /// Destination register index, if the instruction writes one.
+    pub dst: Option<u8>,
+    /// Extra issue slots from same-bank register-file reads. Computed from
+    /// the full source *list* — duplicate sources conflict with themselves
+    /// even though they collapse to one bit in `src_mask`.
+    pub rf_hazard: u8,
+    /// Class for instruction-mix accounting.
+    pub class: InstrClass,
+    /// Blocking MRAM↔WRAM DMA ([`Instruction::is_dma`]).
+    pub is_dma: bool,
+    /// WRAM load — forwards at load latency rather than ALU latency.
+    pub is_load: bool,
+}
+
+impl DecodedInstr {
+    /// Decodes one instruction.
+    #[must_use]
+    pub fn new(instr: &Instruction) -> Self {
+        DecodedInstr {
+            src_mask: instr.src_mask(),
+            dst: instr.dst().map(|r| r.index()),
+            rf_hazard: instr.rf_hazard_cycles() as u8,
+            class: instr.class(),
+            is_dma: instr.is_dma(),
+            is_load: matches!(instr, Instruction::Load { .. }),
+        }
+    }
+}
+
+/// Per-PC side table over a program's instruction stream, built once at
+/// launch and indexed by instruction index in the cycle loop.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedProgram {
+    instrs: Vec<DecodedInstr>,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of a program.
+    #[must_use]
+    pub fn decode(instrs: &[Instruction]) -> Self {
+        DecodedProgram { instrs: instrs.iter().map(DecodedInstr::new).collect() }
+    }
+
+    /// The decoded entry at instruction index `pc`, or `None` when the PC
+    /// has run off the end of the program (mirrors `instrs.get(pc)` in the
+    /// interpreter).
+    #[must_use]
+    pub fn get(&self, pc: u32) -> Option<&DecodedInstr> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// Number of decoded instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Debug-build check that a decoded entry agrees with the enum-derived
+/// facts (used by the differential tests).
+#[must_use]
+pub fn decoded_matches(d: &DecodedInstr, instr: &Instruction) -> bool {
+    d.src_mask == instr.src_mask()
+        && d.dst == instr.dst().map(|r| r.index())
+        && u32::from(d.rf_hazard) == rf_conflict_cycles(&instr.srcs())
+        && d.class == instr.class()
+        && d.is_dma == instr.is_dma()
+        && d.is_load == matches!(instr, Instruction::Load { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Cond, Operand, Width};
+    use crate::reg::Reg;
+
+    fn sample_instrs() -> Vec<Instruction> {
+        vec![
+            Instruction::Alu {
+                op: AluOp::Add,
+                rd: Reg::r(4),
+                ra: Reg::r(1),
+                rb: Operand::Reg(Reg::r(2)),
+            },
+            // Duplicate source: mask has one bit, hazard still 1.
+            Instruction::Alu {
+                op: AluOp::Mul,
+                rd: Reg::r(0),
+                ra: Reg::r(6),
+                rb: Operand::Reg(Reg::r(6)),
+            },
+            Instruction::Movi { rd: Reg::r(3), imm: -1 },
+            Instruction::Tid { rd: Reg::r(0) },
+            Instruction::Load {
+                width: Width::Word,
+                signed: false,
+                rd: Reg::r(5),
+                base: Reg::r(7),
+                offset: 4,
+            },
+            Instruction::Store { width: Width::Byte, rs: Reg::r(2), base: Reg::r(9), offset: 0 },
+            Instruction::Ldma { wram: Reg::r(0), mram: Reg::r(2), len: Operand::Reg(Reg::r(4)) },
+            Instruction::Sdma { wram: Reg::r(1), mram: Reg::r(3), len: Operand::Imm(64) },
+            Instruction::Branch { cond: Cond::Ne, ra: Reg::r(1), rb: Operand::Imm(0), target: 0 },
+            Instruction::Jump { target: 2 },
+            Instruction::Jal { rd: Reg::r(23), target: 1 },
+            Instruction::Jr { ra: Reg::r(23) },
+            Instruction::Acquire { bit: Operand::Reg(Reg::r(11)) },
+            Instruction::Release { bit: Operand::Imm(3) },
+            Instruction::Stop,
+            Instruction::Nop,
+        ]
+    }
+
+    #[test]
+    fn decode_agrees_with_enum_for_every_shape() {
+        let instrs = sample_instrs();
+        let prog = DecodedProgram::decode(&instrs);
+        assert_eq!(prog.len(), instrs.len());
+        for (pc, instr) in instrs.iter().enumerate() {
+            let d = prog.get(pc as u32).unwrap();
+            assert!(decoded_matches(d, instr), "pc {pc}: {instr} decoded as {d:?}");
+        }
+        assert!(prog.get(instrs.len() as u32).is_none());
+    }
+
+    #[test]
+    fn src_mask_matches_srcs_exhaustively() {
+        for instr in sample_instrs() {
+            let expect = instr.srcs().iter().fold(0u32, |m, r| m | (1 << r.index()));
+            assert_eq!(instr.src_mask(), expect, "{instr}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_keep_their_hazard() {
+        let dup = Instruction::Alu {
+            op: AluOp::Add,
+            rd: Reg::r(0),
+            ra: Reg::r(2),
+            rb: Operand::Reg(Reg::r(2)),
+        };
+        let d = DecodedInstr::new(&dup);
+        assert_eq!(d.src_mask.count_ones(), 1);
+        assert_eq!(d.rf_hazard, 1, "same-bank self-conflict survives decoding");
+    }
+
+    #[test]
+    fn empty_program_decodes_empty() {
+        let prog = DecodedProgram::decode(&[]);
+        assert!(prog.is_empty());
+        assert!(prog.get(0).is_none());
+    }
+}

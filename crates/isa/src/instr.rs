@@ -507,6 +507,37 @@ impl Instruction {
         out
     }
 
+    /// Bitmask of source registers read by this instruction: bit `i` is set
+    /// when `r<i>` appears in [`Instruction::srcs`].
+    ///
+    /// Allocation-free companion to `srcs()` for hot-path scoreboard checks.
+    /// Duplicate sources collapse to a single bit, so register-file conflict
+    /// accounting must keep using [`Instruction::rf_hazard_cycles`] (e.g.
+    /// `add r0, r0, r0` has two even-bank reads but a one-bit mask).
+    #[must_use]
+    pub fn src_mask(&self) -> u32 {
+        let bit = |r: Reg| 1u32 << r.index();
+        let op_bit = |o: Operand| o.as_reg().map_or(0, bit);
+        match *self {
+            Instruction::Alu { ra, rb, .. } | Instruction::Branch { ra, rb, .. } => {
+                bit(ra) | op_bit(rb)
+            }
+            Instruction::Load { base, .. } => bit(base),
+            Instruction::Store { rs, base, .. } => bit(rs) | bit(base),
+            Instruction::Ldma { wram, mram, len } | Instruction::Sdma { wram, mram, len } => {
+                bit(wram) | bit(mram) | op_bit(len)
+            }
+            Instruction::Jr { ra } => bit(ra),
+            Instruction::Acquire { bit: b } | Instruction::Release { bit: b } => op_bit(b),
+            Instruction::Movi { .. }
+            | Instruction::Tid { .. }
+            | Instruction::Jump { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Stop
+            | Instruction::Nop => 0,
+        }
+    }
+
     /// The destination register written by this instruction, if any.
     #[must_use]
     pub fn dst(&self) -> Option<Reg> {

@@ -34,11 +34,13 @@
 //! assert_eq!(add.to_string(), "add r2, r0, r1");
 //! ```
 
+pub mod decoded;
 pub mod encode;
 pub mod instr;
 pub mod layout;
 pub mod reg;
 
+pub use decoded::{DecodedInstr, DecodedProgram};
 pub use encode::DecodeError;
 pub use instr::{AluOp, Cond, InstrClass, Instruction, Operand, Width};
 pub use layout::{AddressSpace, MemLayout};

@@ -1,0 +1,67 @@
+//! Differential pinning of the optimized DPU cycle loop against the naive
+//! per-cycle reference.
+//!
+//! The optimized scheduler (pre-decoded side tables, event-driven wakeup,
+//! allocation-free steady state) must be *timing-invisible*: every
+//! simulated quantity — cycle counts, idle attribution, instruction mixes,
+//! the trace itself — has to match what the straightforward
+//! scan-everything-every-cycle loop computes. `DpuConfig::naive_loop`
+//! keeps that reference loop alive so this suite can assert full
+//! `DpuRunStats` equality over the whole PrIM suite, across tasklet
+//! counts and pipeline modes.
+
+use pim_dpu::{DpuConfig, IlpFeatures};
+use prim_suite::{all_workloads, DatasetSize, RunConfig, Workload};
+
+const TASKLETS: [u32; 3] = [1, 8, 16];
+
+/// Runs one workload under `cfg` with both loops and asserts the per-DPU
+/// stats are identical field-for-field (via the `Debug` rendering, which
+/// covers every stat including traces and f64 idle attribution).
+fn assert_loops_agree(w: &dyn Workload, mode: &str, cfg: DpuConfig) {
+    let fast = w
+        .run(DatasetSize::Tiny, &RunConfig::single(cfg.clone()))
+        .unwrap_or_else(|e| panic!("{} [{mode}] optimized run failed: {e}", w.name()));
+    let naive = w
+        .run(DatasetSize::Tiny, &RunConfig::single(cfg.with_naive_loop()))
+        .unwrap_or_else(|e| panic!("{} [{mode}] naive run failed: {e}", w.name()));
+    assert_eq!(fast.per_dpu.len(), naive.per_dpu.len(), "{} [{mode}]: DPU count differs", w.name());
+    for (i, (f, n)) in fast.per_dpu.iter().zip(&naive.per_dpu).enumerate() {
+        assert_eq!(f.cycles, n.cycles, "{} [{mode}] dpu {i}: cycle counts differ", w.name());
+        assert_eq!(
+            format!("{f:?}"),
+            format!("{n:?}"),
+            "{} [{mode}] dpu {i}: stats differ beyond cycles",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn scalar_loop_matches_naive_reference() {
+    for w in all_workloads() {
+        for n in TASKLETS {
+            assert_loops_agree(w.as_ref(), "scalar", DpuConfig::paper_baseline(n));
+        }
+    }
+}
+
+#[test]
+fn ilp_loop_matches_naive_reference() {
+    for w in all_workloads() {
+        for n in TASKLETS {
+            let cfg = DpuConfig::paper_baseline(n).with_ilp(IlpFeatures::all());
+            assert_loops_agree(w.as_ref(), "ilp", cfg);
+        }
+    }
+}
+
+#[test]
+fn cached_loop_matches_naive_reference() {
+    for w in all_workloads().into_iter().filter(|w| w.supports_cache_mode()) {
+        for n in TASKLETS {
+            let cfg = DpuConfig::paper_baseline(n).with_paper_caches();
+            assert_loops_agree(w.as_ref(), "cached", cfg);
+        }
+    }
+}

@@ -26,6 +26,14 @@
 //!     --out FILE                  where BENCH.json is written
 //!     --json                      print the JSON document to stdout
 //!     --baseline FILE             print speedups vs a previous BENCH.json
+//! pimsim fuzz   [options]                    coverage-guided conformance fuzzing
+//!     --seed N                    campaign master seed (default 0)
+//!     --budget N                  programs to generate (default 96)
+//!     --jobs N                    worker threads (never affects results)
+//!     --corpus DIR                replay this corpus first; write repros here
+//!     --mutate                    arm the seeded scoreboard bug (self-check)
+//!     --json                      print the JSON document to stdout
+//!     --out FILE                  where the JSON report is written
 //! pimsim serve  <scenario|--list> [options]  run a multi-tenant serving scenario
 //!     --seed N                    traffic seed (default 42)
 //!     --duration-ms M             simulated run length (scenario default)
@@ -50,7 +58,9 @@ fn usage() -> ExitCode {
          FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]\n  \
          pimsim bench  [--quick] [--size tiny|single|multi] [--reps K] [--out FILE] [--json] \
          [--baseline FILE]\n  pimsim serve  <scenario|--list> [--seed N] [--duration-ms M] \
-         [--load X] [--policy P] [--threads N] [--json] [--out DIR] [--trace FILE]"
+         [--load X] [--policy P] [--threads N] [--json] [--out DIR] [--trace FILE]\n  pimsim \
+         fuzz   [--seed N] [--budget N] [--jobs N] [--corpus DIR] [--mutate] [--json] [--out \
+         FILE]"
     );
     ExitCode::from(2)
 }
@@ -120,6 +130,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench") {
         return pim_bench::perf::run_bench_with_args(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return pim_fuzz::cli::run_with_args(&args[1..]);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();

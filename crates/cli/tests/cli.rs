@@ -184,3 +184,58 @@ fn trace_subcommand_writes_a_chrome_trace_and_records_the_path() {
     let trace_field = pairs.iter().find(|(k, _)| k == "trace").expect("trace field");
     assert_eq!(trace_field.1, Json::from(flag_trace.display().to_string()));
 }
+
+#[test]
+fn fuzz_unknown_flag_is_a_usage_error() {
+    let out = pimsim().args(["fuzz", "--frobnicate"]).output().expect("spawn pimsim");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: pimsim fuzz"), "stderr: {stderr}");
+}
+
+#[test]
+fn fuzz_bad_corpus_path_exits_nonzero() {
+    let scratch = Scratch::new("fuzz-bad-corpus");
+    let missing = scratch.path("no/such/corpus");
+    let out = pimsim()
+        .args(["fuzz", "--budget", "1", "--corpus"])
+        .arg(&missing)
+        .output()
+        .expect("spawn pimsim");
+    assert!(!out.status.success(), "a missing corpus dir must fail the campaign");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read corpus dir"), "stderr: {stderr}");
+}
+
+#[test]
+fn fuzz_out_creates_missing_parent_dirs() {
+    let scratch = Scratch::new("fuzz-out");
+    let out_path = scratch.path("x/y/fuzz.json");
+    let st = pimsim()
+        .args(["fuzz", "--seed", "3", "--budget", "4", "--jobs", "2", "--json", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let doc = parse_file(&out_path);
+    let Json::Obj(pairs) = &doc else { panic!("fuzz doc not an object") };
+    assert_eq!(pairs[0].0, "seed");
+    let failures = pairs.iter().find(|(k, _)| k == "failures_seen").expect("failures_seen");
+    assert_eq!(failures.1, Json::UInt(0));
+    // --json prints the same document to stdout.
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("\"class_hazard_reachable\""), "stdout: {stdout}");
+}
+
+#[test]
+fn fuzz_mutate_self_check_succeeds_and_prints_a_shrunk_repro() {
+    let out = pimsim()
+        .args(["fuzz", "--mutate", "--seed", "1", "--budget", "256", "--jobs", "2"])
+        .output()
+        .expect("spawn pimsim");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mutation self-check: detected"), "stdout: {stdout}");
+    assert!(stdout.contains("shrunk repro ("), "stdout: {stdout}");
+}

@@ -448,6 +448,11 @@ impl Dpu {
         let gap: u64 = if fwd { 1 } else { u64::from(self.cfg.revolver_cycles) };
         let fwd_alu = u64::from(self.cfg.forward_alu_latency);
         let fwd_load = u64::from(self.cfg.forward_load_latency);
+        // Seeded bug for the mutation self-check: sampled once per launch
+        // so the hot loop stays branch-predictable and default behavior is
+        // untouched while the switch is off.
+        #[cfg(feature = "mutation-hooks")]
+        let drop_rf_hazard = crate::mutation::scoreboard_bug();
 
         let (mut icache, mut dcache) = match self.cfg.memory_mode {
             MemoryMode::Scratchpad => (None, None),
@@ -670,6 +675,8 @@ impl Dpu {
                 }
                 // Register-file structural hazard (even/odd banks).
                 let hazard = if unified_rf { 0 } else { u64::from(d.rf_hazard) };
+                #[cfg(feature = "mutation-hooks")]
+                let hazard = if drop_rf_hazard { 0 } else { hazard };
                 if stats.trace.len() < self.cfg.trace_limit {
                     stats.trace.push(crate::stats::TraceEntry {
                         cycle: now,

@@ -59,6 +59,8 @@ pub mod dpu;
 pub mod error;
 mod exec;
 mod mem;
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation;
 mod simt;
 pub mod stats;
 pub mod tenancy;

@@ -1,0 +1,331 @@
+//! The conformance gauntlet: every case runs under all executors and must
+//! satisfy four metamorphic invariants.
+//!
+//! 1. **Oracle equality** — final WRAM/MRAM match the timing-free
+//!    `pim-ref` interpreter byte-for-byte.
+//! 2. **Naive/fast equality** — the optimized cycle loop's full
+//!    [`pim_dpu::DpuRunStats`] (cycles, idle attribution, mixes, traces)
+//!    is identical to the naive per-cycle reference loop's (scalar and
+//!    ILP modes; SIMT has a single implementation).
+//! 3. **Sink invisibility** — attaching a `RingSink` event trace changes
+//!    nothing about the simulated run: the stats render identically.
+//! 4. **Schedule invariance** — re-running the oracle with a *reversed*
+//!    tasklet service order leaves the same final memory image (the
+//!    generator only emits schedule-independent programs).
+//!
+//! A case whose ground truth cannot be established (the oracle itself
+//! faults) is [`CheckOutcome::Invalid`] — shrink candidates that break
+//! the program land there and are rejected without masquerading as
+//! conformance failures.
+
+use crate::FuzzCase;
+use pim_dpu::{Dpu, DpuConfig};
+use pim_ref::RefInterpreter;
+use pim_trace::{DpuTrace, MetricsSink};
+
+use crate::coverage::MemPressure;
+
+/// Step bound for the oracle interpreter — far above any generated
+/// program, so hitting it means a runaway case, not a slow one.
+pub const ORACLE_MAX_STEPS: u64 = 10_000_000;
+
+/// WRAM bytes compared between executors (the whole scratchpad).
+pub const WRAM_COMPARE: u32 = 64 * 1024;
+/// MRAM bytes compared between executors (covers every generated window).
+pub const MRAM_COMPARE: u32 = 128 * 1024;
+
+/// Ring capacity used for the sink-invisibility run.
+const RING_CAPACITY: usize = 1 << 16;
+
+/// The four conformance invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Final memory equals the `pim-ref` oracle's.
+    OracleEquality,
+    /// Naive and fast cycle loops produce identical stats.
+    NaiveFastEquality,
+    /// Event tracing does not perturb the simulation.
+    SinkInvisibility,
+    /// Final memory is independent of the oracle's service order.
+    ScheduleInvariance,
+}
+
+impl Invariant {
+    /// All invariants, in gauntlet order.
+    pub const ALL: [Invariant; 4] = [
+        Invariant::OracleEquality,
+        Invariant::NaiveFastEquality,
+        Invariant::SinkInvisibility,
+        Invariant::ScheduleInvariance,
+    ];
+
+    /// Stable kebab-case name (used in corpus files and reports).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Invariant::OracleEquality => "oracle",
+            Invariant::NaiveFastEquality => "naive-fast",
+            Invariant::SinkInvisibility => "sink",
+            Invariant::ScheduleInvariance => "schedule",
+        }
+    }
+
+    /// Parses [`Invariant::as_str`] output back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string when it names no invariant.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Invariant::ALL
+            .into_iter()
+            .find(|i| i.as_str() == s)
+            .ok_or_else(|| format!("unknown invariant `{s}`"))
+    }
+}
+
+/// One conformance failure: which invariant broke and how.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The broken invariant.
+    pub invariant: Invariant,
+    /// First observed divergence, human-readable.
+    pub detail: String,
+}
+
+/// Facts about a passing run the campaign feeds back into coverage.
+#[derive(Debug)]
+pub struct PassInfo {
+    /// Fast-loop cycle count.
+    pub cycles: u64,
+    /// DMA requests issued (exact, from the run stats).
+    pub dma_requests: u64,
+    /// Memory-pressure bucket of the run.
+    pub mem: MemPressure,
+    /// Event-derived counters from the traced run.
+    pub metrics: MetricsSink,
+}
+
+/// Outcome of running one case through the gauntlet.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// All invariants held.
+    Pass(Box<PassInfo>),
+    /// An invariant broke — the case indicts an executor.
+    Fail(Failure),
+    /// Ground truth could not be established (oracle fault): the *case*
+    /// is bad, not the executors.
+    Invalid(String),
+}
+
+/// First differing byte between two memory images, if any.
+fn first_diff(a: &[u8], b: &[u8]) -> Option<usize> {
+    a.iter().zip(b.iter()).position(|(x, y)| x != y)
+}
+
+/// First differing line between two pretty-Debug renderings (the stats
+/// structs render one field per line under `{:#?}`).
+fn first_line_diff(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("`{}` vs `{}`", la.trim(), lb.trim());
+        }
+    }
+    format!("{} vs {} debug lines", a.lines().count(), b.lines().count())
+}
+
+struct RunOutput {
+    stats_debug: String,
+    cycles: u64,
+    dma_requests: u64,
+    wram: Vec<u8>,
+    mram: Vec<u8>,
+    trace: Option<DpuTrace>,
+}
+
+fn run_once(case: &FuzzCase, cfg: DpuConfig) -> Result<RunOutput, String> {
+    let mut dpu = Dpu::new(cfg);
+    dpu.load_program(&case.program).map_err(|e| format!("load: {e}"))?;
+    let stats = dpu.launch().map_err(|e| format!("launch: {e}"))?;
+    Ok(RunOutput {
+        stats_debug: format!("{stats:#?}"),
+        cycles: stats.cycles,
+        dma_requests: stats.dma_requests,
+        wram: dpu.read_wram(0, WRAM_COMPARE),
+        mram: dpu.read_mram(0, MRAM_COMPARE),
+        trace: dpu.take_trace(),
+    })
+}
+
+/// Runs one case through all four invariants.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
+    // Ground truth: the timing-free oracle.
+    let mut oracle = RefInterpreter::new(&case.program, case.tasklets);
+    if let Err(e) = oracle.run(ORACLE_MAX_STEPS) {
+        return CheckOutcome::Invalid(format!("oracle: {e}"));
+    }
+    let owram = oracle.read_wram(0, WRAM_COMPARE);
+    let omram = oracle.read_mram(0, MRAM_COMPARE);
+
+    // Invariant 1: the optimized pipeline agrees with the oracle.
+    let fast = match run_once(case, case.config()) {
+        Ok(r) => r,
+        Err(e) => {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::OracleEquality,
+                detail: format!("simulator faulted where the oracle ran clean: {e}"),
+            });
+        }
+    };
+    for (name, got, want) in [("WRAM", &fast.wram, &owram), ("MRAM", &fast.mram, &omram)] {
+        if let Some(at) = first_diff(got, want) {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::OracleEquality,
+                detail: format!(
+                    "{name} diverged at {at:#x}: simulator {:#04x}, oracle {:#04x}",
+                    got[at], want[at]
+                ),
+            });
+        }
+    }
+
+    // Invariant 2: the naive per-cycle loop times identically.
+    if case.mode.has_naive_loop() {
+        let naive = match run_once(case, case.config().with_naive_loop()) {
+            Ok(r) => r,
+            Err(e) => {
+                return CheckOutcome::Fail(Failure {
+                    invariant: Invariant::NaiveFastEquality,
+                    detail: format!("naive loop faulted where the fast loop ran clean: {e}"),
+                });
+            }
+        };
+        if naive.stats_debug != fast.stats_debug {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::NaiveFastEquality,
+                detail: format!(
+                    "stats diverged (fast {} vs naive {} cycles): {}",
+                    fast.cycles,
+                    naive.cycles,
+                    first_line_diff(&fast.stats_debug, &naive.stats_debug)
+                ),
+            });
+        }
+    }
+
+    // Invariant 3: attaching an event-trace ring is invisible.
+    let ring = match run_once(case, case.config().with_event_trace(RING_CAPACITY)) {
+        Ok(r) => r,
+        Err(e) => {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::SinkInvisibility,
+                detail: format!("traced run faulted where the untraced run ran clean: {e}"),
+            });
+        }
+    };
+    if ring.stats_debug != fast.stats_debug {
+        return CheckOutcome::Fail(Failure {
+            invariant: Invariant::SinkInvisibility,
+            detail: format!(
+                "stats changed under tracing: {}",
+                first_line_diff(&fast.stats_debug, &ring.stats_debug)
+            ),
+        });
+    }
+
+    // Invariant 4: a reversed oracle service order reaches the same
+    // memory image (schedule independence).
+    let mut reversed = RefInterpreter::new(&case.program, case.tasklets);
+    let order: Vec<u32> = (0..case.tasklets).rev().collect();
+    if let Err(e) = reversed.run_in_order(ORACLE_MAX_STEPS, &order) {
+        return CheckOutcome::Fail(Failure {
+            invariant: Invariant::ScheduleInvariance,
+            detail: format!("oracle faulted under reversed schedule: {e}"),
+        });
+    }
+    let rwram = reversed.read_wram(0, WRAM_COMPARE);
+    let rmram = reversed.read_mram(0, MRAM_COMPARE);
+    for (name, got, want) in [("WRAM", &rwram, &owram), ("MRAM", &rmram, &omram)] {
+        if let Some(at) = first_diff(got, want) {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::ScheduleInvariance,
+                detail: format!(
+                    "{name} depends on the schedule at {at:#x}: reversed {:#04x}, identity {:#04x}",
+                    got[at], want[at]
+                ),
+            });
+        }
+    }
+
+    let mut metrics = MetricsSink::new();
+    if let Some(trace) = &ring.trace {
+        metrics.absorb(&trace.events);
+    }
+    CheckOutcome::Pass(Box::new(PassInfo {
+        cycles: fast.cycles,
+        dma_requests: fast.dma_requests,
+        mem: MemPressure::classify(fast.dma_requests, case.tasklets),
+        metrics,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenOptions};
+    use crate::ExecMode;
+    use pim_asm::KernelBuilder;
+
+    #[test]
+    fn invariant_names_round_trip() {
+        for i in Invariant::ALL {
+            assert_eq!(Invariant::parse(i.as_str()).unwrap(), i);
+        }
+        assert!(Invariant::parse("vibes").is_err());
+    }
+
+    #[test]
+    fn a_generated_program_passes_the_gauntlet() {
+        let case = generate(3, &GenOptions { tasklets: 4, mode: ExecMode::Scalar, focus: None });
+        match run_gauntlet(&case) {
+            CheckOutcome::Pass(info) => {
+                assert!(info.cycles > 0);
+                assert!(info.metrics.get("instr_retired") > 0);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_runaway_program_is_invalid_not_failing() {
+        // An infinite loop: the oracle hits its step bound, so the case
+        // is rejected as invalid rather than blamed on an executor.
+        let mut k = KernelBuilder::new();
+        let top = k.label_here("top");
+        k.jump(&top);
+        let program = k.build().unwrap();
+        let case =
+            FuzzCase { program, tasklets: 1, mode: ExecMode::Scalar, label: "runaway".into() };
+        assert!(matches!(run_gauntlet(&case), CheckOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn a_schedule_dependent_program_is_caught() {
+        // Last-writer-wins on a shared word with no mutex: identity and
+        // reversed service orders leave different winners.
+        let mut k = KernelBuilder::new();
+        let shared = k.global_zeroed("shared", 4);
+        let [t, p] = k.regs(["t", "p"]);
+        k.tid(t);
+        k.movi(p, shared as i32);
+        k.sw(t, p, 0);
+        k.stop();
+        let program = k.build().unwrap();
+        let case = FuzzCase { program, tasklets: 2, mode: ExecMode::Scalar, label: "racy".into() };
+        match run_gauntlet(&case) {
+            CheckOutcome::Fail(f) => assert_eq!(f.invariant, Invariant::ScheduleInvariance),
+            other => panic!("expected schedule-invariance failure, got {other:?}"),
+        }
+    }
+}

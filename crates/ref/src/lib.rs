@@ -126,11 +126,43 @@ impl RefInterpreter {
     /// Reports out-of-bounds accesses, bad DMA parameters, runaway
     /// execution past `max_steps`, and all-tasklets-busy-wait deadlock.
     pub fn run(&mut self, max_steps: u64) -> Result<u64, String> {
+        let order: Vec<u32> = (0..self.done.len() as u32).collect();
+        self.run_in_order(max_steps, &order)
+    }
+
+    /// Runs every tasklet to `stop`, round-robin over a caller-chosen slot
+    /// `order` (a permutation of `0..n_tasklets`).
+    ///
+    /// Schedule-independent programs — the only kind the differential
+    /// fuzzer generates — must reach the same final memory image under any
+    /// permutation; `pim-fuzz` uses this as its schedule-invariance
+    /// metamorphic check.
+    ///
+    /// Returns the number of instructions interpreted.
+    ///
+    /// # Errors
+    ///
+    /// Reports everything [`RefInterpreter::run`] does; also rejects an
+    /// `order` that is not a permutation of all tasklet slots.
+    pub fn run_in_order(&mut self, max_steps: u64, order: &[u32]) -> Result<u64, String> {
+        let n = self.done.len();
+        let mut seen = vec![false; n];
+        for &t in order {
+            if (t as usize) < n && !seen[t as usize] {
+                seen[t as usize] = true;
+            } else {
+                return Err(format!("order {order:?} is not a permutation of 0..{n}"));
+            }
+        }
+        if order.len() != n {
+            return Err(format!("order {order:?} is not a permutation of 0..{n}"));
+        }
         let mut steps = 0u64;
         loop {
             let mut live = 0u32;
             let mut retried = 0u32;
-            for t in 0..self.done.len() {
+            for &t in order {
+                let t = t as usize;
                 if self.done[t] {
                     continue;
                 }

@@ -65,3 +65,96 @@ fn cached_loop_matches_naive_reference() {
         }
     }
 }
+
+/// Ring capacity for the event-tracing legs: large enough that no PrIM
+/// tiny-dataset run wraps, so the sink exercises its full record path.
+const RING: usize = 1 << 16;
+
+#[test]
+fn event_tracing_is_invisible_to_both_loops() {
+    // The {fast, naive} x {NullSink, RingSink} cross product: attaching a
+    // structured event trace must change *nothing* in either loop's
+    // simulated quantities, and both loops must still agree with each
+    // other while recording.
+    for w in all_workloads() {
+        let base = DpuConfig::paper_baseline(8);
+        let legs = [
+            ("fast+null", base.clone()),
+            ("fast+ring", base.clone().with_event_trace(RING)),
+            ("naive+null", base.clone().with_naive_loop()),
+            ("naive+ring", base.with_naive_loop().with_event_trace(RING)),
+        ];
+        let mut rendered: Vec<(&str, Vec<String>)> = Vec::new();
+        for (leg, cfg) in legs {
+            let out = w
+                .run(DatasetSize::Tiny, &RunConfig::single(cfg))
+                .unwrap_or_else(|e| panic!("{} [{leg}] run failed: {e}", w.name()));
+            rendered.push((leg, out.per_dpu.iter().map(|s| format!("{s:?}")).collect()));
+        }
+        let (first_leg, first) = &rendered[0];
+        for (leg, stats) in &rendered[1..] {
+            assert_eq!(
+                first,
+                stats,
+                "{}: per-DPU stats diverge between {first_leg} and {leg}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn simt_divergent_programs_are_sink_invisible_and_match_the_oracle() {
+    // The SIMT front-end has no naive loop, so its leg of the cross
+    // product is {NullSink, RingSink} on a program with real divergence:
+    // lane-parity split paths plus tid-dependent loop trip counts, so
+    // warps fracture and reconverge repeatedly.
+    use pim_asm::KernelBuilder;
+    use pim_dpu::{Dpu, SimtConfig};
+    use pim_isa::{AluOp, Cond};
+    use pim_ref::RefInterpreter;
+
+    const N: u32 = 16;
+    let mut k = KernelBuilder::new();
+    let slab = k.global_zeroed("slab", 64 * N);
+    let [t, p, v, w, i] = k.regs(["t", "p", "v", "w", "i"]);
+    k.tid(t);
+    k.mul(p, t, 64);
+    k.add(p, p, slab as i32);
+    k.mov(v, t);
+    // Lane-parity divergence: odd and even lanes take different arms.
+    let odd = k.fresh_label("odd");
+    let merge = k.fresh_label("merge");
+    k.alu(AluOp::And, w, t, 1);
+    k.branch(Cond::Ne, w, 0, &odd);
+    k.alu(AluOp::Mul, v, v, 3);
+    k.jump(&merge);
+    k.place(&odd);
+    k.add(v, v, 100);
+    k.place(&merge);
+    // Tid-dependent trip counts: lanes fall out of the loop one by one.
+    k.add(i, t, 1);
+    let top = k.label_here("top");
+    k.add(v, v, 7);
+    k.sub(i, i, 1);
+    k.branch(Cond::Ne, i, 0, &top);
+    k.sw(v, p, 0);
+    k.stop();
+    let program = k.build().expect("divergent kernel builds");
+
+    let cfg = DpuConfig::paper_baseline(N).with_simt(SimtConfig::default());
+    let run = |cfg: DpuConfig| {
+        let mut dpu = Dpu::new(cfg);
+        dpu.load_program(&program).unwrap();
+        let stats = dpu.launch().expect("SIMT run completes");
+        (format!("{stats:#?}"), dpu.read_wram(0, 64 * 1024))
+    };
+    let (plain_stats, plain_wram) = run(cfg.clone());
+    let (traced_stats, traced_wram) = run(cfg.with_event_trace(RING));
+    assert_eq!(plain_stats, traced_stats, "RingSink perturbed SIMT stats");
+    assert_eq!(plain_wram, traced_wram, "RingSink perturbed SIMT memory");
+
+    let mut oracle = RefInterpreter::new(&program, N);
+    oracle.run(1_000_000).expect("oracle completes");
+    assert_eq!(plain_wram, oracle.read_wram(0, 64 * 1024), "SIMT end state diverges from oracle");
+}

@@ -1,222 +1,86 @@
-//! Randomized multi-tasklet differential testing: seeded random programs —
-//! arithmetic, data-dependent branches, WRAM loads/stores, disjoint DMA,
-//! mutex-protected shared updates, and software barriers — must leave
-//! WRAM and MRAM byte-identical under the cycle-level simulator and the
-//! timing-free `pim-ref` oracle.
+//! Randomized multi-tasklet conformance testing, replayed from the
+//! committed corpus in `tests/corpus/`.
 //!
-//! The generated programs are *schedule-independent by construction*:
-//! every tasklet computes in a private WRAM slab (and a private MRAM
-//! window), shared state is only updated under a mutex with one fixed
-//! commutative-associative operator per program, and barriers separate the
-//! phases. Any end-state divergence therefore indicts the pipeline (or the
-//! oracle), not the program.
+//! Program generation lives in `pim-fuzz` (`pim_fuzz::gen`): seeded,
+//! structured, schedule-independent SPMD kernels over the full ISA
+//! surface. This test replays every committed corpus entry — 52 seed
+//! entries preserving the historical seed conventions (36 scalar, 8 ILP,
+//! 8 SIMT) plus any minimized repros from past campaigns — through the
+//! full four-invariant conformance gauntlet:
 //!
-//! On mismatch the failing seed and the full disassembly are printed so
-//! the case can be replayed and shrunk by hand.
+//! 1. end-state equality against the timing-free `pim-ref` oracle,
+//! 2. naive-vs-fast cycle-loop `DpuRunStats` equality,
+//! 3. trace-sink invisibility (NullSink vs RingSink identical stats),
+//! 4. tasklet-schedule permutation invariance.
+//!
+//! To reproduce a failure by hand, see TESTING.md: every entry is either
+//! a generator seed (regenerate with `pim_fuzz::gen::generate`) or a
+//! self-contained assembly listing replayable with `pimsim fuzz --corpus`.
 
-use pim_asm::{disassemble, Barrier, DpuProgram, KernelBuilder, Mutex};
-use pim_dpu::{Dpu, DpuConfig};
-use pim_isa::{AluOp, Cond};
-use pim_ref::RefInterpreter;
-use pim_rng::StdRng;
+use std::path::{Path, PathBuf};
 
-const SLAB_BYTES: i32 = 256;
-const MRAM_WINDOW: i32 = 1024;
-const MRAM_BASE: i32 = 4096;
+use pim_asm::disassemble;
+use pim_fuzz::campaign::{run_campaign, CampaignOptions};
+use pim_fuzz::corpus::{entry_case, load_dir};
+use pim_fuzz::gauntlet::{run_gauntlet, CheckOutcome};
+use pim_fuzz::ExecMode;
 
-/// Commutative-associative operators safe for cross-tasklet accumulation:
-/// the final shared value is a fold independent of update order.
-const SHARED_OPS: [AluOp; 4] = [AluOp::Add, AluOp::Xor, AluOp::Min, AluOp::Max];
-
-const PRIVATE_OPS: [AluOp; 10] = [
-    AluOp::Add,
-    AluOp::Sub,
-    AluOp::Xor,
-    AluOp::And,
-    AluOp::Or,
-    AluOp::Mul,
-    AluOp::Sll,
-    AluOp::Srl,
-    AluOp::Min,
-    AluOp::Max,
-];
-
-/// Generates one random schedule-independent program for `n` tasklets.
-#[allow(clippy::too_many_lines)]
-fn generate(rng: &mut StdRng, n: u32) -> DpuProgram {
-    let mut k = KernelBuilder::new();
-    let slab = k.global_zeroed("slab", (SLAB_BYTES * n as i32) as u32);
-    let shared = k.global_zeroed("shared", 4);
-    let bar = Barrier::alloc(&mut k, n);
-    let mutex = Mutex::alloc(&mut k);
-    let shared_op = *rng.choose(&SHARED_OPS);
-    let [t, p, v, w, i, s0, s1, s2] = k.regs(["t", "p", "v", "w", "i", "s0", "s1", "s2"]);
-
-    // Private slab pointer and a tid-derived working value.
-    k.tid(t);
-    k.mul(p, t, SLAB_BYTES);
-    k.add(p, p, slab as i32);
-    k.mul(v, t, rng.gen_range(3i32..999));
-    k.add(v, v, rng.gen_range(1i32..1000));
-
-    let phases = rng.gen_range(1usize..4);
-    for phase in 0..phases {
-        // Phase body: a bounded private loop of random operations.
-        let iters = rng.gen_range(1i32..8);
-        k.movi(i, iters);
-        let top = k.label_here("phase_top");
-        for _ in 0..rng.gen_range(1usize..8) {
-            match rng.gen_range(0u8..6) {
-                // Pure arithmetic on the private value.
-                0 => k.alu(*rng.choose(&PRIVATE_OPS), v, v, rng.gen_range(-900i32..900)),
-                1 => k.alu(*rng.choose(&PRIVATE_OPS), v, v, i),
-                // WRAM word round-trip inside the private slab.
-                2 => {
-                    let off = 4 * rng.gen_range(0i32..SLAB_BYTES / 4);
-                    k.sw(v, p, off);
-                    k.lw(w, p, off);
-                    k.add(v, v, w);
-                }
-                // Byte store + sign/zero-extending loads.
-                3 => {
-                    let off = rng.gen_range(0i32..SLAB_BYTES);
-                    k.sb(v, p, off);
-                    if rng.gen_range(0u8..2) == 0 {
-                        k.lbu(w, p, off);
-                    } else {
-                        k.lb(w, p, off);
-                    }
-                    k.alu(AluOp::Xor, v, v, w);
-                }
-                // Data-dependent forward branch over a side effect.
-                4 => {
-                    let skip = k.fresh_label("skip");
-                    let cond = *rng.choose(&[Cond::Eq, Cond::Ne, Cond::Lt, Cond::Geu]);
-                    k.branch(cond, v, rng.gen_range(-5i32..50), &skip);
-                    k.alu(*rng.choose(&PRIVATE_OPS), v, v, t);
-                    k.place(&skip);
-                }
-                // Mix the loop counter in through a second register.
-                _ => {
-                    k.alu(*rng.choose(&PRIVATE_OPS), w, v, rng.gen_range(-900i32..900));
-                    k.alu(AluOp::Xor, v, v, w);
-                }
-            }
-        }
-        k.sub(i, i, 1);
-        k.branch(Cond::Ne, i, 0, &top);
-        // Publish the private value into the slab.
-        k.sw(v, p, 4 * (phase as i32 % (SLAB_BYTES / 4)));
-
-        // Optional DMA round-trip through a private MRAM window.
-        if rng.gen_range(0u8..2) == 0 {
-            let len = *rng.choose(&[8i32, 32, 128, 256]);
-            k.mul(w, t, MRAM_WINDOW);
-            k.add(w, w, MRAM_BASE + phase as i32 * 256);
-            k.mov(s0, p);
-            k.sdma(s0, w, len);
-            k.add(s0, s0, 0);
-            k.ldma(s0, w, len);
-        }
-
-        // Mutex-protected commutative shared update.
-        if rng.gen_range(0u8..3) > 0 {
-            mutex.lock(&mut k);
-            k.movi(s0, shared as i32);
-            k.lw(s1, s0, 0);
-            k.alu(shared_op, s1, s1, v);
-            k.sw(s1, s0, 0);
-            mutex.unlock(&mut k);
-        }
-
-        // Barrier between phases (and before stop) when tasklets share.
-        if n > 1 {
-            bar.wait(&mut k, [s0, s1, s2]);
-        }
-    }
-    k.stop();
-    k.build().expect("random program builds")
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
 }
 
-fn assert_equivalent(seed: u64, n: u32, program: &DpuProgram, cfg: DpuConfig, what: &str) {
-    let mut oracle = RefInterpreter::new(program, n);
-    if let Err(e) = oracle.run(50_000_000) {
-        panic!(
-            "seed {seed:#x} ({what}, {n} tasklets): oracle fault: {e}\n{}",
-            disassemble(program)
-        );
-    }
+#[test]
+fn every_corpus_entry_passes_the_conformance_gauntlet() {
+    let entries = load_dir(&corpus_dir()).expect("committed corpus loads");
+    // The historical floor: 36 scalar + 8 ILP + 8 SIMT seed entries.
+    assert!(entries.len() >= 52, "corpus shrank to {} entries (floor is 52)", entries.len());
 
-    let mut dpu = Dpu::new(cfg);
-    dpu.load_program(program).unwrap();
-    if let Err(e) = dpu.launch() {
-        panic!(
-            "seed {seed:#x} ({what}, {n} tasklets): simulator fault: {e}\n{}",
-            disassemble(program)
-        );
-    }
-
-    let wram = dpu.read_wram(0, 64 * 1024);
-    let mram = dpu.read_mram(0, 128 * 1024);
-    let owram = oracle.read_wram(0, 64 * 1024);
-    let omram = oracle.read_mram(0, 128 * 1024);
-    for (name, got, want) in [("WRAM", &wram, &owram), ("MRAM", &mram, &omram)] {
-        if let Some(at) = got.iter().zip(want.iter()).position(|(g, w)| g != w) {
-            panic!(
-                "seed {seed:#x} ({what}, {n} tasklets): {name} diverged at {at:#x}: \
-                 simulator {:#04x}, oracle {:#04x}\nprogram:\n{}",
-                got[at],
-                want[at],
-                disassemble(program)
-            );
+    let mut modes = [0u32; 3];
+    let mut counts: Vec<u32> = Vec::new();
+    for (name, entry) in &entries {
+        let case = entry_case(entry, name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        modes[case.mode as usize] += 1;
+        counts.push(case.tasklets);
+        match run_gauntlet(&case) {
+            CheckOutcome::Pass(_) => {}
+            CheckOutcome::Fail(f) => panic!(
+                "{name} ({}, {} tasklets) violates {}: {}\nprogram:\n{}",
+                case.mode.as_str(),
+                case.tasklets,
+                f.invariant.as_str(),
+                f.detail,
+                disassemble(&case.program)
+            ),
+            CheckOutcome::Invalid(why) => panic!(
+                "{name} ({}, {} tasklets) is not a valid case: {why}\nprogram:\n{}",
+                case.mode.as_str(),
+                case.tasklets,
+                disassemble(&case.program)
+            ),
         }
+    }
+
+    // The seed entries must keep exercising every executor and the full
+    // tasklet-count spread.
+    for mode in ExecMode::ALL {
+        assert!(modes[mode as usize] > 0, "no corpus entry exercises {}", mode.as_str());
+    }
+    for n in [1u32, 2, 4, 8, 16] {
+        assert!(counts.contains(&n), "no corpus entry runs with {n} tasklets");
     }
 }
 
 #[test]
-fn random_multi_tasklet_programs_match_the_oracle() {
-    // 36 seeds x the tasklet-count cycle >= the 32-case floor, with
-    // every count in {1, 2, 4, 8, 16} covered repeatedly.
-    let counts = [1u32, 2, 4, 8, 16];
-    for seed in 0..36u64 {
-        let mut rng = StdRng::seed_from_u64(0xD1FF_0000 ^ seed);
-        let n = counts[seed as usize % counts.len()];
-        let program = generate(&mut rng, n);
-        assert_equivalent(seed, n, &program, DpuConfig::paper_baseline(n), "scalar");
-    }
-}
-
-#[test]
-fn random_programs_match_the_oracle_under_ilp_features() {
-    // The Fig 12 ILP features change timing, never function: the same
-    // random programs must still match the oracle with everything on.
-    use pim_dpu::IlpFeatures;
-    let ilp = IlpFeatures {
-        data_forwarding: true,
-        unified_rf: true,
-        superscalar: true,
-        double_frequency: true,
-    };
-    for seed in 0..8u64 {
-        let mut rng = StdRng::seed_from_u64(0x11F0_0000 ^ seed);
-        let n = [2u32, 8][seed as usize % 2];
-        let program = generate(&mut rng, n);
-        let cfg = DpuConfig::paper_baseline(n).with_ilp(ilp);
-        assert_equivalent(seed, n, &program, cfg, "ilp");
-    }
-}
-
-#[test]
-fn random_programs_match_the_oracle_under_simt() {
-    // The SIMT front-end (with coalescing) executes the same unmodified
-    // SPMD programs; divergence, reconvergence, and coalesced DMA must
-    // also be functionally invisible.
-    use pim_dpu::SimtConfig;
-    for seed in 0..8u64 {
-        let mut rng = StdRng::seed_from_u64(0x51A7_0000 ^ seed);
-        let n = [4u32, 16][seed as usize % 2];
-        let program = generate(&mut rng, n);
-        let cfg = DpuConfig::paper_baseline(n).with_simt(SimtConfig::default());
-        assert_equivalent(seed, n, &program, cfg, "simt");
-    }
+fn corpus_replay_is_deterministic_across_worker_counts() {
+    // Replays (and the campaign report built from them) must be
+    // byte-identical whatever `--jobs` says: worker count is a throughput
+    // knob, never an input to the results.
+    let base =
+        CampaignOptions { budget: 8, corpus: Some(corpus_dir()), ..CampaignOptions::smoke(0xC0DE) };
+    let serial =
+        run_campaign(&CampaignOptions { jobs: Some(1), ..base.clone() }).expect("serial replay");
+    let parallel =
+        run_campaign(&CampaignOptions { jobs: Some(4), ..base }).expect("parallel replay");
+    assert_eq!(serial.replayed, 52);
+    assert_eq!(serial.json().render_pretty(), parallel.json().render_pretty());
 }

@@ -189,6 +189,12 @@ pub fn experiments() -> &'static [Experiment] {
             run: run_serving,
         },
         Experiment {
+            name: "exp_rank_scale",
+            title: "Rank scale: batched SoA execution of whole-rank populations",
+            default_size: DatasetSize::MultiDpu,
+            run: run_rank_scale,
+        },
+        Experiment {
             name: "exp_sim_rate",
             title: "\u{a7}III-D: simulation rate",
             default_size: DatasetSize::SingleDpu,
@@ -1145,6 +1151,49 @@ fn run_serving(ctx: &ExpContext) -> Result<ExpReport, SimError> {
             ctx.size,
             Json::Arr(json_rows),
             vec![("scenario", Json::from(scenario.name)), ("duration_ms", Json::UInt(duration_ms))],
+        ),
+    })
+}
+
+fn run_rank_scale(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    let mut text = header("Rank scale: batched SoA execution of whole-rank populations", ctx.size);
+    let rows = exp::exp_rank_scale(&ctx.rt, ctx.size)?;
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let _ = writeln!(
+            text,
+            "{ranks:>3} rank(s) {dpus:>6} DPUs  {instrs:>12} instructions  {cycles:>14} cycles  kernel {ms:>9.3} ms  checksum {sum:#010x}",
+            ranks = r.ranks,
+            dpus = r.dpus,
+            instrs = r.instructions,
+            cycles = r.cycles,
+            ms = r.kernel_ns / 1e6,
+            sum = r.checksum,
+        );
+        json_rows.push(Json::obj([
+            ("ranks", Json::from(r.ranks)),
+            ("dpus", Json::from(r.dpus)),
+            ("instructions", Json::from(r.instructions)),
+            ("cycles", Json::from(r.cycles)),
+            ("kernel_ns", Json::from(r.kernel_ns)),
+            ("checksum", Json::from(r.checksum)),
+        ]));
+    }
+    let _ = writeln!(
+        text,
+        "(population sharded {batch} DPUs/batch; rows are simulated quantities, identical across --threads)",
+        batch = exp::DEFAULT_RANK_BATCH,
+    );
+    Ok(ExpReport {
+        text,
+        json: json_doc(
+            "exp_rank_scale",
+            ctx.size,
+            Json::Arr(json_rows),
+            vec![
+                ("dpus_per_rank", Json::from(exp::DPUS_PER_RANK)),
+                ("batch_dpus", Json::from(exp::DEFAULT_RANK_BATCH)),
+            ],
         ),
     })
 }

@@ -19,6 +19,7 @@ use std::time::Instant;
 use pim_asm::{DpuProgram, KernelBuilder};
 use pim_dpu::{Dpu, DpuConfig, SimError};
 use pim_isa::Cond;
+use pimulator::experiments as exp;
 use pimulator::jobs::SimJob;
 use pimulator::report::Json;
 use prim_suite::{all_workloads, DatasetSize};
@@ -241,6 +242,108 @@ pub fn measure_synthetic(
     })
 }
 
+/// The `rank` synthetic: one DPU population launched twice — through the
+/// SoA batch executor and through the per-DPU path — on identical staged
+/// inputs. Both launches produce byte-identical simulated results
+/// (asserted), so the wall-time ratio isolates the executor itself. The
+/// headline metric is **DPU-steps/sec**: aggregate simulated DPU cycles
+/// advanced per wall-second.
+#[derive(Debug, Clone)]
+pub struct RankMeasurement {
+    /// Population size (DPUs launched together).
+    pub dpus: u32,
+    /// SoA batch size of the batched launch.
+    pub batch_dpus: u32,
+    /// Tasklets per DPU.
+    pub tasklets: u32,
+    /// Simulated instructions per launch, summed across the population.
+    pub instructions: u64,
+    /// Simulated DPU cycles per launch, summed across the population.
+    pub cycles: u64,
+    /// Median-of-k wall seconds of the batched launch.
+    pub wall_seconds_batched: f64,
+    /// Median-of-k wall seconds of the per-DPU launch.
+    pub wall_seconds_per_dpu: f64,
+}
+
+impl RankMeasurement {
+    /// Aggregate simulated DPU cycles advanced per wall-second, batched.
+    #[must_use]
+    pub fn dpu_steps_per_sec_batched(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds_batched
+    }
+
+    /// Aggregate simulated DPU cycles advanced per wall-second, per-DPU.
+    #[must_use]
+    pub fn dpu_steps_per_sec_per_dpu(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds_per_dpu
+    }
+
+    /// Batched throughput over per-DPU throughput.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.wall_seconds_per_dpu / self.wall_seconds_batched
+    }
+}
+
+/// Population size of the `rank` synthetic at each dataset size.
+fn rank_population_size(size: DatasetSize) -> u32 {
+    match size {
+        DatasetSize::Tiny => 128,
+        DatasetSize::SingleDpu => 512,
+        DatasetSize::MultiDpu => 1024,
+    }
+}
+
+/// Measures the `rank` synthetic: stages the population once per path
+/// (outside the timed region), then times `reps` whole-population launches
+/// through each executor and reports the medians.
+///
+/// # Errors
+///
+/// Propagates the simulation fault, if any.
+///
+/// # Panics
+///
+/// Panics if the two executors (or two reps) disagree on the simulated
+/// instruction/cycle totals — they are byte-identical by construction.
+pub fn measure_rank(size: DatasetSize, reps: usize) -> Result<RankMeasurement, SimError> {
+    let dpus = rank_population_size(size);
+    let batch_dpus = exp::DEFAULT_RANK_BATCH;
+    let mut batched = exp::rank_population(0, dpus, batch_dpus)?;
+    let mut per_dpu = exp::rank_population(0, dpus, 0)?;
+    let mut walls_batched = Vec::with_capacity(reps);
+    let mut walls_per_dpu = Vec::with_capacity(reps);
+    let mut sim: Option<(u64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let rb = batched.launch_all()?;
+        walls_batched.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let rp = per_dpu.launch_all()?;
+        walls_per_dpu.push(start.elapsed().as_secs_f64());
+        let got = (rb.total_instructions(), rb.per_dpu.iter().map(|s| s.cycles).sum::<u64>());
+        let got_p = (rp.total_instructions(), rp.per_dpu.iter().map(|s| s.cycles).sum::<u64>());
+        assert_eq!(got, got_p, "RANK: batched and per-DPU launches disagree on simulated work");
+        match sim {
+            None => sim = Some(got),
+            Some(prev) => {
+                assert_eq!(prev, got, "RANK: simulated work must not vary across reps");
+            }
+        }
+    }
+    let (instructions, cycles) = sim.expect("at least one rep ran");
+    Ok(RankMeasurement {
+        dpus,
+        batch_dpus,
+        tasklets: exp::rank_config(0).n_tasklets,
+        instructions,
+        cycles,
+        wall_seconds_batched: median(&mut walls_batched),
+        wall_seconds_per_dpu: median(&mut walls_per_dpu),
+    })
+}
+
 /// Options of `pimsim bench`.
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
@@ -333,7 +436,12 @@ pub fn run_suite(size: DatasetSize, reps: usize) -> Result<Vec<Measurement>, Sim
 
 /// Renders the `BENCH.json` document.
 #[must_use]
-pub fn bench_json(size: DatasetSize, reps: usize, rows: &[Measurement]) -> Json {
+pub fn bench_json(
+    size: DatasetSize,
+    reps: usize,
+    rows: &[Measurement],
+    rank: &RankMeasurement,
+) -> Json {
     Json::obj([
         ("schema", Json::from(BENCH_SCHEMA)),
         ("size", Json::from(size_label(size))),
@@ -356,6 +464,21 @@ pub fn bench_json(size: DatasetSize, reps: usize, rows: &[Measurement]) -> Json 
                     })
                     .collect(),
             ),
+        ),
+        (
+            "rank",
+            Json::obj([
+                ("dpus", Json::from(rank.dpus)),
+                ("batch_dpus", Json::from(rank.batch_dpus)),
+                ("tasklets", Json::from(rank.tasklets)),
+                ("instructions", Json::UInt(rank.instructions)),
+                ("cycles", Json::UInt(rank.cycles)),
+                ("wall_seconds_batched", Json::from(rank.wall_seconds_batched)),
+                ("wall_seconds_per_dpu", Json::from(rank.wall_seconds_per_dpu)),
+                ("dpu_steps_per_sec_batched", Json::from(rank.dpu_steps_per_sec_batched())),
+                ("dpu_steps_per_sec_per_dpu", Json::from(rank.dpu_steps_per_sec_per_dpu())),
+                ("speedup", Json::from(rank.speedup())),
+            ]),
         ),
     ])
 }
@@ -413,6 +536,30 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    // The `rank` entry (SoA batch executor throughput) is required: the CI
+    // bench smoke step fails on documents written without it.
+    let Json::Obj(rank) = field("rank")? else {
+        return Err("`rank` must be an object".to_string());
+    };
+    let get = |name: &str| rank.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    for key in ["dpus", "batch_dpus", "instructions", "cycles"] {
+        match get(key) {
+            Some(Json::UInt(v)) if *v > 0 => {}
+            _ => return Err(format!("rank: `{key}` must be a positive integer")),
+        }
+    }
+    for key in [
+        "wall_seconds_batched",
+        "wall_seconds_per_dpu",
+        "dpu_steps_per_sec_batched",
+        "dpu_steps_per_sec_per_dpu",
+        "speedup",
+    ] {
+        match get(key) {
+            Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => {}
+            _ => return Err(format!("rank: `{key}` must be a positive number")),
+        }
+    }
     Ok(())
 }
 
@@ -442,6 +589,7 @@ pub fn bench_table(
     size: DatasetSize,
     reps: usize,
     rows: &[Measurement],
+    rank: &RankMeasurement,
     baseline: Option<&Json>,
 ) -> String {
     use std::fmt::Write as _;
@@ -465,6 +613,16 @@ pub fn bench_table(
         }
         text.push('\n');
     }
+    let _ = writeln!(
+        text,
+        "RANK           {} DPUs (batch {}): batched {:>8.2} M DPU-steps/s vs per-DPU {:>8.2} M \
+         ({:.2}x)",
+        rank.dpus,
+        rank.batch_dpus,
+        rank.dpu_steps_per_sec_batched() / 1e6,
+        rank.dpu_steps_per_sec_per_dpu() / 1e6,
+        rank.speedup()
+    );
     text
 }
 
@@ -504,11 +662,18 @@ pub fn run_bench_with_args(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let doc = bench_json(opts.size, opts.reps, &rows);
+    let rank = match measure_rank(opts.size, opts.reps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pimsim bench: rank synthetic fault: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = bench_json(opts.size, opts.reps, &rows, &rank);
     let pretty = doc.render_pretty();
     {
         use std::io::Write as _;
-        let table = bench_table(opts.size, opts.reps, &rows, baseline.as_ref());
+        let table = bench_table(opts.size, opts.reps, &rows, &rank, baseline.as_ref());
         let out = if opts.json_stdout { &pretty } else { &table };
         let _ = std::io::stdout().write_all(out.as_bytes());
     }
@@ -554,6 +719,18 @@ mod tests {
         assert!((median(&mut [4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
     }
 
+    fn example_rank() -> RankMeasurement {
+        RankMeasurement {
+            dpus: 128,
+            batch_dpus: 64,
+            tasklets: 8,
+            instructions: 100_000,
+            cycles: 200_000,
+            wall_seconds_batched: 0.1,
+            wall_seconds_per_dpu: 0.3,
+        }
+    }
+
     #[test]
     fn bench_json_round_trips_and_validates() {
         let m = Measurement {
@@ -564,7 +741,7 @@ mod tests {
             cycles: 2000,
             wall_seconds: 0.5,
         };
-        let doc = bench_json(DatasetSize::Tiny, 1, &[m]);
+        let doc = bench_json(DatasetSize::Tiny, 1, &[m], &example_rank());
         validate_bench_json(&doc).unwrap();
         let reparsed = Json::parse(&doc.render_pretty()).unwrap();
         validate_bench_json(&reparsed).unwrap();
@@ -587,6 +764,32 @@ mod tests {
             ("workloads", Json::Arr(vec![Json::obj([("name", Json::from("VA"))])])),
         ]);
         assert!(validate_bench_json(&bad_schema).is_err());
+    }
+
+    #[test]
+    fn validator_requires_the_rank_entry() {
+        let m = Measurement {
+            name: "VA".to_string(),
+            kind: "prim",
+            tasklets: 16,
+            instructions: 1000,
+            cycles: 2000,
+            wall_seconds: 0.5,
+        };
+        let Json::Obj(pairs) = bench_json(DatasetSize::Tiny, 1, &[m], &example_rank()) else {
+            panic!("bench_json renders an object");
+        };
+        let without_rank = Json::Obj(pairs.into_iter().filter(|(k, _)| k != "rank").collect());
+        let err = validate_bench_json(&without_rank).unwrap_err();
+        assert!(err.contains("rank"), "error names the missing entry: {err}");
+    }
+
+    #[test]
+    fn rank_synthetic_measures_identical_simulated_work() {
+        let m = measure_rank(DatasetSize::Tiny, 1).unwrap();
+        assert_eq!(m.dpus, 128);
+        assert!(m.instructions > 0 && m.cycles > 0);
+        assert!(m.wall_seconds_batched > 0.0 && m.wall_seconds_per_dpu > 0.0);
     }
 
     #[test]

@@ -788,6 +788,225 @@ pub fn multi_tenant() -> Result<MultiTenantReport, SimError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Rank scale — batched SoA execution at paper population sizes
+// ---------------------------------------------------------------------
+
+/// DPUs per rank of the paper's hardware baseline (20 ranks = 2,560 DPUs).
+pub const DPUS_PER_RANK: u32 = 128;
+
+/// Default batch size of the rank sweep's SoA batch executor.
+pub const DEFAULT_RANK_BATCH: u32 = 64;
+
+/// MRAM bytes given to each rank-sweep DPU — enough for the kernel's input
+/// window (and the 256 KB IRAM-backing convention near the top of the
+/// bank), small enough that thousands of DPUs fit in host memory. The
+/// paper-faithful 64 MB banks would need 160 GB at 2,560 DPUs; nothing in
+/// the sweep's kernel touches addresses above the window, so the shrunken
+/// bank is timing-identical.
+const RANK_MRAM_BYTES: u32 = 256 * 1024;
+
+/// Words each DPU sums out of its MRAM window.
+const RANK_WINDOW_WORDS: u32 = 1024;
+
+const RANK_TASKLETS: u32 = 8;
+
+/// One population point of the rank-scale sweep.
+///
+/// Every field is a *simulated* quantity (no wall-clock), so the rows —
+/// and the JSON document built from them — are byte-identical across
+/// worker counts and batch sizes.
+#[derive(Debug, Clone)]
+pub struct RankScaleRow {
+    /// Ranks simulated at this point.
+    pub ranks: u32,
+    /// DPUs simulated (`ranks * DPUS_PER_RANK`).
+    pub dpus: u32,
+    /// Instructions summed across the population.
+    pub instructions: u64,
+    /// DPU cycles summed across the population.
+    pub cycles: u64,
+    /// Kernel time of the launch (slowest DPU anywhere), ns.
+    pub kernel_ns: f64,
+    /// Wrapping sum of every DPU's kernel result (host-validated).
+    pub checksum: u32,
+}
+
+/// The rank sweep's kernel: each of 8 tasklets stages its share of the
+/// DPU's MRAM window through WRAM in 256-byte DMA blocks, sums the words,
+/// and folds its partial into the shared `sum` under an atomic bit.
+fn rank_kernel() -> pim_asm::DpuProgram {
+    use pim_isa::Cond;
+    let mut k = pim_asm::KernelBuilder::new();
+    let buf = k.global_zeroed("buf", 256 * RANK_TASKLETS);
+    let sum = k.global_zeroed("sum", 4);
+    let [t, m, end, w, p, i, v, acc] = k.regs(["t", "m", "end", "w", "p", "i", "v", "acc"]);
+    let share = (RANK_WINDOW_WORDS * 4 / RANK_TASKLETS) as i32; // bytes, multiple of 256
+    k.tid(t);
+    k.movi(m, share);
+    k.mul(m, m, t);
+    k.add(end, m, share);
+    k.movi(w, 256);
+    k.mul(w, w, t);
+    k.add(w, w, buf as i32);
+    k.movi(acc, 0);
+    let outer = k.label_here("outer");
+    k.ldma(w, m, 256);
+    k.mov(p, w);
+    k.movi(i, 64);
+    let inner = k.label_here("inner");
+    k.lw(v, p, 0);
+    k.add(acc, acc, v);
+    k.add(p, p, 4);
+    k.sub(i, i, 1);
+    k.branch(Cond::Ne, i, 0, &inner);
+    k.add(m, m, 256);
+    k.branch(Cond::Ltu, m, end, &outer);
+    k.acquire(0);
+    k.movi(p, sum as i32);
+    k.lw(v, p, 0);
+    k.add(v, v, acc);
+    k.sw(v, p, 0);
+    k.release(0);
+    k.stop();
+    k.build().expect("rank kernel assembles")
+}
+
+/// The rank sweep's DPU configuration: the paper baseline at 8 tasklets
+/// with the shrunken MRAM bank; `batch_dpus > 0` routes launches through
+/// the SoA batch executor, 0 keeps the per-DPU path (the throughput
+/// baseline `pim-bench` compares against).
+#[must_use]
+pub fn rank_config(batch_dpus: u32) -> DpuConfig {
+    let mut cfg = DpuConfig::paper_baseline(RANK_TASKLETS);
+    cfg.layout.mram_bytes = RANK_MRAM_BYTES;
+    if batch_dpus > 0 {
+        cfg = cfg.with_batched(batch_dpus);
+    }
+    cfg
+}
+
+/// Deterministic per-DPU input window: DPU `g`'s words depend only on `g`,
+/// so any partition of the population stages identical data.
+fn rank_input(g: u32) -> Vec<i32> {
+    (0..RANK_WINDOW_WORDS)
+        .map(|i| {
+            (g.wrapping_mul(2_654_435_761).wrapping_add(i.wrapping_mul(40_503)) ^ 0x9e37_79b9)
+                as i32
+        })
+        .collect()
+}
+
+/// Half-open range of global DPU indices forming one batch shard.
+#[derive(Debug, Clone, Copy)]
+struct RankShard {
+    lo: u32,
+    hi: u32,
+}
+
+/// Builds a fully staged rank-sweep population: `n_dpus` DPUs under
+/// [`rank_config`]`(batch_dpus)` with the kernel loaded and DPU `base + i`'s
+/// deterministic input window written to MRAM. Used by the sweep's shards
+/// and by the `pim-bench` `rank` synthetic, which stages once and times
+/// repeated launches.
+///
+/// # Errors
+///
+/// Propagates the program-load fault, if any.
+pub fn rank_population(
+    base: u32,
+    n_dpus: u32,
+    batch_dpus: u32,
+) -> Result<pim_host::PimSystem, SimError> {
+    let program = rank_kernel();
+    let mut sys = pim_host::PimSystem::new(
+        n_dpus,
+        rank_config(batch_dpus),
+        pim_host::TransferConfig::paper(),
+    );
+    sys.load(&program)?;
+    for i in 0..n_dpus {
+        let bytes: Vec<u8> = rank_input(base + i).iter().flat_map(|w| w.to_le_bytes()).collect();
+        sys.dpu_mut(i).write_mram(0, &bytes);
+    }
+    Ok(sys)
+}
+
+/// Simulates one shard end-to-end and returns
+/// `(instructions, cycles, kernel_ns, checksum)`, validating every DPU's
+/// kernel result against the host reference.
+fn run_rank_shard(shard: RankShard, batch_dpus: u32) -> Result<(u64, u64, f64, u32), SimError> {
+    let mut sys = rank_population(shard.lo, shard.hi - shard.lo, batch_dpus)?;
+    let report = sys.launch_all()?;
+    let mut checksum: u32 = 0;
+    for (j, bytes) in sys.pull_from_symbol("sum").iter().enumerate() {
+        let got = i32::from_le_bytes(bytes.as_slice().try_into().expect("4-byte sum"));
+        let g = shard.lo + j as u32;
+        let want = rank_input(g).iter().fold(0i32, |a, w| a.wrapping_add(*w));
+        assert_eq!(got, want, "rank-sweep DPU {g} diverged from the host reference");
+        checksum = checksum.wrapping_add(got as u32);
+    }
+    let cycles = report.per_dpu.iter().map(|s| s.cycles).sum();
+    Ok((report.total_instructions(), cycles, report.kernel_ns, checksum))
+}
+
+/// Rank-scale sweep with the default batch size ([`DEFAULT_RANK_BATCH`]).
+///
+/// # Errors
+///
+/// Propagates the first simulation fault.
+pub fn exp_rank_scale(rt: &JobRunner, size: DatasetSize) -> Result<Vec<RankScaleRow>, SimError> {
+    exp_rank_scale_with(rt, size, DEFAULT_RANK_BATCH)
+}
+
+/// Rank-scale sweep: simulates whole-rank DPU populations (up to the
+/// paper's 20 ranks = 2,560 DPUs at `MultiDpu`) through the SoA batch
+/// executor, sharding **batches — not individual DPUs — over the job
+/// engine**, so each worker steps a contiguous block of DPUs out of one
+/// contiguous state block. `batch_dpus == 0` runs the per-DPU path with
+/// the same shard shape.
+///
+/// Rows are byte-identical across worker counts and batch sizes (pinned by
+/// `tests/determinism.rs`): batch boundaries are timing-invisible, and
+/// every reported quantity is simulated, aggregated with order-independent
+/// folds.
+///
+/// # Errors
+///
+/// Propagates the first simulation fault, in shard order.
+pub fn exp_rank_scale_with(
+    rt: &JobRunner,
+    size: DatasetSize,
+    batch_dpus: u32,
+) -> Result<Vec<RankScaleRow>, SimError> {
+    let rank_counts: &[u32] = match size {
+        DatasetSize::Tiny => &[1, 2],
+        DatasetSize::SingleDpu => &[1, 2, 4, 8],
+        DatasetSize::MultiDpu => &[1, 4, 8, 20],
+    };
+    let shard_len = if batch_dpus > 0 { batch_dpus } else { DEFAULT_RANK_BATCH };
+    let mut rows = Vec::with_capacity(rank_counts.len());
+    for &ranks in rank_counts {
+        let dpus = ranks * DPUS_PER_RANK;
+        let shards: Vec<RankShard> = (0..dpus)
+            .step_by(shard_len as usize)
+            .map(|lo| RankShard { lo, hi: (lo + shard_len).min(dpus) })
+            .collect();
+        let outs = rt.map(&shards, |_, &s| run_rank_shard(s, batch_dpus));
+        let mut row =
+            RankScaleRow { ranks, dpus, instructions: 0, cycles: 0, kernel_ns: 0.0, checksum: 0 };
+        for out in outs {
+            let (instructions, cycles, kernel_ns, checksum) = out?;
+            row.instructions += instructions;
+            row.cycles += cycles;
+            row.kernel_ns = row.kernel_ns.max(kernel_ns);
+            row.checksum = row.checksum.wrapping_add(checksum);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -827,6 +1046,23 @@ mod tests {
         // Bandwidth scaling must not hurt.
         assert!(rows[3].speedup >= rows[2].speedup * 0.95);
         assert!(rows[4].speedup >= rows[3].speedup * 0.95);
+    }
+
+    #[test]
+    fn rank_scale_rows_are_batch_size_invariant() {
+        let rt = JobRunner::new(Some(2));
+        let batched = exp_rank_scale_with(&rt, DatasetSize::Tiny, 32).unwrap();
+        let per_dpu = exp_rank_scale_with(&rt, DatasetSize::Tiny, 0).unwrap();
+        let odd = exp_rank_scale_with(&rt, DatasetSize::Tiny, 7).unwrap();
+        assert_eq!(batched.len(), 2);
+        assert_eq!(batched[0].dpus, DPUS_PER_RANK);
+        assert_eq!(batched[1].dpus, 2 * DPUS_PER_RANK);
+        for (a, rest) in batched.iter().zip(per_dpu.iter().zip(&odd)) {
+            for b in [rest.0, rest.1] {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+        assert!(batched[0].instructions > 0);
     }
 
     #[test]

@@ -1,0 +1,1063 @@
+//! Rank-scale batched execution: one structure-of-arrays executor advances
+//! many same-program DPUs per sweep.
+//!
+//! The execution stack is a three-level hierarchy:
+//!
+//! 1. [`pim_isa::DecodedProgram`] — the pre-decoded side tables (source
+//!    masks, destinations, hazards) shared by every executor;
+//! 2. the per-DPU fast loop (`Dpu::run_scalar_fast`) — one DPU, one launch,
+//!    semantics unchanged;
+//! 3. this module — N same-program DPUs stepped out of one contiguous
+//!    state block.
+//!
+//! The flattening PR 4 applied across tasklets is applied here across DPUs:
+//! the forwarding scoreboard becomes a single `Vec<u64>` indexed
+//! `d*T*24 + t*24 + r`, and every other per-tasklet array (`status`,
+//! `next_issue`, `ready_at`, `skip_dcache`) a single `Vec` indexed
+//! `d*T + t`. One program clone and one [`DecodedProgram`] serve the whole
+//! batch, per-DPU reset allocations disappear, and the working set a core
+//! touches while sweeping stays contiguous.
+//!
+//! DPUs share no architectural state during a kernel, so each batch member
+//! keeps its own event-driven timeline `now[d]`; a sweep advances every
+//! *active* DPU by one scheduling event of its own schedule. Divergence is
+//! handled by per-DPU retirement — a DPU that finishes (or faults) simply
+//! drops out of the active set. Because each member's step is an exact
+//! transliteration of the fast loop's iteration body, batched execution is
+//! byte-identical to per-DPU execution: same `DpuRunStats`, same memory
+//! end-state, regardless of batch size or membership. The differential
+//! tests (`tests/loop_differential.rs`) and the pim-fuzz gauntlet's `batch`
+//! invariant pin this.
+//!
+//! On top of the sweep sits the **lockstep fast path**, where the batched
+//! layout pays off: same-program DPUs whose inputs differ only in *data*
+//! make identical scheduling decisions (loop trips, DMA shapes, and branch
+//! directions usually depend on staged sizes, not values), so while the
+//! batch is *timing-convergent* the scheduler, the scoreboard, the memory
+//! engine, and the statistics run **once** — on the batch leader — and the
+//! followers replay only the functional execution of each issued
+//! instruction. Convergence is verified per instruction by comparing every
+//! member's [`Effect`] against the leader's (branch direction, DMA
+//! address/length, acquire outcome, and stop are all visible there — in
+//! scratchpad mode those are the only data-dependent timing inputs). On
+//! the first disagreement the shared state is materialized into every
+//! member's SoA row (plus a clone of the leader's engine and statistics,
+//! identical by the convergence invariant), the divergent cycle is
+//! completed per-DPU, and the batch permanently falls back to the sweep.
+//! Lockstep is therefore a pure prefix optimization: byte-identical by
+//! construction, with the fully-convergent case (the rank-scale sweep,
+//! `pim-fuzz` batch cases) never leaving the shared schedule.
+//!
+//! Configurations the SoA stepper does not model (SIMT front-end, the naive
+//! reference loop, event tracing) fall back to [`Dpu::launch`] per member,
+//! so [`run_batch`] is total over any population.
+
+use pim_cache::Cache;
+use pim_isa::{DecodedProgram, Instruction};
+
+use crate::config::MemoryMode;
+use crate::dpu::{Dpu, TaskletStatus};
+use crate::error::SimError;
+use crate::exec::Effect;
+use crate::mem::{MemEngine, Segment};
+use crate::stats::DpuRunStats;
+
+const NREGS: usize = pim_isa::NUM_GP_REGS as usize;
+
+/// Whether a DPU's configuration is modeled by the SoA stepper.
+///
+/// SIMT front-ends, the naive reference loop, and event-traced runs keep
+/// their dedicated loops; [`run_batch`] launches such DPUs individually.
+#[must_use]
+pub fn soa_eligible(dpu: &Dpu) -> bool {
+    dpu.program.is_some()
+        && dpu.cfg.simt.is_none()
+        && !dpu.cfg.naive_loop
+        && dpu.cfg.event_trace_capacity == 0
+}
+
+/// Whether two DPUs can share one batch: both SoA-eligible, identical
+/// configuration, identical instruction stream. (Data images, entry points
+/// and tasklet-id bases may differ — they live in per-DPU state.)
+fn compatible(a: &Dpu, b: &Dpu) -> bool {
+    soa_eligible(a)
+        && soa_eligible(b)
+        && a.cfg == b.cfg
+        && a.program.as_ref().map(|p| &p.instrs) == b.program.as_ref().map(|p| &p.instrs)
+}
+
+/// Launches every DPU in the slice, batching maximal contiguous runs of
+/// same-program, same-configuration DPUs through the SoA stepper and
+/// falling back to [`Dpu::launch`] for the rest.
+///
+/// Returns one result per DPU, in slice order. Timing, statistics, and
+/// memory end-state are byte-identical to calling [`Dpu::launch`] on each
+/// DPU individually.
+pub fn run_batch(dpus: &mut [Dpu]) -> Vec<Result<DpuRunStats, SimError>> {
+    let mut results: Vec<Option<Result<DpuRunStats, SimError>>> =
+        (0..dpus.len()).map(|_| None).collect();
+    let mut i = 0;
+    while i < dpus.len() {
+        if !soa_eligible(&dpus[i]) {
+            results[i] = Some(dpus[i].launch());
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < dpus.len() && compatible(&dpus[i], &dpus[j]) {
+            j += 1;
+        }
+        let (group, out) = (&mut dpus[i..j], &mut results[i..j]);
+        run_group(group, out);
+        i = j;
+    }
+    results.into_iter().map(|r| r.expect("every DPU got a result")).collect()
+}
+
+/// Batch-wide immutable context: the shared program, its decoded side
+/// tables, and every configuration-derived constant of the fast loop.
+struct BatchShared {
+    instrs: Vec<Instruction>,
+    decoded: DecodedProgram,
+    n_instrs: u32,
+    /// Tasklets per DPU (uniform across the batch).
+    n: usize,
+    fwd: bool,
+    unified_rf: bool,
+    ways: usize,
+    gap: u64,
+    fwd_alu: u64,
+    fwd_load: u64,
+    cached: bool,
+    iram_base: u32,
+    max_cycles: u64,
+    trace_limit: usize,
+    /// Seeded bug for the mutation self-check, sampled once per batch (the
+    /// per-DPU loop samples once per launch; the ambient value is
+    /// identical, so batch ≡ per-DPU holds under `--mutate` too).
+    #[cfg(feature = "mutation-hooks")]
+    drop_rf_hazard: bool,
+}
+
+impl BatchShared {
+    /// Cycle at which every operand of the instruction at `pc` is
+    /// forwardable, given one tasklet's scoreboard row.
+    fn deps_ready_at(&self, pc: u32, row: &[u64]) -> u64 {
+        if !self.fwd {
+            return 0;
+        }
+        match self.decoded.get(pc) {
+            Some(d) => {
+                let mut mask = d.src_mask;
+                let mut latest = 0u64;
+                while mask != 0 {
+                    latest = latest.max(row[mask.trailing_zeros() as usize]);
+                    mask &= mask - 1;
+                }
+                latest
+            }
+            None => 0,
+        }
+    }
+}
+
+/// Mutable SoA state for one batch. Per-tasklet arrays are flattened
+/// across DPUs (`[d*T + t]`; the scoreboard `[d*T*24 + t*24 + r]`),
+/// per-DPU scalars are plain vectors (`[d]`), and the two scratch buffers
+/// are shared by every member (they carry no state across steps).
+struct BatchState {
+    status: Vec<TaskletStatus>,
+    next_issue: Vec<u64>,
+    reg_ready: Vec<u64>,
+    skip_dcache: Vec<bool>,
+    ready_at: Vec<u64>,
+    wake: Vec<u64>,
+    live: Vec<usize>,
+    now: Vec<u64>,
+    rf_block: Vec<u64>,
+    rr: Vec<usize>,
+    window_acc: Vec<(u64, u64)>,
+    done_buf: Vec<(u64, u64)>,
+    issuable: Vec<usize>,
+}
+
+impl BatchState {
+    fn new(n_dpus: usize, n_tasklets: usize) -> Self {
+        BatchState {
+            status: vec![TaskletStatus::Ready; n_dpus * n_tasklets],
+            next_issue: vec![0; n_dpus * n_tasklets],
+            reg_ready: vec![0; n_dpus * n_tasklets * NREGS],
+            skip_dcache: vec![false; n_dpus * n_tasklets],
+            ready_at: vec![0; n_dpus * n_tasklets],
+            wake: vec![0; n_dpus],
+            live: vec![n_tasklets; n_dpus],
+            now: vec![0; n_dpus],
+            rf_block: vec![0; n_dpus],
+            rr: vec![0; n_dpus],
+            window_acc: vec![(0, 0); n_dpus],
+            done_buf: Vec::with_capacity(n_tasklets),
+            issuable: Vec::with_capacity(n_tasklets),
+        }
+    }
+}
+
+/// Runs one compatible group to completion through the SoA stepper.
+fn run_group(group: &mut [Dpu], out: &mut [Option<Result<DpuRunStats, SimError>>]) {
+    let nd = group.len();
+    let cfg = group[0].cfg.clone();
+    let n = cfg.n_tasklets as usize;
+
+    // Reset every member before stepping any of them, exactly as a
+    // sequence of individual launches would (the oracle snapshot must see
+    // the post-reset, pre-run state).
+    let mut mems: Vec<MemEngine> = Vec::with_capacity(nd);
+    let mut oracles = Vec::with_capacity(nd);
+    for dpu in group.iter_mut() {
+        mems.push(dpu.reset_launch_state());
+        oracles.push(dpu.build_oracle());
+    }
+
+    let program = group[0].program.clone().expect("eligibility requires a program");
+    let decoded = DecodedProgram::decode(&program.instrs);
+    let sh = BatchShared {
+        n_instrs: program.instrs.len() as u32,
+        instrs: program.instrs,
+        decoded,
+        n,
+        fwd: cfg.ilp.data_forwarding,
+        unified_rf: cfg.ilp.unified_rf,
+        ways: cfg.issue_ways() as usize,
+        gap: if cfg.ilp.data_forwarding { 1 } else { u64::from(cfg.revolver_cycles) },
+        fwd_alu: u64::from(cfg.forward_alu_latency),
+        fwd_load: u64::from(cfg.forward_load_latency),
+        cached: matches!(cfg.memory_mode, MemoryMode::Cached { .. }),
+        iram_base: group[0].iram_backing_base(),
+        max_cycles: cfg.max_cycles,
+        trace_limit: cfg.trace_limit,
+        #[cfg(feature = "mutation-hooks")]
+        drop_rf_hazard: crate::mutation::scoreboard_bug(),
+    };
+
+    let mut icaches: Vec<Option<Cache>> = Vec::with_capacity(nd);
+    let mut dcaches: Vec<Option<Cache>> = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        match cfg.memory_mode {
+            MemoryMode::Scratchpad => {
+                icaches.push(None);
+                dcaches.push(None);
+            }
+            MemoryMode::Cached { icache, dcache } => {
+                icaches.push(Some(Cache::new(icache)));
+                dcaches.push(Some(Cache::new(dcache)));
+            }
+        }
+    }
+    let mut stats: Vec<DpuRunStats> = group.iter().map(Dpu::new_stats).collect();
+    let mut st = BatchState::new(nd, n);
+
+    // Lockstep fast path (scratchpad mode, uniform entry points): run the
+    // shared schedule on the leader until the members' effects disagree.
+    // Cached mode stays on the sweep — cache-fill timing depends on
+    // per-DPU load/store addresses, which the `Effect` comparison alone
+    // does not witness.
+    let mut active: Vec<usize>;
+    let lockstep = nd > 1
+        && !sh.cached
+        && group
+            .split_first()
+            .is_some_and(|(leader, rest)| rest.iter().all(|x| x.state.pc == leader.state.pc));
+    if lockstep {
+        match run_lockstep(group, &mut mems, &mut stats, &mut oracles, &sh, &mut st, out) {
+            LockstepEnd::Finished => return,
+            LockstepEnd::Diverged { survivors } => active = survivors,
+        }
+    } else {
+        active = (0..nd).collect();
+    }
+
+    // Sweep all active DPUs; retire members as they finish or fault.
+    let mut next_active: Vec<usize> = Vec::with_capacity(nd);
+    while !active.is_empty() {
+        next_active.clear();
+        for &d in &active {
+            let stepped = step_dpu(
+                d,
+                &mut group[d],
+                &mut mems[d],
+                &mut icaches[d],
+                &mut dcaches[d],
+                &mut stats[d],
+                &sh,
+                &mut st,
+            );
+            match stepped {
+                Ok(false) => next_active.push(d),
+                Ok(true) => {
+                    let mut s = std::mem::take(&mut stats[d]);
+                    s.cycles = st.now[d];
+                    s.dram = *mems[d].bank().stats();
+                    s.mmu = mems[d].mmu().map(|m| *m.stats());
+                    s.icache = icaches[d].take().map(|c| *c.stats());
+                    s.dcache = dcaches[d].take().map(|c| *c.stats());
+                    s.dma_requests = mems[d].requests_issued;
+                    out[d] = Some(match oracles[d].take() {
+                        Some(oracle) => group[d].check_against_oracle(oracle).map(|()| s),
+                        None => Ok(s),
+                    });
+                }
+                Err(e) => out[d] = Some(Err(e)),
+            }
+        }
+        std::mem::swap(&mut active, &mut next_active);
+    }
+}
+
+/// How a lockstep run ended.
+enum LockstepEnd {
+    /// Every member retired (or errored) inside the shared schedule; `out`
+    /// is fully populated.
+    Finished,
+    /// The members' effects disagreed mid-cycle: the shared state has been
+    /// materialized into every member's SoA row and the divergent cycle
+    /// completed per-DPU; these members continue under the sweep.
+    Diverged {
+        /// Members still running (divergence-cycle faults are already in
+        /// `out` and excluded here).
+        survivors: Vec<usize>,
+    },
+}
+
+/// Runs a timing-convergent batch on the shared schedule: scheduling,
+/// scoreboard, memory-engine, and statistics work happen once — on row 0
+/// and the leader's engine/stats — while every member executes each issued
+/// instruction functionally. Convergence is checked per instruction by
+/// comparing all members' [`Effect`]s; the first disagreement hands off to
+/// [`diverge_and_finish_cycle`]. Scratchpad mode only (caller-gated): with
+/// no caches, the effect stream is the only data-dependent timing input.
+///
+/// Every phase is the same transliteration of the per-DPU fast loop that
+/// [`step_dpu`] uses, specialized to row 0.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_lockstep(
+    group: &mut [Dpu],
+    mems: &mut [MemEngine],
+    stats: &mut [DpuRunStats],
+    oracles: &mut [Option<pim_ref::RefInterpreter>],
+    sh: &BatchShared,
+    st: &mut BatchState,
+    out: &mut [Option<Result<DpuRunStats, SimError>>],
+) -> LockstepEnd {
+    let nd = group.len();
+    let n = sh.n;
+    let mut effects: Vec<Result<Effect, SimError>> = Vec::with_capacity(nd);
+    loop {
+        if st.live[0] == 0 {
+            // The whole batch ran one schedule: identical timing statistics
+            // for every member, individually-validated functional state.
+            for d in 0..nd {
+                let mut s = stats[0].clone();
+                s.cycles = st.now[0];
+                s.dram = *mems[0].bank().stats();
+                s.mmu = mems[0].mmu().map(|m| *m.stats());
+                s.dma_requests = mems[0].requests_issued;
+                out[d] = Some(match oracles[d].take() {
+                    Some(oracle) => group[d].check_against_oracle(oracle).map(|()| s),
+                    None => Ok(s),
+                });
+            }
+            return LockstepEnd::Finished;
+        }
+        let now = st.now[0];
+        if now >= sh.max_cycles {
+            for slot in out.iter_mut() {
+                *slot = Some(Err(SimError::CycleLimit { limit: sh.max_cycles }));
+            }
+            return LockstepEnd::Finished;
+        }
+        // 1. Memory completions — leader engine only (followers' engines
+        // would process the identical request stream and stay cloneable).
+        if mems[0].is_active() {
+            mems[0].advance(now);
+            mems[0].drain_done_into(&mut st.done_buf);
+            for &(token, at) in &st.done_buf {
+                let t = token as usize;
+                st.status[t] = TaskletStatus::Ready;
+                st.next_issue[t] = st.next_issue[t].max(at + 1);
+                let row = &st.reg_ready[t * NREGS..(t + 1) * NREGS];
+                st.ready_at[t] = st.next_issue[t].max(sh.deps_ready_at(group[0].state.pc[t], row));
+                st.wake[0] = st.wake[0].min(st.ready_at[t]);
+            }
+        }
+        // 2. Issuable set.
+        st.issuable.clear();
+        if now >= st.wake[0] {
+            for (t, &at) in st.ready_at[..n].iter().enumerate() {
+                if now >= at {
+                    st.issuable.push(t);
+                }
+            }
+        }
+        // 3. Register-file structural block.
+        if st.rf_block[0] > 0 {
+            stats[0].record_tlp_span(st.issuable.len(), 1, &mut st.window_acc[0]);
+            stats[0].idle_rf += 1.0;
+            st.rf_block[0] -= 1;
+            st.now[0] = now + 1;
+            continue;
+        }
+        // 4. Idle fast-forward.
+        if st.issuable.is_empty() {
+            let n_sched =
+                st.status[..n].iter().filter(|s| **s == TaskletStatus::Ready).count() as f64;
+            let n_mem =
+                st.status[..n].iter().filter(|s| **s == TaskletStatus::Blocked).count() as f64;
+            let mut next = st.ready_at[..n].iter().copied().min().unwrap_or(u64::MAX);
+            st.wake[0] = next;
+            if let Some(e) = mems[0].next_event(now) {
+                next = next.min(e);
+            }
+            let next = if next == u64::MAX || next <= now { now + 1 } else { next };
+            let span = (next - now).min(sh.max_cycles - now);
+            stats[0].record_tlp_span(0, span, &mut st.window_acc[0]);
+            let tot = (n_sched + n_mem).max(1.0);
+            stats[0].idle_memory += span as f64 * n_mem / tot;
+            stats[0].idle_revolver += span as f64 * n_sched / tot;
+            st.now[0] = now + span;
+            continue;
+        }
+        stats[0].record_tlp_span(st.issuable.len(), 1, &mut st.window_acc[0]);
+        // 5. Issue up to `ways` instructions, round-robin: every member
+        // executes, the leader keeps the books.
+        let start = st.issuable.iter().position(|&t| t >= st.rr[0]).unwrap_or(0);
+        let mut issued = 0usize;
+        for k in 0..st.issuable.len() {
+            if issued == sh.ways {
+                break;
+            }
+            let t = st.issuable[(start + k) % st.issuable.len()];
+            if st.status[t] != TaskletStatus::Ready {
+                continue;
+            }
+            let pc = group[0].state.pc[t];
+            if pc >= sh.n_instrs {
+                for slot in out.iter_mut() {
+                    *slot = Some(Err(SimError::PcOutOfRange { pc, tasklet: t as u32 }));
+                }
+                return LockstepEnd::Finished;
+            }
+            let instr = sh.instrs[pc as usize];
+            let dec = *sh.decoded.get(pc).expect("pc bounds-checked above");
+            let hazard = if sh.unified_rf { 0 } else { u64::from(dec.rf_hazard) };
+            #[cfg(feature = "mutation-hooks")]
+            let hazard = if sh.drop_rf_hazard { 0 } else { hazard };
+            if stats[0].trace.len() < sh.trace_limit {
+                stats[0].trace.push(crate::stats::TraceEntry {
+                    cycle: now,
+                    tasklet: t as u32,
+                    pc,
+                    text: instr.to_string(),
+                });
+            }
+            effects.clear();
+            for dpu in group.iter_mut() {
+                effects.push(dpu.state.execute(t as u32, &instr));
+            }
+            let convergent = match &effects[0] {
+                Ok(e0) => effects[1..].iter().all(|r| matches!(r, Ok(e) if e == e0)),
+                Err(_) => false,
+            };
+            if !convergent {
+                let survivors = diverge_and_finish_cycle(
+                    group,
+                    mems,
+                    stats,
+                    sh,
+                    st,
+                    out,
+                    &mut effects,
+                    t,
+                    pc,
+                    dec,
+                    hazard,
+                    start,
+                    k + 1,
+                    issued,
+                );
+                return LockstepEnd::Diverged { survivors };
+            }
+            let effect = match effects[0] {
+                Ok(e) => e,
+                Err(_) => unreachable!("convergence implies every member is Ok"),
+            };
+            stats[0].count_instruction(dec.class, t as u32);
+            st.next_issue[t] = now + sh.gap;
+            if sh.fwd {
+                if let Some(rd) = dec.dst {
+                    let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+                    st.reg_ready[t * NREGS + rd as usize] = now + lat;
+                }
+            }
+            match effect {
+                Effect::Advance => {
+                    for dpu in group.iter_mut() {
+                        dpu.state.pc[t] = pc + 1;
+                    }
+                }
+                Effect::Jump(target) => {
+                    for dpu in group.iter_mut() {
+                        dpu.state.pc[t] = target;
+                    }
+                }
+                Effect::AcquireRetry => {}
+                Effect::Stop => {
+                    st.status[t] = TaskletStatus::Stopped;
+                    stats[0].tasklet_stop_cycle[t] = now;
+                    st.live[0] -= 1;
+                }
+                Effect::Dma { mram, len, write } => {
+                    for dpu in group.iter_mut() {
+                        dpu.state.pc[t] = pc + 1;
+                    }
+                    st.status[t] = TaskletStatus::Blocked;
+                    mems[0].issue(t as u64, &[Segment { addr: mram, bytes: len, write }], now);
+                }
+            }
+            if st.status[t] == TaskletStatus::Ready {
+                let row = &st.reg_ready[t * NREGS..(t + 1) * NREGS];
+                st.ready_at[t] = st.next_issue[t].max(sh.deps_ready_at(group[0].state.pc[t], row));
+                st.wake[0] = st.wake[0].min(st.ready_at[t]);
+            } else {
+                st.ready_at[t] = u64::MAX;
+            }
+            issued += 1;
+            st.rr[0] = t + 1;
+            if hazard > 0 {
+                st.rf_block[0] = hazard;
+                break;
+            }
+        }
+        if issued > 0 {
+            stats[0].active_cycles += 1;
+        } else {
+            stats[0].idle_memory += 1.0;
+        }
+        st.now[0] = now + 1;
+    }
+}
+
+/// Handles the first effect disagreement of a lockstep run: replicates the
+/// shared scheduling state (row 0), the leader's engine, and the leader's
+/// statistics into every member — all identical by the convergence
+/// invariant, captured *before* the divergent instruction's bookkeeping —
+/// then finishes the divergent instruction and the rest of its cycle
+/// per-DPU. Members whose `execute` faulted retire with their error, per
+/// the per-DPU loop's semantics.
+///
+/// Returns the members that continue under the sweep.
+#[allow(clippy::too_many_arguments)]
+fn diverge_and_finish_cycle(
+    group: &mut [Dpu],
+    mems: &mut [MemEngine],
+    stats: &mut [DpuRunStats],
+    sh: &BatchShared,
+    st: &mut BatchState,
+    out: &mut [Option<Result<DpuRunStats, SimError>>],
+    effects: &mut Vec<Result<Effect, SimError>>,
+    t: usize,
+    pc: u32,
+    dec: pim_isa::DecodedInstr,
+    hazard: u64,
+    start: usize,
+    next_k: usize,
+    issued_before: usize,
+) -> Vec<usize> {
+    let nd = group.len();
+    let n = sh.n;
+    let now = st.now[0];
+    for d in 1..nd {
+        st.status.copy_within(0..n, d * n);
+        st.next_issue.copy_within(0..n, d * n);
+        st.skip_dcache.copy_within(0..n, d * n);
+        st.ready_at.copy_within(0..n, d * n);
+        st.reg_ready.copy_within(0..n * NREGS, d * n * NREGS);
+        st.wake[d] = st.wake[0];
+        st.live[d] = st.live[0];
+        st.now[d] = st.now[0];
+        st.rf_block[d] = st.rf_block[0];
+        st.rr[d] = st.rr[0];
+        st.window_acc[d] = st.window_acc[0];
+        mems[d] = mems[0].clone();
+        stats[d] = stats[0].clone();
+    }
+    let mut survivors = Vec::with_capacity(nd);
+    for (d, res) in effects.drain(..).enumerate() {
+        let effect = match res {
+            Ok(e) => e,
+            Err(e) => {
+                out[d] = Some(Err(e));
+                continue;
+            }
+        };
+        let tb = d * n;
+        let rb = d * n * NREGS;
+        // Post-execute bookkeeping of the divergent instruction with this
+        // member's own effect (the tail of `step_dpu`'s issue body).
+        stats[d].count_instruction(dec.class, t as u32);
+        st.next_issue[tb + t] = now + sh.gap;
+        if sh.fwd {
+            if let Some(rd) = dec.dst {
+                let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+                st.reg_ready[rb + t * NREGS + rd as usize] = now + lat;
+            }
+        }
+        match effect {
+            Effect::Advance => group[d].state.pc[t] = pc + 1,
+            Effect::Jump(target) => group[d].state.pc[t] = target,
+            Effect::AcquireRetry => {}
+            Effect::Stop => {
+                st.status[tb + t] = TaskletStatus::Stopped;
+                stats[d].tasklet_stop_cycle[t] = now;
+                st.live[d] -= 1;
+            }
+            Effect::Dma { mram, len, write } => {
+                group[d].state.pc[t] = pc + 1;
+                st.status[tb + t] = TaskletStatus::Blocked;
+                mems[d].issue(t as u64, &[Segment { addr: mram, bytes: len, write }], now);
+            }
+        }
+        if st.status[tb + t] == TaskletStatus::Ready {
+            let row = &st.reg_ready[rb + t * NREGS..rb + (t + 1) * NREGS];
+            st.ready_at[tb + t] =
+                st.next_issue[tb + t].max(sh.deps_ready_at(group[d].state.pc[t], row));
+            st.wake[d] = st.wake[d].min(st.ready_at[tb + t]);
+        } else {
+            st.ready_at[tb + t] = u64::MAX;
+        }
+        let mut issued = issued_before + 1;
+        st.rr[d] = t + 1;
+        if hazard > 0 {
+            st.rf_block[d] = hazard;
+        } else {
+            match finish_cycle_tail(
+                d,
+                &mut group[d],
+                &mut mems[d],
+                &mut stats[d],
+                sh,
+                st,
+                start,
+                next_k,
+                issued,
+            ) {
+                Ok(total) => issued = total,
+                Err(e) => {
+                    out[d] = Some(Err(e));
+                    continue;
+                }
+            }
+        }
+        if issued > 0 {
+            stats[d].active_cycles += 1;
+        } else {
+            stats[d].idle_memory += 1.0;
+        }
+        st.now[d] = now + 1;
+        survivors.push(d);
+    }
+    survivors
+}
+
+/// Finishes the remaining round-robin candidates of a divergence cycle for
+/// one member — the rest of `step_dpu`'s issue loop, scratchpad-mode
+/// specialization, operating on the member's freshly materialized row.
+#[allow(clippy::too_many_arguments)]
+fn finish_cycle_tail(
+    d: usize,
+    dpu: &mut Dpu,
+    mem: &mut MemEngine,
+    stats: &mut DpuRunStats,
+    sh: &BatchShared,
+    st: &mut BatchState,
+    start: usize,
+    from_k: usize,
+    mut issued: usize,
+) -> Result<usize, SimError> {
+    let n = sh.n;
+    let tb = d * n;
+    let rb = d * n * NREGS;
+    let now = st.now[d];
+    for k in from_k..st.issuable.len() {
+        if issued == sh.ways {
+            break;
+        }
+        let t = st.issuable[(start + k) % st.issuable.len()];
+        if st.status[tb + t] != TaskletStatus::Ready {
+            continue;
+        }
+        let pc = dpu.state.pc[t];
+        if pc >= sh.n_instrs {
+            return Err(SimError::PcOutOfRange { pc, tasklet: t as u32 });
+        }
+        let instr = sh.instrs[pc as usize];
+        let dec = *sh.decoded.get(pc).expect("pc bounds-checked above");
+        let hazard = if sh.unified_rf { 0 } else { u64::from(dec.rf_hazard) };
+        #[cfg(feature = "mutation-hooks")]
+        let hazard = if sh.drop_rf_hazard { 0 } else { hazard };
+        if stats.trace.len() < sh.trace_limit {
+            stats.trace.push(crate::stats::TraceEntry {
+                cycle: now,
+                tasklet: t as u32,
+                pc,
+                text: instr.to_string(),
+            });
+        }
+        let effect = dpu.state.execute(t as u32, &instr)?;
+        stats.count_instruction(dec.class, t as u32);
+        st.next_issue[tb + t] = now + sh.gap;
+        if sh.fwd {
+            if let Some(rd) = dec.dst {
+                let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+                st.reg_ready[rb + t * NREGS + rd as usize] = now + lat;
+            }
+        }
+        match effect {
+            Effect::Advance => dpu.state.pc[t] = pc + 1,
+            Effect::Jump(target) => dpu.state.pc[t] = target,
+            Effect::AcquireRetry => {}
+            Effect::Stop => {
+                st.status[tb + t] = TaskletStatus::Stopped;
+                stats.tasklet_stop_cycle[t] = now;
+                st.live[d] -= 1;
+            }
+            Effect::Dma { mram, len, write } => {
+                dpu.state.pc[t] = pc + 1;
+                st.status[tb + t] = TaskletStatus::Blocked;
+                mem.issue(t as u64, &[Segment { addr: mram, bytes: len, write }], now);
+            }
+        }
+        if st.status[tb + t] == TaskletStatus::Ready {
+            let row = &st.reg_ready[rb + t * NREGS..rb + (t + 1) * NREGS];
+            st.ready_at[tb + t] = st.next_issue[tb + t].max(sh.deps_ready_at(dpu.state.pc[t], row));
+            st.wake[d] = st.wake[d].min(st.ready_at[tb + t]);
+        } else {
+            st.ready_at[tb + t] = u64::MAX;
+        }
+        issued += 1;
+        st.rr[d] = t + 1;
+        if hazard > 0 {
+            st.rf_block[d] = hazard;
+            break;
+        }
+    }
+    Ok(issued)
+}
+
+/// Advances one batch member by one scheduling event of its own timeline —
+/// an exact transliteration of one iteration of the per-DPU fast loop
+/// (`Dpu::run_scalar_fast` with the null trace sink), reading and writing
+/// the member's slices of the batch SoA arrays.
+///
+/// Returns `Ok(true)` when the member has finished (all tasklets stopped).
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn step_dpu(
+    d: usize,
+    dpu: &mut Dpu,
+    mem: &mut MemEngine,
+    icache: &mut Option<Cache>,
+    dcache: &mut Option<Cache>,
+    stats: &mut DpuRunStats,
+    sh: &BatchShared,
+    st: &mut BatchState,
+) -> Result<bool, SimError> {
+    let n = sh.n;
+    let tb = d * n;
+    let rb = d * n * NREGS;
+    if st.live[d] == 0 {
+        return Ok(true);
+    }
+    let now = st.now[d];
+    if now >= sh.max_cycles {
+        return Err(SimError::CycleLimit { limit: sh.max_cycles });
+    }
+    // 1. Memory completions (skipped while the engine holds no
+    // outstanding request — `advance` would be a no-op).
+    if mem.is_active() {
+        mem.advance(now);
+        mem.drain_done_into(&mut st.done_buf);
+        for &(token, at) in &st.done_buf {
+            let t = token as usize;
+            st.status[tb + t] = TaskletStatus::Ready;
+            st.next_issue[tb + t] = st.next_issue[tb + t].max(at + 1);
+            let row = &st.reg_ready[rb + t * NREGS..rb + (t + 1) * NREGS];
+            st.ready_at[tb + t] = st.next_issue[tb + t].max(sh.deps_ready_at(dpu.state.pc[t], row));
+            st.wake[d] = st.wake[d].min(st.ready_at[tb + t]);
+        }
+    }
+    // 2. Issuable set — scan skipped while `now < wake` proves it empty.
+    st.issuable.clear();
+    if now >= st.wake[d] {
+        for (t, &at) in st.ready_at[tb..tb + n].iter().enumerate() {
+            if now >= at {
+                st.issuable.push(t);
+            }
+        }
+    }
+    // 3. Register-file structural block.
+    if st.rf_block[d] > 0 {
+        stats.record_tlp_span(st.issuable.len(), 1, &mut st.window_acc[d]);
+        stats.idle_rf += 1.0;
+        st.rf_block[d] -= 1;
+        st.now[d] = now + 1;
+        return Ok(false);
+    }
+    // 4. Nothing to issue: attribute the idle span across the per-tasklet
+    // wait reasons, then fast-forward to the next possible event.
+    if st.issuable.is_empty() {
+        let n_sched =
+            st.status[tb..tb + n].iter().filter(|s| **s == TaskletStatus::Ready).count() as f64;
+        let n_mem =
+            st.status[tb..tb + n].iter().filter(|s| **s == TaskletStatus::Blocked).count() as f64;
+        let mut next = st.ready_at[tb..tb + n].iter().copied().min().unwrap_or(u64::MAX);
+        st.wake[d] = next;
+        if let Some(e) = mem.next_event(now) {
+            next = next.min(e);
+        }
+        let next = if next == u64::MAX || next <= now { now + 1 } else { next };
+        let span = (next - now).min(sh.max_cycles - now);
+        stats.record_tlp_span(0, span, &mut st.window_acc[d]);
+        let tot = (n_sched + n_mem).max(1.0);
+        stats.idle_memory += span as f64 * n_mem / tot;
+        stats.idle_revolver += span as f64 * n_sched / tot;
+        st.now[d] = now + span;
+        return Ok(false);
+    }
+    stats.record_tlp_span(st.issuable.len(), 1, &mut st.window_acc[d]);
+    // 5. Issue up to `ways` instructions, round-robin.
+    let start = st.issuable.iter().position(|&t| t >= st.rr[d]).unwrap_or(0);
+    let mut issued = 0usize;
+    for k in 0..st.issuable.len() {
+        if issued == sh.ways {
+            break;
+        }
+        let t = st.issuable[(start + k) % st.issuable.len()];
+        if st.status[tb + t] != TaskletStatus::Ready {
+            continue;
+        }
+        let pc = dpu.state.pc[t];
+        if pc >= sh.n_instrs {
+            return Err(SimError::PcOutOfRange { pc, tasklet: t as u32 });
+        }
+        // Instruction fetch through the I-cache (cache-centric mode).
+        if let Some(ic) = icache.as_mut() {
+            let fetch_addr = sh.iram_base + pc * pim_isa::layout::IRAM_INSTR_BYTES;
+            let out = ic.access(fetch_addr, false);
+            if !out.hit {
+                st.status[tb + t] = TaskletStatus::Blocked;
+                st.ready_at[tb + t] = u64::MAX;
+                let line = out.fill_line.expect("miss has a fill");
+                let bytes = ic.config().line_bytes;
+                mem.issue(t as u64, &[Segment { addr: line, bytes, write: false }], now);
+                continue;
+            }
+        }
+        let instr = sh.instrs[pc as usize];
+        let dec = *sh.decoded.get(pc).expect("pc bounds-checked above");
+        if sh.cached && dec.is_dma {
+            return Err(SimError::DmaInCachedMode { pc, tasklet: t as u32 });
+        }
+        // Data access through the D-cache (cache-centric mode).
+        if let Some(dc) = dcache.as_mut() {
+            if let Some((addr, write)) = dpu.state.ls_addr(t as u32, &instr) {
+                if st.skip_dcache[tb + t] {
+                    st.skip_dcache[tb + t] = false;
+                } else {
+                    let out = dc.access(addr, write);
+                    if !out.hit {
+                        st.status[tb + t] = TaskletStatus::Blocked;
+                        st.ready_at[tb + t] = u64::MAX;
+                        st.skip_dcache[tb + t] = true;
+                        let line_bytes = dc.config().line_bytes;
+                        let fill = Segment {
+                            addr: out.fill_line.expect("miss has a fill"),
+                            bytes: line_bytes,
+                            write: false,
+                        };
+                        let mut segs = [fill, fill];
+                        let mut n_segs = 1;
+                        if let Some(wb) = out.writeback_line {
+                            segs[1] = Segment { addr: wb, bytes: line_bytes, write: true };
+                            n_segs = 2;
+                        }
+                        mem.issue(t as u64, &segs[..n_segs], now);
+                        continue;
+                    }
+                }
+            }
+        }
+        // Register-file structural hazard (even/odd banks).
+        let hazard = if sh.unified_rf { 0 } else { u64::from(dec.rf_hazard) };
+        #[cfg(feature = "mutation-hooks")]
+        let hazard = if sh.drop_rf_hazard { 0 } else { hazard };
+        if stats.trace.len() < sh.trace_limit {
+            stats.trace.push(crate::stats::TraceEntry {
+                cycle: now,
+                tasklet: t as u32,
+                pc,
+                text: instr.to_string(),
+            });
+        }
+        let effect = dpu.state.execute(t as u32, &instr)?;
+        stats.count_instruction(dec.class, t as u32);
+        st.next_issue[tb + t] = now + sh.gap;
+        if sh.fwd {
+            if let Some(rd) = dec.dst {
+                let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+                st.reg_ready[rb + t * NREGS + rd as usize] = now + lat;
+            }
+        }
+        match effect {
+            Effect::Advance => dpu.state.pc[t] = pc + 1,
+            Effect::Jump(target) => dpu.state.pc[t] = target,
+            Effect::AcquireRetry => {}
+            Effect::Stop => {
+                st.status[tb + t] = TaskletStatus::Stopped;
+                stats.tasklet_stop_cycle[t] = now;
+                st.live[d] -= 1;
+            }
+            Effect::Dma { mram, len, write } => {
+                dpu.state.pc[t] = pc + 1;
+                st.status[tb + t] = TaskletStatus::Blocked;
+                mem.issue(t as u64, &[Segment { addr: mram, bytes: len, write }], now);
+            }
+        }
+        // Refresh the wakeup entry for the new PC / issue window.
+        if st.status[tb + t] == TaskletStatus::Ready {
+            let row = &st.reg_ready[rb + t * NREGS..rb + (t + 1) * NREGS];
+            st.ready_at[tb + t] = st.next_issue[tb + t].max(sh.deps_ready_at(dpu.state.pc[t], row));
+            st.wake[d] = st.wake[d].min(st.ready_at[tb + t]);
+        } else {
+            st.ready_at[tb + t] = u64::MAX;
+        }
+        issued += 1;
+        st.rr[d] = t + 1;
+        if hazard > 0 {
+            // The split register file blocks the issue stage.
+            st.rf_block[d] = hazard;
+            break;
+        }
+    }
+    if issued > 0 {
+        stats.active_cycles += 1;
+    } else {
+        // Every candidate stalled on a cache fill this cycle.
+        stats.idle_memory += 1.0;
+    }
+    st.now[d] = now + 1;
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DpuConfig;
+    use pim_asm::assemble;
+
+    fn kernel(imm: i32) -> pim_asm::DpuProgram {
+        assemble(&format!(".text\n movi r0, {imm}\n add r0, r0, 1\n stop\n")).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_individual_launches() {
+        let cfg = DpuConfig::paper_baseline(4);
+        let program = kernel(41);
+        let mut batched: Vec<Dpu> = (0..5).map(|_| Dpu::new(cfg.clone())).collect();
+        let mut solo: Vec<Dpu> = (0..5).map(|_| Dpu::new(cfg.clone())).collect();
+        for dpu in batched.iter_mut().chain(solo.iter_mut()) {
+            dpu.load_program(&program).unwrap();
+        }
+        let batch_stats = run_batch(&mut batched);
+        for (b, s) in batch_stats.iter().zip(solo.iter_mut()) {
+            let want = s.launch().unwrap();
+            assert_eq!(format!("{:?}", b.as_ref().unwrap()), format!("{want:?}"));
+        }
+    }
+
+    #[test]
+    fn mixed_programs_partition_into_runs() {
+        let cfg = DpuConfig::paper_baseline(2);
+        let (pa, pb) = (kernel(1), kernel(2));
+        let mut dpus: Vec<Dpu> = (0..4).map(|_| Dpu::new(cfg.clone())).collect();
+        dpus[0].load_program(&pa).unwrap();
+        dpus[1].load_program(&pa).unwrap();
+        dpus[2].load_program(&pb).unwrap();
+        dpus[3].load_program(&pa).unwrap();
+        let results = run_batch(&mut dpus);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            // 3 instructions × 2 tasklets on every DPU, whichever program.
+            assert_eq!(r.as_ref().unwrap().instructions, 3 * 2);
+        }
+    }
+
+    /// Branches on a value pulled from MRAM, so members with different
+    /// inputs leave lockstep mid-kernel and must be materialized into
+    /// their own SoA rows without losing a cycle of timing fidelity.
+    fn divergent_kernel() -> pim_asm::DpuProgram {
+        assemble(
+            r#"
+            .text
+            movi r0, 0
+            movi r1, 1024
+            ldma r1, r0, 8
+            lw   r2, 0(r1)
+            bne  r2, 0, odd
+            movi r3, 100
+            add  r3, r3, r2
+            sw   r3, 4(r1)
+            sdma r1, r0, 8
+            stop
+        odd:
+            movi r3, 7
+        spin:
+            sub  r3, r3, 1
+            bne  r3, 0, spin
+            sw   r2, 4(r1)
+            sdma r1, r0, 8
+            stop
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mid_kernel_divergence_matches_individual_launches() {
+        let cfg = DpuConfig::paper_baseline(4);
+        let program = divergent_kernel();
+        // Members 0-1 take the even path, 2-3 spin on the odd path: the
+        // batch starts convergent (identical pcs) and splits at the `bne`.
+        let inputs = [0u32, 0, 5, 9];
+        let mut batched: Vec<Dpu> = (0..4).map(|_| Dpu::new(cfg.clone())).collect();
+        let mut solo: Vec<Dpu> = (0..4).map(|_| Dpu::new(cfg.clone())).collect();
+        for (i, dpu) in batched.iter_mut().chain(solo.iter_mut()).enumerate() {
+            dpu.load_program(&program).unwrap();
+            dpu.write_mram(0, &inputs[i % 4].to_le_bytes());
+        }
+        let batch_stats = run_batch(&mut batched);
+        for ((b, bd), s) in batch_stats.iter().zip(batched.iter()).zip(solo.iter_mut()) {
+            let want = s.launch().unwrap();
+            assert_eq!(format!("{:?}", b.as_ref().unwrap()), format!("{want:?}"));
+            assert_eq!(bd.read_mram(0, 8), s.read_mram(0, 8));
+        }
+        // The two paths really do take different time.
+        let c0 = batch_stats[0].as_ref().unwrap().cycles;
+        let c2 = batch_stats[2].as_ref().unwrap().cycles;
+        assert_ne!(c0, c2, "odd path must cost different cycles");
+    }
+
+    #[test]
+    fn unloaded_dpu_reports_no_program() {
+        let mut dpus = vec![Dpu::new(DpuConfig::paper_baseline(1))];
+        let results = run_batch(&mut dpus);
+        assert!(matches!(results[0], Err(SimError::NoProgram)));
+    }
+}

@@ -187,6 +187,14 @@ pub struct DpuConfig {
     /// construction — exists only so differential tests can pin that
     /// equivalence. Slow; never enable outside tests.
     pub naive_loop: bool,
+    /// Maximum DPUs per batch of the rank-scale SoA batch executor
+    /// (`pim_dpu::batch`). 0 (the default) keeps every launch on the
+    /// per-DPU path; a positive value makes host-side set launches
+    /// (`PimSystem::launch_all`) route through
+    /// `PimSystem::launch_all_batched` with this batch size. Purely a
+    /// simulator-implementation switch, like [`DpuConfig::naive_loop`]:
+    /// simulated timing and statistics are byte-identical either way.
+    pub batch_dpus: u32,
 }
 
 impl DpuConfig {
@@ -219,6 +227,7 @@ impl DpuConfig {
             event_trace_capacity: 0,
             oracle_check: false,
             naive_loop: false,
+            batch_dpus: 0,
         }
     }
 
@@ -227,6 +236,20 @@ impl DpuConfig {
     #[must_use]
     pub fn with_naive_loop(mut self) -> Self {
         self.naive_loop = true;
+        self
+    }
+
+    /// Routes host-side set launches through the SoA batch executor with
+    /// batches of at most `batch_dpus` DPUs (see [`DpuConfig::batch_dpus`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_dpus` is zero (use the default configuration for
+    /// the per-DPU path).
+    #[must_use]
+    pub fn with_batched(mut self, batch_dpus: u32) -> Self {
+        assert!(batch_dpus > 0, "batch size must be at least 1 DPU");
+        self.batch_dpus = batch_dpus;
         self
     }
 

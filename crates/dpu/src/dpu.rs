@@ -195,6 +195,19 @@ impl Dpu {
         self.state.mram[a..a + len as usize].to_vec()
     }
 
+    /// Reads bytes from MRAM into a reused buffer (cleared first) —
+    /// the allocation-free counterpart of [`Dpu::read_mram`] for host-side
+    /// readback loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds MRAM.
+    pub fn read_mram_into(&self, addr: u32, len: u32, out: &mut Vec<u8>) {
+        let a = addr as usize;
+        out.clear();
+        out.extend_from_slice(&self.state.mram[a..a + len as usize]);
+    }
+
     /// Copies bytes into the load/store space (WRAM, or the flat space in
     /// cache-centric mode, growing it as needed).
     ///
@@ -259,6 +272,24 @@ impl Dpu {
         self.read_wram(sym.addr, sym.size)
     }
 
+    /// Reads a named WRAM symbol into a reused buffer (cleared first) —
+    /// the allocation-free counterpart of [`Dpu::read_wram_symbol`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program is loaded or the symbol is unknown.
+    pub fn read_wram_symbol_into(&self, name: &str, out: &mut Vec<u8>) {
+        let sym = *self
+            .program
+            .as_ref()
+            .expect("no program loaded")
+            .symbol(name)
+            .unwrap_or_else(|| panic!("unknown WRAM symbol `{name}`"));
+        let a = sym.addr as usize;
+        out.clear();
+        out.extend_from_slice(&self.state.wram[a..a + sym.size as usize]);
+    }
+
     /// Runs the loaded kernel to completion on `n_tasklets` tasklets and
     /// returns the run's statistics.
     ///
@@ -274,25 +305,7 @@ impl Dpu {
         if self.program.is_none() {
             return Err(SimError::NoProgram);
         }
-        // Reset per-launch architectural state.
-        let n = self.cfg.n_tasklets as usize;
-        self.state.regs = vec![[0; 24]; n];
-        self.state.pc = (0..n).map(|t| self.entry.get(t).copied().unwrap_or(0)).collect();
-        self.state.tid_base = (0..n).map(|t| self.tid_base.get(t).copied().unwrap_or(0)).collect();
-        for b in &mut self.state.atomic {
-            *b = false;
-        }
-        let mmu = self.cfg.mmu.map(|mc| {
-            let pages = self.cfg.layout.mram_bytes / mc.page_bytes;
-            Mmu::new(mc, PageTable::identity(pages))
-        });
-        let mut mem = MemEngine::new(
-            self.cfg.dram.scaled(self.cfg.mram_bw_scale),
-            mmu,
-            self.cfg.dram_per_core_ratio(),
-            self.cfg.interface_rate(),
-            self.cfg.dma.setup_cycles,
-        );
+        let mut mem = self.reset_launch_state();
         // The oracle snapshot must see the post-reset, pre-run state.
         let oracle = self.build_oracle();
         let result = if let Some(mut ring) = self.trace.take() {
@@ -320,10 +333,35 @@ impl Dpu {
         result
     }
 
+    /// Resets per-launch architectural state (register files, PCs, atomic
+    /// bits) and builds a fresh memory engine for the run. Shared between
+    /// [`Dpu::launch`] and the batched SoA executor (`crate::batch`), which
+    /// resets every member of a batch before stepping any of them.
+    pub(crate) fn reset_launch_state(&mut self) -> MemEngine {
+        let n = self.cfg.n_tasklets as usize;
+        self.state.regs = vec![[0; 24]; n];
+        self.state.pc = (0..n).map(|t| self.entry.get(t).copied().unwrap_or(0)).collect();
+        self.state.tid_base = (0..n).map(|t| self.tid_base.get(t).copied().unwrap_or(0)).collect();
+        for b in &mut self.state.atomic {
+            *b = false;
+        }
+        let mmu = self.cfg.mmu.map(|mc| {
+            let pages = self.cfg.layout.mram_bytes / mc.page_bytes;
+            Mmu::new(mc, PageTable::identity(pages))
+        });
+        MemEngine::new(
+            self.cfg.dram.scaled(self.cfg.mram_bw_scale),
+            mmu,
+            self.cfg.dram_per_core_ratio(),
+            self.cfg.interface_rate(),
+            self.cfg.dma.setup_cycles,
+        )
+    }
+
     /// Snapshots the pre-run state into a `pim-ref` interpreter when the
     /// oracle check is enabled (scratchpad-centric runs only: the oracle
     /// does not model the flat cached space).
-    fn build_oracle(&self) -> Option<pim_ref::RefInterpreter> {
+    pub(crate) fn build_oracle(&self) -> Option<pim_ref::RefInterpreter> {
         if !self.cfg.oracle_check || !matches!(self.cfg.memory_mode, MemoryMode::Scratchpad) {
             return None;
         }
@@ -340,7 +378,10 @@ impl Dpu {
 
     /// Runs the oracle to completion and compares the final WRAM/MRAM state
     /// byte for byte against the simulator's.
-    fn check_against_oracle(&self, mut oracle: pim_ref::RefInterpreter) -> Result<(), SimError> {
+    pub(crate) fn check_against_oracle(
+        &self,
+        mut oracle: pim_ref::RefInterpreter,
+    ) -> Result<(), SimError> {
         // The oracle interprets one instruction per step; any kernel that
         // finishes under the cycle limit finishes well under this budget.
         let budget = self.cfg.max_cycles.min(500_000_000);
@@ -388,7 +429,7 @@ impl Dpu {
 
     /// The MRAM address backing the instruction stream in cache-centric
     /// mode (timing only; 256 KB below the top of the bank).
-    fn iram_backing_base(&self) -> u32 {
+    pub(crate) fn iram_backing_base(&self) -> u32 {
         self.cfg.layout.mram_bytes - 256 * 1024
     }
 

@@ -54,6 +54,7 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod dpu;
 pub mod error;
@@ -65,6 +66,7 @@ mod simt;
 pub mod stats;
 pub mod tenancy;
 
+pub use batch::{run_batch, soa_eligible};
 pub use config::{DmaConfig, DpuConfig, IlpFeatures, MemoryMode, SimtConfig, MAX_TASKLETS};
 pub use dpu::Dpu;
 pub use error::SimError;

@@ -36,7 +36,7 @@ pub(crate) struct Segment {
     pub write: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Phase {
     /// Waiting for page-walk reads to complete; data segments are held.
     Walk { remaining: usize },
@@ -44,7 +44,7 @@ enum Phase {
     Data,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Request {
     token: Token,
     phase: Phase,
@@ -59,8 +59,11 @@ struct Request {
 }
 
 /// The memory engine. All public times are **core cycles**; the DRAM bank
-/// runs in its own clock domain internally.
-#[derive(Debug)]
+/// runs in its own clock domain internally. `Clone` exists for the batch
+/// executor's lockstep divergence handoff: while a batch is
+/// timing-convergent only the leader's engine runs, and followers receive
+/// an identical copy when they split off.
+#[derive(Debug, Clone)]
 pub(crate) struct MemEngine {
     bank: DramBank,
     mmu: Option<Mmu>,

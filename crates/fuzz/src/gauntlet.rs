@@ -1,5 +1,5 @@
 //! The conformance gauntlet: every case runs under all executors and must
-//! satisfy four metamorphic invariants.
+//! satisfy five metamorphic invariants.
 //!
 //! 1. **Oracle equality** — final WRAM/MRAM match the timing-free
 //!    `pim-ref` interpreter byte-for-byte.
@@ -12,6 +12,10 @@
 //! 4. **Schedule invariance** — re-running the oracle with a *reversed*
 //!    tasklet service order leaves the same final memory image (the
 //!    generator only emits schedule-independent programs).
+//! 5. **Batch equality** — running the case through the SoA batched
+//!    executor ([`pim_dpu::run_batch`], the rank-scale path) produces the
+//!    same `DpuRunStats` rendering and WRAM/MRAM image as the per-DPU
+//!    launch, for every batch member.
 //!
 //! A case whose ground truth cannot be established (the oracle itself
 //! faults) is [`CheckOutcome::Invalid`] — shrink candidates that break
@@ -37,7 +41,7 @@ pub const MRAM_COMPARE: u32 = 128 * 1024;
 /// Ring capacity used for the sink-invisibility run.
 const RING_CAPACITY: usize = 1 << 16;
 
-/// The four conformance invariants.
+/// The five conformance invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Invariant {
     /// Final memory equals the `pim-ref` oracle's.
@@ -48,15 +52,18 @@ pub enum Invariant {
     SinkInvisibility,
     /// Final memory is independent of the oracle's service order.
     ScheduleInvariance,
+    /// The SoA batched executor matches the per-DPU launch exactly.
+    BatchEquality,
 }
 
 impl Invariant {
     /// All invariants, in gauntlet order.
-    pub const ALL: [Invariant; 4] = [
+    pub const ALL: [Invariant; 5] = [
         Invariant::OracleEquality,
         Invariant::NaiveFastEquality,
         Invariant::SinkInvisibility,
         Invariant::ScheduleInvariance,
+        Invariant::BatchEquality,
     ];
 
     /// Stable kebab-case name (used in corpus files and reports).
@@ -67,6 +74,7 @@ impl Invariant {
             Invariant::NaiveFastEquality => "naive-fast",
             Invariant::SinkInvisibility => "sink",
             Invariant::ScheduleInvariance => "schedule",
+            Invariant::BatchEquality => "batch",
         }
     }
 
@@ -156,7 +164,7 @@ fn run_once(case: &FuzzCase, cfg: DpuConfig) -> Result<RunOutput, String> {
     })
 }
 
-/// Runs one case through all four invariants.
+/// Runs one case through all five invariants.
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
@@ -255,6 +263,58 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
                     got[at], want[at]
                 ),
             });
+        }
+    }
+
+    // Invariant 5: the SoA batched executor (the rank-scale path) matches
+    // the per-DPU launch member-for-member. Two members with identical
+    // state exercise the lockstep fast path end to end; SIMT and traced
+    // configurations fall back to per-DPU launches inside `run_batch` and
+    // must still agree.
+    let mut batch: Vec<Dpu> = (0..2).map(|_| Dpu::new(case.config())).collect();
+    for dpu in &mut batch {
+        if let Err(e) = dpu.load_program(&case.program) {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::BatchEquality,
+                detail: format!("batch member failed to load: {e}"),
+            });
+        }
+    }
+    let batch_stats = pim_dpu::run_batch(&mut batch);
+    for (i, (result, dpu)) in batch_stats.iter().zip(&batch).enumerate() {
+        let stats = match result {
+            Ok(s) => s,
+            Err(e) => {
+                return CheckOutcome::Fail(Failure {
+                    invariant: Invariant::BatchEquality,
+                    detail: format!(
+                        "batch member {i} faulted where the solo launch ran clean: {e}"
+                    ),
+                });
+            }
+        };
+        let rendered = format!("{stats:#?}");
+        if rendered != fast.stats_debug {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::BatchEquality,
+                detail: format!(
+                    "batch member {i} stats diverged: {}",
+                    first_line_diff(&fast.stats_debug, &rendered)
+                ),
+            });
+        }
+        let bwram = dpu.read_wram(0, WRAM_COMPARE);
+        let bmram = dpu.read_mram(0, MRAM_COMPARE);
+        for (name, got, want) in [("WRAM", &bwram, &fast.wram), ("MRAM", &bmram, &fast.mram)] {
+            if let Some(at) = first_diff(got, want) {
+                return CheckOutcome::Fail(Failure {
+                    invariant: Invariant::BatchEquality,
+                    detail: format!(
+                        "batch member {i} {name} diverged at {at:#x}: batched {:#04x}, solo {:#04x}",
+                        got[at], want[at]
+                    ),
+                });
+            }
         }
     }
 

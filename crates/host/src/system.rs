@@ -55,17 +55,22 @@ impl LaunchReport {
         self.per_dpu.iter().map(|s| s.instructions).sum()
     }
 
-    /// The statistics of the slowest DPU in this launch.
+    /// The statistics of the slowest DPU in this launch. Ties break toward
+    /// the lowest DPU index, so report ordering is deterministic and can
+    /// never diverge between the per-DPU and batched launch paths.
     ///
     /// # Panics
     ///
     /// Panics if the report is empty (a launch always has at least one DPU).
     #[must_use]
     pub fn slowest(&self) -> &DpuRunStats {
-        self.per_dpu
-            .iter()
-            .max_by(|a, b| a.time_ns().total_cmp(&b.time_ns()))
-            .expect("launch reports are non-empty")
+        let mut best = self.per_dpu.first().expect("launch reports are non-empty");
+        for s in &self.per_dpu[1..] {
+            if s.time_ns() > best.time_ns() {
+                best = s;
+            }
+        }
+        best
     }
 }
 
@@ -262,11 +267,26 @@ impl PimSystem {
     /// chunk (they move in parallel).
     #[must_use]
     pub fn pull_from_mram(&mut self, addr: u32, len: u32) -> Vec<Vec<u8>> {
-        let out: Vec<Vec<u8>> = self.dpus.iter().map(|d| d.read_mram(addr, len)).collect();
+        let mut out = Vec::new();
+        self.pull_from_mram_into(addr, len, &mut out);
+        out
+    }
+
+    /// [`PimSystem::pull_from_mram`] into a caller-owned buffer, reusing
+    /// the outer vector and every inner allocation across calls — for
+    /// readback loops (multi-launch workloads, experiment sweeps) that
+    /// would otherwise allocate one `Vec<Vec<u8>>` per iteration.
+    ///
+    /// `out` is resized to one entry per DPU; transfer-time accounting is
+    /// identical to the allocating variant.
+    pub fn pull_from_mram_into(&mut self, addr: u32, len: u32, out: &mut Vec<Vec<u8>>) {
+        out.resize_with(self.dpus.len(), Vec::new);
+        for (dpu, buf) in self.dpus.iter().zip(out.iter_mut()) {
+            dpu.read_mram_into(addr, len, buf);
+        }
         let ns = self.xfer.from_dpu_ns(u64::from(len));
         self.record_host(true, ns, u64::from(len));
         self.timeline.from_dpu_ns += ns;
-        out
     }
 
     /// Single-DPU CPU←DPU transfer out of MRAM.
@@ -351,12 +371,23 @@ impl PimSystem {
     /// flexible linking.
     #[must_use]
     pub fn pull_from_symbol(&mut self, name: &str) -> Vec<Vec<u8>> {
-        let out: Vec<Vec<u8>> = self.dpus.iter().map(|d| d.read_wram_symbol(name)).collect();
+        let mut out = Vec::new();
+        self.pull_from_symbol_into(name, &mut out);
+        out
+    }
+
+    /// [`PimSystem::pull_from_symbol`] into a caller-owned buffer (see
+    /// [`PimSystem::pull_from_mram_into`]); latency is still that of the
+    /// largest per-DPU chunk.
+    pub fn pull_from_symbol_into(&mut self, name: &str, out: &mut Vec<Vec<u8>>) {
+        out.resize_with(self.dpus.len(), Vec::new);
+        for (dpu, buf) in self.dpus.iter().zip(out.iter_mut()) {
+            dpu.read_wram_symbol_into(name, buf);
+        }
         let max_bytes = out.iter().map(Vec::len).max().unwrap_or(0) as u64;
         let ns = self.xfer.from_dpu_ns(max_bytes);
         self.record_host(true, ns, max_bytes);
         self.timeline.from_dpu_ns += ns;
-        out
     }
 
     /// Launches the loaded kernel synchronously on every DPU
@@ -376,6 +407,10 @@ impl PimSystem {
     ///
     /// Propagates the [`SimError`] of the lowest-indexed faulting DPU.
     pub fn launch_all(&mut self) -> Result<LaunchReport, SimError> {
+        let batch = self.dpus[0].config().batch_dpus;
+        if batch > 0 {
+            return self.launch_all_batched(batch as usize);
+        }
         let n_workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
             .min(self.dpus.len());
@@ -388,6 +423,57 @@ impl PimSystem {
                     .dpus
                     .chunks_mut(chunk_len)
                     .map(|chunk| scope.spawn(move || chunk.iter_mut().map(Dpu::launch).collect()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| -> Vec<_> { h.join().expect("DPU simulation thread panicked") })
+                    .collect()
+            })
+        };
+        let per_dpu = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let kernel_ns = per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0f64, f64::max);
+        self.timeline.kernel_ns += kernel_ns;
+        self.timeline.launches += 1;
+        Ok(LaunchReport { per_dpu, kernel_ns })
+    }
+
+    /// Launches the loaded kernel through the rank-scale SoA batch
+    /// executor ([`pim_dpu::run_batch`]): the set is partitioned into
+    /// batches of up to `max_batch` contiguous DPUs, and *batches* — not
+    /// individual DPUs — are sharded over the worker threads, so each
+    /// worker steps its whole batch out of one contiguous state block.
+    ///
+    /// Timing, statistics, and memory end-state are byte-identical to
+    /// [`PimSystem::launch_all`]'s per-DPU path regardless of `max_batch`
+    /// — batch boundaries are timing-invisible. Reached automatically from
+    /// `launch_all` when the DPU configuration sets
+    /// [`DpuConfig::batch_dpus`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] of the lowest-indexed faulting DPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn launch_all_batched(&mut self, max_batch: usize) -> Result<LaunchReport, SimError> {
+        assert!(max_batch > 0, "batch size must be at least 1 DPU");
+        let mut batches: Vec<&mut [Dpu]> = self.dpus.chunks_mut(max_batch).collect();
+        let n_workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(batches.len());
+        let results: Vec<Result<DpuRunStats, SimError>> = if n_workers <= 1 {
+            batches.iter_mut().flat_map(|b| pim_dpu::run_batch(b)).collect()
+        } else {
+            let per_worker = batches.len().div_ceil(n_workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batches
+                    .chunks_mut(per_worker)
+                    .map(|group| {
+                        scope.spawn(move || {
+                            group.iter_mut().flat_map(|b| pim_dpu::run_batch(b)).collect::<Vec<_>>()
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -554,6 +640,74 @@ mod tests {
         // max-bytes DPU, not whichever DPU happens to be first.
         let expected = TransferConfig::paper().from_dpu_ns(4096);
         assert!((sys.timeline().from_dpu_ns - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowest_breaks_ties_by_dpu_index() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(3, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let data = vec![2u8; 64 * 4];
+        sys.push_to_mram(0, &[&data, &data, &data]);
+        // Identical inputs → identical times on every DPU: the tie must
+        // resolve to index 0, not whichever the iterator yields last.
+        let report = sys.launch_all().unwrap();
+        assert!(std::ptr::eq(report.slowest(), &report.per_dpu[0]));
+    }
+
+    #[test]
+    fn pull_into_variants_match_allocating_pulls() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(3, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let chunks: Vec<Vec<u8>> =
+            (0..3u8).map(|d| (0..=255u8).map(|i| d.wrapping_mul(i)).collect()).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        sys.push_to_mram(0, &refs);
+        sys.launch_all().unwrap();
+        let mram = sys.pull_from_mram(0, 256);
+        let t_after_alloc = sys.timeline().from_dpu_ns;
+        let mut mram_into = vec![vec![7u8; 3]; 5]; // wrong shape on purpose
+        sys.pull_from_mram_into(0, 256, &mut mram_into);
+        assert_eq!(mram, mram_into);
+        // Both variants charge the same transfer time.
+        assert!((sys.timeline().from_dpu_ns - 2.0 * t_after_alloc).abs() < 1e-9);
+        let sum = sys.pull_from_symbol("sum");
+        let mut sum_into = Vec::new();
+        sys.pull_from_symbol_into("sum", &mut sum_into);
+        assert_eq!(sum, sum_into);
+    }
+
+    #[test]
+    fn batched_launch_matches_per_dpu_launch() {
+        let n = 7u32;
+        let program = sum_kernel(64);
+        let chunks: Vec<Vec<u8>> = (0..n as i32)
+            .map(|d| (0..64).flat_map(|i| (d * 100 + i).to_le_bytes()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+
+        let mut base = PimSystem::new(n, DpuConfig::paper_baseline(2), TransferConfig::paper());
+        base.load(&program).unwrap();
+        base.push_to_mram(0, &refs);
+        let want = base.launch_all().unwrap();
+
+        // A batch size that does not divide the population, routed through
+        // the `batch_dpus` config knob exactly as workloads reach it.
+        let cfg = DpuConfig::paper_baseline(2).with_batched(3);
+        let mut sys = PimSystem::new(n, cfg, TransferConfig::paper());
+        sys.load(&program).unwrap();
+        sys.push_to_mram(0, &refs);
+        let got = sys.launch_all().unwrap();
+
+        assert_eq!(got.per_dpu.len(), want.per_dpu.len());
+        for (g, w) in got.per_dpu.iter().zip(&want.per_dpu) {
+            assert_eq!(format!("{g:?}"), format!("{w:?}"));
+        }
+        assert!((got.kernel_ns - want.kernel_ns).abs() < 1e-12);
+        for (g, w) in sys.pull_from_symbol("sum").iter().zip(base.pull_from_symbol("sum").iter()) {
+            assert_eq!(g, w);
+        }
     }
 
     #[test]

@@ -86,12 +86,26 @@ pub fn parallel_pull_words(
     addr: u32,
     lens_bytes: &[u32],
 ) -> Vec<Vec<i32>> {
+    let mut scratch = Vec::new();
+    parallel_pull_words_into(sys, addr, lens_bytes, &mut scratch)
+}
+
+/// [`parallel_pull_words`] with a caller-held raw-byte scratch buffer, so
+/// launch loops (BFS levels, MLP layers) and experiment sweeps reuse the
+/// per-DPU pull allocations instead of growing fresh ones every iteration.
+#[must_use]
+pub fn parallel_pull_words_into(
+    sys: &mut pim_host::PimSystem,
+    addr: u32,
+    lens_bytes: &[u32],
+    scratch: &mut Vec<Vec<u8>>,
+) -> Vec<Vec<i32>> {
     let max = lens_bytes.iter().copied().max().unwrap_or(0);
     if max == 0 {
         return vec![Vec::new(); lens_bytes.len()];
     }
-    let pulled = sys.pull_from_mram(addr, max);
-    pulled.into_iter().zip(lens_bytes).map(|(b, &l)| from_bytes(&b[..l as usize])).collect()
+    sys.pull_from_mram_into(addr, max, scratch);
+    scratch.iter().zip(lens_bytes).map(|(b, &l)| from_bytes(&b[..l as usize])).collect()
 }
 
 /// Compares a simulated output word stream against the reference,

@@ -370,6 +370,8 @@ impl Workload for Bfs {
         in_front[0] = 1; // vertex 0
         let mut depth: u32 = 0;
         let mut per_dpu: Vec<pim_dpu::DpuRunStats> = Vec::new();
+        // Per-level frontier readback reuses one buffer across iterations.
+        let mut nexts: Vec<Vec<u8>> = Vec::new();
         loop {
             let front_bytes: Vec<u8> = in_front.iter().flat_map(|w| w.to_le_bytes()).collect();
             sys.broadcast_to_symbol("in_front", &front_bytes);
@@ -395,7 +397,7 @@ impl Workload for Bfs {
                 }
             }
             // OR the per-DPU next frontiers on the host.
-            let nexts = sys.pull_from_symbol("next_front");
+            sys.pull_from_symbol_into("next_front", &mut nexts);
             let mut merged = vec![0u32; front_words];
             for nf in &nexts {
                 for (w, c) in merged.iter_mut().zip(nf.chunks_exact(4)) {

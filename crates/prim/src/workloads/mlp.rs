@@ -326,6 +326,8 @@ impl Mlp {
         let y_base = x_base + x_cap;
         let mut act = x.to_vec();
         let mut per_dpu: Vec<pim_dpu::DpuRunStats> = Vec::new();
+        // Per-layer activation readback reuses one buffer across layers.
+        let mut pull_scratch: Vec<Vec<u8>> = Vec::new();
         for l in 0..layers {
             sys.broadcast_to_mram(x_base, &to_bytes(&act));
             let pbs: Vec<Vec<u8>> = (0..n_dpus)
@@ -350,10 +352,11 @@ impl Mlp {
             // Gather this layer's activations with one parallel pull.
             let lens: Vec<u32> =
                 (0..n_dpus).map(|d| chunk_range(cols, n_dpus, d).len() as u32 * 4).collect();
-            act = crate::common::parallel_pull_words(&mut sys, y_base, &lens)
-                .into_iter()
-                .flatten()
-                .collect();
+            act =
+                crate::common::parallel_pull_words_into(&mut sys, y_base, &lens, &mut pull_scratch)
+                    .into_iter()
+                    .flatten()
+                    .collect();
         }
         Ok(crate::common::finish_run(&mut sys, per_dpu, validate_words("MLP", &act, expect)))
     }

@@ -3,6 +3,8 @@
 //! counts, and outputs on every run (DESIGN.md §5, point 12).
 
 use pim_dpu::DpuConfig;
+use pimulator::experiments as exp;
+use pimulator::jobs::JobRunner;
 use prim_suite::{all_workloads, DatasetSize, RunConfig};
 
 #[test]
@@ -16,6 +18,28 @@ fn repeated_runs_are_bit_identical() {
         assert_eq!(a.class_counts, b.class_counts, "{} mixes differ", w.name());
         assert_eq!(a.dram.bytes_read, b.dram.bytes_read, "{} traffic differs", w.name());
         assert_eq!(a.tlp_histogram, b.tlp_histogram, "{} TLP differs", w.name());
+    }
+}
+
+#[test]
+fn rank_scale_rows_are_identical_across_thread_counts_and_batch_sizes() {
+    // The rank sweep shards thousands of DPUs into SoA batches and folds
+    // shard rows with order-independent operations, so its *simulated*
+    // quantities must be byte-identical however the host parallelizes —
+    // worker counts, batch sizes (including 0 = the per-DPU path), and
+    // uneven shard splits all land on the same rows.
+    let render = |rows: &[exp::RankScaleRow]| format!("{rows:#?}");
+    let baseline = render(
+        &exp::exp_rank_scale(&JobRunner::new(Some(1)), DatasetSize::Tiny).expect("rank sweep runs"),
+    );
+    for threads in [4, 8] {
+        let rows = exp::exp_rank_scale(&JobRunner::new(Some(threads)), DatasetSize::Tiny).unwrap();
+        assert_eq!(baseline, render(&rows), "rank rows differ at --threads {threads}");
+    }
+    let rt = JobRunner::new(Some(4));
+    for batch in [0, 7, 32] {
+        let rows = exp::exp_rank_scale_with(&rt, DatasetSize::Tiny, batch).unwrap();
+        assert_eq!(baseline, render(&rows), "rank rows differ at batch size {batch}");
     }
 }
 

@@ -66,6 +66,74 @@ fn cached_loop_matches_naive_reference() {
     }
 }
 
+/// Runs one workload over the same 4-DPU population through the per-DPU
+/// path and the SoA batched executor (`batch_dpus = 3`, so the population
+/// shards into a 3-member batch plus a singleton) and asserts per-DPU
+/// stats are identical field-for-field.
+///
+/// Each DPU holds a different dataset shard, so batches start in lockstep
+/// and genuinely diverge mid-kernel — this leg pins the divergence
+/// materialization path on real workloads, not just synthetic kernels.
+fn assert_batched_agrees(w: &dyn Workload, mode: &str, cfg: DpuConfig) {
+    const DPUS: u32 = 4;
+    let per_dpu = w
+        .run(DatasetSize::Tiny, &RunConfig::multi(DPUS, cfg.clone()))
+        .unwrap_or_else(|e| panic!("{} [{mode}] per-DPU run failed: {e}", w.name()));
+    let batched = w
+        .run(DatasetSize::Tiny, &RunConfig::multi(DPUS, cfg.with_batched(3)))
+        .unwrap_or_else(|e| panic!("{} [{mode}] batched run failed: {e}", w.name()));
+    batched
+        .validation
+        .as_ref()
+        .unwrap_or_else(|e| panic!("{} [{mode}] batched output failed validation: {e}", w.name()));
+    assert_eq!(
+        per_dpu.per_dpu.len(),
+        batched.per_dpu.len(),
+        "{} [{mode}]: DPU count differs",
+        w.name()
+    );
+    for (i, (p, b)) in per_dpu.per_dpu.iter().zip(&batched.per_dpu).enumerate() {
+        assert_eq!(
+            format!("{p:?}"),
+            format!("{b:?}"),
+            "{} [{mode}] dpu {i}: batched stats diverge from per-DPU path",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn batched_executor_matches_per_dpu_path() {
+    // SIMT configurations fall back to individual launches inside
+    // `run_batch` (`soa_eligible` rejects them), so the batched legs here
+    // are the three scoreboard-loop modes; SIMT is covered below.
+    for w in all_workloads() {
+        for n in TASKLETS {
+            assert_batched_agrees(w.as_ref(), "scalar", DpuConfig::paper_baseline(n));
+            let ilp = DpuConfig::paper_baseline(n).with_ilp(IlpFeatures::all());
+            assert_batched_agrees(w.as_ref(), "ilp", ilp);
+            if w.supports_cache_mode() {
+                // Cache-centric runs are single-DPU by construction (and
+                // cached mode never enters lockstep), so this leg pins the
+                // batched sweep on a singleton batch.
+                let cached = DpuConfig::paper_baseline(n).with_paper_caches();
+                let solo = w
+                    .run(DatasetSize::Tiny, &RunConfig::single(cached.clone()))
+                    .unwrap_or_else(|e| panic!("{} [cached] run failed: {e}", w.name()));
+                let batched = w
+                    .run(DatasetSize::Tiny, &RunConfig::single(cached.with_batched(3)))
+                    .unwrap_or_else(|e| panic!("{} [cached] batched run failed: {e}", w.name()));
+                assert_eq!(
+                    format!("{:?}", solo.per_dpu),
+                    format!("{:?}", batched.per_dpu),
+                    "{} [cached]: batched stats diverge from per-DPU path",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
 /// Ring capacity for the event-tracing legs: large enough that no PrIM
 /// tiny-dataset run wraps, so the sink exercises its full record path.
 const RING: usize = 1 << 16;

@@ -189,6 +189,12 @@ pub fn experiments() -> &'static [Experiment] {
             run: run_serving,
         },
         Experiment {
+            name: "exp_serving_faults",
+            title: "Serving: fault campaigns (retry, degradation, conservation)",
+            default_size: DatasetSize::SingleDpu,
+            run: run_serving_faults,
+        },
+        Experiment {
             name: "exp_rank_scale",
             title: "Rank scale: batched SoA execution of whole-rank populations",
             default_size: DatasetSize::MultiDpu,
@@ -486,11 +492,26 @@ pub fn run_trace_with_args(name: &str, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Serve-only driver knobs parsed alongside [`DriverOptions`].
+#[derive(Debug, Clone, Default)]
+struct ServeDriverOptions {
+    /// `--checkpoint-every MS`: checkpoint cadence in simulated ms
+    /// (0 = disabled); snapshots land at `<out>/serve_<name>.ckpt<k>.json`.
+    checkpoint_every_ms: u64,
+    /// `--resume FILE`: continue from a checkpoint document instead of
+    /// starting at virtual time zero.
+    resume: Option<PathBuf>,
+}
+
 /// Parses the `pimsim serve` flag set: the serving knobs
-/// (`--seed/--duration-ms/--load/--policy`) plus the common
-/// `--threads/--json/--out/--trace`.
-fn parse_serve_args(args: &[String]) -> Result<(pim_serve::ServeOptions, DriverOptions), String> {
+/// (`--seed/--duration-ms/--load/--policy/--faults`), the
+/// checkpoint/restore knobs (`--checkpoint-every/--resume`), plus the
+/// common `--threads/--json/--out/--trace`.
+fn parse_serve_args(
+    args: &[String],
+) -> Result<(pim_serve::ServeOptions, ServeDriverOptions, DriverOptions), String> {
     let mut serve = pim_serve::ServeOptions::default();
+    let mut drv = ServeDriverOptions::default();
     let mut opts = DriverOptions { out_dir: PathBuf::from("results"), ..DriverOptions::default() };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -507,10 +528,31 @@ fn parse_serve_args(args: &[String]) -> Result<(pim_serve::ServeOptions, DriverO
             "--load" => {
                 let v = it.next().ok_or("--load needs a number")?;
                 let load: f64 = v.parse().map_err(|_| format!("--load: `{v}` is not a number"))?;
-                if load.is_nan() || load <= 0.0 {
-                    return Err("--load must be positive".to_string());
+                // `is_finite` also rejects NaN; `inf` would otherwise be
+                // accepted and collapse the mean arrival gap to zero.
+                if !load.is_finite() || load <= 0.0 {
+                    return Err("--load must be a positive finite number".to_string());
                 }
                 serve.load = load;
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a spec (k=v,... or `none`)")?;
+                if v != "none" {
+                    // Parse errors already carry the `--faults:` prefix.
+                    serve.faults = Some(pim_serve::FaultSpec::parse(v)?);
+                }
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a number of ms")?;
+                drv.checkpoint_every_ms =
+                    v.parse().map_err(|_| format!("--checkpoint-every: `{v}` is not a number"))?;
+                if drv.checkpoint_every_ms == 0 {
+                    return Err("--checkpoint-every must be at least 1 ms".to_string());
+                }
+            }
+            "--resume" => {
+                drv.resume =
+                    Some(PathBuf::from(it.next().ok_or("--resume needs a checkpoint file path")?));
             }
             "--policy" => {
                 let v = it.next().ok_or("--policy needs a name")?;
@@ -541,12 +583,12 @@ fn parse_serve_args(args: &[String]) -> Result<(pim_serve::ServeOptions, DriverO
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --seed/--duration-ms/--load/--policy/\
-                     --threads/--json/--out/--trace)"
+                     --faults/--checkpoint-every/--resume/--threads/--json/--out/--trace)"
                 ))
             }
         }
     }
-    Ok((serve, opts))
+    Ok((serve, drv, opts))
 }
 
 /// The `pimsim serve <scenario>` entry point: runs one serving scenario,
@@ -563,24 +605,77 @@ pub fn run_serve_with_args(name: &str, args: &[String]) -> ExitCode {
         }
         return ExitCode::FAILURE;
     };
-    let (serve_opts, opts) = match parse_serve_args(args) {
+    let (serve_opts, drv, opts) = match parse_serve_args(args) {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
                 "usage: pimsim serve {name} [--seed N] [--duration-ms M] [--load X] \
-                 [--policy P] [--threads N] [--json] [--out DIR] [--trace FILE]"
+                 [--policy P] [--faults SPEC] [--checkpoint-every MS] [--resume FILE] \
+                 [--threads N] [--json] [--out DIR] [--trace FILE]"
             );
             return ExitCode::FAILURE;
         }
     };
-    let out = match pim_serve::run_scenario(scenario, &serve_opts) {
+    // Checkpoints are rendered as they are cut and written once the run
+    // finishes, as `<out>/serve_<name>.ckpt<k>.json` in cut order.
+    let mut snapshots: Vec<String> = Vec::new();
+    let mut sink = |ck: &pim_serve::Checkpoint| snapshots.push(ck.to_json().render_pretty());
+    let result = if let Some(ckpt_path) = &drv.resume {
+        let text = match std::fs::read_to_string(ckpt_path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("serve {name}: could not read {}: {err}", ckpt_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let ck = match Json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|doc| pim_serve::Checkpoint::from_json(&doc))
+        {
+            Ok(ck) => ck,
+            Err(err) => {
+                eprintln!("serve {name}: {} is not a checkpoint: {err}", ckpt_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(err) = ck.validate(
+            scenario.name,
+            pim_serve::resolved_policy_name(scenario, &serve_opts),
+            serve_opts.seed,
+            serve_opts.load,
+            pim_serve::resolved_duration_ns(scenario, &serve_opts),
+            &pim_serve::fault_label(&serve_opts),
+        ) {
+            eprintln!("serve {name}: checkpoint does not match this run: {err}");
+            return ExitCode::FAILURE;
+        }
+        pim_serve::resume_scenario(scenario, &serve_opts, &ck, drv.checkpoint_every_ms, &mut sink)
+    } else {
+        pim_serve::run_scenario_with_checkpoints(
+            scenario,
+            &serve_opts,
+            drv.checkpoint_every_ms,
+            &mut sink,
+        )
+    };
+    let out = match result {
         Ok(o) => o,
         Err(err) => {
             eprintln!("serve {name}: simulation fault: {err}");
             return ExitCode::FAILURE;
         }
     };
+    for (k, rendered) in snapshots.iter().enumerate() {
+        let path = opts.out_dir.join(format!("serve_{name}.ckpt{k}.json"));
+        if let Err(err) = write_with_parents(&path, rendered) {
+            eprintln!("serve {name}: could not write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.json_stdout {
+            eprintln!("wrote {}", path.display());
+        }
+    }
     let mut doc = pim_serve::outcome_json(&out);
     if let Some(trace_path) = &opts.trace {
         let trace_doc = chrome_trace(&out.traces);
@@ -1148,6 +1243,79 @@ fn run_serving(ctx: &ExpContext) -> Result<ExpReport, SimError> {
             + &t.render(),
         json: json_doc(
             "exp_serving",
+            ctx.size,
+            Json::Arr(json_rows),
+            vec![("scenario", Json::from(scenario.name)), ("duration_ms", Json::UInt(duration_ms))],
+        ),
+    })
+}
+
+fn run_serving_faults(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    use pim_serve::{run_scenario, scenario_by_name, FaultSpec, ServeOptions};
+
+    // Sweep fault campaigns over the faulty scenario at fixed load: a
+    // clean baseline, a transient-retry regime, a stuck-DPU regime, and
+    // a rank-outage regime. Every row must conserve requests (admitted =
+    // completed + failed) — the differential suite pins that; here the
+    // sweep shows the throughput/p99 cost of each failure mode.
+    let scenario = scenario_by_name("faulty").expect("faulty scenario exists");
+    let duration_ms: u64 = if ctx.size == DatasetSize::Tiny { 2 } else { 10 };
+    let campaigns: [(&str, &str); 4] = [
+        ("clean", "seed=9"),
+        ("transient", "seed=9,transient=60"),
+        ("stuck", "seed=9,stuck=25,timeout_us=2000"),
+        ("rank_outage", "seed=9,outages=2,outage_ms=1,rank_dpus=4"),
+    ];
+    let mut t = Table::new(&[
+        "campaign",
+        "admitted",
+        "completed",
+        "failed",
+        "retried",
+        "degraded",
+        "rps",
+        "p99_us",
+    ]);
+    let mut json_rows = Vec::new();
+    for (label, spec_text) in campaigns {
+        let spec = FaultSpec::parse(spec_text).expect("campaign spec parses");
+        let opts = ServeOptions {
+            duration_ms,
+            threads: Some(ctx.rt.workers()),
+            faults: Some(spec),
+            ..ServeOptions::default()
+        };
+        let out = run_scenario(scenario, &opts)?;
+        debug_assert_eq!(out.admitted(), out.completed() + out.failed());
+        let (_, _, p99) = out.aggregate_latency().total.slo_triple();
+        t.row_owned(vec![
+            label.to_string(),
+            out.admitted().to_string(),
+            out.completed().to_string(),
+            out.failed().to_string(),
+            out.retried().to_string(),
+            out.degraded().to_string(),
+            format!("{:.0}", out.throughput_rps()),
+            format!("{:.1}", p99 as f64 / 1000.0),
+        ]);
+        json_rows.push(Json::obj([
+            ("campaign", Json::from(label)),
+            ("faults", Json::from(spec.label())),
+            ("offered", Json::UInt(out.offered())),
+            ("admitted", Json::UInt(out.admitted())),
+            ("completed", Json::UInt(out.completed())),
+            ("failed", Json::UInt(out.failed())),
+            ("retried", Json::UInt(out.retried())),
+            ("degraded", Json::UInt(out.degraded())),
+            ("throughput_rps", Json::from(out.throughput_rps())),
+            ("p99_ns", Json::UInt(p99)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Serving: fault campaigns (retry, degradation, conservation)", ctx.size)
+            + &t.render(),
+        json: json_doc(
+            "exp_serving_faults",
             ctx.size,
             Json::Arr(json_rows),
             vec![("scenario", Json::from(scenario.name)), ("duration_ms", Json::UInt(duration_ms))],

@@ -39,6 +39,11 @@
 //!     --duration-ms M             simulated run length (scenario default)
 //!     --load X                    load multiplier on the base rate
 //!     --policy P                  fifo | size_class | weighted_fair
+//!     --faults SPEC               seeded fault campaign, k=v pairs
+//!                                 (seed/transient/stuck/timeout_us/retries/
+//!                                 backoff_us/outages/outage_ms/rank_dpus)
+//!     --checkpoint-every MS       cut serve_<scenario>.ckpt<k>.json snapshots
+//!     --resume FILE               continue from a checkpoint document
 //!     --threads N                 composition-profiling worker threads
 //!     --json                      print the JSON document to stdout
 //!     --out DIR                   where serve_<scenario>.json is written
@@ -58,7 +63,8 @@ fn usage() -> ExitCode {
          FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]\n  \
          pimsim bench  [--quick] [--size tiny|single|multi] [--reps K] [--out FILE] [--json] \
          [--baseline FILE]\n  pimsim serve  <scenario|--list> [--seed N] [--duration-ms M] \
-         [--load X] [--policy P] [--threads N] [--json] [--out DIR] [--trace FILE]\n  pimsim \
+         [--load X] [--policy P] [--faults SPEC] [--checkpoint-every MS] [--resume FILE] \
+         [--threads N] [--json] [--out DIR] [--trace FILE]\n  pimsim \
          fuzz   [--seed N] [--budget N] [--jobs N] [--corpus DIR] [--mutate] [--json] [--out \
          FILE]"
     );

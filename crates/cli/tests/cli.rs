@@ -186,6 +186,67 @@ fn trace_subcommand_writes_a_chrome_trace_and_records_the_path() {
 }
 
 #[test]
+fn serve_rejects_non_positive_and_non_finite_load() {
+    for bad in ["0", "-1", "inf", "-inf", "NaN"] {
+        let out = pimsim().args(["serve", "tiny", "--load", bad]).output().expect("spawn pimsim");
+        assert!(!out.status.success(), "--load {bad} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--load must be a positive finite number"),
+            "--load {bad}: stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_rejects_a_malformed_fault_spec() {
+    for (bad, expect) in
+        [("frobnicate=1", "--faults"), ("transient=1001", "--faults"), ("rank_dpus=0", "--faults")]
+    {
+        let out =
+            pimsim().args(["serve", "faulty", "--faults", bad]).output().expect("spawn pimsim");
+        assert!(!out.status.success(), "--faults {bad} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "--faults {bad}: stderr: {stderr}");
+    }
+}
+
+#[test]
+fn serve_checkpoint_and_resume_reproduce_the_run_byte_for_byte() {
+    let scratch = Scratch::new("serve-ckpt");
+    let (dir_a, dir_b) = (scratch.path("a"), scratch.path("b"));
+    let faults = "seed=5,transient=80,outages=1,outage_ms=1,rank_dpus=4";
+    let base = |out_dir: &Path| {
+        let mut c = pimsim();
+        c.args(["serve", "faulty", "--duration-ms", "4", "--threads", "2", "--faults", faults])
+            .arg("--out")
+            .arg(out_dir);
+        c
+    };
+    // Full run, cutting a checkpoint every simulated millisecond.
+    let st = base(&dir_a).args(["--checkpoint-every", "1"]).output().expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let ckpt = dir_a.join("serve_faulty.ckpt1.json");
+    assert!(ckpt.is_file(), "a 4 ms run at 1 ms cadence must cut several checkpoints");
+    // Resume from a mid-run cut: the final document must be byte-identical.
+    let st = base(&dir_b).arg("--resume").arg(&ckpt).output().expect("spawn pimsim");
+    assert!(st.status.success(), "stderr: {}", String::from_utf8_lossy(&st.stderr));
+    let a = std::fs::read_to_string(dir_a.join("serve_faulty.json")).unwrap();
+    let b = std::fs::read_to_string(dir_b.join("serve_faulty.json")).unwrap();
+    assert!(a == b, "resumed results JSON diverged from the uninterrupted run");
+    // A checkpoint from a different run identity is refused up front.
+    let st = base(&scratch.path("c"))
+        .args(["--seed", "43"])
+        .arg("--resume")
+        .arg(&ckpt)
+        .output()
+        .expect("spawn pimsim");
+    assert!(!st.status.success(), "a seed-43 run must not accept a seed-42 checkpoint");
+    let stderr = String::from_utf8_lossy(&st.stderr);
+    assert!(stderr.contains("checkpoint does not match this run"), "stderr: {stderr}");
+}
+
+#[test]
 fn fuzz_unknown_flag_is_a_usage_error() {
     let out = pimsim().args(["fuzz", "--frobnicate"]).output().expect("spawn pimsim");
     assert_eq!(out.status.code(), Some(2));

@@ -56,6 +56,9 @@ pub struct Dpu {
     pub(crate) tid_base: Vec<u32>,
     /// Structured event ring, present when `cfg.event_trace_capacity > 0`.
     trace: Option<RingSink>,
+    /// One-shot injected fault consumed by the next launch (see
+    /// [`crate::fault`]); `None` in normal operation.
+    armed_fault: Option<crate::fault::FaultKind>,
 }
 
 impl Dpu {
@@ -71,7 +74,35 @@ impl Dpu {
         let ls_space = cfg.layout.wram_bytes;
         let state = ArchState::new(cfg.layout, cfg.n_tasklets, ls_space);
         let trace = (cfg.event_trace_capacity > 0).then(|| RingSink::new(cfg.event_trace_capacity));
-        Dpu { cfg, program: None, state, entry: Vec::new(), tid_base: Vec::new(), trace }
+        Dpu {
+            cfg,
+            program: None,
+            state,
+            entry: Vec::new(),
+            tid_base: Vec::new(),
+            trace,
+            armed_fault: None,
+        }
+    }
+
+    /// Arms a one-shot injected fault: the next launch through a host
+    /// launch path fails with the kind's typed [`SimError`] instead of
+    /// running the kernel. Overwrites any previously armed fault.
+    pub fn arm_fault(&mut self, kind: crate::fault::FaultKind) {
+        self.armed_fault = Some(kind);
+    }
+
+    /// Takes (and disarms) the armed fault, if any. The host launch
+    /// boundary calls this before dispatching a kernel; faults are
+    /// one-shot so a retry of the same DPU can succeed.
+    pub fn take_armed_fault(&mut self) -> Option<crate::fault::FaultKind> {
+        self.armed_fault.take()
+    }
+
+    /// The currently armed fault, if any (not consumed).
+    #[must_use]
+    pub fn armed_fault(&self) -> Option<crate::fault::FaultKind> {
+        self.armed_fault
     }
 
     /// Takes the structured events retained by the last launch, or `None`

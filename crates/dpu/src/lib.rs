@@ -59,6 +59,7 @@ pub mod config;
 pub mod dpu;
 pub mod error;
 mod exec;
+pub mod fault;
 mod mem;
 #[cfg(feature = "mutation-hooks")]
 pub mod mutation;
@@ -70,5 +71,6 @@ pub use batch::{run_batch, soa_eligible};
 pub use config::{DmaConfig, DpuConfig, IlpFeatures, MemoryMode, SimtConfig, MAX_TASKLETS};
 pub use dpu::Dpu;
 pub use error::SimError;
+pub use fault::FaultKind;
 pub use stats::{DpuRunStats, IdleCause, TraceEntry};
 pub use tenancy::{colocate, ColocateError, Colocated, Tenant};

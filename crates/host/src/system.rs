@@ -411,30 +411,69 @@ impl PimSystem {
         if batch > 0 {
             return self.launch_all_batched(batch as usize);
         }
+        let per_dpu = self.run_all_chunked().into_iter().collect::<Result<Vec<_>, _>>()?;
+        let kernel_ns = per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0f64, f64::max);
+        self.timeline.kernel_ns += kernel_ns;
+        self.timeline.launches += 1;
+        Ok(LaunchReport { per_dpu, kernel_ns })
+    }
+
+    /// Launches every DPU and returns a per-DPU `Result` instead of
+    /// short-circuiting on the first failure — the launch path a
+    /// fault-tolerant runtime needs: one faulted device must not hide the
+    /// results of the healthy ones (`pim-serve` re-dispatches the failed
+    /// slice and keeps the rest).
+    ///
+    /// The kernel time charged to the timeline is the max over the
+    /// *successful* launches (a DPU that faulted at the launch boundary
+    /// never ran); faults armed via [`Dpu::arm_fault`] surface here as
+    /// their typed [`SimError`] carrying the faulting DPU's index. Always
+    /// uses the per-DPU executor (never the SoA batch path) so each
+    /// device's armed-fault slot is checked individually.
+    pub fn launch_each(&mut self) -> Vec<Result<DpuRunStats, SimError>> {
+        let results = self.run_all_chunked();
+        let kernel_ns = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(DpuRunStats::time_ns)
+            .fold(0.0f64, f64::max);
+        self.timeline.kernel_ns += kernel_ns;
+        self.timeline.launches += 1;
+        results
+    }
+
+    /// Runs every DPU through [`launch_one`] on the chunked worker pool,
+    /// collecting per-DPU results in DPU order.
+    fn run_all_chunked(&mut self) -> Vec<Result<DpuRunStats, SimError>> {
         let n_workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
             .min(self.dpus.len());
-        let results: Vec<Result<DpuRunStats, SimError>> = if n_workers <= 1 {
-            self.dpus.iter_mut().map(Dpu::launch).collect()
+        if n_workers <= 1 {
+            self.dpus.iter_mut().enumerate().map(|(i, dpu)| launch_one(dpu, i as u32)).collect()
         } else {
             let chunk_len = self.dpus.len().div_ceil(n_workers);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .dpus
                     .chunks_mut(chunk_len)
-                    .map(|chunk| scope.spawn(move || chunk.iter_mut().map(Dpu::launch).collect()))
+                    .enumerate()
+                    .map(|(ci, chunk)| {
+                        let base = ci * chunk_len;
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .enumerate()
+                                .map(|(i, dpu)| launch_one(dpu, (base + i) as u32))
+                                .collect()
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| -> Vec<_> { h.join().expect("DPU simulation thread panicked") })
                     .collect()
             })
-        };
-        let per_dpu = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let kernel_ns = per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0f64, f64::max);
-        self.timeline.kernel_ns += kernel_ns;
-        self.timeline.launches += 1;
-        Ok(LaunchReport { per_dpu, kernel_ns })
+        }
     }
 
     /// Launches the loaded kernel through the rank-scale SoA batch
@@ -458,6 +497,20 @@ impl PimSystem {
     /// Panics if `max_batch` is zero.
     pub fn launch_all_batched(&mut self, max_batch: usize) -> Result<LaunchReport, SimError> {
         assert!(max_batch > 0, "batch size must be at least 1 DPU");
+        // The SoA executor steps a whole batch out of one state block and
+        // cannot fail a single member at the boundary, so armed faults are
+        // consumed up front: every armed slot is taken (one-shot, matching
+        // the per-DPU path, which launches all DPUs before propagating) and
+        // the lowest-indexed fault is the one reported.
+        let mut armed = None;
+        for (i, dpu) in self.dpus.iter_mut().enumerate() {
+            if let Some(kind) = dpu.take_armed_fault() {
+                armed.get_or_insert(kind.into_error(i as u32));
+            }
+        }
+        if let Some(err) = armed {
+            return Err(err);
+        }
         let mut batches: Vec<&mut [Dpu]> = self.dpus.chunks_mut(max_batch).collect();
         let n_workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
@@ -486,6 +539,17 @@ impl PimSystem {
         self.timeline.kernel_ns += kernel_ns;
         self.timeline.launches += 1;
         Ok(LaunchReport { per_dpu, kernel_ns })
+    }
+}
+
+/// Launches one DPU, surfacing an armed [`pim_dpu::FaultKind`] as its typed
+/// error carrying the global DPU index `idx` — the host-side fault
+/// injection boundary. Taking the fault disarms the DPU (one-shot), and a
+/// faulted launch simulates no cycles.
+fn launch_one(dpu: &mut Dpu, idx: u32) -> Result<DpuRunStats, SimError> {
+    match dpu.take_armed_fault() {
+        Some(kind) => Err(kind.into_error(idx)),
+        None => dpu.launch(),
     }
 }
 
@@ -611,6 +675,62 @@ mod tests {
         let max = report.per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0, f64::max);
         assert!((report.kernel_ns - max).abs() < 1e-9);
         assert!((report.slowest().time_ns() - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn armed_fault_fails_only_its_dpu_in_launch_each() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(4, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let data = vec![0u8; 64 * 4];
+        sys.push_to_mram(0, &[&data, &data, &data, &data]);
+        sys.dpu_mut(2).arm_fault(pim_dpu::FaultKind::Transient);
+        let results = sys.launch_each();
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(r.as_ref().unwrap_err(), &SimError::InjectedFault { dpu: 2 });
+            } else {
+                assert!(r.is_ok(), "dpu {i}: {r:?}");
+            }
+        }
+        assert_eq!(sys.timeline().launches, 1);
+        assert!(sys.timeline().kernel_ns > 0.0, "healthy DPUs still charge kernel time");
+        // One-shot: the fault was consumed, the next launch succeeds.
+        assert!(sys.launch_each().iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn launch_all_propagates_lowest_indexed_fault() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(4, DpuConfig::paper_baseline(1), TransferConfig::paper());
+        sys.load(&program).unwrap();
+        let data = vec![0u8; 64 * 4];
+        sys.push_to_mram(0, &[&data, &data, &data, &data]);
+        sys.dpu_mut(3).arm_fault(pim_dpu::FaultKind::RankOffline { rank: 0 });
+        sys.dpu_mut(1).arm_fault(pim_dpu::FaultKind::Stuck { timeout_ns: 9 });
+        let err = sys.launch_all().unwrap_err();
+        assert_eq!(err, SimError::DpuStuck { dpu: 1, timeout_ns: 9 });
+        // Both armed slots were consumed by the failed launch.
+        assert!(sys.launch_all().is_ok());
+    }
+
+    #[test]
+    fn batched_launch_surfaces_armed_faults_before_running() {
+        let program = sum_kernel(64);
+        let mut sys = PimSystem::new(
+            4,
+            DpuConfig::paper_baseline(1).with_batched(2),
+            TransferConfig::paper(),
+        );
+        sys.load(&program).unwrap();
+        let data = vec![0u8; 64 * 4];
+        sys.push_to_mram(0, &[&data, &data, &data, &data]);
+        sys.dpu_mut(2).arm_fault(pim_dpu::FaultKind::Transient);
+        let err = sys.launch_all().unwrap_err();
+        assert_eq!(err, SimError::InjectedFault { dpu: 2 });
+        assert_eq!(sys.timeline().launches, 0, "faulted batched launch simulates nothing");
+        assert!(sys.launch_all().is_ok());
     }
 
     #[test]

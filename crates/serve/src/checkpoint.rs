@@ -1,0 +1,503 @@
+//! Deterministic checkpoint/restore of the serving event loop.
+//!
+//! A [`Checkpoint`] captures everything the loop needs to continue a run
+//! from a virtual-time cut: the traffic generator's RNG words, the
+//! admission queue and its counters, the pending retry set, per-tenant
+//! accounting and SLO histograms, the scheduling policy's internal
+//! state, the composition-cache *key set*, and the fault-plan cursor.
+//! Floats (the transfer/kernel timeline) are stored as raw IEEE bits so
+//! the JSON round-trip is exact; everything else is integers. Resuming
+//! from a checkpoint and running to completion produces results JSON
+//! **byte-identical** to the uninterrupted run — pinned by
+//! `tests/serving_faults.rs`.
+//!
+//! The composition cache itself (cycle-level profiles) is deliberately
+//! *not* serialized: profiles are a pure function of the composition, so
+//! a resumed run re-simulates on first touch and reaches the same
+//! numbers; only the key set travels, to keep the
+//! `distinct_compositions` count exact.
+
+use pimulator::pim_host::ExecutionTimeline;
+use pimulator::report::Json;
+
+use crate::queue::{Request, TenantAdmission};
+use crate::slo::LatencySplit;
+use crate::traffic::{Arrival, TrafficState};
+
+/// Schema marker of the checkpoint document.
+pub const CHECKPOINT_SCHEMA: &str = "pim-serve-checkpoint/1";
+
+/// One pending retry: a request that failed `attempt` times and
+/// re-enters dispatch once virtual time reaches `ready_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryEntry {
+    /// Virtual time the retry becomes dispatchable, ns.
+    pub ready_at: u64,
+    /// Launch failures so far.
+    pub attempt: u32,
+    /// The original request (id, tenant, class, arrival time).
+    pub req: Request,
+}
+
+/// The full resumable state of a serving run at one virtual-time cut.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Scenario name — resume validates it.
+    pub scenario: String,
+    /// Resolved policy name — resume validates it.
+    pub policy: String,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Load multiplier as raw IEEE bits (exact round-trip).
+    pub load_bits: u64,
+    /// Arrival-window length, ns.
+    pub duration_ns: u64,
+    /// Canonical fault-spec label ([`crate::fault::FaultSpec::label`]).
+    pub faults: String,
+    /// Virtual time of the cut, ns.
+    pub vtime: u64,
+    /// Rounds dispatched so far.
+    pub rounds: u64,
+    /// Next arrival id.
+    pub next_id: u64,
+    /// Traffic generator state.
+    pub traffic: TrafficState,
+    /// Queued requests in FIFO order.
+    pub queue: Vec<Request>,
+    /// Per-tenant admission counters.
+    pub admission: Vec<TenantAdmission>,
+    /// Pending retries, sorted by `(ready_at, id)`.
+    pub retries: Vec<RetryEntry>,
+    /// Per-tenant completed counts.
+    pub completed: Vec<u64>,
+    /// Per-tenant failed counts (retry budget exhausted).
+    pub failed: Vec<u64>,
+    /// Per-tenant retry re-dispatch counts.
+    pub retried: Vec<u64>,
+    /// Per-tenant degraded-completion counts.
+    pub degraded: Vec<u64>,
+    /// Per-tenant latency splits.
+    pub splits: Vec<LatencySplit>,
+    /// Accumulated transfer/kernel timeline.
+    pub timeline: ExecutionTimeline,
+    /// Scheduling-policy internal state ([`crate::sched::SchedulerPolicy::snapshot`]).
+    pub policy_state: Json,
+    /// Canonical composition keys seen so far (cache key set).
+    pub seen: Vec<Vec<u16>>,
+    /// Outages consumed from the fault plan's sorted schedule.
+    pub outage_cursor: usize,
+    /// Currently offline ranks as `(rank, rejoin_ns)` in activation order.
+    pub active_outages: Vec<(u32, u64)>,
+    /// Fault-event request counts: `[transient, stuck, rank_offline]`.
+    pub fault_counts: [u64; 3],
+}
+
+fn request_json(r: &Request) -> Json {
+    Json::arr([
+        Json::from(r.id),
+        Json::from(r.tenant as u64),
+        Json::from(u64::from(r.class)),
+        Json::from(r.arrival_ns),
+    ])
+}
+
+fn uint(j: &Json) -> Result<u64, String> {
+    match *j {
+        Json::UInt(u) => Ok(u),
+        _ => Err(format!("expected an unsigned integer, got {}", j.render())),
+    }
+}
+
+fn str_field(j: &Json) -> Result<&str, String> {
+    match j {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("expected a string, got {}", j.render())),
+    }
+}
+
+fn items(j: &Json) -> Result<&[Json], String> {
+    match j {
+        Json::Arr(v) => Ok(v),
+        _ => Err(format!("expected an array, got {}", j.render())),
+    }
+}
+
+fn get<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    let Json::Obj(pairs) = obj else { return Err("checkpoint node must be an object".into()) };
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("checkpoint is missing `{key}`"))
+}
+
+fn request_from(j: &Json) -> Result<Request, String> {
+    let [id, tenant, class, arrival_ns] = items(j)? else {
+        return Err("a request must be a 4-tuple".into());
+    };
+    Ok(Request {
+        id: uint(id)?,
+        tenant: uint(tenant)? as usize,
+        class: uint(class)? as u16,
+        arrival_ns: uint(arrival_ns)?,
+    })
+}
+
+fn uint_vec(j: &Json) -> Result<Vec<u64>, String> {
+    items(j)?.iter().map(uint).collect()
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint as a self-describing JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let uvec = |v: &[u64]| Json::arr(v.iter().map(|&x| Json::from(x)));
+        Json::obj([
+            ("checkpoint", Json::from(CHECKPOINT_SCHEMA)),
+            ("scenario", Json::from(self.scenario.as_str())),
+            ("policy", Json::from(self.policy.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("load_bits", Json::from(self.load_bits)),
+            ("duration_ns", Json::from(self.duration_ns)),
+            ("faults", Json::from(self.faults.as_str())),
+            ("vtime", Json::from(self.vtime)),
+            ("rounds", Json::from(self.rounds)),
+            ("next_id", Json::from(self.next_id)),
+            (
+                "traffic",
+                Json::obj([
+                    ("rng", uvec(&self.traffic.rng)),
+                    ("t_ns", Json::from(self.traffic.t_ns)),
+                    (
+                        "peeked",
+                        match self.traffic.peeked {
+                            None => Json::Null,
+                            Some(a) => Json::arr([
+                                Json::from(a.at_ns),
+                                Json::from(a.tenant as u64),
+                                Json::from(u64::from(a.class)),
+                            ]),
+                        },
+                    ),
+                ]),
+            ),
+            ("queue", Json::arr(self.queue.iter().map(request_json))),
+            (
+                "admission",
+                Json::arr(self.admission.iter().map(|a| {
+                    Json::arr([
+                        Json::from(a.offered),
+                        Json::from(a.admitted),
+                        Json::from(a.rejected_capacity),
+                        Json::from(a.rejected_quota),
+                    ])
+                })),
+            ),
+            (
+                "retries",
+                Json::arr(self.retries.iter().map(|r| {
+                    Json::arr([
+                        Json::from(r.ready_at),
+                        Json::from(u64::from(r.attempt)),
+                        request_json(&r.req),
+                    ])
+                })),
+            ),
+            ("completed", uvec(&self.completed)),
+            ("failed", uvec(&self.failed)),
+            ("retried", uvec(&self.retried)),
+            ("degraded", uvec(&self.degraded)),
+            ("splits", Json::arr(self.splits.iter().map(LatencySplit::to_json))),
+            (
+                "timeline",
+                Json::obj([
+                    ("to_dpu_bits", Json::from(self.timeline.to_dpu_ns.to_bits())),
+                    ("kernel_bits", Json::from(self.timeline.kernel_ns.to_bits())),
+                    ("from_dpu_bits", Json::from(self.timeline.from_dpu_ns.to_bits())),
+                    ("launches", Json::from(u64::from(self.timeline.launches))),
+                ]),
+            ),
+            ("policy_state", self.policy_state.clone()),
+            (
+                "seen",
+                Json::arr(
+                    self.seen
+                        .iter()
+                        .map(|c| Json::arr(c.iter().map(|&s| Json::from(u64::from(s))))),
+                ),
+            ),
+            ("outage_cursor", Json::from(self.outage_cursor as u64)),
+            (
+                "active_outages",
+                Json::arr(self.active_outages.iter().map(|&(rank, until)| {
+                    Json::arr([Json::from(u64::from(rank)), Json::from(until)])
+                })),
+            ),
+            ("fault_counts", uvec(&self.fault_counts)),
+        ])
+    }
+
+    /// Rebuilds a checkpoint from [`Checkpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(doc: &Json) -> Result<Checkpoint, String> {
+        let schema = str_field(get(doc, "checkpoint")?)?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!("unsupported checkpoint schema `{schema}`"));
+        }
+        let traffic = get(doc, "traffic")?;
+        let rng_words = uint_vec(get(traffic, "rng")?)?;
+        let rng: [u64; 4] =
+            rng_words.try_into().map_err(|_| "traffic rng must hold 4 words".to_string())?;
+        let peeked = match get(traffic, "peeked")? {
+            Json::Null => None,
+            j => {
+                let [at_ns, tenant, class] = items(j)? else {
+                    return Err("peeked arrival must be a 3-tuple".into());
+                };
+                Some(Arrival {
+                    at_ns: uint(at_ns)?,
+                    tenant: uint(tenant)? as usize,
+                    class: uint(class)? as u16,
+                })
+            }
+        };
+        let admission = items(get(doc, "admission")?)?
+            .iter()
+            .map(|j| {
+                let [offered, admitted, cap, quota] = items(j)? else {
+                    return Err("admission counters must be a 4-tuple".to_string());
+                };
+                Ok(TenantAdmission {
+                    offered: uint(offered)?,
+                    admitted: uint(admitted)?,
+                    rejected_capacity: uint(cap)?,
+                    rejected_quota: uint(quota)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let retries = items(get(doc, "retries")?)?
+            .iter()
+            .map(|j| {
+                let [ready_at, attempt, req] = items(j)? else {
+                    return Err("a retry must be a 3-tuple".to_string());
+                };
+                Ok(RetryEntry {
+                    ready_at: uint(ready_at)?,
+                    attempt: uint(attempt)? as u32,
+                    req: request_from(req)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let splits = items(get(doc, "splits")?)?
+            .iter()
+            .map(LatencySplit::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        let timeline_node = get(doc, "timeline")?;
+        let timeline = ExecutionTimeline {
+            to_dpu_ns: f64::from_bits(uint(get(timeline_node, "to_dpu_bits")?)?),
+            kernel_ns: f64::from_bits(uint(get(timeline_node, "kernel_bits")?)?),
+            from_dpu_ns: f64::from_bits(uint(get(timeline_node, "from_dpu_bits")?)?),
+            launches: uint(get(timeline_node, "launches")?)? as u32,
+        };
+        let seen = items(get(doc, "seen")?)?
+            .iter()
+            .map(|c| Ok(uint_vec(c)?.into_iter().map(|s| s as u16).collect()))
+            .collect::<Result<Vec<Vec<u16>>, String>>()?;
+        let active_outages = items(get(doc, "active_outages")?)?
+            .iter()
+            .map(|j| {
+                let [rank, until] = items(j)? else {
+                    return Err("an active outage must be a pair".to_string());
+                };
+                Ok((uint(rank)? as u32, uint(until)?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let fault_counts_vec = uint_vec(get(doc, "fault_counts")?)?;
+        let fault_counts: [u64; 3] = fault_counts_vec
+            .try_into()
+            .map_err(|_| "fault_counts must hold 3 entries".to_string())?;
+        Ok(Checkpoint {
+            scenario: str_field(get(doc, "scenario")?)?.to_string(),
+            policy: str_field(get(doc, "policy")?)?.to_string(),
+            seed: uint(get(doc, "seed")?)?,
+            load_bits: uint(get(doc, "load_bits")?)?,
+            duration_ns: uint(get(doc, "duration_ns")?)?,
+            faults: str_field(get(doc, "faults")?)?.to_string(),
+            vtime: uint(get(doc, "vtime")?)?,
+            rounds: uint(get(doc, "rounds")?)?,
+            next_id: uint(get(doc, "next_id")?)?,
+            traffic: TrafficState { rng, t_ns: uint(get(traffic, "t_ns")?)?, peeked },
+            queue: items(get(doc, "queue")?)?
+                .iter()
+                .map(request_from)
+                .collect::<Result<Vec<_>, String>>()?,
+            admission,
+            retries,
+            completed: uint_vec(get(doc, "completed")?)?,
+            failed: uint_vec(get(doc, "failed")?)?,
+            retried: uint_vec(get(doc, "retried")?)?,
+            degraded: uint_vec(get(doc, "degraded")?)?,
+            splits,
+            timeline,
+            policy_state: get(doc, "policy_state")?.clone(),
+            seen,
+            outage_cursor: uint(get(doc, "outage_cursor")?)? as usize,
+            active_outages,
+            fault_counts,
+        })
+    }
+
+    /// Checks that this checkpoint belongs to the run described by
+    /// `(scenario, policy, seed, load, duration_ns, faults)` — resuming
+    /// under different knobs would silently produce a Franken-run, so
+    /// every identity field must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first mismatching field.
+    pub fn validate(
+        &self,
+        scenario: &str,
+        policy: &str,
+        seed: u64,
+        load: f64,
+        duration_ns: u64,
+        faults: &str,
+    ) -> Result<(), String> {
+        let check = |name: &str, got: &str, want: &str| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("checkpoint {name} is `{got}` but the run wants `{want}`"))
+            }
+        };
+        check("scenario", &self.scenario, scenario)?;
+        check("policy", &self.policy, policy)?;
+        check("faults", &self.faults, faults)?;
+        if self.seed != seed {
+            return Err(format!("checkpoint seed is {} but the run wants {seed}", self.seed));
+        }
+        if self.load_bits != load.to_bits() {
+            return Err(format!(
+                "checkpoint load is {} but the run wants {load}",
+                f64::from_bits(self.load_bits)
+            ));
+        }
+        if self.duration_ns != duration_ns {
+            return Err(format!(
+                "checkpoint duration is {} ns but the run wants {duration_ns} ns",
+                self.duration_ns
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut split = LatencySplit::default();
+        split.record(10, 20, 30);
+        Checkpoint {
+            scenario: "faulty".into(),
+            policy: "fifo".into(),
+            seed: 7,
+            load_bits: 1.5f64.to_bits(),
+            duration_ns: 5_000_000,
+            faults: "seed=1,transient=5,stuck=0,timeout_us=200,retries=3,backoff_us=50,outages=0,outage_ms=1,rank_dpus=64".into(),
+            vtime: 123_456,
+            rounds: 17,
+            next_id: 42,
+            traffic: TrafficState {
+                rng: [u64::MAX, 1, 2, 3],
+                t_ns: 120_000,
+                peeked: Some(Arrival { at_ns: 130_000, tenant: 1, class: 5 }),
+            },
+            queue: vec![Request { id: 40, tenant: 0, class: 2, arrival_ns: 119_000 }],
+            admission: vec![
+                TenantAdmission { offered: 30, admitted: 28, rejected_capacity: 1, rejected_quota: 1 },
+                TenantAdmission { offered: 12, admitted: 12, ..Default::default() },
+            ],
+            retries: vec![RetryEntry {
+                ready_at: 125_000,
+                attempt: 2,
+                req: Request { id: 33, tenant: 1, class: 4, arrival_ns: 100_000 },
+            }],
+            completed: vec![20, 10],
+            failed: vec![1, 0],
+            retried: vec![3, 1],
+            degraded: vec![2, 0],
+            splits: vec![LatencySplit::default(), {
+                let mut s = LatencySplit::default();
+                s.record(10, 20, 30);
+                s
+            }],
+            timeline: ExecutionTimeline {
+                to_dpu_ns: 0.1 + 0.2, // deliberately non-representable
+                kernel_ns: 12_345.678,
+                from_dpu_ns: 9.0,
+                launches: 17,
+            },
+            // Canonical snapshot shape: non-negative credits are UInt
+            // (what JSON text parses back to), negatives stay Int.
+            policy_state: Json::arr([Json::UInt(3), Json::from(-1i64)]),
+            seen: vec![vec![0, 1, 65535, 65535], vec![2, 2, 2, 2]],
+            outage_cursor: 1,
+            active_outages: vec![(1, 2_000_000)],
+            fault_counts: [5, 2, 8],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ck = sample();
+        let text = ck.to_json().render_pretty();
+        let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        // Everything that matters for byte-identical resume.
+        assert_eq!(back.scenario, ck.scenario);
+        assert_eq!(back.traffic, ck.traffic);
+        assert_eq!(back.queue, ck.queue);
+        assert_eq!(back.admission, ck.admission);
+        assert_eq!(back.retries, ck.retries);
+        assert_eq!(back.completed, ck.completed);
+        assert_eq!(back.seen, ck.seen);
+        assert_eq!(back.active_outages, ck.active_outages);
+        assert_eq!(back.fault_counts, ck.fault_counts);
+        assert_eq!(back.policy_state, ck.policy_state);
+        // Floats round-trip bit-exactly, not just approximately.
+        assert_eq!(back.timeline.to_dpu_ns.to_bits(), ck.timeline.to_dpu_ns.to_bits());
+        assert_eq!(back.timeline.kernel_ns.to_bits(), ck.timeline.kernel_ns.to_bits());
+        // And a second render is byte-identical (stable serialization).
+        assert_eq!(back.to_json().render_pretty(), text);
+    }
+
+    #[test]
+    fn validate_catches_every_identity_mismatch() {
+        let ck = sample();
+        let ok = ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, &ck.faults);
+        assert!(ok.is_ok(), "{ok:?}");
+        assert!(ck.validate("tiny", "fifo", 7, 1.5, 5_000_000, &ck.faults).is_err());
+        assert!(ck.validate("faulty", "size_class", 7, 1.5, 5_000_000, &ck.faults).is_err());
+        assert!(ck.validate("faulty", "fifo", 8, 1.5, 5_000_000, &ck.faults).is_err());
+        assert!(ck.validate("faulty", "fifo", 7, 2.0, 5_000_000, &ck.faults).is_err());
+        assert!(ck.validate("faulty", "fifo", 7, 1.5, 9, &ck.faults).is_err());
+        assert!(ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, "none").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(Checkpoint::from_json(&Json::Null).is_err());
+        assert!(Checkpoint::from_json(&Json::obj([("checkpoint", Json::from("v999"))])).is_err());
+        let mut doc = sample().to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "retries");
+        }
+        let err = Checkpoint::from_json(&doc).unwrap_err();
+        assert!(err.contains("retries"), "{err}");
+    }
+}

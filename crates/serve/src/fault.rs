@@ -1,0 +1,307 @@
+//! Seeded fault campaigns for the serving runtime.
+//!
+//! A [`FaultSpec`] is the operator-facing knob set (the CLI's `--faults`
+//! string); a [`FaultPlan`] expands it against a concrete rank into the
+//! deterministic schedule the event loop consumes: per-round per-DPU
+//! fault draws (transient / stuck) and a pre-generated, sorted list of
+//! rank outages. Everything is a pure function of `(spec, n_dpus,
+//! duration_ns)` — fault draws are keyed on the *round index*, never on
+//! wall-clock or thread timing, so a faulty run is as byte-reproducible
+//! as a healthy one and a resumed run redraws the identical faults.
+//!
+//! The fault kinds are exactly [`pim_dpu::FaultKind`] — the same typed
+//! errors the `pim-host` launch boundary produces when a fault is armed
+//! on a device, so the policy layer tolerates precisely what the
+//! hardware boundary can emit.
+
+use pim_rng::StdRng;
+use pimulator::pim_dpu::FaultKind;
+
+/// Golden-ratio increment decorrelating per-round fault streams.
+const ROUND_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Operator knobs of a fault campaign (parsed from the CLI `--faults`
+/// string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the fault streams (independent of the traffic seed).
+    pub seed: u64,
+    /// Per-round, per-DPU probability of a transient launch fault, in
+    /// per-mille (0–1000).
+    pub transient_per_mille: u32,
+    /// Per-round, per-DPU probability of a hang, in per-mille (0–1000).
+    pub stuck_per_mille: u32,
+    /// Watchdog timeout charged to a round that contained a hung DPU, µs.
+    pub stuck_timeout_us: u64,
+    /// Retry budget per request; a request failing more times is counted
+    /// `failed` and leaves the system.
+    pub max_retries: u32,
+    /// Base retry backoff, µs; attempt `k` waits `backoff << (k-1)` of
+    /// virtual time before re-dispatch.
+    pub backoff_us: u64,
+    /// Whole-rank outages to schedule across the run.
+    pub outages: u32,
+    /// How long each outage keeps its rank offline, ms.
+    pub outage_ms: u64,
+    /// DPUs per rank (an outage takes all of them down together).
+    pub dpus_per_rank: u32,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 1,
+            transient_per_mille: 0,
+            stuck_per_mille: 0,
+            stuck_timeout_us: 200,
+            max_retries: 3,
+            backoff_us: 50,
+            outages: 0,
+            outage_ms: 1,
+            dpus_per_rank: 64,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// The fault-free spec: every rate zero. A run with this spec is
+    /// byte-identical to a run with no spec at all.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// `true` when the spec injects nothing.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.transient_per_mille == 0 && self.stuck_per_mille == 0 && self.outages == 0
+    }
+
+    /// Parses the CLI `--faults` string: comma-separated `key=value`
+    /// pairs over the defaults. Keys: `seed`, `transient`, `stuck`
+    /// (per-mille rates), `timeout_us`, `retries`, `backoff_us`,
+    /// `outages`, `outage_ms`, `rank_dpus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending pair on an unknown key, a
+    /// malformed number, a rate above 1000, or a zero `rank_dpus`.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--faults: `{pair}` is not key=value"))?;
+            let num =
+                |v: &str| v.parse::<u64>().map_err(|_| format!("--faults: bad number in `{pair}`"));
+            match key {
+                "seed" => spec.seed = num(value)?,
+                "transient" => spec.transient_per_mille = num(value)? as u32,
+                "stuck" => spec.stuck_per_mille = num(value)? as u32,
+                "timeout_us" => spec.stuck_timeout_us = num(value)?,
+                "retries" => spec.max_retries = num(value)? as u32,
+                "backoff_us" => spec.backoff_us = num(value)?,
+                "outages" => spec.outages = num(value)? as u32,
+                "outage_ms" => spec.outage_ms = num(value)?,
+                "rank_dpus" => spec.dpus_per_rank = num(value)? as u32,
+                _ => return Err(format!("--faults: unknown key `{key}`")),
+            }
+        }
+        if spec.transient_per_mille > 1000 || spec.stuck_per_mille > 1000 {
+            return Err("--faults: per-mille rates must be at most 1000".into());
+        }
+        if spec.dpus_per_rank == 0 {
+            return Err("--faults: rank_dpus must be positive".into());
+        }
+        Ok(spec)
+    }
+
+    /// Canonical one-line rendering for reports: `none` for a fault-free
+    /// spec, else the full `key=value` list in parse order.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "none".into();
+        }
+        format!(
+            "seed={},transient={},stuck={},timeout_us={},retries={},backoff_us={},outages={},outage_ms={},rank_dpus={}",
+            self.seed,
+            self.transient_per_mille,
+            self.stuck_per_mille,
+            self.stuck_timeout_us,
+            self.max_retries,
+            self.backoff_us,
+            self.outages,
+            self.outage_ms,
+            self.dpus_per_rank
+        )
+    }
+}
+
+/// One scheduled whole-rank outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Virtual time the rank drops offline, ns.
+    pub at_ns: u64,
+    /// Virtual time it rejoins, ns.
+    pub until_ns: u64,
+    /// The rank taken down.
+    pub rank: u32,
+}
+
+/// A [`FaultSpec`] expanded against a concrete rank: the deterministic
+/// fault schedule the event loop consumes.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    n_ranks: u32,
+    outages: Vec<Outage>,
+}
+
+impl FaultPlan {
+    /// Expands `spec` for a system of `n_dpus` over `duration_ns`:
+    /// outage times and ranks are pre-drawn from the fault seed and
+    /// sorted by onset, so the loop walks them with a cursor.
+    #[must_use]
+    pub fn generate(spec: FaultSpec, n_dpus: u32, duration_ns: u64) -> FaultPlan {
+        let n_ranks = n_dpus.div_ceil(spec.dpus_per_rank).max(1);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut outages: Vec<Outage> = (0..spec.outages)
+            .map(|_| {
+                let at_ns = rng.gen_range(0..duration_ns.max(1));
+                let rank = rng.gen_range(0..n_ranks);
+                Outage { at_ns, until_ns: at_ns + spec.outage_ms * 1_000_000, rank }
+            })
+            .collect();
+        outages.sort_unstable_by_key(|o| (o.at_ns, o.rank));
+        FaultPlan { spec, n_ranks, outages }
+    }
+
+    /// The spec this plan was expanded from.
+    #[must_use]
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Ranks in the system under this plan's rank geometry.
+    #[must_use]
+    pub fn n_ranks(&self) -> u32 {
+        self.n_ranks
+    }
+
+    /// The rank containing DPU `dpu`.
+    #[must_use]
+    pub fn rank_of(&self, dpu: u32) -> u32 {
+        dpu / self.spec.dpus_per_rank
+    }
+
+    /// The pre-drawn outage schedule, sorted by onset.
+    #[must_use]
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Draws the faults of dispatch round `round` over the DPUs actually
+    /// occupied this round, in their given order: `(dpu, kind)` pairs. A
+    /// fresh stream is keyed on `(seed, round)`, so the draw depends only
+    /// on the round index and the occupied set — not on wall-clock,
+    /// threads, or how the loop got here (a resumed run redraws
+    /// identically).
+    #[must_use]
+    pub fn round_faults(&self, round: u64, occupied: &[u32]) -> Vec<(u32, FaultKind)> {
+        if self.spec.transient_per_mille == 0 && self.spec.stuck_per_mille == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ round.wrapping_mul(ROUND_MIX));
+        let mut faults = Vec::new();
+        for &dpu in occupied {
+            if self.spec.transient_per_mille > 0
+                && rng.gen_bool_ratio(self.spec.transient_per_mille, 1000)
+            {
+                faults.push((dpu, FaultKind::Transient));
+            } else if self.spec.stuck_per_mille > 0
+                && rng.gen_bool_ratio(self.spec.stuck_per_mille, 1000)
+            {
+                faults.push((
+                    dpu,
+                    FaultKind::Stuck { timeout_ns: self.spec.stuck_timeout_us * 1000 },
+                ));
+            }
+        }
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_overrides_only_named_keys() {
+        let spec = FaultSpec::parse("transient=5,retries=2, outages=1").unwrap();
+        assert_eq!(spec.transient_per_mille, 5);
+        assert_eq!(spec.max_retries, 2);
+        assert_eq!(spec.outages, 1);
+        assert_eq!(spec.stuck_per_mille, 0, "unnamed keys keep defaults");
+        assert!(!spec.is_none());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("transient").is_err());
+        assert!(FaultSpec::parse("stuck=abc").is_err());
+        assert!(FaultSpec::parse("transient=1001").is_err());
+        assert!(FaultSpec::parse("rank_dpus=0").is_err());
+    }
+
+    #[test]
+    fn empty_string_parses_to_none() {
+        let spec = FaultSpec::parse("").unwrap();
+        assert!(spec.is_none());
+        assert_eq!(spec.label(), "none");
+        assert_eq!(spec, FaultSpec::none());
+    }
+
+    #[test]
+    fn label_round_trips_through_parse() {
+        let spec = FaultSpec::parse("transient=7,stuck=3,outages=2,rank_dpus=4").unwrap();
+        assert_eq!(FaultSpec::parse(&spec.label()).unwrap(), spec);
+    }
+
+    #[test]
+    fn round_faults_are_deterministic_per_round() {
+        let spec = FaultSpec::parse("transient=200,stuck=100,seed=9").unwrap();
+        let plan = FaultPlan::generate(spec, 8, 1_000_000);
+        let occupied: Vec<u32> = (0..8).collect();
+        let a = plan.round_faults(17, &occupied);
+        let b = plan.round_faults(17, &occupied);
+        assert_eq!(a, b);
+        // Across many rounds the streams differ (else every round fails
+        // the same DPUs).
+        assert!((0..50).any(|r| plan.round_faults(r, &occupied) != a));
+    }
+
+    #[test]
+    fn outages_are_sorted_and_in_range() {
+        let spec = FaultSpec::parse("outages=5,outage_ms=2,rank_dpus=4,seed=3").unwrap();
+        let plan = FaultPlan::generate(spec, 8, 10_000_000);
+        assert_eq!(plan.n_ranks(), 2);
+        assert_eq!(plan.outages().len(), 5);
+        assert!(plan.outages().windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        for o in plan.outages() {
+            assert!(o.at_ns < 10_000_000);
+            assert_eq!(o.until_ns, o.at_ns + 2_000_000);
+            assert!(o.rank < 2);
+        }
+        assert_eq!(plan.rank_of(3), 0);
+        assert_eq!(plan.rank_of(4), 1);
+    }
+
+    #[test]
+    fn fault_free_plan_draws_nothing() {
+        let plan = FaultPlan::generate(FaultSpec::none(), 8, 1_000_000);
+        assert!(plan.outages().is_empty());
+        assert!(plan.round_faults(0, &[0, 1, 2, 3]).is_empty());
+    }
+}

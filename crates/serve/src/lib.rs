@@ -16,6 +16,8 @@
 //! | [`sched`] | `SchedulerPolicy`: FIFO, size-class, weighted-fair (DRR) |
 //! | [`kernels`] | proxy request kernels + memoized composition profiler |
 //! | [`slo`] | log-bucketed latency histograms, p50/p95/p99 |
+//! | [`fault`] | seeded fault campaigns: transient, stuck-DPU, rank outage |
+//! | [`checkpoint`] | snapshot/restore of the loop state, JSON round-trip |
 //! | [`runtime`] | the virtual-time event loop tying it all together |
 //!
 //! ## Determinism
@@ -36,6 +38,8 @@
 //! assert_eq!(out.offered(), out.admitted() + out.rejected());
 //! ```
 
+pub mod checkpoint;
+pub mod fault;
 pub mod kernels;
 pub mod queue;
 pub mod runtime;
@@ -44,8 +48,13 @@ pub mod sched;
 pub mod slo;
 pub mod traffic;
 
+pub use checkpoint::{Checkpoint, RetryEntry, CHECKPOINT_SCHEMA};
+pub use fault::{FaultPlan, FaultSpec, Outage};
 pub use queue::{Admission, AdmissionQueue, Request, TenantAdmission};
-pub use runtime::{run_scenario, ServeOptions, ServeOutcome, TenantOutcome};
+pub use runtime::{
+    fault_label, resolved_duration_ns, resolved_policy_name, resume_scenario, run_scenario,
+    run_scenario_with_checkpoints, ServeOptions, ServeOutcome, TenantOutcome,
+};
 pub use scenario::{scenario_by_name, scenarios, Scenario, TenantSpec};
 pub use sched::{policy_by_name, policy_by_name_with_weights, SchedulerPolicy};
 pub use slo::{LatencyHistogram, LatencySplit};
@@ -79,6 +88,9 @@ pub fn outcome_json(out: &ServeOutcome) -> Json {
             ("rejected_capacity", Json::UInt(t.admission.rejected_capacity)),
             ("rejected_quota", Json::UInt(t.admission.rejected_quota)),
             ("completed", Json::UInt(t.completed)),
+            ("failed", Json::UInt(t.failed)),
+            ("retried", Json::UInt(t.retried)),
+            ("degraded", Json::UInt(t.degraded)),
             ("throughput_rps", Json::from(t.throughput_rps)),
             (
                 "latency",
@@ -107,6 +119,7 @@ pub fn outcome_json(out: &ServeOutcome) -> Json {
         ("load", Json::from(out.load)),
         ("duration_ms", Json::UInt(out.duration_ns / 1_000_000)),
         ("n_dpus", Json::UInt(u64::from(out.n_dpus))),
+        ("faults", Json::from(out.faults.as_str())),
         ("rounds", Json::UInt(out.rounds)),
         ("distinct_compositions", Json::UInt(out.distinct_compositions as u64)),
         ("tenants", Json::arr(tenants)),
@@ -117,6 +130,9 @@ pub fn outcome_json(out: &ServeOutcome) -> Json {
                 ("admitted", Json::UInt(out.admitted())),
                 ("rejected", Json::UInt(out.rejected())),
                 ("completed", Json::UInt(out.completed())),
+                ("failed", Json::UInt(out.failed())),
+                ("retried", Json::UInt(out.retried())),
+                ("degraded", Json::UInt(out.degraded())),
                 ("throughput_rps", Json::from(out.throughput_rps())),
             ]),
         ),
@@ -143,6 +159,9 @@ pub fn outcome_table(out: &ServeOutcome) -> String {
         "admitted",
         "rejected",
         "completed",
+        "failed",
+        "retried",
+        "degraded",
         "rps",
         "p50_us",
         "p95_us",
@@ -157,6 +176,9 @@ pub fn outcome_table(out: &ServeOutcome) -> String {
             ten.admission.admitted.to_string(),
             ten.admission.rejected().to_string(),
             ten.completed.to_string(),
+            ten.failed.to_string(),
+            ten.retried.to_string(),
+            ten.degraded.to_string(),
             format!("{:.0}", ten.throughput_rps),
             us(p50),
             us(p95),
@@ -164,7 +186,7 @@ pub fn outcome_table(out: &ServeOutcome) -> String {
         ]);
     }
     format!(
-        "serve {}  policy={} seed={} load={} dpus={} rounds={} compositions={}\n{}",
+        "serve {}  policy={} seed={} load={} dpus={} rounds={} compositions={} faults={}\n{}",
         out.scenario,
         out.policy,
         out.seed,
@@ -172,6 +194,7 @@ pub fn outcome_table(out: &ServeOutcome) -> String {
         out.n_dpus,
         out.rounds,
         out.distinct_compositions,
+        out.faults,
         t.render()
     )
 }

@@ -1,31 +1,58 @@
 //! The serving runtime: a deterministic virtual-time event loop.
 //!
-//! One run is a pure function of `(scenario, options)`. Arrivals are
-//! generated up front from the seed; the loop then alternates between
+//! One run is a pure function of `(scenario, options)`. Arrivals stream
+//! from the seeded [`TrafficGen`]; the loop then alternates between
 //! admitting arrivals whose timestamp has passed and dispatching one
-//! *round* — a batch drained by the scheduling policy and packed onto the
-//! rank's slots. Each round's cost comes from cycle-level simulation of
-//! its per-DPU compositions, memoized in a [`CompositionCache`]; only
-//! first-seen compositions are simulated, and those simulations are the
-//! one thing `--threads` parallelizes (via the order-preserving
+//! *round* — ready retries first, then a batch drained by the scheduling
+//! policy, packed onto the slots of the currently *healthy* DPUs. Each
+//! round's cost comes from cycle-level simulation of its per-DPU
+//! compositions, memoized in a [`CompositionCache`]; only first-seen
+//! compositions are simulated, and those simulations are the one thing
+//! `--threads` parallelizes (via the order-preserving
 //! [`JobRunner::map`]), so results are byte-identical at any worker
 //! count.
+//!
+//! ## Faults, retries, elastic capacity
+//!
+//! With a [`FaultSpec`], each round draws per-DPU faults from a stream
+//! keyed on the round index (see [`FaultPlan::round_faults`]) and walks
+//! a pre-drawn rank-outage schedule. A faulted request is retried with
+//! exponential virtual-time backoff up to the spec's budget, then
+//! counted `failed`; an offline rank shrinks the healthy set, so the
+//! loop keeps serving on degraded capacity and re-absorbs the rank when
+//! it rejoins. When every rank is down the loop stalls to the earliest
+//! rejoin instead of deadlocking. A fault-free spec reduces exactly to
+//! the no-spec path — the differential suite pins the equivalence
+//! byte-for-byte.
+//!
+//! ## Checkpoint/restore
+//!
+//! [`run_scenario_with_checkpoints`] emits a [`Checkpoint`] at the top
+//! of the loop each time virtual time crosses a multiple of the cadence;
+//! [`resume_scenario`] rebuilds the loop state from one and continues.
+//! Because the cut is taken before any event at that virtual time is
+//! processed, a resumed run replays the identical event sequence and
+//! renders byte-identical results JSON.
+
+use std::collections::BTreeSet;
 
 use pimulator::jobs::JobRunner;
-use pimulator::pim_dpu::{DpuConfig, SimError};
+use pimulator::pim_dpu::{DpuConfig, FaultKind, SimError};
 use pimulator::pim_host::{ExecutionTimeline, TransferConfig};
 use pimulator::pim_trace::MetricsSink;
 use pimulator::trace::JobTrace;
 
+use crate::checkpoint::{Checkpoint, RetryEntry};
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::kernels::{
     profile_composition, request_classes, CompositionCache, EMPTY_SLOT, SLOTS_PER_DPU,
     TASKLETS_PER_SLOT,
 };
 use crate::queue::{AdmissionQueue, TenantAdmission};
 use crate::scenario::Scenario;
-use crate::sched::policy_by_name_with_weights;
+use crate::sched::{policy_by_name_with_weights, SchedulerPolicy};
 use crate::slo::LatencySplit;
-use crate::traffic::{generate, to_request};
+use crate::traffic::{to_request, TrafficGen};
 
 /// Knobs of one serving run (everything the CLI exposes).
 #[derive(Debug, Clone)]
@@ -42,6 +69,9 @@ pub struct ServeOptions {
     pub policy: Option<String>,
     /// Per-DPU event-ring capacity for profiling traces; 0 disables.
     pub trace_capacity: usize,
+    /// Fault campaign; `None` (or a spec where
+    /// [`FaultSpec::is_none`] holds) injects nothing.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for ServeOptions {
@@ -53,6 +83,7 @@ impl Default for ServeOptions {
             threads: None,
             policy: None,
             trace_capacity: 0,
+            faults: None,
         }
     }
 }
@@ -70,6 +101,13 @@ pub struct TenantOutcome {
     pub admission: TenantAdmission,
     /// Requests that ran to completion.
     pub completed: u64,
+    /// Requests that exhausted the retry budget and left the system.
+    pub failed: u64,
+    /// Retry re-dispatches (one per failed attempt that stayed within
+    /// budget).
+    pub retried: u64,
+    /// Completions served while at least one rank was offline.
+    pub degraded: u64,
     /// Completions per second of simulated time.
     pub throughput_rps: f64,
     /// Queue / transfer / execute / total latency histograms.
@@ -92,6 +130,8 @@ pub struct ServeOutcome {
     pub duration_ns: u64,
     /// DPUs in the rank.
     pub n_dpus: u32,
+    /// Canonical fault-spec label (`"none"` without a campaign).
+    pub faults: String,
     /// Per-tenant outcomes, in scenario order.
     pub tenants: Vec<TenantOutcome>,
     /// Accumulated transfer/kernel split across all rounds.
@@ -103,7 +143,9 @@ pub struct ServeOutcome {
     /// Distinct DPU compositions simulated (cache size).
     pub distinct_compositions: usize,
     /// Profiling event traces, one per distinct composition, present
-    /// when [`ServeOptions::trace_capacity`] was non-zero.
+    /// when [`ServeOptions::trace_capacity`] was non-zero. A *resumed*
+    /// run only holds traces of compositions first touched after the
+    /// cut (profiles re-simulate; traces are not checkpointed).
     pub traces: Vec<JobTrace>,
 }
 
@@ -132,6 +174,24 @@ impl ServeOutcome {
         self.tenants.iter().map(|t| t.completed).sum()
     }
 
+    /// Requests that exhausted their retry budget, across all tenants.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.failed).sum()
+    }
+
+    /// Retry re-dispatches across all tenants.
+    #[must_use]
+    pub fn retried(&self) -> u64 {
+        self.tenants.iter().map(|t| t.retried).sum()
+    }
+
+    /// Degraded-capacity completions across all tenants.
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.tenants.iter().map(|t| t.degraded).sum()
+    }
+
     /// Aggregate completions per simulated second.
     #[must_use]
     pub fn throughput_rps(&self) -> f64 {
@@ -150,9 +210,166 @@ impl ServeOutcome {
     }
 }
 
-/// Runs one serving scenario to completion (all admitted requests are
-/// served; the arrival window closes after `duration`, then the queue
-/// drains).
+/// The run length in ns after applying the scenario default.
+#[must_use]
+pub fn resolved_duration_ns(scenario: &Scenario, opts: &ServeOptions) -> u64 {
+    let ms = if opts.duration_ms > 0 { opts.duration_ms } else { scenario.default_duration_ms };
+    ms * 1_000_000
+}
+
+/// The policy name that will run (after any override).
+#[must_use]
+pub fn resolved_policy_name<'a>(scenario: &'a Scenario, opts: &'a ServeOptions) -> &'a str {
+    opts.policy.as_deref().unwrap_or(scenario.policy)
+}
+
+/// The canonical fault label of a run (`"none"` without a campaign —
+/// also for an explicit all-zero spec, so the two render identically).
+#[must_use]
+pub fn fault_label(opts: &ServeOptions) -> String {
+    opts.faults.map_or_else(|| "none".to_string(), |s| s.label())
+}
+
+/// The live state of one serving run between rounds — everything a
+/// [`Checkpoint`] captures.
+struct LoopState<'a> {
+    gen: TrafficGen<'a>,
+    next_id: u64,
+    queue: AdmissionQueue,
+    policy: Box<dyn SchedulerPolicy>,
+    retries: Vec<RetryEntry>,
+    splits: Vec<LatencySplit>,
+    completed: Vec<u64>,
+    failed: Vec<u64>,
+    retried: Vec<u64>,
+    degraded: Vec<u64>,
+    timeline: ExecutionTimeline,
+    rounds: u64,
+    vtime: u64,
+    seen: BTreeSet<Vec<u16>>,
+    outage_cursor: usize,
+    active_outages: Vec<(u32, u64)>,
+    fault_counts: [u64; 3],
+}
+
+impl<'a> LoopState<'a> {
+    fn new(scenario: &'a Scenario, opts: &ServeOptions, duration_ns: u64) -> Self {
+        let weights: Vec<u64> = scenario.tenants.iter().map(|t| u64::from(t.weight)).collect();
+        let policy_name = resolved_policy_name(scenario, opts);
+        let policy = policy_by_name_with_weights(policy_name, &weights)
+            .unwrap_or_else(|| panic!("unknown scheduling policy {policy_name}"));
+        let quotas: Vec<usize> = scenario.tenants.iter().map(|t| t.quota).collect();
+        let n = scenario.tenants.len();
+        LoopState {
+            gen: TrafficGen::new(scenario, opts.seed, opts.load, duration_ns),
+            next_id: 0,
+            queue: AdmissionQueue::new(scenario.queue_capacity, quotas),
+            policy,
+            retries: Vec::new(),
+            splits: vec![LatencySplit::default(); n],
+            completed: vec![0; n],
+            failed: vec![0; n],
+            retried: vec![0; n],
+            degraded: vec![0; n],
+            timeline: ExecutionTimeline::default(),
+            rounds: 0,
+            vtime: 0,
+            seen: BTreeSet::new(),
+            outage_cursor: 0,
+            active_outages: Vec::new(),
+            fault_counts: [0; 3],
+        }
+    }
+
+    fn from_checkpoint(
+        scenario: &'a Scenario,
+        opts: &ServeOptions,
+        duration_ns: u64,
+        ck: &Checkpoint,
+    ) -> Result<Self, String> {
+        let n = scenario.tenants.len();
+        for (label, len) in [
+            ("admission", ck.admission.len()),
+            ("completed", ck.completed.len()),
+            ("failed", ck.failed.len()),
+            ("retried", ck.retried.len()),
+            ("degraded", ck.degraded.len()),
+            ("splits", ck.splits.len()),
+        ] {
+            if len != n {
+                return Err(format!("checkpoint {label} holds {len} tenants, scenario has {n}"));
+            }
+        }
+        let weights: Vec<u64> = scenario.tenants.iter().map(|t| u64::from(t.weight)).collect();
+        let policy_name = resolved_policy_name(scenario, opts);
+        let mut policy = policy_by_name_with_weights(policy_name, &weights)
+            .ok_or_else(|| format!("unknown scheduling policy {policy_name}"))?;
+        policy.restore(&ck.policy_state)?;
+        let quotas: Vec<usize> = scenario.tenants.iter().map(|t| t.quota).collect();
+        Ok(LoopState {
+            gen: TrafficGen::restore(scenario, opts.load, duration_ns, &ck.traffic),
+            next_id: ck.next_id,
+            queue: AdmissionQueue::restore(
+                scenario.queue_capacity,
+                quotas,
+                ck.queue.clone(),
+                ck.admission.clone(),
+            ),
+            policy,
+            retries: ck.retries.clone(),
+            splits: ck.splits.clone(),
+            completed: ck.completed.clone(),
+            failed: ck.failed.clone(),
+            retried: ck.retried.clone(),
+            degraded: ck.degraded.clone(),
+            timeline: ck.timeline,
+            rounds: ck.rounds,
+            vtime: ck.vtime,
+            seen: ck.seen.iter().cloned().collect(),
+            outage_cursor: ck.outage_cursor,
+            active_outages: ck.active_outages.clone(),
+            fault_counts: ck.fault_counts,
+        })
+    }
+
+    fn to_checkpoint(
+        &self,
+        scenario: &Scenario,
+        opts: &ServeOptions,
+        duration_ns: u64,
+    ) -> Checkpoint {
+        Checkpoint {
+            scenario: scenario.name.to_string(),
+            policy: self.policy.name().to_string(),
+            seed: opts.seed,
+            load_bits: opts.load.to_bits(),
+            duration_ns,
+            faults: fault_label(opts),
+            vtime: self.vtime,
+            rounds: self.rounds,
+            next_id: self.next_id,
+            traffic: self.gen.state(),
+            queue: self.queue.iter().copied().collect(),
+            admission: self.queue.stats().to_vec(),
+            retries: self.retries.clone(),
+            completed: self.completed.clone(),
+            failed: self.failed.clone(),
+            retried: self.retried.clone(),
+            degraded: self.degraded.clone(),
+            splits: self.splits.clone(),
+            timeline: self.timeline,
+            policy_state: self.policy.snapshot(),
+            seen: self.seen.iter().cloned().collect(),
+            outage_cursor: self.outage_cursor,
+            active_outages: self.active_outages.clone(),
+            fault_counts: self.fault_counts,
+        }
+    }
+}
+
+/// Runs one serving scenario to completion (the arrival window closes
+/// after `duration`, then the queue and retry set drain; every admitted
+/// request ends exactly once as completed or failed).
 ///
 /// # Errors
 ///
@@ -165,54 +382,164 @@ impl ServeOutcome {
 /// or the load multiplier is not positive; the CLI layer validates both
 /// before calling.
 pub fn run_scenario(scenario: &Scenario, opts: &ServeOptions) -> Result<ServeOutcome, SimError> {
-    let duration_ms =
-        if opts.duration_ms > 0 { opts.duration_ms } else { scenario.default_duration_ms };
-    let duration_ns = duration_ms * 1_000_000;
-    let arrivals = generate(scenario, opts.seed, opts.load, duration_ns);
+    run_scenario_with_checkpoints(scenario, opts, 0, &mut |_| {})
+}
+
+/// [`run_scenario`], additionally emitting a [`Checkpoint`] to `sink`
+/// each time virtual time crosses a multiple of `every_ms` (0 disables).
+/// Checkpoints are cut at the top of the loop before any event at that
+/// virtual time is processed, so resuming from one replays the identical
+/// event sequence.
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] from composition profiling.
+///
+/// # Panics
+///
+/// As [`run_scenario`].
+pub fn run_scenario_with_checkpoints(
+    scenario: &Scenario,
+    opts: &ServeOptions,
+    every_ms: u64,
+    sink: &mut dyn FnMut(&Checkpoint),
+) -> Result<ServeOutcome, SimError> {
+    let duration_ns = resolved_duration_ns(scenario, opts);
+    let st = LoopState::new(scenario, opts, duration_ns);
+    run_loop(scenario, opts, duration_ns, st, every_ms, sink)
+}
+
+/// Continues a run from a [`Checkpoint`] to completion. The caller is
+/// expected to [`Checkpoint::validate`] against the run's identity
+/// first; `every_ms`/`sink` behave as in
+/// [`run_scenario_with_checkpoints`].
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] from composition profiling.
+///
+/// # Panics
+///
+/// Panics if the checkpoint is structurally incompatible with the
+/// scenario (wrong tenant count, foreign policy state) — identity
+/// mismatches the caller should have caught via [`Checkpoint::validate`].
+pub fn resume_scenario(
+    scenario: &Scenario,
+    opts: &ServeOptions,
+    ck: &Checkpoint,
+    every_ms: u64,
+    sink: &mut dyn FnMut(&Checkpoint),
+) -> Result<ServeOutcome, SimError> {
+    let duration_ns = resolved_duration_ns(scenario, opts);
+    let st = LoopState::from_checkpoint(scenario, opts, duration_ns, ck)
+        .unwrap_or_else(|e| panic!("checkpoint does not fit the run: {e}"));
+    run_loop(scenario, opts, duration_ns, st, every_ms, sink)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_loop(
+    scenario: &Scenario,
+    opts: &ServeOptions,
+    duration_ns: u64,
+    mut st: LoopState<'_>,
+    every_ms: u64,
+    sink: &mut dyn FnMut(&Checkpoint),
+) -> Result<ServeOutcome, SimError> {
+    let spec = opts.faults.unwrap_or_else(FaultSpec::none);
+    let plan = FaultPlan::generate(spec, scenario.n_dpus, duration_ns);
+    let stuck_timeout_ns = spec.stuck_timeout_us * 1000;
+    let backoff_ns = spec.backoff_us * 1000;
 
     let mut cfg = DpuConfig::paper_baseline(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT);
     if scenario.mmu {
         cfg = cfg.with_paper_mmu();
     }
     let xfer = TransferConfig::paper();
-    let weights: Vec<u64> = scenario.tenants.iter().map(|t| u64::from(t.weight)).collect();
-    let policy_name = opts.policy.as_deref().unwrap_or(scenario.policy);
-    let mut policy = policy_by_name_with_weights(policy_name, &weights)
-        .unwrap_or_else(|| panic!("unknown scheduling policy {policy_name}"));
-
-    let quotas: Vec<usize> = scenario.tenants.iter().map(|t| t.quota).collect();
-    let mut queue = AdmissionQueue::new(scenario.queue_capacity, quotas);
     let runner = JobRunner::new(opts.threads);
     let mut cache = CompositionCache::new();
     let mut traces: Vec<JobTrace> = Vec::new();
-
-    let n_dpus = scenario.n_dpus as usize;
-    let rank_slots = n_dpus * SLOTS_PER_DPU;
     let classes = request_classes();
-    let mut splits: Vec<LatencySplit> = vec![LatencySplit::default(); scenario.tenants.len()];
-    let mut completed: Vec<u64> = vec![0; scenario.tenants.len()];
-    let mut timeline = ExecutionTimeline::default();
-    let mut rounds = 0u64;
 
-    let mut vtime = 0u64;
-    let mut next = 0usize;
+    let every = every_ms * 1_000_000;
+    let next_cut = |vtime: u64| (vtime / every.max(1) + 1) * every;
+    let mut next_ckpt = if every > 0 { next_cut(st.vtime) } else { u64::MAX };
+
     loop {
+        // Cut a checkpoint before processing anything at this virtual
+        // time — the resumed loop starts exactly here.
+        if st.vtime >= next_ckpt {
+            sink(&st.to_checkpoint(scenario, opts, duration_ns));
+            next_ckpt = next_cut(st.vtime);
+        }
+
+        // Elastic capacity: expire outages whose rank rejoined, activate
+        // the ones whose onset has passed, then rebuild the healthy set.
+        st.active_outages.retain(|&(_, until)| until > st.vtime);
+        while st.outage_cursor < plan.outages().len()
+            && plan.outages()[st.outage_cursor].at_ns <= st.vtime
+        {
+            let o = plan.outages()[st.outage_cursor];
+            st.outage_cursor += 1;
+            if o.until_ns > st.vtime {
+                st.active_outages.push((o.rank, o.until_ns));
+            }
+        }
+        let healthy: Vec<u32> = (0..scenario.n_dpus)
+            .filter(|&d| {
+                let rank = plan.rank_of(d);
+                !st.active_outages.iter().any(|&(r, _)| r == rank)
+            })
+            .collect();
+
         // Admit everything that has arrived by now; rejects are counted
         // inside the queue, never dropped silently.
-        while next < arrivals.len() && arrivals[next].at_ns <= vtime {
-            queue.offer(to_request(next as u64, arrivals[next]));
-            next += 1;
+        while let Some(a) = st.gen.peek() {
+            if a.at_ns > st.vtime {
+                break;
+            }
+            st.gen.next_arrival();
+            st.queue.offer(to_request(st.next_id, a));
+            st.next_id += 1;
         }
-        if queue.is_empty() {
-            let Some(a) = arrivals.get(next) else { break };
-            vtime = a.at_ns;
+
+        let ready_retries = st.retries.iter().take_while(|r| r.ready_at <= st.vtime).count();
+        if st.queue.is_empty() && ready_retries == 0 {
+            // Nothing dispatchable: jump to the next event, or finish.
+            let next_arrival = st.gen.peek().map(|a| a.at_ns);
+            let next_retry = st.retries.first().map(|r| r.ready_at);
+            let Some(at) = next_arrival.into_iter().chain(next_retry).min() else { break };
+            st.vtime = at;
+            continue;
+        }
+        if healthy.is_empty() {
+            // Every rank is offline: stall to the earliest rejoin rather
+            // than deadlock (there must be one — the outage put us here).
+            st.vtime = st
+                .active_outages
+                .iter()
+                .map(|&(_, until)| until)
+                .min()
+                .expect("an empty healthy set implies an active outage");
             continue;
         }
 
-        // One round: drain a batch and pack it slot by slot onto the rank.
-        let batch = policy.next_batch(&mut queue, rank_slots);
-        assert!(!batch.is_empty(), "policies drain a non-empty queue");
-        let mut comps = vec![vec![EMPTY_SLOT; SLOTS_PER_DPU]; n_dpus];
+        // One round: ready retries first (they already waited out their
+        // backoff), then a fresh batch from the policy, packed slot by
+        // slot onto the healthy DPUs.
+        let capacity = healthy.len() * SLOTS_PER_DPU;
+        let mut batch = Vec::with_capacity(capacity);
+        let mut attempts: Vec<u32> = Vec::with_capacity(capacity);
+        for e in st.retries.drain(..ready_retries.min(capacity)) {
+            batch.push(e.req);
+            attempts.push(e.attempt);
+        }
+        if batch.len() < capacity && !st.queue.is_empty() {
+            let fresh = st.policy.next_batch(&mut st.queue, capacity - batch.len());
+            attempts.resize(attempts.len() + fresh.len(), 0);
+            batch.extend(fresh);
+        }
+        assert!(!batch.is_empty(), "a dispatchable round drains at least one request");
+        let mut comps = vec![vec![EMPTY_SLOT; SLOTS_PER_DPU]; healthy.len()];
         for (i, r) in batch.iter().enumerate() {
             comps[i / SLOTS_PER_DPU][i % SLOTS_PER_DPU] = r.class;
         }
@@ -253,6 +580,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &ServeOptions) -> Result<ServeOut
 
         // Simulate first-seen compositions, in sorted order on the
         // order-preserving runner so threading cannot reorder results.
+        // `seen` tracks every key ever cached so a resumed run (which
+        // re-simulates on demand) still reports the uninterrupted
+        // distinct-composition count.
         let mut missing: Vec<Vec<u16>> =
             canon.iter().filter(|c| !cache.contains_key(c.as_slice())).cloned().collect();
         missing.sort_unstable();
@@ -261,13 +591,14 @@ pub fn run_scenario(scenario: &Scenario, opts: &ServeOptions) -> Result<ServeOut
             runner.map(&missing, |_, comp| profile_composition(comp, &cfg, opts.trace_capacity));
         for (comp, res) in missing.into_iter().zip(profiled) {
             let (profile, trace) = res?;
+            st.seen.insert(comp.clone());
             cache.insert(comp, profile);
             traces.extend(trace);
         }
 
         // The round's cost: parallel transfers charge the largest per-DPU
         // chunk (as `push_to_mram` does); the kernel phase is the slowest
-        // DPU's makespan.
+        // DPU's makespan — or the watchdog timeout, if a DPU hung.
         let dpu_bytes = |occupied: fn(&crate::kernels::RequestClass) -> u32| {
             comps
                 .iter()
@@ -288,33 +619,107 @@ pub fn run_scenario(scenario: &Scenario, opts: &ServeOptions) -> Result<ServeOut
             .map(|c| cache[c].makespan_ns)
             .fold(0.0f64, f64::max);
 
-        let start = vtime;
-        for (i, r) in batch.iter().enumerate() {
-            let (dpu, slot) = (i / SLOTS_PER_DPU, i % SLOTS_PER_DPU);
-            let profile = &cache[&canon[dpu]];
-            let queue_ns = start - r.arrival_ns;
-            let transfer_ns = (to_ns + from_ns) as u64;
-            let execute_ns = profile.slot_exec_ns[assign[dpu][slot]] as u64;
-            splits[r.tenant].record(queue_ns, transfer_ns, execute_ns);
-            completed[r.tenant] += 1;
+        // Draw this round's faults over the occupied DPUs (global ids).
+        let occupied_dpus: Vec<u32> = comps
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.iter().any(|&s| s != EMPTY_SLOT))
+            .map(|(i, _)| healthy[i])
+            .collect();
+        let faults = plan.round_faults(st.rounds, &occupied_dpus);
+        let any_stuck = faults.iter().any(|(_, k)| matches!(k, FaultKind::Stuck { .. }));
+        let kernel_ns =
+            if any_stuck { exec_max_ns.max(stuck_timeout_ns as f64) } else { exec_max_ns };
+
+        let start = st.vtime;
+        let round_end = (start + (to_ns + kernel_ns + from_ns) as u64).max(start + 1);
+
+        // An outage striking *inside* this round's window takes its rank
+        // down mid-flight: every request on it fails with the typed
+        // rank-offline fault, and the rank stays out of the healthy set
+        // until it rejoins.
+        let mut struck_ranks: Vec<u32> = Vec::new();
+        while st.outage_cursor < plan.outages().len()
+            && plan.outages()[st.outage_cursor].at_ns < round_end
+        {
+            let o = plan.outages()[st.outage_cursor];
+            st.outage_cursor += 1;
+            struck_ranks.push(o.rank);
+            st.active_outages.push((o.rank, o.until_ns));
         }
-        timeline.to_dpu_ns += to_ns;
-        timeline.kernel_ns += exec_max_ns;
-        timeline.from_dpu_ns += from_ns;
-        timeline.launches += 1;
-        rounds += 1;
-        vtime = (start + (to_ns + exec_max_ns + from_ns) as u64).max(start + 1);
+        let degraded_round = !st.active_outages.is_empty();
+
+        // Resolve every request: completion records its latency split;
+        // a fault either schedules a backoff retry or, past the budget,
+        // counts the request as failed. Rank-offline outranks the
+        // per-DPU draws (the whole rank is gone).
+        let fault_of = |dpu: u32| -> Option<FaultKind> {
+            let rank = plan.rank_of(dpu);
+            if struck_ranks.contains(&rank) {
+                return Some(FaultKind::RankOffline { rank });
+            }
+            faults.iter().find(|&&(d, _)| d == dpu).map(|&(_, k)| k)
+        };
+        for (i, (r, &prior)) in batch.iter().zip(&attempts).enumerate() {
+            let (slot_dpu, slot) = (i / SLOTS_PER_DPU, i % SLOTS_PER_DPU);
+            match fault_of(healthy[slot_dpu]) {
+                None => {
+                    let profile = &cache[&canon[slot_dpu]];
+                    let queue_ns = start - r.arrival_ns;
+                    let transfer_ns = (to_ns + from_ns) as u64;
+                    let execute_ns = profile.slot_exec_ns[assign[slot_dpu][slot]] as u64;
+                    st.splits[r.tenant].record(queue_ns, transfer_ns, execute_ns);
+                    st.completed[r.tenant] += 1;
+                    if degraded_round {
+                        st.degraded[r.tenant] += 1;
+                    }
+                }
+                Some(kind) => {
+                    st.fault_counts[match kind {
+                        FaultKind::Transient => 0,
+                        FaultKind::Stuck { .. } => 1,
+                        FaultKind::RankOffline { .. } => 2,
+                    }] += 1;
+                    let attempt = prior + 1;
+                    if attempt > spec.max_retries {
+                        st.failed[r.tenant] += 1;
+                    } else {
+                        st.retried[r.tenant] += 1;
+                        let delay = backoff_ns << (attempt - 1).min(20);
+                        st.retries.push(RetryEntry {
+                            ready_at: round_end + delay,
+                            attempt,
+                            req: *r,
+                        });
+                    }
+                }
+            }
+        }
+        st.retries.sort_unstable_by_key(|e| (e.ready_at, e.req.id));
+
+        st.timeline.to_dpu_ns += to_ns;
+        st.timeline.kernel_ns += kernel_ns;
+        st.timeline.from_dpu_ns += from_ns;
+        st.timeline.launches += 1;
+        st.rounds += 1;
+        st.vtime = round_end;
     }
 
     let mut metrics = MetricsSink::new();
-    let stats = queue.stats().to_vec();
+    let stats = st.queue.stats().to_vec();
     metrics.incr("serve_offered", stats.iter().map(|s| s.offered).sum());
     metrics.incr("serve_admitted", stats.iter().map(|s| s.admitted).sum());
     metrics.incr("serve_rejected_capacity", stats.iter().map(|s| s.rejected_capacity).sum());
     metrics.incr("serve_rejected_quota", stats.iter().map(|s| s.rejected_quota).sum());
-    metrics.incr("serve_completed", completed.iter().sum());
-    metrics.incr("serve_rounds", rounds);
-    metrics.incr("serve_compositions", cache.len() as u64);
+    metrics.incr("serve_completed", st.completed.iter().sum());
+    metrics.incr("serve_failed", st.failed.iter().sum());
+    metrics.incr("serve_retried", st.retried.iter().sum());
+    metrics.incr("serve_degraded", st.degraded.iter().sum());
+    metrics.incr("serve_faults_transient", st.fault_counts[0]);
+    metrics.incr("serve_faults_stuck", st.fault_counts[1]);
+    metrics.incr("serve_faults_rank_offline", st.fault_counts[2]);
+    metrics.incr("serve_rounds", st.rounds);
+    metrics.incr("serve_compositions", st.seen.len() as u64);
 
     let tenants = scenario
         .tenants
@@ -325,24 +730,28 @@ pub fn run_scenario(scenario: &Scenario, opts: &ServeOptions) -> Result<ServeOut
             share: spec.share,
             weight: spec.weight,
             admission: stats[t],
-            completed: completed[t],
-            throughput_rps: completed[t] as f64 * 1e9 / duration_ns as f64,
-            latency: splits[t].clone(),
+            completed: st.completed[t],
+            failed: st.failed[t],
+            retried: st.retried[t],
+            degraded: st.degraded[t],
+            throughput_rps: st.completed[t] as f64 * 1e9 / duration_ns as f64,
+            latency: st.splits[t].clone(),
         })
         .collect();
 
     Ok(ServeOutcome {
         scenario: scenario.name,
-        policy: policy.name(),
+        policy: st.policy.name(),
         seed: opts.seed,
         load: opts.load,
         duration_ns,
         n_dpus: scenario.n_dpus,
+        faults: fault_label(opts),
         tenants,
-        timeline,
+        timeline: st.timeline,
         metrics,
-        rounds,
-        distinct_compositions: cache.len(),
+        rounds: st.rounds,
+        distinct_compositions: st.seen.len(),
         traces,
     })
 }
@@ -417,5 +826,63 @@ mod tests {
         let out = run_scenario(s, &ServeOptions { trace_capacity: 256, ..opts(2) }).unwrap();
         assert_eq!(out.traces.len(), out.distinct_compositions);
         assert!(out.traces.iter().all(|t| t.trace.event_count() > 0));
+    }
+
+    #[test]
+    fn transient_faults_retry_and_conserve_requests() {
+        let s = scenario_by_name("faulty").unwrap();
+        let spec = FaultSpec::parse("transient=100,seed=5").unwrap();
+        let out = run_scenario(s, &ServeOptions { faults: Some(spec), ..opts(2) }).unwrap();
+        assert!(out.retried() > 0, "a 10% transient rate must trigger retries");
+        assert_eq!(
+            out.admitted(),
+            out.completed() + out.failed(),
+            "every admitted request ends exactly once"
+        );
+        assert_eq!(out.metrics.get("serve_faults_transient"), out.retried() + out.failed());
+        assert_eq!(out.faults, spec.label());
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_every_faulted_request() {
+        let s = scenario_by_name("faulty").unwrap();
+        let spec = FaultSpec::parse("transient=150,retries=0,seed=3").unwrap();
+        let out = run_scenario(s, &ServeOptions { faults: Some(spec), ..opts(2) }).unwrap();
+        assert!(out.failed() > 0);
+        assert_eq!(out.retried(), 0);
+        assert_eq!(out.admitted(), out.completed() + out.failed());
+    }
+
+    #[test]
+    fn stuck_faults_stretch_the_round_clock() {
+        let s = scenario_by_name("faulty").unwrap();
+        let spec = FaultSpec::parse("stuck=60,timeout_us=5000,seed=11").unwrap();
+        let faulty = run_scenario(s, &ServeOptions { faults: Some(spec), ..opts(2) }).unwrap();
+        let clean = run_scenario(s, &opts(2)).unwrap();
+        assert!(faulty.metrics.get("serve_faults_stuck") > 0);
+        assert!(
+            faulty.timeline.kernel_ns > clean.timeline.kernel_ns,
+            "watchdog timeouts must show up as kernel time"
+        );
+    }
+
+    #[test]
+    fn rank_outage_degrades_but_conserves() {
+        let s = scenario_by_name("faulty").unwrap();
+        // 2 ranks of 4 DPUs; one outage takes half the capacity down.
+        let spec = FaultSpec::parse("outages=2,outage_ms=1,rank_dpus=4,seed=2").unwrap();
+        let out = run_scenario(s, &ServeOptions { faults: Some(spec), ..opts(2) }).unwrap();
+        assert!(out.degraded() > 0, "completions during the outage count as degraded");
+        assert_eq!(out.admitted(), out.completed() + out.failed());
+    }
+
+    #[test]
+    fn all_ranks_offline_stalls_without_deadlock() {
+        let s = scenario_by_name("faulty").unwrap();
+        // One rank spanning all 8 DPUs: its outage idles the whole rank.
+        let spec = FaultSpec::parse("outages=3,outage_ms=1,rank_dpus=8,seed=4").unwrap();
+        let out = run_scenario(s, &ServeOptions { faults: Some(spec), ..opts(2) }).unwrap();
+        assert_eq!(out.admitted(), out.completed() + out.failed());
+        assert!(out.metrics.get("serve_faults_rank_offline") > 0 || out.degraded() > 0);
     }
 }

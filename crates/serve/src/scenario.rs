@@ -109,6 +109,32 @@ pub fn scenarios() -> &'static [Scenario] {
             ],
         },
         Scenario {
+            name: "faulty",
+            title: "8 DPUs across 2 ranks — the fault-injection scenario",
+            n_dpus: 8,
+            mmu: false,
+            policy: "fifo",
+            queue_capacity: 96,
+            mean_gap_ns: 10_000,
+            default_duration_ms: 5,
+            tenants: &[
+                TenantSpec {
+                    name: "frontend",
+                    share: 2,
+                    weight: 2,
+                    quota: 40,
+                    mix: &[("BS", 1), ("VA", 1)],
+                },
+                TenantSpec {
+                    name: "pipeline",
+                    share: 1,
+                    weight: 1,
+                    quota: 40,
+                    mix: &[("TS", 1), ("RED", 1)],
+                },
+            ],
+        },
+        Scenario {
             name: "saturate",
             title: "2 DPUs under overload, weighted-fair 3:1, MMU on",
             n_dpus: 2,

@@ -6,6 +6,8 @@
 //! admission stays FIFO — and must be deterministic: same queue state in,
 //! same batch out.
 
+use pimulator::report::Json;
+
 use crate::queue::{AdmissionQueue, Request};
 
 /// A batch-scheduling policy.
@@ -15,6 +17,25 @@ pub trait SchedulerPolicy {
 
     /// Drains up to `capacity` requests from `q` in service order.
     fn next_batch(&mut self, q: &mut AdmissionQueue, capacity: usize) -> Vec<Request>;
+
+    /// The policy's internal state for a checkpoint. Stateless policies
+    /// (fifo, size_class) return [`Json::Null`]; stateful ones serialize
+    /// whatever [`SchedulerPolicy::restore`] needs to continue exactly.
+    fn snapshot(&self) -> Json {
+        Json::Null
+    }
+
+    /// Rebuilds internal state from a [`SchedulerPolicy::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot does not match the policy.
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        match state {
+            Json::Null => Ok(()),
+            _ => Err(format!("policy {} is stateless but the snapshot is not null", self.name())),
+        }
+    }
 }
 
 /// Strict arrival order.
@@ -120,6 +141,38 @@ impl SchedulerPolicy for WeightedFair {
         }
         batch
     }
+
+    fn snapshot(&self) -> Json {
+        // Non-negative credits go out as UInt — the shape the JSON text
+        // parses back to — so a snapshot survives render→parse exactly.
+        Json::arr(self.credit.iter().map(|&c| match u64::try_from(c) {
+            Ok(u) => Json::UInt(u),
+            Err(_) => Json::Int(c),
+        }))
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let Json::Arr(items) = state else {
+            return Err("weighted_fair snapshot must be an array of credits".into());
+        };
+        if items.len() != self.credit.len() {
+            return Err(format!(
+                "weighted_fair snapshot has {} credits for {} tenants",
+                items.len(),
+                self.credit.len()
+            ));
+        }
+        for (slot, item) in self.credit.iter_mut().zip(items) {
+            *slot = match *item {
+                Json::Int(i) => i,
+                Json::UInt(u) => {
+                    i64::try_from(u).map_err(|_| "weighted_fair credit out of range".to_string())?
+                }
+                _ => return Err("weighted_fair credits must be integers".into()),
+            };
+        }
+        Ok(())
+    }
 }
 
 /// Resolves a policy by registry name, sized for `weights.len()` tenants.
@@ -192,6 +245,30 @@ mod tests {
         let batch = wf.next_batch(&mut q, 8);
         assert_eq!(batch.len(), 3);
         assert!(batch.iter().all(|r| r.tenant == 1));
+    }
+
+    #[test]
+    fn weighted_fair_snapshot_round_trips_mid_backlog() {
+        let reqs: Vec<(usize, u16)> = (0..40).map(|i| (i % 2, 0u16)).collect();
+        let mut q = queue_with(&reqs);
+        let mut wf = WeightedFair::new(vec![3, 1]);
+        wf.next_batch(&mut q, 10); // leaves non-zero credits behind
+        let state = wf.snapshot();
+        let mut q2 = q.clone();
+        let mut restored = WeightedFair::new(vec![3, 1]);
+        restored.restore(&state).unwrap();
+        assert_eq!(restored.next_batch(&mut q2, 16), wf.next_batch(&mut q, 16));
+        // Mismatched snapshots are rejected, not silently accepted.
+        assert!(WeightedFair::new(vec![1]).restore(&state).is_err());
+        assert!(restored.restore(&Json::from("nope")).is_err());
+    }
+
+    #[test]
+    fn stateless_policies_snapshot_null() {
+        assert_eq!(Fifo.snapshot(), Json::Null);
+        let mut f = Fifo;
+        assert!(f.restore(&Json::Null).is_ok());
+        assert!(f.restore(&Json::from(1u64)).is_err());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! lower bound of the containing bucket, which keeps them deterministic
 //! and conservative.
 
+use pimulator::report::Json;
+
 /// Sub-buckets per octave (power of two).
 const SUBS: u64 = 4;
 /// log2([`SUBS`]).
@@ -124,6 +126,63 @@ impl LatencyHistogram {
     }
 }
 
+impl LatencyHistogram {
+    /// Serializes for a checkpoint: `[total, sum_ns, max_ns, [idx,
+    /// count]...]` with only the occupied buckets listed (the histogram
+    /// is sparse in practice).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut items =
+            vec![Json::from(self.total), Json::from(self.sum_ns), Json::from(self.max_ns)];
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                items.push(Json::arr([Json::from(idx as u64), Json::from(c)]));
+            }
+        }
+        Json::Arr(items)
+    }
+
+    /// Rebuilds a histogram from [`LatencyHistogram::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed snapshot (wrong shape, a bucket
+    /// index out of range, or counts that do not sum to the total).
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let Json::Arr(items) = j else { return Err("histogram snapshot must be an array".into()) };
+        let uint = |j: &Json| -> Result<u64, String> {
+            match *j {
+                Json::UInt(u) => Ok(u),
+                _ => Err("histogram snapshot fields must be unsigned integers".into()),
+            }
+        };
+        let [total, sum_ns, max_ns, buckets @ ..] = items.as_slice() else {
+            return Err("histogram snapshot is too short".into());
+        };
+        let mut h = LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: uint(total)?,
+            sum_ns: uint(sum_ns)?,
+            max_ns: uint(max_ns)?,
+        };
+        for pair in buckets {
+            let Json::Arr(p) = pair else { return Err("histogram bucket must be a pair".into()) };
+            let [idx, count] = p.as_slice() else {
+                return Err("histogram bucket must be a pair".into());
+            };
+            let idx = uint(idx)? as usize;
+            if idx >= BUCKETS {
+                return Err(format!("histogram bucket index {idx} out of range"));
+            }
+            h.counts[idx] = uint(count)?;
+        }
+        if h.counts.iter().sum::<u64>() != h.total {
+            return Err("histogram bucket counts do not sum to the total".into());
+        }
+        Ok(h)
+    }
+}
+
 /// The queue-wait / transfer / execute / total split of one latency
 /// population (per tenant), reusing the `ExecutionTimeline` phase
 /// boundaries the rest of the repo reports.
@@ -154,6 +213,35 @@ impl LatencySplit {
         self.transfer.merge(&other.transfer);
         self.execute.merge(&other.execute);
         self.total.merge(&other.total);
+    }
+
+    /// Serializes all four phases for a checkpoint.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::arr([
+            self.queue.to_json(),
+            self.transfer.to_json(),
+            self.execute.to_json(),
+            self.total.to_json(),
+        ])
+    }
+
+    /// Rebuilds a split from [`LatencySplit::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed snapshot.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let Json::Arr(phases) = j else { return Err("split snapshot must be an array".into()) };
+        let [queue, transfer, execute, total] = phases.as_slice() else {
+            return Err("split snapshot must hold four phases".into());
+        };
+        Ok(LatencySplit {
+            queue: LatencyHistogram::from_json(queue)?,
+            transfer: LatencyHistogram::from_json(transfer)?,
+            execute: LatencyHistogram::from_json(execute)?,
+            total: LatencyHistogram::from_json(total)?,
+        })
     }
 }
 
@@ -231,6 +319,42 @@ mod tests {
         assert_eq!(a.max_ns(), both.max_ns());
         assert_eq!(a.slo_triple(), both.slo_triple());
         assert!((a.mean_ns() - both.mean_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_json_round_trips_through_text() {
+        let mut s = LatencySplit::default();
+        for v in [5u64, 70, 900, 12_000, 12_001, 80_000] {
+            s.record(v, v * 2, v * 3);
+        }
+        let text = s.to_json().render_pretty();
+        let back = LatencySplit::from_json(&Json::parse(&text).unwrap()).unwrap();
+        for (a, b) in [
+            (&s.queue, &back.queue),
+            (&s.transfer, &back.transfer),
+            (&s.execute, &back.execute),
+            (&s.total, &back.total),
+        ] {
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.max_ns(), b.max_ns());
+            assert_eq!(a.slo_triple(), b.slo_triple());
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.sum_ns, b.sum_ns);
+        }
+    }
+
+    #[test]
+    fn histogram_from_json_rejects_corruption() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        assert!(LatencyHistogram::from_json(&Json::Null).is_err());
+        assert!(LatencyHistogram::from_json(&Json::arr([Json::from(1u64)])).is_err());
+        // A count that disagrees with the total is caught.
+        let mut bad = h.to_json();
+        if let Json::Arr(items) = &mut bad {
+            items[0] = Json::from(99u64);
+        }
+        assert!(LatencyHistogram::from_json(&bad).is_err());
     }
 
     #[test]

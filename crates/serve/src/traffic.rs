@@ -17,7 +17,7 @@ use crate::queue::Request;
 use crate::scenario::Scenario;
 
 /// One generated arrival, before admission.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Arrival {
     /// Simulated arrival time, ns.
     pub at_ns: u64,
@@ -39,33 +39,121 @@ fn gap_ns(rng: &mut StdRng, mean_gap_ns: f64) -> u64 {
     ((mean_gap_ns * LN2 * (geometric + uniform)) as u64).max(1)
 }
 
-/// Generates the full arrival schedule for `scenario` at `load` (a
-/// multiplier on the scenario's base rate) over `duration_ns` of
-/// simulated time. Tenants are drawn by [`crate::scenario::TenantSpec::share`],
-/// workloads by the tenant's mix weights; everything comes from the one
-/// seeded stream, so the schedule is a pure function of
-/// `(scenario, seed, load, duration_ns)`.
+/// The resumable state of a [`TrafficGen`], captured mid-stream by
+/// [`TrafficGen::state`]: the raw RNG words, the generator's clock, and
+/// the one arrival drawn ahead for peeking. A generator rebuilt from this
+/// via [`TrafficGen::restore`] emits the exact remaining schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficState {
+    /// xoshiro256** state words ([`StdRng::state`]).
+    pub rng: [u64; 4],
+    /// The generator clock, ns (time of the last *drawn* arrival).
+    pub t_ns: u64,
+    /// The arrival drawn ahead but not yet consumed.
+    pub peeked: Option<Arrival>,
+}
+
+/// A streaming arrival generator: the same seeded schedule as
+/// [`generate`], produced one arrival at a time so the serving loop can
+/// checkpoint mid-stream without materializing the whole schedule.
 ///
-/// # Panics
-///
-/// Panics if `load` is not positive or a mix names an unknown workload.
-#[must_use]
-pub fn generate(scenario: &Scenario, seed: u64, load: f64, duration_ns: u64) -> Vec<Arrival> {
-    assert!(load > 0.0, "load multiplier must be positive");
-    let mean_gap = scenario.mean_gap_ns as f64 / load;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let share_total: u32 = scenario.tenants.iter().map(|t| t.share).sum();
-    let mut arrivals = Vec::new();
-    let mut t_ns = 0u64;
-    loop {
-        t_ns += gap_ns(&mut rng, mean_gap);
-        if t_ns >= duration_ns {
-            break;
+/// The schedule is a pure function of `(scenario, seed, load,
+/// duration_ns)`; tenants are drawn by
+/// [`crate::scenario::TenantSpec::share`], workloads by the tenant's mix
+/// weights, all from the one seeded stream.
+#[derive(Debug, Clone)]
+pub struct TrafficGen<'a> {
+    scenario: &'a Scenario,
+    rng: StdRng,
+    share_total: u32,
+    mean_gap: f64,
+    duration_ns: u64,
+    t_ns: u64,
+    peeked: Option<Arrival>,
+}
+
+impl<'a> TrafficGen<'a> {
+    /// Starts the schedule for `scenario` at `load` (a multiplier on the
+    /// scenario's base rate) over `duration_ns` of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not positive or a mix names an unknown
+    /// workload.
+    #[must_use]
+    pub fn new(scenario: &'a Scenario, seed: u64, load: f64, duration_ns: u64) -> Self {
+        assert!(load > 0.0, "load multiplier must be positive");
+        let mut gen = TrafficGen {
+            scenario,
+            rng: StdRng::seed_from_u64(seed),
+            share_total: scenario.tenants.iter().map(|t| t.share).sum(),
+            mean_gap: scenario.mean_gap_ns as f64 / load,
+            duration_ns,
+            t_ns: 0,
+            peeked: None,
+        };
+        gen.peeked = gen.draw();
+        gen
+    }
+
+    /// Rebuilds a generator from a mid-stream [`TrafficState`] snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not positive.
+    #[must_use]
+    pub fn restore(
+        scenario: &'a Scenario,
+        load: f64,
+        duration_ns: u64,
+        state: &TrafficState,
+    ) -> Self {
+        assert!(load > 0.0, "load multiplier must be positive");
+        TrafficGen {
+            scenario,
+            rng: StdRng::from_state(state.rng),
+            share_total: scenario.tenants.iter().map(|t| t.share).sum(),
+            mean_gap: scenario.mean_gap_ns as f64 / load,
+            duration_ns,
+            t_ns: state.t_ns,
+            peeked: state.peeked,
+        }
+    }
+
+    /// Snapshots the generator for a checkpoint.
+    #[must_use]
+    pub fn state(&self) -> TrafficState {
+        TrafficState { rng: self.rng.state(), t_ns: self.t_ns, peeked: self.peeked }
+    }
+
+    /// The next arrival, without consuming it (`None` once the schedule
+    /// is exhausted).
+    #[must_use]
+    pub fn peek(&self) -> Option<Arrival> {
+        self.peeked
+    }
+
+    /// Consumes and returns the next arrival.
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        let out = self.peeked.take();
+        if out.is_some() {
+            self.peeked = self.draw();
+        }
+        out
+    }
+
+    /// Draws one arrival from the stream (`None` when the gap carries the
+    /// clock past the duration — the stream ends there for good).
+    fn draw(&mut self) -> Option<Arrival> {
+        self.t_ns += gap_ns(&mut self.rng, self.mean_gap);
+        if self.t_ns >= self.duration_ns {
+            return None;
         }
         // Weighted tenant draw, then a weighted workload draw from that
         // tenant's mix.
-        let mut pick = rng.gen_range(0..share_total);
-        let tenant = scenario
+        let mut pick = self.rng.gen_range(0..self.share_total);
+        let tenant = self
+            .scenario
             .tenants
             .iter()
             .position(|t| {
@@ -77,9 +165,9 @@ pub fn generate(scenario: &Scenario, seed: u64, load: f64, duration_ns: u64) -> 
                 }
             })
             .expect("shares cover the draw");
-        let mix = scenario.tenants[tenant].mix;
+        let mix = self.scenario.tenants[tenant].mix;
         let mix_total: u32 = mix.iter().map(|(_, w)| w).sum();
-        let mut pick = rng.gen_range(0..mix_total);
+        let mut pick = self.rng.gen_range(0..mix_total);
         let workload = mix
             .iter()
             .find(|(_, w)| {
@@ -94,7 +182,22 @@ pub fn generate(scenario: &Scenario, seed: u64, load: f64, duration_ns: u64) -> 
             .0;
         let class = class_index(workload)
             .unwrap_or_else(|| panic!("scenario mix names unknown workload {workload}"));
-        arrivals.push(Arrival { at_ns: t_ns, tenant, class });
+        Some(Arrival { at_ns: self.t_ns, tenant, class })
+    }
+}
+
+/// Generates the full arrival schedule eagerly — [`TrafficGen`] drained
+/// into a `Vec`.
+///
+/// # Panics
+///
+/// Panics if `load` is not positive or a mix names an unknown workload.
+#[must_use]
+pub fn generate(scenario: &Scenario, seed: u64, load: f64, duration_ns: u64) -> Vec<Arrival> {
+    let mut gen = TrafficGen::new(scenario, seed, load, duration_ns);
+    let mut arrivals = Vec::new();
+    while let Some(a) = gen.next_arrival() {
+        arrivals.push(a);
     }
     arrivals
 }
@@ -121,6 +224,39 @@ mod tests {
             .iter()
             .zip(&b)
             .all(|(x, y)| x.at_ns == y.at_ns && x.tenant == y.tenant && x.class == y.class));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let s = scenario_by_name("demo").unwrap();
+        let full = generate(s, 13, 2.0, 5_000_000);
+        assert!(full.len() > 40, "need a non-trivial schedule");
+        let mut gen = TrafficGen::new(s, 13, 2.0, 5_000_000);
+        for _ in 0..20 {
+            gen.next_arrival();
+        }
+        let state = gen.state();
+        let mut resumed = TrafficGen::restore(s, 2.0, 5_000_000, &state);
+        let mut tail = Vec::new();
+        while let Some(a) = resumed.next_arrival() {
+            tail.push(a);
+        }
+        assert_eq!(&full[20..], tail.as_slice());
+        // The original generator, drained in parallel, agrees too.
+        let mut orig_tail = Vec::new();
+        while let Some(a) = gen.next_arrival() {
+            orig_tail.push(a);
+        }
+        assert_eq!(tail, orig_tail);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let s = scenario_by_name("tiny").unwrap();
+        let mut gen = TrafficGen::new(s, 7, 1.0, 2_000_000);
+        let p = gen.peek().unwrap();
+        assert_eq!(gen.peek(), Some(p));
+        assert_eq!(gen.next_arrival(), Some(p));
     }
 
     #[test]

@@ -44,6 +44,30 @@ fn rank_scale_rows_are_identical_across_thread_counts_and_batch_sizes() {
 }
 
 #[test]
+fn faulty_serving_json_is_byte_identical_across_thread_counts() {
+    // Fault draws are keyed on (spec seed, round index) and outages are
+    // pre-drawn, so even a campaign exercising all three failure modes —
+    // transient, stuck, rank-offline — must render byte-identical
+    // results JSON at any worker count.
+    use pim_serve::{outcome_json, run_scenario, scenario_by_name, FaultSpec, ServeOptions};
+
+    let scenario = scenario_by_name("faulty").unwrap();
+    let spec = FaultSpec::parse(
+        "seed=8,transient=70,stuck=25,timeout_us=900,outages=1,outage_ms=1,rank_dpus=4",
+    )
+    .unwrap();
+    let doc = |threads: usize| {
+        let opts =
+            ServeOptions { threads: Some(threads), faults: Some(spec), ..ServeOptions::default() };
+        outcome_json(&run_scenario(scenario, &opts).unwrap()).render_pretty()
+    };
+    let reference = doc(1);
+    for threads in [4usize, 8] {
+        assert!(doc(threads) == reference, "faulty serve diverged at --threads {threads}");
+    }
+}
+
+#[test]
 fn multi_dpu_runs_are_bit_identical() {
     for name in ["VA", "BFS", "SCAN-RSS"] {
         let w = prim_suite::workload_by_name(name).unwrap();

@@ -1,0 +1,190 @@
+//! The failure-mode differential suite: fault injection, retry
+//! re-dispatch, degraded-capacity operation, and checkpoint/restore of
+//! the serving loop.
+//!
+//! The load-bearing properties, each pinned byte-for-byte where bytes
+//! are the contract:
+//!
+//! 1. **Fault-free reduction** — a present-but-empty `FaultSpec` renders
+//!    results JSON identical to no spec at all: the fault machinery costs
+//!    nothing when disarmed.
+//! 2. **Conservation** — every admitted request ends exactly once, as
+//!    completed or failed; retries neither duplicate nor lose work.
+//! 3. **Resume equivalence** — checkpoint at T, rebuild from the JSON
+//!    text, continue: the final results document is byte-identical to
+//!    the uninterrupted run, across seeds and policies.
+//! 4. **Degradation without deadlock** — rank outages shrink capacity
+//!    (and are visible in the `degraded` column) but the loop always
+//!    terminates, even when every rank is briefly offline.
+
+use pim_serve::{
+    outcome_json, resume_scenario, run_scenario, run_scenario_with_checkpoints, scenario_by_name,
+    Checkpoint, FaultSpec, ServeOptions,
+};
+use pimulator::report::Json;
+
+fn opts(threads: usize) -> ServeOptions {
+    ServeOptions { threads: Some(threads), ..ServeOptions::default() }
+}
+
+#[test]
+fn empty_fault_spec_is_byte_identical_to_no_spec() {
+    for name in ["tiny", "faulty", "saturate"] {
+        let scenario = scenario_by_name(name).unwrap();
+        let without = run_scenario(scenario, &opts(2)).unwrap();
+        let with =
+            run_scenario(scenario, &ServeOptions { faults: Some(FaultSpec::none()), ..opts(2) })
+                .unwrap();
+        assert!(
+            outcome_json(&without).render_pretty() == outcome_json(&with).render_pretty(),
+            "{name}: FaultSpec::none() must be indistinguishable from no fault plan"
+        );
+    }
+}
+
+#[test]
+fn injected_faults_surface_as_typed_errors_at_the_launch_boundary() {
+    // The serving loop consumes faults at the dispatch layer, but the
+    // underlying host boundary reports them as typed `SimError`s, not
+    // panics — the contract the runtime's retry logic builds on.
+    use pim_host::{PimSystem, TransferConfig};
+    use pimulator::pim_dpu::{DpuConfig, FaultKind, SimError};
+
+    let program = pim_asm::assemble(".text\n movi r0, 7\n stop\n").unwrap();
+    let mut sys = PimSystem::new(3, DpuConfig::paper_baseline(1), TransferConfig::paper());
+    sys.load(&program).unwrap();
+    sys.dpu_mut(1).arm_fault(FaultKind::Stuck { timeout_ns: 500 });
+    let results = sys.launch_each();
+    assert!(results[0].is_ok() && results[2].is_ok());
+    assert_eq!(
+        results[1].as_ref().unwrap_err(),
+        &SimError::DpuStuck { dpu: 1, timeout_ns: 500 },
+        "an armed fault must fail its own DPU, typed, without poisoning neighbours"
+    );
+}
+
+#[test]
+fn every_admitted_request_ends_exactly_once() {
+    let scenario = scenario_by_name("faulty").unwrap();
+    for seed in [1u64, 7, 42] {
+        for spec_text in [
+            "seed=3,transient=120",
+            "seed=3,transient=80,stuck=40,timeout_us=1000",
+            "seed=3,transient=60,retries=1",
+            "seed=3,transient=200,retries=0",
+            "seed=3,transient=50,outages=2,outage_ms=1,rank_dpus=4",
+        ] {
+            let spec = FaultSpec::parse(spec_text).unwrap();
+            let out = run_scenario(scenario, &ServeOptions { seed, faults: Some(spec), ..opts(2) })
+                .unwrap();
+            assert_eq!(out.offered(), out.admitted() + out.rejected());
+            assert_eq!(
+                out.admitted(),
+                out.completed() + out.failed(),
+                "seed {seed} spec `{spec_text}`: requests leaked or duplicated"
+            );
+            // Completions alone populate the latency histograms.
+            for t in &out.tenants {
+                assert_eq!(t.latency.total.count(), t.completed);
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_matches_the_uninterrupted_run_byte_for_byte() {
+    let scenario = scenario_by_name("faulty").unwrap();
+    let spec = FaultSpec::parse(
+        "seed=5,transient=70,stuck=20,timeout_us=800,outages=1,outage_ms=1,rank_dpus=4",
+    )
+    .unwrap();
+    for seed in [1u64, 2, 3] {
+        for policy in ["fifo", "weighted_fair"] {
+            let run_opts = ServeOptions {
+                seed,
+                policy: Some(policy.to_string()),
+                faults: Some(spec),
+                ..opts(2)
+            };
+            let uninterrupted =
+                outcome_json(&run_scenario(scenario, &run_opts).unwrap()).render_pretty();
+
+            let mut cuts: Vec<Checkpoint> = Vec::new();
+            let full = run_scenario_with_checkpoints(scenario, &run_opts, 1, &mut |ck| {
+                cuts.push(
+                    Checkpoint::from_json(&Json::parse(&ck.to_json().render_pretty()).unwrap())
+                        .unwrap(),
+                );
+            })
+            .unwrap();
+            assert!(
+                outcome_json(&full).render_pretty() == uninterrupted,
+                "emitting checkpoints must not perturb the run"
+            );
+            assert!(!cuts.is_empty(), "a 1 ms cadence over a 5 ms run must cut checkpoints");
+
+            // Resume from *every* cut, not just a lucky one; each must
+            // land on the identical final document.
+            for (k, ck) in cuts.iter().enumerate() {
+                ck.validate(
+                    scenario.name,
+                    policy,
+                    seed,
+                    run_opts.load,
+                    pim_serve::resolved_duration_ns(scenario, &run_opts),
+                    &pim_serve::fault_label(&run_opts),
+                )
+                .unwrap_or_else(|e| panic!("cut {k} fails validation: {e}"));
+                let resumed = resume_scenario(scenario, &run_opts, ck, 0, &mut |_| {}).unwrap();
+                assert!(
+                    outcome_json(&resumed).render_pretty() == uninterrupted,
+                    "seed {seed} policy {policy}: resume from cut {k} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_validation_rejects_a_different_run() {
+    let scenario = scenario_by_name("faulty").unwrap();
+    let run_opts = ServeOptions { seed: 9, faults: Some(FaultSpec::none()), ..opts(1) };
+    let mut cuts: Vec<Checkpoint> = Vec::new();
+    run_scenario_with_checkpoints(scenario, &run_opts, 1, &mut |ck| cuts.push(ck.clone())).unwrap();
+    let ck = cuts.first().expect("at least one cut");
+    let duration = pim_serve::resolved_duration_ns(scenario, &run_opts);
+    let label = pim_serve::fault_label(&run_opts);
+    assert!(ck.validate("faulty", "fifo", 9, 1.0, duration, &label).is_ok());
+    assert!(ck.validate("faulty", "fifo", 10, 1.0, duration, &label).is_err(), "wrong seed");
+    assert!(ck.validate("faulty", "fifo", 9, 2.0, duration, &label).is_err(), "wrong load");
+    assert!(
+        ck.validate("faulty", "fifo", 9, 1.0, duration, "seed=1,transient=1").is_err(),
+        "wrong fault campaign"
+    );
+}
+
+#[test]
+fn rank_outages_degrade_throughput_but_never_deadlock() {
+    let scenario = scenario_by_name("faulty").unwrap();
+    let clean = run_scenario(scenario, &opts(2)).unwrap();
+
+    // Half the rank goes away, twice.
+    let half = FaultSpec::parse("seed=2,outages=2,outage_ms=1,rank_dpus=4").unwrap();
+    let degraded = run_scenario(scenario, &ServeOptions { faults: Some(half), ..opts(2) }).unwrap();
+    assert!(degraded.degraded() > 0, "completions during an outage must be marked degraded");
+    assert_eq!(degraded.admitted(), degraded.completed() + degraded.failed());
+    assert!(
+        degraded.rounds >= clean.rounds,
+        "losing capacity cannot finish the same work in fewer rounds \
+         (clean {}, degraded {})",
+        clean.rounds,
+        degraded.rounds
+    );
+
+    // The whole machine goes away (one rank spans all 8 DPUs): the loop
+    // must stall to the rejoin and still drain everything — this test
+    // completing *is* the no-deadlock assertion.
+    let total = FaultSpec::parse("seed=4,outages=3,outage_ms=1,rank_dpus=8").unwrap();
+    let stalled = run_scenario(scenario, &ServeOptions { faults: Some(total), ..opts(2) }).unwrap();
+    assert_eq!(stalled.admitted(), stalled.completed() + stalled.failed());
+}

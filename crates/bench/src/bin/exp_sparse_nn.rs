@@ -1,0 +1,7 @@
+//! Extension families: sparse BSR and quantized NN-inference kernels. Thin wrapper over the
+//! shared `pim_bench` driver; accepts `--size tiny|single|multi`, `--threads N`, `--json`,
+//! `--out DIR`.
+
+fn main() -> std::process::ExitCode {
+    pim_bench::run_cli("exp_sparse_nn")
+}

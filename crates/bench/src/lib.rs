@@ -201,6 +201,12 @@ pub fn experiments() -> &'static [Experiment] {
             run: run_rank_scale,
         },
         Experiment {
+            name: "exp_sparse_nn",
+            title: "Extension: sparse BSR & quantized NN-inference families",
+            default_size: DatasetSize::Tiny,
+            run: run_sparse_nn,
+        },
+        Experiment {
             name: "exp_sim_rate",
             title: "\u{a7}III-D: simulation rate",
             default_size: DatasetSize::SingleDpu,
@@ -1403,6 +1409,82 @@ fn run_sim_rate(ctx: &ExpContext) -> Result<ExpReport, SimError> {
     }
     let _ = writeln!(text, "(paper's PIMulator: ~3 KIPS; `pimsim bench` runs the full suite)");
     Ok(ExpReport { text, json: json_doc("exp_sim_rate", ctx.size, Json::Arr(json_rows), vec![]) })
+}
+
+fn run_sparse_nn(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    use prim_suite::{workload_by_name, RunConfig};
+
+    // The extension families under a tasklet sweep plus one strong-scaled
+    // point: sparse BSR exercises the irregular-gather DMA path, the
+    // quantized NN kernels exercise chained launches with host staging.
+    struct Case {
+        workload: &'static str,
+        threads: u32,
+        n_dpus: u32,
+    }
+    const FAMILY: &[&str] = &["SpMV-BSR", "SpMM-BSR", "MLP-Q", "ATTN"];
+    let mut cases = Vec::new();
+    for &w in FAMILY {
+        for t in [1u32, 8, 16] {
+            cases.push(Case { workload: w, threads: t, n_dpus: 1 });
+        }
+        cases.push(Case { workload: w, threads: 16, n_dpus: 4 });
+    }
+    let measured: Vec<Result<(u64, u64, u64, u64), SimError>> = ctx.rt.map(&cases, |_, c| {
+        let w = workload_by_name(c.workload).expect("workload exists");
+        let cfg = DpuConfig::paper_baseline(c.threads);
+        let run_cfg =
+            if c.n_dpus == 1 { RunConfig::single(cfg) } else { RunConfig::multi(c.n_dpus, cfg) };
+        let run = w.run(ctx.size, &run_cfg)?;
+        // Like the figure sweeps, a validation miss is a bug, not data.
+        run.validation.as_ref().expect("extension outputs are bit-exact against the reference");
+        let instructions: u64 = run.per_dpu.iter().map(|s| s.instructions).sum();
+        let cycles: u64 = run.per_dpu.iter().map(|s| s.cycles).max().unwrap_or(0);
+        let dma: u64 = run.per_dpu.iter().map(|s| s.dma_requests).sum();
+        let bytes: u64 = run.per_dpu.iter().map(|s| s.dram.bytes_read).sum();
+        Ok((instructions, cycles, dma, bytes))
+    });
+    let mut t = Table::new(&[
+        "workload",
+        "family",
+        "threads",
+        "dpus",
+        "instructions",
+        "cycles",
+        "dma reqs",
+        "rd B/req",
+    ]);
+    let mut json_rows = Vec::new();
+    for (c, m) in cases.iter().zip(measured) {
+        let (instructions, cycles, dma, bytes) = m?;
+        let family = workload_by_name(c.workload).expect("workload exists").family();
+        t.row_owned(vec![
+            c.workload.to_string(),
+            family.label().to_string(),
+            c.threads.to_string(),
+            c.n_dpus.to_string(),
+            instructions.to_string(),
+            cycles.to_string(),
+            dma.to_string(),
+            format!("{:.1}", bytes as f64 / dma.max(1) as f64),
+        ]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(c.workload)),
+            ("family", Json::from(family.label())),
+            ("threads", Json::from(c.threads)),
+            ("dpus", Json::from(c.n_dpus)),
+            ("instructions", Json::UInt(instructions)),
+            ("cycles", Json::UInt(cycles)),
+            ("dma_requests", Json::UInt(dma)),
+            ("mram_bytes_read", Json::UInt(bytes)),
+            ("validated", Json::Bool(true)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Extension: sparse BSR & quantized NN-inference families", ctx.size)
+            + &t.render(),
+        json: json_doc("exp_sparse_nn", ctx.size, Json::Arr(json_rows), vec![]),
+    })
 }
 
 fn run_validation(ctx: &ExpContext) -> Result<ExpReport, SimError> {

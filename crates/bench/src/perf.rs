@@ -4,7 +4,8 @@
 //! simulated hardware is: every workload is seeded and deterministic, so
 //! its simulated cycle/instruction counts are fixed, and the interesting
 //! output is simulated kilo-cycles per wall-second and instructions per
-//! wall-second. The suite is all 16 PrIM kernels plus two synthetics that
+//! wall-second. The suite is all 16 PrIM kernels, the sparse BSR and
+//! quantized NN-inference extension families, plus two synthetics that
 //! stress the memory engine (`DMA-HEAVY`) and the scheduler's
 //! acquire/release retry path (`BARRIER-HEAVY`).
 //!
@@ -22,7 +23,7 @@ use pim_isa::Cond;
 use pimulator::experiments as exp;
 use pimulator::jobs::SimJob;
 use pimulator::report::Json;
-use prim_suite::{all_workloads, DatasetSize};
+use prim_suite::{extended_workloads, DatasetSize};
 
 use crate::{parse_size_value, size_label};
 
@@ -416,8 +417,8 @@ impl BenchOptions {
     }
 }
 
-/// Runs the full suite (16 PrIM kernels + 2 synthetics) and returns the
-/// measurements in suite order.
+/// Runs the full suite (16 dense PrIM kernels + 4 extension kernels + 2
+/// synthetics) and returns the measurements in suite order.
 ///
 /// # Errors
 ///
@@ -425,7 +426,7 @@ impl BenchOptions {
 pub fn run_suite(size: DatasetSize, reps: usize) -> Result<Vec<Measurement>, SimError> {
     let cfg = DpuConfig::paper_baseline(BENCH_TASKLETS);
     let mut out = Vec::new();
-    for w in all_workloads() {
+    for w in extended_workloads() {
         out.push(measure_prim(w.name(), size, &cfg, reps)?);
     }
     for s in [Synthetic::DmaHeavy, Synthetic::BarrierHeavy] {
@@ -534,6 +535,18 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
                 Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => {}
                 _ => return Err(format!("{name}: `{key}` must be a positive number")),
             }
+        }
+    }
+    // The extension families are part of the measured suite: documents
+    // written before they landed fail validation so CI catches a stale
+    // `BENCH.json` (or a bench binary that silently dropped them).
+    for required in ["SpMV-BSR", "ATTN"] {
+        let present = rows.iter().any(|row| {
+            matches!(row, Json::Obj(pairs)
+                if pairs.iter().any(|(k, v)| k == "name" && matches!(v, Json::Str(s) if s == required)))
+        });
+        if !present {
+            return Err(format!("`workloads` is missing the required `{required}` row"));
         }
     }
     // The `rank` entry (SoA batch executor throughput) is required: the CI
@@ -731,20 +744,35 @@ mod tests {
         }
     }
 
+    fn example_rows() -> Vec<Measurement> {
+        ["VA", "SpMV-BSR", "ATTN"]
+            .iter()
+            .map(|name| Measurement {
+                name: name.to_string(),
+                kind: "prim",
+                tasklets: 16,
+                instructions: 1000,
+                cycles: 2000,
+                wall_seconds: 0.5,
+            })
+            .collect()
+    }
+
     #[test]
     fn bench_json_round_trips_and_validates() {
-        let m = Measurement {
-            name: "VA".to_string(),
-            kind: "prim",
-            tasklets: 16,
-            instructions: 1000,
-            cycles: 2000,
-            wall_seconds: 0.5,
-        };
-        let doc = bench_json(DatasetSize::Tiny, 1, &[m], &example_rank());
+        let doc = bench_json(DatasetSize::Tiny, 1, &example_rows(), &example_rank());
         validate_bench_json(&doc).unwrap();
         let reparsed = Json::parse(&doc.render_pretty()).unwrap();
         validate_bench_json(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn validator_requires_the_extension_rows() {
+        let dense_only: Vec<Measurement> =
+            example_rows().into_iter().filter(|m| m.name == "VA").collect();
+        let doc = bench_json(DatasetSize::Tiny, 1, &dense_only, &example_rank());
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("SpMV-BSR"), "error names the missing row: {err}");
     }
 
     #[test]
@@ -768,15 +796,8 @@ mod tests {
 
     #[test]
     fn validator_requires_the_rank_entry() {
-        let m = Measurement {
-            name: "VA".to_string(),
-            kind: "prim",
-            tasklets: 16,
-            instructions: 1000,
-            cycles: 2000,
-            wall_seconds: 0.5,
-        };
-        let Json::Obj(pairs) = bench_json(DatasetSize::Tiny, 1, &[m], &example_rank()) else {
+        let Json::Obj(pairs) = bench_json(DatasetSize::Tiny, 1, &example_rows(), &example_rank())
+        else {
             panic!("bench_json renders an object");
         };
         let without_rank = Json::Obj(pairs.into_iter().filter(|(k, _)| k != "rank").collect());

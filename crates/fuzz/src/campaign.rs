@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use crate::corpus;
-use crate::coverage::CoverageMap;
+use crate::coverage::{ChainDepth, CoverageMap, DmaShape};
 use crate::gauntlet::{run_gauntlet, CheckOutcome, Invariant};
 use crate::gen::{generate, GenOptions};
 use crate::shrink::{shrink, DEFAULT_SHRINK_EVALS};
@@ -168,7 +168,12 @@ impl CampaignReport {
         t.row_owned(vec!["invalid".into(), self.invalid.to_string()]);
         t.row_owned(vec!["failures".into(), self.failures_seen.to_string()]);
         t.row_owned(vec!["class x hazard coverage".into(), format!("{hit}/{reachable} cells")]);
-        format!("{}\n{}", t.render(), self.coverage.table().render())
+        format!(
+            "{}\n{}\n{}",
+            t.render(),
+            self.coverage.table().render(),
+            self.coverage.shape_table().render()
+        )
     }
 }
 
@@ -212,6 +217,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> Result<CampaignReport, String> {
             CheckOutcome::Pass(info) => {
                 let decoded = DecodedProgram::decode(&case.program.instrs);
                 coverage.record_program(&decoded, case.tasklets, info.mem);
+                coverage.record_shape(info.shape, info.chain);
                 for (k, v) in info.metrics.counters() {
                     *counters.entry(k).or_insert(0) += v;
                 }
@@ -270,7 +276,20 @@ pub fn run_campaign(opts: &CampaignOptions) -> Result<CampaignReport, String> {
                     _ => ExecMode::Simt,
                 };
                 let focus = coverage.pick_focus(&mut master);
-                (case_seed, GenOptions { tasklets, mode, focus })
+                // Bias toward unhit (DMA shape x chain depth) buckets; once
+                // all six are hit, keep a trickle of gather/chained cases so
+                // those paths stay exercised for the rest of the campaign.
+                let (gather, launches) = match coverage.pick_shape_focus(&mut master) {
+                    Some((shape, chain)) => (
+                        shape == DmaShape::Gather,
+                        if chain == ChainDepth::Chained { master.gen_range(2u32..4) } else { 1 },
+                    ),
+                    None => (
+                        master.gen_ratio(1, 4),
+                        if master.gen_ratio(1, 4) { master.gen_range(2u32..4) } else { 1 },
+                    ),
+                };
+                (case_seed, GenOptions { tasklets, mode, focus, gather, launches })
             })
             .collect();
         let outcomes = runner.map(&specs, |_, (case_seed, gen_opts)| {
@@ -348,6 +367,23 @@ mod tests {
         assert_eq!(r.generated, 8);
         assert!(!r.mutation_detected());
         assert!(r.coverage.cases() > 0);
+    }
+
+    #[test]
+    fn campaigns_exercise_the_shape_chain_buckets() {
+        let r =
+            run_campaign(&CampaignOptions { budget: 32, ..CampaignOptions::smoke(11) }).unwrap();
+        // One shape/chain record per passing case.
+        let mut total = 0u64;
+        for s in DmaShape::ALL {
+            for c in ChainDepth::ALL {
+                total += r.coverage.shape_hits(s, c);
+            }
+        }
+        assert_eq!(total, r.coverage.cases());
+        let chained: u64 =
+            DmaShape::ALL.iter().map(|&s| r.coverage.shape_hits(s, ChainDepth::Chained)).sum();
+        assert!(chained > 0, "biasing never produced a passing chained case");
     }
 
     #[test]

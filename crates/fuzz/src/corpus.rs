@@ -34,6 +34,8 @@ pub enum CorpusEntry {
         tasklets: u32,
         /// Executor mode.
         mode: ExecMode,
+        /// Chained launch count (absent in older entries → 1).
+        launches: u32,
     },
     /// Assemble the carried program text.
     Program {
@@ -41,6 +43,8 @@ pub enum CorpusEntry {
         tasklets: u32,
         /// Executor mode.
         mode: ExecMode,
+        /// Chained launch count (absent in older entries → 1).
+        launches: u32,
         /// Invariant the repro originally broke, if recorded.
         invariant: Option<String>,
         /// The full entry text (headers + disassembly), assembler-ready.
@@ -59,11 +63,13 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Renders a seed entry.
+/// Renders a seed entry. The `; launches:` line is emitted only for
+/// chained cases, so single-launch entries keep the historical format.
 #[must_use]
-pub fn render_seed(seed: u64, tasklets: u32, mode: ExecMode) -> String {
+pub fn render_seed(seed: u64, tasklets: u32, mode: ExecMode, launches: u32) -> String {
+    let chain = if launches > 1 { format!("; launches: {launches}\n") } else { String::new() };
     format!(
-        "{HEADER}\n; kind: seed\n; seed: {seed:#x}\n; tasklets: {tasklets}\n; mode: {}\n",
+        "{HEADER}\n; kind: seed\n; seed: {seed:#x}\n; tasklets: {tasklets}\n; mode: {}\n{chain}",
         mode.as_str()
     )
 }
@@ -71,8 +77,13 @@ pub fn render_seed(seed: u64, tasklets: u32, mode: ExecMode) -> String {
 /// Renders a minimized-repro program entry (header + disassembly).
 #[must_use]
 pub fn render_repro(case: &FuzzCase, invariant: &str) -> String {
+    let chain = if case.launch_count() > 1 {
+        format!("; launches: {}\n", case.launch_count())
+    } else {
+        String::new()
+    };
     format!(
-        "{HEADER}\n; kind: program\n; tasklets: {}\n; mode: {}\n; invariant: {invariant}\n{}",
+        "{HEADER}\n; kind: program\n; tasklets: {}\n; mode: {}\n{chain}; invariant: {invariant}\n{}",
         case.tasklets,
         case.mode.as_str(),
         pim_asm::disassemble(&case.program)
@@ -103,6 +114,7 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
     let mut seed = None;
     let mut tasklets = None;
     let mut mode = None;
+    let mut launches = None;
     let mut invariant = None;
     for line in text.lines().skip(1) {
         let line = line.trim();
@@ -116,6 +128,12 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
             tasklets = Some(v.parse::<u32>().map_err(|e| format!("bad tasklets `{v}`: {e}"))?);
         } else if let Some(v) = header_value(line, "mode") {
             mode = Some(ExecMode::parse(v)?);
+        } else if let Some(v) = header_value(line, "launches") {
+            let n = v.parse::<u32>().map_err(|e| format!("bad launches `{v}`: {e}"))?;
+            if n == 0 {
+                return Err("`; launches:` must be at least 1".into());
+            }
+            launches = Some(n);
         } else if let Some(v) = header_value(line, "invariant") {
             invariant = Some(v.to_string());
         } else if !line.starts_with(';') && !line.is_empty() {
@@ -124,13 +142,14 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
     }
     let tasklets = tasklets.ok_or("missing `; tasklets:` header")?;
     let mode = mode.ok_or("missing `; mode:` header")?;
+    let launches = launches.unwrap_or(1);
     match kind.as_deref() {
         Some("seed") => {
             let seed = seed.ok_or("seed entry missing `; seed:` header")?;
-            Ok(CorpusEntry::Seed { seed, tasklets, mode })
+            Ok(CorpusEntry::Seed { seed, tasklets, mode, launches })
         }
         Some("program") => {
-            Ok(CorpusEntry::Program { tasklets, mode, invariant, text: text.to_string() })
+            Ok(CorpusEntry::Program { tasklets, mode, launches, invariant, text: text.to_string() })
         }
         Some(other) => Err(format!("unknown corpus kind `{other}`")),
         None => Err("missing `; kind:` header".into()),
@@ -145,15 +164,29 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
 /// Reports assembly errors in program entries.
 pub fn entry_case(entry: &CorpusEntry, label: &str) -> Result<FuzzCase, String> {
     match entry {
-        CorpusEntry::Seed { seed, tasklets, mode } => {
-            let mut case =
-                generate(*seed, &GenOptions { tasklets: *tasklets, mode: *mode, focus: None });
+        CorpusEntry::Seed { seed, tasklets, mode, launches } => {
+            let mut case = generate(
+                *seed,
+                &GenOptions {
+                    tasklets: *tasklets,
+                    mode: *mode,
+                    focus: None,
+                    gather: false,
+                    launches: *launches,
+                },
+            );
             case.label = format!("{label} ({})", case.label);
             Ok(case)
         }
-        CorpusEntry::Program { tasklets, mode, text, .. } => {
+        CorpusEntry::Program { tasklets, mode, launches, text, .. } => {
             let program = assemble(text).map_err(|e| format!("{label}: {e}"))?;
-            Ok(FuzzCase { program, tasklets: *tasklets, mode: *mode, label: label.into() })
+            Ok(FuzzCase {
+                program,
+                tasklets: *tasklets,
+                mode: *mode,
+                launches: *launches,
+                label: label.into(),
+            })
         }
     }
 }
@@ -194,25 +227,52 @@ mod tests {
 
     #[test]
     fn seed_entries_round_trip() {
-        let text = render_seed(0xD1FF_0007, 8, ExecMode::Ilp);
+        let text = render_seed(0xD1FF_0007, 8, ExecMode::Ilp, 1);
+        assert!(!text.contains("launches"), "single-launch entries keep the historical format");
         match parse_entry(&text).unwrap() {
-            CorpusEntry::Seed { seed, tasklets, mode } => {
+            CorpusEntry::Seed { seed, tasklets, mode, launches } => {
                 assert_eq!(seed, 0xD1FF_0007);
                 assert_eq!(tasklets, 8);
                 assert_eq!(mode, ExecMode::Ilp);
+                assert_eq!(launches, 1);
             }
             other => panic!("expected seed entry, got {other:?}"),
         }
     }
 
     #[test]
+    fn chained_seed_entries_round_trip_the_launch_count() {
+        let text = render_seed(0xBEEF, 4, ExecMode::Scalar, 3);
+        match parse_entry(&text).unwrap() {
+            CorpusEntry::Seed { launches, .. } => assert_eq!(launches, 3),
+            other => panic!("expected seed entry, got {other:?}"),
+        }
+        let case = entry_case(&parse_entry(&text).unwrap(), "c.corpus").unwrap();
+        assert_eq!(case.launches, 3);
+        assert!(parse_entry(
+            &render_seed(1, 2, ExecMode::Scalar, 1).replace("; mode", "; launches: 0\n; mode")
+        )
+        .is_err());
+    }
+
+    #[test]
     fn program_entries_reassemble_the_exact_instructions() {
-        let case = generate(11, &GenOptions { tasklets: 2, mode: ExecMode::Scalar, focus: None });
+        let case = generate(
+            11,
+            &GenOptions {
+                tasklets: 2,
+                mode: ExecMode::Scalar,
+                focus: None,
+                gather: false,
+                launches: 2,
+            },
+        );
         let text = render_repro(&case, "naive-fast");
         let entry = parse_entry(&text).unwrap();
         let replayed = entry_case(&entry, "x.corpus").unwrap();
         assert_eq!(replayed.program.instrs, case.program.instrs);
         assert_eq!(replayed.tasklets, 2);
+        assert_eq!(replayed.launches, 2, "repro entries carry the chain depth");
         match entry {
             CorpusEntry::Program { invariant, .. } => {
                 assert_eq!(invariant.as_deref(), Some("naive-fast"));

@@ -121,6 +121,86 @@ impl TaskletBucket {
     }
 }
 
+/// Shape of a run's DMA traffic, recovered from the run stats alone:
+/// average DRAM bytes moved per request separates bulk streaming from the
+/// small scattered transfers of gather-style kernels (the sparse BSR
+/// family's `x[colidx]` loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaShape {
+    /// No DMA at all.
+    None,
+    /// Large, regular transfers.
+    Bulk,
+    /// Small transfers at scattered addresses (≤ [`GATHER_BYTES_PER_REQ`]
+    /// bytes per request on average).
+    Gather,
+}
+
+/// Average read-bytes-per-request at or below which a run's DMA traffic
+/// counts as a gather (one or two 8-byte beats per request).
+pub const GATHER_BYTES_PER_REQ: u64 = 16;
+
+impl DmaShape {
+    /// All shapes, in reporting order.
+    pub const ALL: [DmaShape; 3] = [DmaShape::None, DmaShape::Bulk, DmaShape::Gather];
+
+    /// Buckets a run's DMA request count and DRAM read traffic.
+    #[must_use]
+    pub fn classify(dma_requests: u64, dram_bytes_read: u64) -> Self {
+        if dma_requests == 0 {
+            DmaShape::None
+        } else if dram_bytes_read / dma_requests <= GATHER_BYTES_PER_REQ {
+            DmaShape::Gather
+        } else {
+            DmaShape::Bulk
+        }
+    }
+
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DmaShape::None => "none",
+            DmaShape::Bulk => "bulk",
+            DmaShape::Gather => "gather",
+        }
+    }
+}
+
+/// How many launches a case chained (WRAM/MRAM persist across launches;
+/// the NN-inference workloads stage multi-kernel pipelines this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainDepth {
+    /// One launch.
+    Single,
+    /// Two or more launches of the same loaded program.
+    Chained,
+}
+
+impl ChainDepth {
+    /// All depths, in reporting order.
+    pub const ALL: [ChainDepth; 2] = [ChainDepth::Single, ChainDepth::Chained];
+
+    /// Buckets a case's launch count.
+    #[must_use]
+    pub fn classify(launches: u32) -> Self {
+        if launches > 1 {
+            ChainDepth::Chained
+        } else {
+            ChainDepth::Single
+        }
+    }
+
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChainDepth::Single => "single",
+            ChainDepth::Chained => "chained",
+        }
+    }
+}
+
 /// Classifies one decoded instruction's hazard kind from decoded facts
 /// alone (see the module docs for why duplicates are recoverable).
 #[must_use]
@@ -203,10 +283,12 @@ pub fn reachable_class_hazard_cells() -> u32 {
     n
 }
 
-/// Hit counts over the full 6 × 3 × 3 × 3 cell space.
+/// Hit counts over the full 6 × 3 × 3 × 3 cell space, plus the per-case
+/// (DMA shape × chain depth) grid.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageMap {
     hits: [[[[u64; 3]; 3]; 3]; 6],
+    shape_hits: [[u64; 2]; 3],
     cases: u64,
 }
 
@@ -229,6 +311,49 @@ impl CoverageMap {
             self.hits[class_idx(d.class)][hazard_idx(hz)][mi][bi] += 1;
         }
         self.cases += 1;
+    }
+
+    /// Records one case's DMA shape × chain depth cell (one hit per case,
+    /// unlike the per-instruction class × hazard grid).
+    pub fn record_shape(&mut self, shape: DmaShape, depth: ChainDepth) {
+        let si = DmaShape::ALL.iter().position(|&s| s == shape).expect("shape in ALL");
+        let di = ChainDepth::ALL.iter().position(|&d| d == depth).expect("depth in ALL");
+        self.shape_hits[si][di] += 1;
+    }
+
+    /// Hit count of one (DMA shape × chain depth) cell.
+    #[must_use]
+    pub fn shape_hits(&self, shape: DmaShape, depth: ChainDepth) -> u64 {
+        let si = DmaShape::ALL.iter().position(|&s| s == shape).expect("shape in ALL");
+        let di = ChainDepth::ALL.iter().position(|&d| d == depth).expect("depth in ALL");
+        self.shape_hits[si][di]
+    }
+
+    /// The unhit (DMA shape × chain depth) cells, in reporting order. All
+    /// six cells are reachable (a chained program may issue no DMA).
+    #[must_use]
+    pub fn unhit_shape_chain(&self) -> Vec<(DmaShape, ChainDepth)> {
+        let mut out = Vec::new();
+        for shape in DmaShape::ALL {
+            for depth in ChainDepth::ALL {
+                if self.shape_hits(shape, depth) == 0 {
+                    out.push((shape, depth));
+                }
+            }
+        }
+        out
+    }
+
+    /// Picks a shape focus for the next batch: a random unhit (shape ×
+    /// depth) cell, or `None` once the grid is saturated.
+    #[must_use]
+    pub fn pick_shape_focus(&self, rng: &mut StdRng) -> Option<(DmaShape, ChainDepth)> {
+        let unhit = self.unhit_shape_chain();
+        if unhit.is_empty() {
+            None
+        } else {
+            Some(*rng.choose(&unhit))
+        }
     }
 
     /// Number of cases recorded.
@@ -333,6 +458,16 @@ impl CoverageMap {
                 }
             }
         }
+        let mut shape_cells = Vec::new();
+        for shape in DmaShape::ALL {
+            for depth in ChainDepth::ALL {
+                shape_cells.push(Json::obj([
+                    ("shape", Json::Str(shape.as_str().into())),
+                    ("chain", Json::Str(depth.as_str().into())),
+                    ("hits", Json::UInt(self.shape_hits(shape, depth))),
+                ]));
+            }
+        }
         Json::obj([
             ("cases", Json::UInt(self.cases)),
             ("class_hazard_hit", Json::UInt(u64::from(hit))),
@@ -346,6 +481,7 @@ impl CoverageMap {
                 }),
             ),
             ("class_hazard", Json::Arr(proj)),
+            ("shape_chain", Json::Arr(shape_cells)),
             ("cells", Json::Arr(cells)),
         ])
     }
@@ -367,6 +503,20 @@ impl CoverageMap {
                 cell(HazardKind::None),
                 cell(HazardKind::SameBank),
                 cell(HazardKind::DupSource),
+            ]);
+        }
+        t
+    }
+
+    /// Human-readable DMA shape × chain depth matrix.
+    #[must_use]
+    pub fn shape_table(&self) -> Table {
+        let mut t = Table::new(&["dma shape", "single", "chained"]);
+        for shape in DmaShape::ALL {
+            t.row_owned(vec![
+                shape.as_str().to_string(),
+                self.shape_hits(shape, ChainDepth::Single).to_string(),
+                self.shape_hits(shape, ChainDepth::Chained).to_string(),
             ]);
         }
         t
@@ -457,6 +607,33 @@ mod tests {
         let map = CoverageMap::new();
         let j = map.json();
         assert!(j.render().contains("class_hazard_reachable"));
+        assert!(j.render().contains("shape_chain"));
         assert!(map.table().render().contains("dup-source"));
+        assert!(map.shape_table().render().contains("gather"));
+    }
+
+    #[test]
+    fn dma_shape_and_chain_depth_classification() {
+        assert_eq!(DmaShape::classify(0, 0), DmaShape::None);
+        // 8 requests averaging 8 bytes each: gather.
+        assert_eq!(DmaShape::classify(8, 64), DmaShape::Gather);
+        // 4 requests averaging 256 bytes each: bulk.
+        assert_eq!(DmaShape::classify(4, 1024), DmaShape::Bulk);
+        assert_eq!(ChainDepth::classify(1), ChainDepth::Single);
+        assert_eq!(ChainDepth::classify(3), ChainDepth::Chained);
+    }
+
+    #[test]
+    fn shape_recording_marks_cells_and_focus_targets_unhit() {
+        let mut map = CoverageMap::new();
+        assert_eq!(map.unhit_shape_chain().len(), 6);
+        map.record_shape(DmaShape::Gather, ChainDepth::Chained);
+        assert_eq!(map.shape_hits(DmaShape::Gather, ChainDepth::Chained), 1);
+        let unhit = map.unhit_shape_chain();
+        assert_eq!(unhit.len(), 5);
+        assert!(!unhit.contains(&(DmaShape::Gather, ChainDepth::Chained)));
+        let mut rng = StdRng::seed_from_u64(9);
+        let focus = map.pick_shape_focus(&mut rng).unwrap();
+        assert!(unhit.contains(&focus));
     }
 }

@@ -23,11 +23,11 @@
 //! conformance failures.
 
 use crate::FuzzCase;
-use pim_dpu::{Dpu, DpuConfig};
+use pim_dpu::{Dpu, DpuConfig, DpuRunStats};
 use pim_ref::RefInterpreter;
 use pim_trace::{DpuTrace, MetricsSink};
 
-use crate::coverage::MemPressure;
+use crate::coverage::{ChainDepth, DmaShape, MemPressure};
 
 /// Step bound for the oracle interpreter — far above any generated
 /// program, so hitting it means a runaway case, not a slow one.
@@ -103,12 +103,16 @@ pub struct Failure {
 /// Facts about a passing run the campaign feeds back into coverage.
 #[derive(Debug)]
 pub struct PassInfo {
-    /// Fast-loop cycle count.
+    /// Fast-loop cycle count (summed across chained launches).
     pub cycles: u64,
-    /// DMA requests issued (exact, from the run stats).
+    /// DMA requests issued (exact, from the merged run stats).
     pub dma_requests: u64,
     /// Memory-pressure bucket of the run.
     pub mem: MemPressure,
+    /// DMA-shape bucket (bulk vs gather) of the run.
+    pub shape: DmaShape,
+    /// Launch-chain bucket (single vs chained) of the case.
+    pub chain: ChainDepth,
     /// Event-derived counters from the traced run.
     pub metrics: MetricsSink,
 }
@@ -145,32 +149,61 @@ struct RunOutput {
     stats_debug: String,
     cycles: u64,
     dma_requests: u64,
+    dram_bytes: u64,
     wram: Vec<u8>,
     mram: Vec<u8>,
     trace: Option<DpuTrace>,
 }
 
+/// Launches the case's program `case.launches` times on one DPU (WRAM and
+/// MRAM persist between launches) and merges the per-launch statistics.
 fn run_once(case: &FuzzCase, cfg: DpuConfig) -> Result<RunOutput, String> {
     let mut dpu = Dpu::new(cfg);
     dpu.load_program(&case.program).map_err(|e| format!("load: {e}"))?;
-    let stats = dpu.launch().map_err(|e| format!("launch: {e}"))?;
+    let mut stats = dpu.launch().map_err(|e| format!("launch: {e}"))?;
+    for n in 1..case.launch_count() {
+        let more = dpu.launch().map_err(|e| format!("launch {}: {e}", n + 1))?;
+        stats.merge(&more);
+    }
     Ok(RunOutput {
         stats_debug: format!("{stats:#?}"),
         cycles: stats.cycles,
         dma_requests: stats.dma_requests,
+        dram_bytes: stats.dram.bytes_read,
         wram: dpu.read_wram(0, WRAM_COMPARE),
         mram: dpu.read_mram(0, MRAM_COMPARE),
         trace: dpu.take_trace(),
     })
 }
 
+/// Runs the oracle for `case.launches` chained launches, re-arming it
+/// between launches with [`RefInterpreter::relaunch`]. `order` selects
+/// the tasklet service order (`None` = identity).
+fn run_oracle(
+    oracle: &mut RefInterpreter,
+    case: &FuzzCase,
+    order: Option<&[u32]>,
+) -> Result<(), String> {
+    for n in 0..case.launch_count() {
+        if n > 0 {
+            oracle.relaunch();
+        }
+        let r = match order {
+            Some(o) => oracle.run_in_order(ORACLE_MAX_STEPS, o),
+            None => oracle.run(ORACLE_MAX_STEPS),
+        };
+        r.map_err(|e| if n > 0 { format!("launch {}: {e}", n + 1) } else { e.to_string() })?;
+    }
+    Ok(())
+}
+
 /// Runs one case through all five invariants.
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
-    // Ground truth: the timing-free oracle.
+    // Ground truth: the timing-free oracle, chained `case.launches` times.
     let mut oracle = RefInterpreter::new(&case.program, case.tasklets);
-    if let Err(e) = oracle.run(ORACLE_MAX_STEPS) {
+    if let Err(e) = run_oracle(&mut oracle, case, None) {
         return CheckOutcome::Invalid(format!("oracle: {e}"));
     }
     let owram = oracle.read_wram(0, WRAM_COMPARE);
@@ -246,7 +279,7 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
     // memory image (schedule independence).
     let mut reversed = RefInterpreter::new(&case.program, case.tasklets);
     let order: Vec<u32> = (0..case.tasklets).rev().collect();
-    if let Err(e) = reversed.run_in_order(ORACLE_MAX_STEPS, &order) {
+    if let Err(e) = run_oracle(&mut reversed, case, Some(&order)) {
         return CheckOutcome::Fail(Failure {
             invariant: Invariant::ScheduleInvariance,
             detail: format!("oracle faulted under reversed schedule: {e}"),
@@ -280,19 +313,32 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
             });
         }
     }
-    let batch_stats = pim_dpu::run_batch(&mut batch);
-    for (i, (result, dpu)) in batch_stats.iter().zip(&batch).enumerate() {
-        let stats = match result {
-            Ok(s) => s,
-            Err(e) => {
-                return CheckOutcome::Fail(Failure {
-                    invariant: Invariant::BatchEquality,
-                    detail: format!(
-                        "batch member {i} faulted where the solo launch ran clean: {e}"
-                    ),
-                });
+    // Chained launches go through `run_batch` once per launch; stats merge
+    // per member, exactly as the solo path merges per-launch stats.
+    let mut merged: Vec<Option<DpuRunStats>> = vec![None; batch.len()];
+    for n in 0..case.launch_count() {
+        let batch_stats = pim_dpu::run_batch(&mut batch);
+        for (i, result) in batch_stats.into_iter().enumerate() {
+            let stats = match result {
+                Ok(s) => s,
+                Err(e) => {
+                    return CheckOutcome::Fail(Failure {
+                        invariant: Invariant::BatchEquality,
+                        detail: format!(
+                            "batch member {i} faulted (launch {}) where the solo launch ran \
+                             clean: {e}",
+                            n + 1
+                        ),
+                    });
+                }
+            };
+            match &mut merged[i] {
+                Some(acc) => acc.merge(&stats),
+                slot @ None => *slot = Some(stats),
             }
-        };
+        }
+    }
+    for (i, (stats, dpu)) in merged.iter().flatten().zip(&batch).enumerate() {
         let rendered = format!("{stats:#?}");
         if rendered != fast.stats_debug {
             return CheckOutcome::Fail(Failure {
@@ -326,6 +372,8 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
         cycles: fast.cycles,
         dma_requests: fast.dma_requests,
         mem: MemPressure::classify(fast.dma_requests, case.tasklets),
+        shape: DmaShape::classify(fast.dma_requests, fast.dram_bytes),
+        chain: ChainDepth::classify(case.launch_count()),
         metrics,
     }))
 }
@@ -345,9 +393,13 @@ mod tests {
         assert!(Invariant::parse("vibes").is_err());
     }
 
+    fn gen_opts(tasklets: u32) -> GenOptions {
+        GenOptions { tasklets, mode: ExecMode::Scalar, focus: None, gather: false, launches: 1 }
+    }
+
     #[test]
     fn a_generated_program_passes_the_gauntlet() {
-        let case = generate(3, &GenOptions { tasklets: 4, mode: ExecMode::Scalar, focus: None });
+        let case = generate(3, &gen_opts(4));
         match run_gauntlet(&case) {
             CheckOutcome::Pass(info) => {
                 assert!(info.cycles > 0);
@@ -365,9 +417,32 @@ mod tests {
         let top = k.label_here("top");
         k.jump(&top);
         let program = k.build().unwrap();
-        let case =
-            FuzzCase { program, tasklets: 1, mode: ExecMode::Scalar, label: "runaway".into() };
+        let case = FuzzCase {
+            program,
+            tasklets: 1,
+            mode: ExecMode::Scalar,
+            launches: 1,
+            label: "runaway".into(),
+        };
         assert!(matches!(run_gauntlet(&case), CheckOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn a_chained_case_passes_and_classifies_as_chained() {
+        let mut case = generate(3, &gen_opts(4));
+        case.launches = 3;
+        match run_gauntlet(&case) {
+            CheckOutcome::Pass(info) => {
+                assert_eq!(info.chain, crate::coverage::ChainDepth::Chained);
+                // Three launches retire strictly more work than one.
+                let solo = FuzzCase { launches: 1, ..case.clone() };
+                match run_gauntlet(&solo) {
+                    CheckOutcome::Pass(solo_info) => assert!(info.cycles > solo_info.cycles),
+                    other => panic!("solo leg should pass, got {other:?}"),
+                }
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
     }
 
     #[test]
@@ -382,7 +457,13 @@ mod tests {
         k.sw(t, p, 0);
         k.stop();
         let program = k.build().unwrap();
-        let case = FuzzCase { program, tasklets: 2, mode: ExecMode::Scalar, label: "racy".into() };
+        let case = FuzzCase {
+            program,
+            tasklets: 2,
+            mode: ExecMode::Scalar,
+            launches: 1,
+            label: "racy".into(),
+        };
         match run_gauntlet(&case) {
             CheckOutcome::Fail(f) => assert_eq!(f.invariant, Invariant::ScheduleInvariance),
             other => panic!("expected schedule-invariance failure, got {other:?}"),

@@ -57,6 +57,16 @@ pub struct GenOptions {
     pub mode: ExecMode,
     /// Coverage cell to bias snippet selection toward, if any.
     pub focus: Option<(InstrClass, HazardKind)>,
+    /// Bias snippet selection toward small data-dependent gather probes
+    /// (the `DmaGather` snippet: 8-byte `ldma`s at value-derived offsets
+    /// inside the private MRAM window). `false` leaves the historical
+    /// draw sequence untouched, so committed seed corpus entries
+    /// regenerate byte-identically.
+    pub gather: bool,
+    /// Number of chained launches the emitted case requests (≥ 1; the
+    /// gauntlet re-launches the same loaded program with WRAM/MRAM
+    /// persisting).
+    pub launches: u32,
 }
 
 /// One body snippet the generator can emit, tagged (via
@@ -83,6 +93,11 @@ enum Snippet {
     DmaSameBank,
     DmaDup,
     DmaBurst,
+    /// Small `ldma`s at data-dependent offsets: irregular gather traffic.
+    /// Deliberately *not* in [`BODY_SNIPPETS`] — the base draw sequence
+    /// (and thus every committed seed corpus entry) stays byte-identical;
+    /// gather cases come only from [`GenOptions::gather`] biasing.
+    DmaGather,
     HeapBlock,
     Divergent,
 }
@@ -125,7 +140,7 @@ impl Snippet {
             Snippet::BranchSameBank => (class, hz) == (C::Control, H::SameBank),
             Snippet::BranchDup => (class, hz) == (C::Control, H::DupSource),
             Snippet::Call => class == C::Control && hz == H::None,
-            Snippet::DmaNone => (class, hz) == (C::Dma, H::None),
+            Snippet::DmaNone | Snippet::DmaGather => (class, hz) == (C::Dma, H::None),
             Snippet::DmaSameBank => (class, hz) == (C::Dma, H::SameBank),
             Snippet::DmaDup | Snippet::DmaBurst => class == C::Dma && hz != H::SameBank,
         }
@@ -189,6 +204,12 @@ pub fn generate(seed: u64, opts: &GenOptions) -> FuzzCase {
             } else {
                 *rng.choose(&BODY_SNIPPETS)
             };
+            // The gather knob is checked *after* the base draw (and only
+            // when set) so a `gather: false` case consumes exactly the
+            // historical RNG sequence.
+            if opts.gather && rng.gen_ratio(1, 2) {
+                snip = Snippet::DmaGather;
+            }
             // `mem_alloc` is a bump allocator that cannot fail (or free):
             // unbounded allocation would walk the cursor off the end of the
             // arena into the barrier words behind it. One site per phase
@@ -301,6 +322,25 @@ pub fn generate(seed: u64, opts: &GenOptions) -> FuzzCase {
                     k.sdma(p, p, len);
                     k.ldma(p, p, len);
                 }
+                // Small probes at data-dependent (value-derived) offsets
+                // inside the private MRAM window: the irregular gather
+                // pattern of sparse kernels. Deterministic because the
+                // window and slab are private and `v` evolves from
+                // tid-derived state only.
+                Snippet::DmaGather => {
+                    let probes = rng.gen_range(2i32..6);
+                    k.mul(w, t, MRAM_WINDOW);
+                    k.add(w, w, MRAM_BASE);
+                    for _ in 0..probes {
+                        // 8-aligned offset in [0, MRAM_WINDOW - 8].
+                        k.alu(AluOp::And, s1, v, MRAM_WINDOW - 8);
+                        k.add(s1, s1, w);
+                        k.ldma(p, s1, 8);
+                        k.lw(s0, p, 0);
+                        k.alu(AluOp::Xor, v, v, s0);
+                        k.add(v, v, 0x9e37);
+                    }
+                }
                 // Back-to-back transfers streaming through the private
                 // MRAM window: sustained memory-engine pressure.
                 Snippet::DmaBurst => {
@@ -370,11 +410,14 @@ pub fn generate(seed: u64, opts: &GenOptions) -> FuzzCase {
         k.jr(s2);
     }
     let program = k.build().expect("generated program builds");
+    let launches = opts.launches.max(1);
+    let chain = if launches > 1 { format!(" x{launches}") } else { String::new() };
     FuzzCase {
         program,
         tasklets: n,
         mode: opts.mode,
-        label: format!("seed {seed:#x} {}/{n}", opts.mode.as_str()),
+        launches,
+        label: format!("seed {seed:#x} {}/{n}{chain}", opts.mode.as_str()),
     }
 }
 
@@ -400,30 +443,68 @@ mod tests {
         }
     }
 
+    fn base_opts(tasklets: u32) -> GenOptions {
+        GenOptions { tasklets, mode: ExecMode::Scalar, focus: None, gather: false, launches: 1 }
+    }
+
     #[test]
     fn generation_is_deterministic() {
-        let opts = GenOptions { tasklets: 4, mode: ExecMode::Scalar, focus: None };
+        let opts = base_opts(4);
         let a = generate(42, &opts);
         let b = generate(42, &opts);
         assert_eq!(a.program.instrs, b.program.instrs);
         assert_eq!(a.program.wram_init, b.program.wram_init);
+        assert_eq!(a.launches, 1);
     }
 
     #[test]
     fn distinct_seeds_give_distinct_programs() {
-        let opts = GenOptions { tasklets: 4, mode: ExecMode::Scalar, focus: None };
+        let opts = base_opts(4);
         assert_ne!(generate(1, &opts).program.instrs, generate(2, &opts).program.instrs);
+    }
+
+    #[test]
+    fn gather_off_means_no_gather_and_no_draw_perturbation() {
+        // With the knob off the draw sequence is untouched, so the knob
+        // can never change what committed seed entries regenerate to.
+        for s in 0..8u64 {
+            let a = generate(s, &base_opts(2));
+            let b = generate(s, &GenOptions { gather: false, ..base_opts(2) });
+            assert_eq!(a.program.instrs, b.program.instrs);
+        }
+    }
+
+    #[test]
+    fn gather_bias_emits_small_data_dependent_dmas() {
+        use pim_isa::{Instruction, Operand};
+        let opts = GenOptions { gather: true, ..base_opts(2) };
+        let hits = (0..10u64)
+            .filter(|&s| {
+                generate(s, &opts)
+                    .program
+                    .instrs
+                    .iter()
+                    .any(|ins| matches!(ins, Instruction::Ldma { len: Operand::Imm(8), .. }))
+            })
+            .count();
+        assert!(hits >= 8, "gather bias produced gather DMAs in only {hits}/10 programs");
+    }
+
+    #[test]
+    fn requested_launches_land_in_the_case_and_label() {
+        let case = generate(5, &GenOptions { launches: 3, ..base_opts(2) });
+        assert_eq!(case.launches, 3);
+        assert!(case.label.ends_with("x3"), "label {} should record the chain", case.label);
+        // Zero is clamped: a case always launches at least once.
+        assert_eq!(generate(5, &GenOptions { launches: 0, ..base_opts(2) }).launch_count(), 1);
     }
 
     #[test]
     fn focus_biases_generation_toward_the_cell() {
         use crate::coverage::{instr_hazard, HazardKind};
         // A cell the unfocused generator hits rarely: duplicate-source DMA.
-        let opts = GenOptions {
-            tasklets: 2,
-            mode: ExecMode::Scalar,
-            focus: Some((InstrClass::Dma, HazardKind::DupSource)),
-        };
+        let opts =
+            GenOptions { focus: Some((InstrClass::Dma, HazardKind::DupSource)), ..base_opts(2) };
         let hits = (0..20u64)
             .filter(|&s| {
                 let case = generate(s, &opts);

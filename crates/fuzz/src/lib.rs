@@ -121,6 +121,10 @@ pub struct FuzzCase {
     pub tasklets: u32,
     /// Executor configuration.
     pub mode: ExecMode,
+    /// Number of chained launches of the loaded program (≥ 1). WRAM and
+    /// MRAM persist between launches, mirroring `Dpu::launch` relaunch
+    /// semantics; register files and PCs are re-armed each time.
+    pub launches: u32,
     /// Human-readable provenance (`seed 0x… scalar/4`, corpus filename…).
     pub label: String,
 }
@@ -130,6 +134,13 @@ impl FuzzCase {
     #[must_use]
     pub fn config(&self) -> DpuConfig {
         self.mode.config(self.tasklets)
+    }
+
+    /// Effective launch count — a zero (e.g. from a hand-edited corpus
+    /// file) still means one launch.
+    #[must_use]
+    pub fn launch_count(&self) -> u32 {
+        self.launches.max(1)
     }
 }
 

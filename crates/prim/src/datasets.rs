@@ -6,6 +6,8 @@
 
 use crate::DatasetSize;
 
+pub mod bsr;
+
 /// Elements for the streaming workloads, per Table II.
 #[must_use]
 pub fn elements(size: DatasetSize, single: usize, multi: usize) -> usize {
@@ -117,6 +119,49 @@ pub fn spmv(size: DatasetSize) -> (usize, usize, usize) {
         DatasetSize::Tiny => (512, 512, 2048),
         DatasetSize::SingleDpu => (12 << 10, 12 << 10, 80_519),
         DatasetSize::MultiDpu => (14 << 10, 14 << 10, 316_740),
+    }
+}
+
+/// SpMV-BSR: (block rows, block cols, block edge, stored blocks).
+///
+/// The matrix is `block_rows*block ×  block_cols*block` with `nnzb` stored
+/// `block×block` dense blocks — the BSR extension family is not in the
+/// paper's Table II, so sizes are chosen to match the dense SpMV's
+/// footprint at each tier.
+#[must_use]
+pub fn spmv_bsr(size: DatasetSize) -> (usize, usize, usize, usize) {
+    match size {
+        DatasetSize::Tiny => (64, 64, 4, 256),
+        DatasetSize::SingleDpu => (1536, 1536, 8, 1280),
+        DatasetSize::MultiDpu => (1792, 1792, 8, 4992),
+    }
+}
+
+/// SpMM-BSR: (block rows, block cols, block edge, stored blocks, rhs cols).
+#[must_use]
+pub fn spmm_bsr(size: DatasetSize) -> (usize, usize, usize, usize, usize) {
+    match size {
+        DatasetSize::Tiny => (48, 48, 4, 192, 8),
+        DatasetSize::SingleDpu => (768, 768, 8, 768, 16),
+        DatasetSize::MultiDpu => (1024, 1024, 8, 2048, 16),
+    }
+}
+
+/// MLP-Q: (layers, neurons) for the quantized chained-kernel MLP —
+/// same shapes as the dense MLP so the two are directly comparable.
+#[must_use]
+pub fn mlp_q(size: DatasetSize) -> (usize, usize) {
+    mlp(size)
+}
+
+/// ATTN: (sequence length, head dimension) for single-query decode
+/// attention over an `L×D` K/V cache.
+#[must_use]
+pub fn attn(size: DatasetSize) -> (usize, usize) {
+    match size {
+        DatasetSize::Tiny => (128, 32),
+        DatasetSize::SingleDpu => (512, 64),
+        DatasetSize::MultiDpu => (2048, 64),
     }
 }
 

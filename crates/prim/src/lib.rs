@@ -35,6 +35,10 @@
 //! run.validation.expect("output matches the reference");
 //! assert!(run.per_dpu[0].instructions > 0);
 //! assert_eq!(all_workloads().len(), 16);
+//! // Two extension families ride alongside the dense suite: block-sparse
+//! // BSR kernels and chained quantized NN-inference layers.
+//! assert_eq!(prim_suite::extended_workloads().len(), 20);
+//! assert!(prim_suite::workload_by_name("SpMV-CSR").is_some(), "alias for the dense SpMV");
 //! ```
 
 pub mod common;
@@ -125,10 +129,51 @@ impl WorkloadRun {
     }
 }
 
+/// Which kernel family a workload belongs to.
+///
+/// The original 16 PrIM benchmarks are all dense-array kernels
+/// ([`WorkloadFamily::Dense`]). The two extension families stress the
+/// regimes the paper's case studies care about but PrIM does not cover:
+/// block-sparse kernels with irregular gather DMA
+/// ([`WorkloadFamily::Sparse`]) and quantized NN-inference layers chained
+/// across multiple DPU launches ([`WorkloadFamily::NnInference`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadFamily {
+    /// The dense PrIM suite (Table II workloads).
+    Dense,
+    /// Block-sparse (BSR) SpMV/SpMM with gather DMA.
+    Sparse,
+    /// Quantized MLP / attention layers as chained kernel launches.
+    NnInference,
+}
+
+impl WorkloadFamily {
+    /// Stable lowercase label used in reports and JSON rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadFamily::Dense => "dense",
+            WorkloadFamily::Sparse => "sparse",
+            WorkloadFamily::NnInference => "nn-inference",
+        }
+    }
+}
+
 /// A PrIM workload: kernel + host orchestration + dataset + reference.
 pub trait Workload {
     /// The workload's PrIM name (`"VA"`, `"GEMV"`, `"SCAN-SSA"`, …).
     fn name(&self) -> &'static str;
+
+    /// The kernel family the workload belongs to.
+    fn family(&self) -> WorkloadFamily {
+        WorkloadFamily::Dense
+    }
+
+    /// Alternative registry names (disambiguation; old names kept as
+    /// aliases so golden snapshots and saved reports stay valid).
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
 
     /// Whether a cache-centric kernel variant exists for the §V-D study.
     fn supports_cache_mode(&self) -> bool {
@@ -172,8 +217,38 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     ]
 }
 
-/// Looks up one workload by its PrIM name (case-insensitive).
+/// The sparse BSR family: SpMV and SpMM over seeded block-sparse matrices.
+#[must_use]
+pub fn sparse_workloads() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(workloads::spmv_bsr::SpmvBsr), Box::new(workloads::spmm_bsr::SpmmBsr)]
+}
+
+/// The NN-inference family: quantized MLP and single-head attention,
+/// each expressed as chained kernel launches with host-side staging.
+#[must_use]
+pub fn nn_workloads() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(workloads::mlp_q::MlpQ), Box::new(workloads::attn::Attn)]
+}
+
+/// Every registered workload: the 16 dense PrIM benchmarks followed by
+/// the sparse and NN-inference extension families (20 total).
+#[must_use]
+pub fn extended_workloads() -> Vec<Box<dyn Workload>> {
+    let mut all = all_workloads();
+    all.extend(sparse_workloads());
+    all.extend(nn_workloads());
+    all
+}
+
+/// Looks up one workload by name or alias (case-insensitive), across all
+/// families. Exact names win over aliases, so `"SpMV"` resolves to the
+/// dense CSR kernel while `"SpMV-CSR"` is its unambiguous alias.
 #[must_use]
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
-    all_workloads().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+    let all = extended_workloads();
+    if let Some(i) = all.iter().position(|w| w.name().eq_ignore_ascii_case(name)) {
+        let mut all = all;
+        return Some(all.swap_remove(i));
+    }
+    all.into_iter().find(|w| w.aliases().iter().any(|a| a.eq_ignore_ascii_case(name)))
 }

@@ -1,20 +1,25 @@
-//! The 16 PrIM workload implementations.
+//! The workload implementations: the 16 dense PrIM benchmarks plus the
+//! sparse BSR and quantized NN-inference extension families.
 //!
 //! Every module follows the same shape: a kernel builder (scratchpad
 //! variant and, where supported, a cache-centric flat variant), host
 //! orchestration, a seeded dataset generator, and a reference
 //! implementation that validates the simulated output.
 
+pub mod attn;
 pub mod bfs;
 pub mod bs;
 pub mod gemv;
 pub mod hst;
 pub mod mlp;
+pub mod mlp_q;
 pub mod nw;
 pub mod red;
 pub mod scan;
 pub mod sel;
+pub mod spmm_bsr;
 pub mod spmv;
+pub mod spmv_bsr;
 pub mod trns;
 pub mod ts;
 pub mod uni;

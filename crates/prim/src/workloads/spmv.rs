@@ -232,7 +232,14 @@ fn kernel(n_tasklets: u32, flat: bool) -> (DpuProgram, Params) {
 
 impl Workload for Spmv {
     fn name(&self) -> &'static str {
+        // The registry name predates the BSR kernels and is kept so golden
+        // snapshots and saved reports stay valid; "SpMV-CSR" is the
+        // unambiguous alias next to the sparse family's "SpMV-BSR".
         "SpMV"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["SpMV-CSR"]
     }
 
     fn run(&self, size: DatasetSize, rc: &RunConfig) -> Result<WorkloadRun, SimError> {

@@ -82,6 +82,20 @@ impl RefInterpreter {
         self.tid_base[t as usize] = tid_base;
     }
 
+    /// Re-arms the interpreter for another launch of the same program,
+    /// mirroring `Dpu::launch`'s relaunch semantics: register files, PCs,
+    /// tasklet-id rebases, and the atomic region are reset; WRAM and MRAM
+    /// contents persist from the previous run.
+    pub fn relaunch(&mut self) {
+        for rf in &mut self.regs {
+            *rf = [0; 24];
+        }
+        self.pc.fill(0);
+        self.tid_base.fill(0);
+        self.done.fill(false);
+        self.atomic.fill(false);
+    }
+
     /// Copies bytes into WRAM at `addr`.
     pub fn write_wram(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;

@@ -47,6 +47,12 @@ pub enum KernelKind {
     ComputeBound,
     /// Alternating DMA and arithmetic.
     Mixed,
+    /// Irregular gather: small DMAs at data-dependent addresses (the
+    /// sparse BSR family's `x[colidx]` access shape).
+    Gather,
+    /// Chained inference: compute phases punctuated by staging
+    /// round-trips, the single-kernel proxy for a multi-launch request.
+    Chained,
 }
 
 /// One request class: the proxy kernel standing in for a PrIM workload.
@@ -186,6 +192,37 @@ pub fn request_classes() -> &'static [RequestClass] {
             input_bytes: MEM_IN,
             output_bytes: OUT,
         },
+        // Extension families are appended after the dense suite so the
+        // indices of the original 16 classes (and every golden snapshot
+        // keyed on them) stay stable.
+        RequestClass {
+            workload: "SpMV-BSR",
+            kind: KernelKind::Gather,
+            iters: 96,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "SpMM-BSR",
+            kind: KernelKind::Gather,
+            iters: 144,
+            input_bytes: MIX_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "MLP-Q",
+            kind: KernelKind::Chained,
+            iters: 420,
+            input_bytes: CPU_IN,
+            output_bytes: OUT,
+        },
+        RequestClass {
+            workload: "ATTN",
+            kind: KernelKind::Chained,
+            iters: 300,
+            input_bytes: CPU_IN,
+            output_bytes: OUT,
+        },
     ];
     CLASSES
 }
@@ -256,6 +293,61 @@ fn slot_program(class: Option<&RequestClass>, slot: usize) -> pimulator::pim_asm
             k.add(m, m, 1024);
             k.sub(i, i, 1);
             k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+        Some(KernelKind::Gather) => {
+            // Irregular gather: each iteration derives a pseudo-random
+            // 8-aligned offset inside a private 16 KB MRAM window and
+            // fetches a single 8-byte element, the access shape of the
+            // BSR kernels' `x[colidx]` loads.
+            let c = class.unwrap();
+            let buf = k.alloc_wram(2048, 8);
+            let [w, m, mb, i, t, a] = k.regs(["w", "m", "mb", "i", "t", "a"]);
+            k.tid(t);
+            k.mul(w, t, 8);
+            k.add(w, w, buf as i32);
+            k.mul(mb, t, 16 * 1024);
+            k.add(mb, mb, mram_base);
+            k.add(a, t, 1);
+            k.movi(i, c.iters as i32);
+            let top = k.label_here("loop");
+            k.mul(a, a, 1_103_515_245);
+            k.add(a, a, 12_345);
+            k.alu(pimulator::pim_isa::AluOp::Srl, m, a, 8);
+            k.alu(pimulator::pim_isa::AluOp::And, m, m, 0x3ff8);
+            k.add(m, m, mb);
+            k.ldma(w, m, 8);
+            k.sub(i, i, 1);
+            k.branch(Cond::Ne, i, 0, &top);
+            k.stop();
+        }
+        Some(KernelKind::Chained) => {
+            // Chained inference proxy: three compute phases separated by
+            // staging round-trips (spill to MRAM, reload), mimicking a
+            // multi-launch request's host-side staging boundaries.
+            let c = class.unwrap();
+            let buf = k.alloc_wram(128, 8);
+            let [a, b, i, w, m, t] = k.regs(["a", "b", "i", "w", "m", "t"]);
+            k.tid(t);
+            k.mul(w, t, 8);
+            k.add(w, w, buf as i32);
+            k.movi(a, 1);
+            k.movi(b, 3);
+            for phase in 0..3u32 {
+                k.mul(m, t, 64);
+                k.add(m, m, mram_base + (phase * 8) as i32);
+                k.movi(i, c.iters as i32);
+                let top = k.fresh_label("phase");
+                k.place(&top);
+                k.mul(a, a, b);
+                k.add(a, a, 7);
+                k.sub(i, i, 1);
+                k.branch(Cond::Ne, i, 0, &top);
+                k.sw(a, w, 0);
+                k.sdma(w, m, 8);
+                k.ldma(w, m, 8);
+                k.lw(a, w, 0);
+            }
             k.stop();
         }
     }
@@ -361,7 +453,7 @@ mod tests {
     #[test]
     fn class_table_covers_all_prim_workloads() {
         let classes = request_classes();
-        assert_eq!(classes.len(), pimulator::prim_suite::all_workloads().len());
+        assert_eq!(classes.len(), pimulator::prim_suite::extended_workloads().len());
         for c in classes {
             assert!(
                 pimulator::prim_suite::workload_by_name(c.workload).is_some(),
@@ -370,8 +462,25 @@ mod tests {
             );
             assert!(c.iters > 0 && c.input_bytes > 0 && c.output_bytes > 0);
         }
+        for w in pimulator::prim_suite::extended_workloads() {
+            assert!(class_index(w.name()).is_some(), "{} has no request class", w.name());
+        }
+        // The dense prefix keeps its historical indices.
+        assert_eq!(class_index("BFS"), Some(0));
+        assert_eq!(class_index("VA"), Some(15));
+        assert_eq!(class_index("SpMV-BSR"), Some(16));
         assert_eq!(class_index("va"), class_index("VA"));
         assert!(class_index("nope").is_none());
+    }
+
+    #[test]
+    fn extension_classes_profile_alone() {
+        let cfg = DpuConfig::paper_baseline(SLOTS_PER_DPU as u32 * TASKLETS_PER_SLOT);
+        for name in ["SpMV-BSR", "MLP-Q"] {
+            let comp = vec![class_index(name).unwrap(), EMPTY_SLOT, EMPTY_SLOT, EMPTY_SLOT];
+            let (p, _) = profile_composition(&comp, &cfg, 0).unwrap();
+            assert!(p.slot_exec_ns[0] > 0.0, "{name} proxy ran");
+        }
     }
 
     #[test]

@@ -135,6 +135,58 @@ pub fn scenarios() -> &'static [Scenario] {
             ],
         },
         Scenario {
+            name: "sparse",
+            title: "2 DPUs, sparse BSR tenants mixed with a dense baseline",
+            n_dpus: 2,
+            mmu: false,
+            policy: "size_class",
+            queue_capacity: 64,
+            mean_gap_ns: 15_000,
+            default_duration_ms: 4,
+            tenants: &[
+                TenantSpec {
+                    name: "graphs",
+                    share: 2,
+                    weight: 2,
+                    quota: 32,
+                    mix: &[("SpMV-BSR", 2), ("SpMM-BSR", 1)],
+                },
+                TenantSpec {
+                    name: "dense",
+                    share: 1,
+                    weight: 1,
+                    quota: 32,
+                    mix: &[("SpMV", 1), ("VA", 1)],
+                },
+            ],
+        },
+        Scenario {
+            name: "inference",
+            title: "2 DPUs, quantized NN-inference tenants under weighted-fair",
+            n_dpus: 2,
+            mmu: false,
+            policy: "weighted_fair",
+            queue_capacity: 64,
+            mean_gap_ns: 15_000,
+            default_duration_ms: 4,
+            tenants: &[
+                TenantSpec {
+                    name: "chat",
+                    share: 2,
+                    weight: 3,
+                    quota: 32,
+                    mix: &[("ATTN", 2), ("MLP-Q", 1)],
+                },
+                TenantSpec {
+                    name: "embed",
+                    share: 1,
+                    weight: 1,
+                    quota: 32,
+                    mix: &[("MLP-Q", 1), ("GEMV", 1)],
+                },
+            ],
+        },
+        Scenario {
             name: "saturate",
             title: "2 DPUs under overload, weighted-fair 3:1, MMU on",
             n_dpus: 2,
@@ -170,6 +222,8 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
         assert!(scenario_by_name("demo").is_some());
+        assert!(scenario_by_name("sparse").is_some());
+        assert!(scenario_by_name("inference").is_some());
         assert!(scenario_by_name("nope").is_none());
     }
 

@@ -60,6 +60,11 @@ fn exp_serving_faults_regenerates_byte_identically() {
 }
 
 #[test]
+fn exp_sparse_nn_regenerates_byte_identically() {
+    check_golden("exp_sparse_nn");
+}
+
+#[test]
 fn goldens_are_independent_of_worker_count() {
     let e = experiment_by_name("fig05_utilization").unwrap();
     let base = DriverOptions { size: Some(DatasetSize::Tiny), ..DriverOptions::default() };

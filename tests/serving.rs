@@ -19,6 +19,37 @@ fn serving_json_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn extension_scenarios_are_byte_identical_across_worker_counts() {
+    // The sparse (gather-heavy BSR mix) and inference (chained-kernel
+    // NN mix) scenarios must replay byte-identically at any --threads,
+    // like every other scenario.
+    for name in ["sparse", "inference"] {
+        let scenario = scenario_by_name(name).unwrap();
+        let reference = outcome_json(&run_scenario(scenario, &opts(1)).unwrap()).render_pretty();
+        for threads in [4usize, 8] {
+            let got =
+                outcome_json(&run_scenario(scenario, &opts(threads)).unwrap()).render_pretty();
+            assert!(
+                got == reference,
+                "serve {name} at --threads {threads} diverged from the serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn extension_scenarios_complete_work_for_every_tenant() {
+    for name in ["sparse", "inference"] {
+        let scenario = scenario_by_name(name).unwrap();
+        let out = run_scenario(scenario, &opts(2)).unwrap();
+        assert_eq!(out.offered(), out.admitted() + out.rejected());
+        for t in &out.tenants {
+            assert!(t.completed > 0, "serve {name}: tenant {} completed nothing", t.name);
+        }
+    }
+}
+
+#[test]
 fn different_seeds_give_different_traffic() {
     let scenario = scenario_by_name("tiny").unwrap();
     let a = run_scenario(scenario, &opts(2)).unwrap();

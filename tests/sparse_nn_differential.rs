@@ -1,0 +1,105 @@
+//! Differential pinning of the extension families (sparse BSR and
+//! quantized NN-inference) across every executor path.
+//!
+//! The four extension kernels stress exactly the corners the dense suite
+//! does not: irregular gather DMA at data-dependent addresses (SpMV-BSR,
+//! SpMM-BSR) and *chained* kernel launches with host-side staging between
+//! phases (MLP-Q, ATTN). Each leg must produce byte-identical outputs —
+//! every workload validates its DPU results against the host oracle — and
+//! the naive, fast, and SoA-batched executors must agree on the full
+//! timing statistics, at 1, 8, and 16 tasklets.
+
+use pim_dpu::{DpuConfig, IlpFeatures};
+use prim_suite::{nn_workloads, sparse_workloads, DatasetSize, RunConfig, Workload};
+
+const TASKLETS: [u32; 3] = [1, 8, 16];
+
+fn extension_workloads() -> Vec<Box<dyn Workload>> {
+    let mut v = sparse_workloads();
+    v.extend(nn_workloads());
+    v
+}
+
+/// Runs one workload with both cycle loops and asserts validation passes
+/// and the per-DPU stats are identical field-for-field.
+fn assert_loops_agree(w: &dyn Workload, mode: &str, cfg: DpuConfig) {
+    let fast = w
+        .run(DatasetSize::Tiny, &RunConfig::single(cfg.clone()))
+        .unwrap_or_else(|e| panic!("{} [{mode}] optimized run failed: {e}", w.name()));
+    fast.validation
+        .as_ref()
+        .unwrap_or_else(|e| panic!("{} [{mode}] output failed validation: {e}", w.name()));
+    let naive = w
+        .run(DatasetSize::Tiny, &RunConfig::single(cfg.with_naive_loop()))
+        .unwrap_or_else(|e| panic!("{} [{mode}] naive run failed: {e}", w.name()));
+    naive
+        .validation
+        .as_ref()
+        .unwrap_or_else(|e| panic!("{} [{mode}] naive output failed validation: {e}", w.name()));
+    assert_eq!(fast.per_dpu.len(), naive.per_dpu.len(), "{} [{mode}]: DPU count differs", w.name());
+    for (i, (f, n)) in fast.per_dpu.iter().zip(&naive.per_dpu).enumerate() {
+        assert_eq!(
+            format!("{f:?}"),
+            format!("{n:?}"),
+            "{} [{mode}] dpu {i}: naive and fast loops disagree",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn extension_scalar_loop_matches_naive_reference() {
+    for w in extension_workloads() {
+        for n in TASKLETS {
+            assert_loops_agree(w.as_ref(), "scalar", DpuConfig::paper_baseline(n));
+        }
+    }
+}
+
+#[test]
+fn extension_ilp_loop_matches_naive_reference() {
+    for w in extension_workloads() {
+        for n in TASKLETS {
+            let cfg = DpuConfig::paper_baseline(n).with_ilp(IlpFeatures::all());
+            assert_loops_agree(w.as_ref(), "ilp", cfg);
+        }
+    }
+}
+
+/// 4 DPUs through the per-DPU path and the SoA batched executor
+/// (`batch_dpus = 3`: one 3-member batch plus a singleton). The chained
+/// kernels re-enter `run_batch` once per launch, so batch scheduling state
+/// must survive the host staging round-trips too.
+#[test]
+fn extension_batched_executor_matches_per_dpu_path() {
+    const DPUS: u32 = 4;
+    for w in extension_workloads() {
+        for n in TASKLETS {
+            let cfg = DpuConfig::paper_baseline(n);
+            let per_dpu = w
+                .run(DatasetSize::Tiny, &RunConfig::multi(DPUS, cfg.clone()))
+                .unwrap_or_else(|e| panic!("{} per-DPU run failed: {e}", w.name()));
+            let batched = w
+                .run(DatasetSize::Tiny, &RunConfig::multi(DPUS, cfg.with_batched(3)))
+                .unwrap_or_else(|e| panic!("{} batched run failed: {e}", w.name()));
+            batched
+                .validation
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{} batched output failed validation: {e}", w.name()));
+            assert_eq!(
+                per_dpu.per_dpu.len(),
+                batched.per_dpu.len(),
+                "{}: DPU count differs",
+                w.name()
+            );
+            for (i, (p, b)) in per_dpu.per_dpu.iter().zip(&batched.per_dpu).enumerate() {
+                assert_eq!(
+                    format!("{p:?}"),
+                    format!("{b:?}"),
+                    "{} dpu {i}: batched stats diverge from per-DPU path",
+                    w.name()
+                );
+            }
+        }
+    }
+}

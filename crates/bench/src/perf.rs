@@ -9,16 +9,26 @@
 //! stress the memory engine (`DMA-HEAVY`) and the scheduler's
 //! acquire/release retry path (`BARRIER-HEAVY`).
 //!
+//! Every workload is measured twice — once under the configured executor
+//! (the compiled tier in the paper baseline) and once forced onto the
+//! decoded fast loop — so each row carries the compiled-over-fast speedup
+//! alongside the absolute rates. Both legs must agree on the simulated
+//! instruction/cycle counts (asserted), which makes the bench itself a
+//! coarse differential check of the executor tiers.
+//!
 //! Results are written to `BENCH.json` so the perf trajectory is tracked
 //! across PRs; `--baseline OLD.json` prints per-workload speedups against
-//! a previous run, and CI validates the schema with `--quick`.
+//! a previous run **and turns them into a regression gate**: any workload
+//! whose instrs/sec drops more than 10% against the baseline (ignoring
+//! rows too fast to time reliably) fails the run with a nonzero exit.
+//! CI validates the schema with `--quick`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use pim_asm::{DpuProgram, KernelBuilder};
-use pim_dpu::{Dpu, DpuConfig, SimError};
+use pim_dpu::{Dpu, DpuConfig, ExecTier, SimError};
 use pim_isa::Cond;
 use pimulator::experiments as exp;
 use pimulator::jobs::SimJob;
@@ -28,7 +38,15 @@ use prim_suite::{extended_workloads, DatasetSize};
 use crate::{parse_size_value, size_label};
 
 /// Schema tag written to (and required in) `BENCH.json`.
-pub const BENCH_SCHEMA: &str = "pim-bench/1";
+pub const BENCH_SCHEMA: &str = "pim-bench/2";
+
+/// Rows whose wall time (in either run) falls under this threshold are
+/// exempt from the `--baseline` regression gate: sub-50ms measurements on
+/// quick-mode datasets are dominated by timer and allocator noise.
+pub const MIN_REGRESSION_WALL: f64 = 0.05;
+
+/// Maximum tolerated instrs/sec drop against the baseline (fractional).
+pub const MAX_REGRESSION: f64 = 0.10;
 
 /// Tasklet count every benchmark runs at (the paper's full-occupancy
 /// configuration).
@@ -48,8 +66,12 @@ pub struct Measurement {
     pub instructions: u64,
     /// Simulated core cycles (identical across reps).
     pub cycles: u64,
-    /// Median-of-k wall seconds.
+    /// Median-of-k wall seconds under the configured executor (the
+    /// compiled tier in the paper baseline).
     pub wall_seconds: f64,
+    /// Median-of-k wall seconds with the executor forced onto the decoded
+    /// fast loop ([`ExecTier::Fast`]); same simulated work by assertion.
+    pub wall_seconds_fast: f64,
 }
 
 impl Measurement {
@@ -63,6 +85,19 @@ impl Measurement {
     #[must_use]
     pub fn instrs_per_sec(&self) -> f64 {
         self.instructions as f64 / self.wall_seconds
+    }
+
+    /// Simulated instructions per wall-second on the fast-loop leg.
+    #[must_use]
+    pub fn instrs_per_sec_fast(&self) -> f64 {
+        self.instructions as f64 / self.wall_seconds_fast
+    }
+
+    /// Configured-executor throughput over fast-loop throughput (the
+    /// compiled-over-fast speedup in the paper baseline).
+    #[must_use]
+    pub fn compiled_speedup(&self) -> f64 {
+        self.wall_seconds_fast / self.wall_seconds
     }
 }
 
@@ -78,7 +113,8 @@ fn median(walls: &mut [f64]) -> f64 {
 }
 
 /// Measures one PrIM workload end-to-end (dataset staging, simulation,
-/// host transfers, and reference validation) `reps` times under `cfg`.
+/// host transfers, and reference validation) `reps` times under `cfg`,
+/// plus `reps` more with the executor forced onto the fast loop.
 ///
 /// # Errors
 ///
@@ -86,8 +122,10 @@ fn median(walls: &mut [f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if the workload name is unknown or the simulated cycle count is
-/// not identical across reps (the workloads are seeded and deterministic).
+/// Panics if the workload name is unknown or the simulated
+/// instruction/cycle counts are not identical across reps and executor
+/// tiers (the workloads are seeded and deterministic, and the tiers are
+/// byte-identical by construction).
 pub fn measure_prim(
     name: &str,
     size: DatasetSize,
@@ -95,19 +133,25 @@ pub fn measure_prim(
     reps: usize,
 ) -> Result<Measurement, SimError> {
     let job = SimJob::single(name, size, cfg.clone());
+    let fast_job = SimJob::single(name, size, cfg.clone().with_exec_tier(ExecTier::Fast));
     let mut walls = Vec::with_capacity(reps);
+    let mut walls_fast = Vec::with_capacity(reps);
     let mut sim: Option<(u64, u64)> = None;
+    let check = |got: (u64, u64), sim: &mut Option<(u64, u64)>| match *sim {
+        None => *sim = Some(got),
+        Some(prev) => {
+            assert_eq!(prev, got, "{name}: simulated work must not vary across reps/tiers");
+        }
+    };
     for _ in 0..reps.max(1) {
         let start = Instant::now();
         let out = job.execute()?;
         walls.push(start.elapsed().as_secs_f64());
-        let got = (out.stats.instructions, out.stats.cycles);
-        match sim {
-            None => sim = Some(got),
-            Some(prev) => {
-                assert_eq!(prev, got, "{name}: simulated work must not vary across reps");
-            }
-        }
+        check((out.stats.instructions, out.stats.cycles), &mut sim);
+        let start = Instant::now();
+        let out = fast_job.execute()?;
+        walls_fast.push(start.elapsed().as_secs_f64());
+        check((out.stats.instructions, out.stats.cycles), &mut sim);
     }
     let (instructions, cycles) = sim.expect("at least one rep ran");
     Ok(Measurement {
@@ -117,6 +161,7 @@ pub fn measure_prim(
         instructions,
         cycles,
         wall_seconds: median(&mut walls),
+        wall_seconds_fast: median(&mut walls_fast),
     })
 }
 
@@ -218,19 +263,31 @@ pub fn measure_synthetic(
     let program = synthetic_kernel(which, size, cfg.n_tasklets);
     let mut dpu = Dpu::new(cfg.clone());
     dpu.load_program(&program)?;
+    let mut fast_dpu = Dpu::new(cfg.clone().with_exec_tier(ExecTier::Fast));
+    fast_dpu.load_program(&program)?;
     let mut walls = Vec::with_capacity(reps);
+    let mut walls_fast = Vec::with_capacity(reps);
     let mut sim: Option<(u64, u64)> = None;
+    let check = |got: (u64, u64), sim: &mut Option<(u64, u64)>| match *sim {
+        None => *sim = Some(got),
+        Some(prev) => {
+            assert_eq!(
+                prev,
+                got,
+                "{}: simulated work must not vary across reps/tiers",
+                which.name()
+            );
+        }
+    };
     for _ in 0..reps.max(1) {
         let start = Instant::now();
         let stats = dpu.launch()?;
         walls.push(start.elapsed().as_secs_f64());
-        let got = (stats.instructions, stats.cycles);
-        match sim {
-            None => sim = Some(got),
-            Some(prev) => {
-                assert_eq!(prev, got, "{}: simulated work must not vary across reps", which.name());
-            }
-        }
+        check((stats.instructions, stats.cycles), &mut sim);
+        let start = Instant::now();
+        let stats = fast_dpu.launch()?;
+        walls_fast.push(start.elapsed().as_secs_f64());
+        check((stats.instructions, stats.cycles), &mut sim);
     }
     let (instructions, cycles) = sim.expect("at least one rep ran");
     Ok(Measurement {
@@ -240,6 +297,7 @@ pub fn measure_synthetic(
         instructions,
         cycles,
         wall_seconds: median(&mut walls),
+        wall_seconds_fast: median(&mut walls_fast),
     })
 }
 
@@ -459,8 +517,11 @@ pub fn bench_json(
                             ("instructions", Json::UInt(m.instructions)),
                             ("cycles", Json::UInt(m.cycles)),
                             ("wall_seconds", Json::from(m.wall_seconds)),
+                            ("wall_seconds_fast", Json::from(m.wall_seconds_fast)),
                             ("kilo_cycles_per_sec", Json::from(m.kilo_cycles_per_sec())),
                             ("instrs_per_sec", Json::from(m.instrs_per_sec())),
+                            ("instrs_per_sec_fast", Json::from(m.instrs_per_sec_fast())),
+                            ("compiled_speedup", Json::from(m.compiled_speedup())),
                         ])
                     })
                     .collect(),
@@ -530,7 +591,14 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
                 _ => return Err(format!("{name}: `{key}` must be a positive integer")),
             }
         }
-        for key in ["wall_seconds", "kilo_cycles_per_sec", "instrs_per_sec"] {
+        for key in [
+            "wall_seconds",
+            "wall_seconds_fast",
+            "kilo_cycles_per_sec",
+            "instrs_per_sec",
+            "instrs_per_sec_fast",
+            "compiled_speedup",
+        ] {
             match get(key) {
                 Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => {}
                 _ => return Err(format!("{name}: `{key}` must be a positive number")),
@@ -576,21 +644,48 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// Extracts `name → instrs_per_sec` from a validated `BENCH.json`.
-fn instr_rates(doc: &Json) -> Vec<(String, f64)> {
+/// Extracts `name → (instrs_per_sec, wall_seconds)` from a validated
+/// `BENCH.json`.
+fn instr_rates(doc: &Json) -> Vec<(String, f64, f64)> {
     let mut out = Vec::new();
     if let Json::Obj(top) = doc {
         if let Some((_, Json::Arr(rows))) = top.iter().find(|(k, _)| k == "workloads") {
             for row in rows {
                 if let Json::Obj(pairs) = row {
                     let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-                    if let (Some(Json::Str(name)), Some(Json::Num(ips))) =
-                        (get("name"), get("instrs_per_sec"))
+                    if let (Some(Json::Str(name)), Some(Json::Num(ips)), Some(Json::Num(wall))) =
+                        (get("name"), get("instrs_per_sec"), get("wall_seconds"))
                     {
-                        out.push((name.clone(), *ips));
+                        out.push((name.clone(), *ips, *wall));
                     }
                 }
             }
+        }
+    }
+    out
+}
+
+/// The `--baseline` regression gate: every workload present in both runs
+/// whose instrs/sec dropped more than [`MAX_REGRESSION`] against the
+/// baseline, as human-readable violation lines. Rows measured under
+/// [`MIN_REGRESSION_WALL`] seconds in either run are exempt — their wall
+/// time is timer noise, not executor throughput.
+#[must_use]
+pub fn regression_failures(rows: &[Measurement], baseline: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, base_ips, base_wall) in instr_rates(baseline) {
+        let Some(m) = rows.iter().find(|m| m.name == name) else {
+            continue;
+        };
+        if m.wall_seconds < MIN_REGRESSION_WALL || base_wall < MIN_REGRESSION_WALL {
+            continue;
+        }
+        let ips = m.instrs_per_sec();
+        if ips < base_ips * (1.0 - MAX_REGRESSION) {
+            out.push(format!(
+                "{name}: {ips:.0} instrs/s is {:.1}% below the baseline's {base_ips:.0}",
+                (1.0 - ips / base_ips) * 100.0
+            ));
         }
     }
     out
@@ -611,16 +706,18 @@ pub fn bench_table(
     for m in rows {
         let _ = write!(
             text,
-            "{:14} {:>12} instrs {:>12} cycles in {:>8.3}s = {:>10.1} Kcyc/s, {:>11.0} instrs/s",
+            "{:14} {:>12} instrs {:>12} cycles in {:>8.3}s = {:>10.1} Kcyc/s, {:>11.0} instrs/s \
+             ({:.2}x vs fast)",
             m.name,
             m.instructions,
             m.cycles,
             m.wall_seconds,
             m.kilo_cycles_per_sec(),
-            m.instrs_per_sec()
+            m.instrs_per_sec(),
+            m.compiled_speedup()
         );
         if let Some(rates) = &base_rates {
-            if let Some((_, old)) = rates.iter().find(|(n, _)| *n == m.name) {
+            if let Some((_, old, _)) = rates.iter().find(|(n, _, _)| *n == m.name) {
                 let _ = write!(text, "  ({:.2}x vs baseline)", m.instrs_per_sec() / old);
             }
         }
@@ -707,6 +804,24 @@ pub fn run_bench_with_args(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(base) = &baseline {
+        let failures = regression_failures(&rows, base);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("pimsim bench: REGRESSION {f}");
+            }
+            eprintln!(
+                "pimsim bench: {} workload(s) regressed more than {:.0}% vs the baseline",
+                failures.len(),
+                MAX_REGRESSION * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "baseline check OK (no workload regressed more than {:.0}%)",
+            MAX_REGRESSION * 100.0
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -754,8 +869,32 @@ mod tests {
                 instructions: 1000,
                 cycles: 2000,
                 wall_seconds: 0.5,
+                wall_seconds_fast: 0.75,
             })
             .collect()
+    }
+
+    #[test]
+    fn regression_gate_flags_slowdowns_and_skips_noise() {
+        let rows = example_rows();
+        let baseline = bench_json(DatasetSize::Tiny, 1, &rows, &example_rank());
+        // Identical run: nothing regresses.
+        assert!(regression_failures(&rows, &baseline).is_empty());
+        // 2x slower on one workload: flagged by name.
+        let mut slow = example_rows();
+        slow[0].wall_seconds = 1.0;
+        let failures = regression_failures(&slow, &baseline);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("VA"), "failure names the workload: {}", failures[0]);
+        // Same slowdown under the noise floor: exempt.
+        let mut noisy = example_rows();
+        for m in &mut noisy {
+            m.wall_seconds = MIN_REGRESSION_WALL / 10.0;
+        }
+        let noisy_base = bench_json(DatasetSize::Tiny, 1, &noisy, &example_rank());
+        let mut noisy_slow = noisy.clone();
+        noisy_slow[0].wall_seconds *= 2.0;
+        assert!(regression_failures(&noisy_slow, &noisy_base).is_empty());
     }
 
     #[test]

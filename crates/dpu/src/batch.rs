@@ -1,21 +1,25 @@
 //! Rank-scale batched execution: one structure-of-arrays executor advances
 //! many same-program DPUs per sweep.
 //!
-//! The execution stack is a three-level hierarchy:
+//! The execution stack is a multi-level hierarchy:
 //!
 //! 1. [`pim_isa::DecodedProgram`] — the pre-decoded side tables (source
 //!    masks, destinations, hazards) shared by every executor;
-//! 2. the per-DPU fast loop (`Dpu::run_scalar_fast`) — one DPU, one launch,
-//!    semantics unchanged;
-//! 3. this module — N same-program DPUs stepped out of one contiguous
-//!    state block.
+//! 2. the compiled kernel (`crate::compiled::CompiledKernel`) — the
+//!    threaded-code op table the per-DPU compiled loop executes, cached on
+//!    the [`Dpu`] across relaunches;
+//! 3. the per-DPU loops (`Dpu::run_scalar_fast` / `run_scalar_compiled`)
+//!    — one DPU, one launch, semantics unchanged;
+//! 4. this module — N same-program DPUs stepped out of one contiguous
+//!    state block, executing through the leader's compiled op table.
 //!
 //! The flattening PR 4 applied across tasklets is applied here across DPUs:
 //! the forwarding scoreboard becomes a single `Vec<u64>` indexed
 //! `d*T*24 + t*24 + r`, and every other per-tasklet array (`status`,
 //! `next_issue`, `ready_at`, `skip_dcache`) a single `Vec` indexed
-//! `d*T + t`. One program clone and one [`DecodedProgram`] serve the whole
-//! batch, per-DPU reset allocations disappear, and the working set a core
+//! `d*T + t`. One shared [`CompiledKernel`] (the leader's relaunch cache)
+//! serves the whole batch — no per-batch program clone or re-decode —
+//! per-DPU reset allocations disappear, and the working set a core
 //! touches while sweeping stays contiguous.
 //!
 //! DPUs share no architectural state during a kernel, so each batch member
@@ -52,10 +56,12 @@
 //! reference loop, event tracing) fall back to [`Dpu::launch`] per member,
 //! so [`run_batch`] is total over any population.
 
-use pim_cache::Cache;
-use pim_isa::{DecodedProgram, Instruction};
+use std::sync::Arc;
 
-use crate::config::MemoryMode;
+use pim_cache::Cache;
+
+use crate::compiled::{CompiledKernel, CompiledOp, F_LOAD, F_STORE};
+use crate::config::{ExecTier, MemoryMode};
 use crate::dpu::{Dpu, TaskletStatus};
 use crate::error::SimError;
 use crate::exec::Effect;
@@ -72,7 +78,7 @@ const NREGS: usize = pim_isa::NUM_GP_REGS as usize;
 pub fn soa_eligible(dpu: &Dpu) -> bool {
     dpu.program.is_some()
         && dpu.cfg.simt.is_none()
-        && !dpu.cfg.naive_loop
+        && dpu.cfg.effective_exec_tier() != ExecTier::Naive
         && dpu.cfg.event_trace_capacity == 0
 }
 
@@ -114,11 +120,12 @@ pub fn run_batch(dpus: &mut [Dpu]) -> Vec<Result<DpuRunStats, SimError>> {
     results.into_iter().map(|r| r.expect("every DPU got a result")).collect()
 }
 
-/// Batch-wide immutable context: the shared program, its decoded side
-/// tables, and every configuration-derived constant of the fast loop.
+/// Batch-wide immutable context: the leader's compiled kernel (program,
+/// decoded side tables, and threaded-code op table, shared via the
+/// relaunch cache) and every configuration-derived constant of the fast
+/// loop.
 struct BatchShared {
-    instrs: Vec<Instruction>,
-    decoded: DecodedProgram,
+    kernel: Arc<CompiledKernel>,
     n_instrs: u32,
     /// Tasklets per DPU (uniform across the batch).
     n: usize,
@@ -146,7 +153,7 @@ impl BatchShared {
         if !self.fwd {
             return 0;
         }
-        match self.decoded.get(pc) {
+        match self.kernel.decoded.get(pc) {
             Some(d) => {
                 let mut mask = d.src_mask;
                 let mut latest = 0u64;
@@ -217,12 +224,10 @@ fn run_group(group: &mut [Dpu], out: &mut [Option<Result<DpuRunStats, SimError>>
         oracles.push(dpu.build_oracle());
     }
 
-    let program = group[0].program.clone().expect("eligibility requires a program");
-    let decoded = DecodedProgram::decode(&program.instrs);
+    let kernel = group[0].kernel_artifacts();
     let sh = BatchShared {
-        n_instrs: program.instrs.len() as u32,
-        instrs: program.instrs,
-        decoded,
+        n_instrs: kernel.instrs.len() as u32,
+        kernel,
         n,
         fwd: cfg.ilp.data_forwarding,
         unified_rf: cfg.ilp.unified_rf,
@@ -445,9 +450,8 @@ fn run_lockstep(
                 }
                 return LockstepEnd::Finished;
             }
-            let instr = sh.instrs[pc as usize];
-            let dec = *sh.decoded.get(pc).expect("pc bounds-checked above");
-            let hazard = if sh.unified_rf { 0 } else { u64::from(dec.rf_hazard) };
+            let op = sh.kernel.ops[pc as usize];
+            let hazard = if sh.unified_rf { 0 } else { u64::from(op.rf_hazard) };
             #[cfg(feature = "mutation-hooks")]
             let hazard = if sh.drop_rf_hazard { 0 } else { hazard };
             if stats[0].trace.len() < sh.trace_limit {
@@ -455,12 +459,12 @@ fn run_lockstep(
                     cycle: now,
                     tasklet: t as u32,
                     pc,
-                    text: instr.to_string(),
+                    text: sh.kernel.instrs[pc as usize].to_string(),
                 });
             }
             effects.clear();
             for dpu in group.iter_mut() {
-                effects.push(dpu.state.execute(t as u32, &instr));
+                effects.push((op.exec)(&mut dpu.state, t as u32, pc, &op));
             }
             let convergent = match &effects[0] {
                 Ok(e0) => effects[1..].iter().all(|r| matches!(r, Ok(e) if e == e0)),
@@ -477,7 +481,7 @@ fn run_lockstep(
                     &mut effects,
                     t,
                     pc,
-                    dec,
+                    op,
                     hazard,
                     start,
                     k + 1,
@@ -489,11 +493,11 @@ fn run_lockstep(
                 Ok(e) => e,
                 Err(_) => unreachable!("convergence implies every member is Ok"),
             };
-            stats[0].count_instruction(dec.class, t as u32);
+            stats[0].count_instruction_idx(op.class_idx as usize, t as u32);
             st.next_issue[t] = now + sh.gap;
             if sh.fwd {
-                if let Some(rd) = dec.dst {
-                    let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+                if let Some(rd) = op.dst() {
+                    let lat = if op.is_load() { sh.fwd_load } else { sh.fwd_alu };
                     st.reg_ready[t * NREGS + rd as usize] = now + lat;
                 }
             }
@@ -565,7 +569,7 @@ fn diverge_and_finish_cycle(
     effects: &mut Vec<Result<Effect, SimError>>,
     t: usize,
     pc: u32,
-    dec: pim_isa::DecodedInstr,
+    op: CompiledOp,
     hazard: u64,
     start: usize,
     next_k: usize,
@@ -602,11 +606,11 @@ fn diverge_and_finish_cycle(
         let rb = d * n * NREGS;
         // Post-execute bookkeeping of the divergent instruction with this
         // member's own effect (the tail of `step_dpu`'s issue body).
-        stats[d].count_instruction(dec.class, t as u32);
+        stats[d].count_instruction_idx(op.class_idx as usize, t as u32);
         st.next_issue[tb + t] = now + sh.gap;
         if sh.fwd {
-            if let Some(rd) = dec.dst {
-                let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+            if let Some(rd) = op.dst() {
+                let lat = if op.is_load() { sh.fwd_load } else { sh.fwd_alu };
                 st.reg_ready[rb + t * NREGS + rd as usize] = now + lat;
             }
         }
@@ -698,9 +702,8 @@ fn finish_cycle_tail(
         if pc >= sh.n_instrs {
             return Err(SimError::PcOutOfRange { pc, tasklet: t as u32 });
         }
-        let instr = sh.instrs[pc as usize];
-        let dec = *sh.decoded.get(pc).expect("pc bounds-checked above");
-        let hazard = if sh.unified_rf { 0 } else { u64::from(dec.rf_hazard) };
+        let op = sh.kernel.ops[pc as usize];
+        let hazard = if sh.unified_rf { 0 } else { u64::from(op.rf_hazard) };
         #[cfg(feature = "mutation-hooks")]
         let hazard = if sh.drop_rf_hazard { 0 } else { hazard };
         if stats.trace.len() < sh.trace_limit {
@@ -708,15 +711,15 @@ fn finish_cycle_tail(
                 cycle: now,
                 tasklet: t as u32,
                 pc,
-                text: instr.to_string(),
+                text: sh.kernel.instrs[pc as usize].to_string(),
             });
         }
-        let effect = dpu.state.execute(t as u32, &instr)?;
-        stats.count_instruction(dec.class, t as u32);
+        let effect = (op.exec)(&mut dpu.state, t as u32, pc, &op)?;
+        stats.count_instruction_idx(op.class_idx as usize, t as u32);
         st.next_issue[tb + t] = now + sh.gap;
         if sh.fwd {
-            if let Some(rd) = dec.dst {
-                let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+            if let Some(rd) = op.dst() {
+                let lat = if op.is_load() { sh.fwd_load } else { sh.fwd_alu };
                 st.reg_ready[rb + t * NREGS + rd as usize] = now + lat;
             }
         }
@@ -860,14 +863,17 @@ fn step_dpu(
                 continue;
             }
         }
-        let instr = sh.instrs[pc as usize];
-        let dec = *sh.decoded.get(pc).expect("pc bounds-checked above");
-        if sh.cached && dec.is_dma {
+        let op = sh.kernel.ops[pc as usize];
+        if sh.cached && op.is_dma() {
             return Err(SimError::DmaInCachedMode { pc, tasklet: t as u32 });
         }
-        // Data access through the D-cache (cache-centric mode).
+        // Data access through the D-cache (cache-centric mode). The
+        // effective address comes from the pre-extracted base/offset
+        // (identical to `ArchState::ls_addr` on the instruction).
         if let Some(dc) = dcache.as_mut() {
-            if let Some((addr, write)) = dpu.state.ls_addr(t as u32, &instr) {
+            if op.flags & (F_LOAD | F_STORE) != 0 {
+                let addr = dpu.state.regs[t][op.b as usize].wrapping_add(op.imm as u32);
+                let write = op.flags & F_STORE != 0;
                 if st.skip_dcache[tb + t] {
                     st.skip_dcache[tb + t] = false;
                 } else {
@@ -895,7 +901,7 @@ fn step_dpu(
             }
         }
         // Register-file structural hazard (even/odd banks).
-        let hazard = if sh.unified_rf { 0 } else { u64::from(dec.rf_hazard) };
+        let hazard = if sh.unified_rf { 0 } else { u64::from(op.rf_hazard) };
         #[cfg(feature = "mutation-hooks")]
         let hazard = if sh.drop_rf_hazard { 0 } else { hazard };
         if stats.trace.len() < sh.trace_limit {
@@ -903,15 +909,15 @@ fn step_dpu(
                 cycle: now,
                 tasklet: t as u32,
                 pc,
-                text: instr.to_string(),
+                text: sh.kernel.instrs[pc as usize].to_string(),
             });
         }
-        let effect = dpu.state.execute(t as u32, &instr)?;
-        stats.count_instruction(dec.class, t as u32);
+        let effect = (op.exec)(&mut dpu.state, t as u32, pc, &op)?;
+        stats.count_instruction_idx(op.class_idx as usize, t as u32);
         st.next_issue[tb + t] = now + sh.gap;
         if sh.fwd {
-            if let Some(rd) = dec.dst {
-                let lat = if dec.is_load { sh.fwd_load } else { sh.fwd_alu };
+            if let Some(rd) = op.dst() {
+                let lat = if op.is_load() { sh.fwd_load } else { sh.fwd_alu };
                 st.reg_ready[rb + t * NREGS + rd as usize] = now + lat;
             }
         }

@@ -128,6 +128,29 @@ impl Default for DmaConfig {
     }
 }
 
+/// Which scalar executor runs a launch. All tiers produce byte-identical
+/// simulated statistics by construction — the tier is purely a
+/// simulator-speed switch, pinned by the differential suites and the
+/// pim-fuzz gauntlet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTier {
+    /// The reference per-cycle loop: re-derives every scheduling fact from
+    /// the [`pim_isa::Instruction`] enum each cycle, advances the memory
+    /// engine every iteration. Slow; exists so the other tiers have a
+    /// simple executor to be differentially tested against.
+    Naive,
+    /// The pre-decoded loop (PR 4): launch-time [`pim_isa::DecodedProgram`]
+    /// side tables, event-driven tasklet wakeup, allocation-free steady
+    /// state.
+    Fast,
+    /// The block-compiled loop (the default): the program is split into
+    /// basic blocks and lowered once per load into a flat table of
+    /// monomorphic op functions with pre-extracted operands, so the
+    /// steady-state loop dispatches with one indexed load and one indirect
+    /// call — no `Instruction` match, no per-launch re-decode.
+    Compiled,
+}
+
 /// Full configuration of one simulated DPU (paper Table I defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DpuConfig {
@@ -185,8 +208,15 @@ pub struct DpuConfig {
     /// tables, no event-driven wakeup caching, and the memory engine is
     /// advanced every iteration. Timing-identical to the optimized loop by
     /// construction — exists only so differential tests can pin that
-    /// equivalence. Slow; never enable outside tests.
+    /// equivalence. Slow; never enable outside tests. Kept alongside
+    /// [`DpuConfig::exec_tier`] for compatibility: when set it overrides
+    /// the tier to [`ExecTier::Naive`] (see
+    /// [`DpuConfig::effective_exec_tier`]).
     pub naive_loop: bool,
+    /// Which scalar executor runs launches (see [`ExecTier`]). Defaults to
+    /// [`ExecTier::Compiled`]; simulated counts are byte-identical across
+    /// tiers.
+    pub exec_tier: ExecTier,
     /// Maximum DPUs per batch of the rank-scale SoA batch executor
     /// (`pim_dpu::batch`). 0 (the default) keeps every launch on the
     /// per-DPU path; a positive value makes host-side set launches
@@ -227,6 +257,7 @@ impl DpuConfig {
             event_trace_capacity: 0,
             oracle_check: false,
             naive_loop: false,
+            exec_tier: ExecTier::Compiled,
             batch_dpus: 0,
         }
     }
@@ -237,6 +268,28 @@ impl DpuConfig {
     pub fn with_naive_loop(mut self) -> Self {
         self.naive_loop = true;
         self
+    }
+
+    /// Selects the scalar executor tier (see [`ExecTier`]). Keeps the
+    /// legacy [`DpuConfig::naive_loop`] flag consistent so code reading
+    /// either field observes the same choice.
+    #[must_use]
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = tier;
+        self.naive_loop = tier == ExecTier::Naive;
+        self
+    }
+
+    /// The tier a launch actually runs under: [`DpuConfig::naive_loop`]
+    /// (the older switch) overrides [`DpuConfig::exec_tier`] to
+    /// [`ExecTier::Naive`].
+    #[must_use]
+    pub fn effective_exec_tier(&self) -> ExecTier {
+        if self.naive_loop {
+            ExecTier::Naive
+        } else {
+            self.exec_tier
+        }
     }
 
     /// Routes host-side set launches through the SoA batch executor with

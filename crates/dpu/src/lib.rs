@@ -55,6 +55,7 @@
 //! ```
 
 pub mod batch;
+mod compiled;
 pub mod config;
 pub mod dpu;
 pub mod error;
@@ -68,7 +69,9 @@ pub mod stats;
 pub mod tenancy;
 
 pub use batch::{run_batch, soa_eligible};
-pub use config::{DmaConfig, DpuConfig, IlpFeatures, MemoryMode, SimtConfig, MAX_TASKLETS};
+pub use config::{
+    DmaConfig, DpuConfig, ExecTier, IlpFeatures, MemoryMode, SimtConfig, MAX_TASKLETS,
+};
 pub use dpu::Dpu;
 pub use error::SimError;
 pub use fault::FaultKind;

@@ -20,7 +20,6 @@
 //! the DRAM row open), and scratchpad accesses falling in the same 64 B
 //! segment share one port slot instead of serializing per lane.
 
-use pim_isa::DecodedProgram;
 use pim_trace::{StallCause, TraceEvent, TraceSink};
 
 use crate::dpu::{Dpu, TaskletStatus};
@@ -51,9 +50,11 @@ pub(crate) fn run_simt<S: TraceSink>(
     let simt = cfg.simt.expect("run_simt requires a SIMT config");
     let width = simt.warp_width as usize;
     let n = cfg.n_tasklets as usize;
-    let program = dpu.program.clone().expect("checked in launch");
-    let decoded = DecodedProgram::decode(&program.instrs);
-    let n_instrs = program.instrs.len() as u32;
+    // Cached launch artifacts: the instruction stream and decoded side
+    // table are built once per program load, not once per launch.
+    let kernel = dpu.kernel_artifacts();
+    let decoded = &kernel.decoded;
+    let n_instrs = kernel.instrs.len() as u32;
     let unified_rf = cfg.ilp.unified_rf;
     let fwd_alu = u64::from(cfg.forward_alu_latency);
     let fwd_load = u64::from(cfg.forward_load_latency);
@@ -234,7 +235,7 @@ pub(crate) fn run_simt<S: TraceSink>(
                 .unwrap_or(warps[wi].lanes.start);
             return Err(SimError::PcOutOfRange { pc, tasklet: lane as u32 });
         }
-        let instr = program.instrs[pc as usize];
+        let instr = kernel.instrs[pc as usize];
         let d = *decoded.get(pc).expect("pc bounds-checked above");
         active.clear();
         active.extend(

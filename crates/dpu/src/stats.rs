@@ -168,8 +168,15 @@ impl DpuRunStats {
 
     /// Records one executed instruction of the given class for `tasklet`.
     pub(crate) fn count_instruction(&mut self, class: InstrClass, tasklet: u32) {
-        self.instructions += 1;
         let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.count_instruction_idx(idx, tasklet);
+    }
+
+    /// [`DpuRunStats::count_instruction`] with the [`InstrClass::ALL`]
+    /// index pre-computed (the block-compiled executor stores it in the op
+    /// table so the hot path skips the class scan). Identical accounting.
+    pub(crate) fn count_instruction_idx(&mut self, idx: usize, tasklet: u32) {
+        self.instructions += 1;
         self.class_counts[idx] += 1;
         if let Some(slot) = self.per_tasklet_instructions.get_mut(tasklet as usize) {
             *slot += 1;

@@ -1,5 +1,5 @@
 //! The conformance gauntlet: every case runs under all executors and must
-//! satisfy five metamorphic invariants.
+//! satisfy six metamorphic invariants.
 //!
 //! 1. **Oracle equality** — final WRAM/MRAM match the timing-free
 //!    `pim-ref` interpreter byte-for-byte.
@@ -7,12 +7,15 @@
 //!    [`pim_dpu::DpuRunStats`] (cycles, idle attribution, mixes, traces)
 //!    is identical to the naive per-cycle reference loop's (scalar and
 //!    ILP modes; SIMT has a single implementation).
-//! 3. **Sink invisibility** — attaching a `RingSink` event trace changes
+//! 3. **Compiled/fast equality** — the block-compiled threaded-code loop
+//!    (the default tier, exercised by the primary run) and the decoded
+//!    fast loop produce identical stats and memory images.
+//! 4. **Sink invisibility** — attaching a `RingSink` event trace changes
 //!    nothing about the simulated run: the stats render identically.
-//! 4. **Schedule invariance** — re-running the oracle with a *reversed*
+//! 5. **Schedule invariance** — re-running the oracle with a *reversed*
 //!    tasklet service order leaves the same final memory image (the
 //!    generator only emits schedule-independent programs).
-//! 5. **Batch equality** — running the case through the SoA batched
+//! 6. **Batch equality** — running the case through the SoA batched
 //!    executor ([`pim_dpu::run_batch`], the rank-scale path) produces the
 //!    same `DpuRunStats` rendering and WRAM/MRAM image as the per-DPU
 //!    launch, for every batch member.
@@ -23,7 +26,7 @@
 //! conformance failures.
 
 use crate::FuzzCase;
-use pim_dpu::{Dpu, DpuConfig, DpuRunStats};
+use pim_dpu::{Dpu, DpuConfig, DpuRunStats, ExecTier};
 use pim_ref::RefInterpreter;
 use pim_trace::{DpuTrace, MetricsSink};
 
@@ -41,13 +44,16 @@ pub const MRAM_COMPARE: u32 = 128 * 1024;
 /// Ring capacity used for the sink-invisibility run.
 const RING_CAPACITY: usize = 1 << 16;
 
-/// The five conformance invariants.
+/// The six conformance invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Invariant {
     /// Final memory equals the `pim-ref` oracle's.
     OracleEquality,
     /// Naive and fast cycle loops produce identical stats.
     NaiveFastEquality,
+    /// The block-compiled loop and the fast loop produce identical stats
+    /// and memory images.
+    CompiledFastEquality,
     /// Event tracing does not perturb the simulation.
     SinkInvisibility,
     /// Final memory is independent of the oracle's service order.
@@ -58,9 +64,10 @@ pub enum Invariant {
 
 impl Invariant {
     /// All invariants, in gauntlet order.
-    pub const ALL: [Invariant; 5] = [
+    pub const ALL: [Invariant; 6] = [
         Invariant::OracleEquality,
         Invariant::NaiveFastEquality,
+        Invariant::CompiledFastEquality,
         Invariant::SinkInvisibility,
         Invariant::ScheduleInvariance,
         Invariant::BatchEquality,
@@ -72,6 +79,7 @@ impl Invariant {
         match self {
             Invariant::OracleEquality => "oracle",
             Invariant::NaiveFastEquality => "naive-fast",
+            Invariant::CompiledFastEquality => "compiled-fast",
             Invariant::SinkInvisibility => "sink",
             Invariant::ScheduleInvariance => "schedule",
             Invariant::BatchEquality => "batch",
@@ -197,7 +205,7 @@ fn run_oracle(
     Ok(())
 }
 
-/// Runs one case through all five invariants.
+/// Runs one case through all six invariants.
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
@@ -255,7 +263,47 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
         }
     }
 
-    // Invariant 3: attaching an event-trace ring is invisible.
+    // Invariant 3: the decoded fast loop agrees with the block-compiled
+    // loop (the default tier, so the primary run above is compiled). The
+    // memory comparison matters here: the two loops share the scheduler
+    // shape but execute through different instruction implementations.
+    if case.mode.has_naive_loop() {
+        let fastloop = match run_once(case, case.config().with_exec_tier(ExecTier::Fast)) {
+            Ok(r) => r,
+            Err(e) => {
+                return CheckOutcome::Fail(Failure {
+                    invariant: Invariant::CompiledFastEquality,
+                    detail: format!("fast loop faulted where the compiled loop ran clean: {e}"),
+                });
+            }
+        };
+        if fastloop.stats_debug != fast.stats_debug {
+            return CheckOutcome::Fail(Failure {
+                invariant: Invariant::CompiledFastEquality,
+                detail: format!(
+                    "stats diverged (compiled {} vs fast {} cycles): {}",
+                    fast.cycles,
+                    fastloop.cycles,
+                    first_line_diff(&fast.stats_debug, &fastloop.stats_debug)
+                ),
+            });
+        }
+        for (name, got, want) in
+            [("WRAM", &fastloop.wram, &fast.wram), ("MRAM", &fastloop.mram, &fast.mram)]
+        {
+            if let Some(at) = first_diff(got, want) {
+                return CheckOutcome::Fail(Failure {
+                    invariant: Invariant::CompiledFastEquality,
+                    detail: format!(
+                        "{name} diverged at {at:#x}: fast {:#04x}, compiled {:#04x}",
+                        got[at], want[at]
+                    ),
+                });
+            }
+        }
+    }
+
+    // Invariant 4: attaching an event-trace ring is invisible.
     let ring = match run_once(case, case.config().with_event_trace(RING_CAPACITY)) {
         Ok(r) => r,
         Err(e) => {
@@ -275,7 +323,7 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
         });
     }
 
-    // Invariant 4: a reversed oracle service order reaches the same
+    // Invariant 5: a reversed oracle service order reaches the same
     // memory image (schedule independence).
     let mut reversed = RefInterpreter::new(&case.program, case.tasklets);
     let order: Vec<u32> = (0..case.tasklets).rev().collect();
@@ -299,7 +347,7 @@ pub fn run_gauntlet(case: &FuzzCase) -> CheckOutcome {
         }
     }
 
-    // Invariant 5: the SoA batched executor (the rank-scale path) matches
+    // Invariant 6: the SoA batched executor (the rank-scale path) matches
     // the per-DPU launch member-for-member. Two members with identical
     // state exercise the lockstep fast path end to end; SIMT and traced
     // configurations fall back to per-DPU launches inside `run_batch` and

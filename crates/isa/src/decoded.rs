@@ -81,6 +81,107 @@ impl DecodedProgram {
     }
 }
 
+/// Basic-block structure over a program's instruction stream.
+///
+/// A *leader* starts a block: instruction 0, every static control-transfer
+/// target, and every fall-through successor of a control transfer (or of
+/// `stop`, which ends a tasklet). `jr` targets are runtime values, but they
+/// can only be `jal` link addresses — and the instruction after a `jal` is
+/// already a leader — so the static leader set covers every reachable block
+/// entry. Blocks are the contiguous half-open spans between leaders.
+///
+/// The block map is the unit of the launch-time compiler in `pim-dpu`:
+/// each block's instructions are compiled together into a span of the flat
+/// op table, and `block_of` lets per-block artifacts (op spans, accounting
+/// attribution) be looked up from any PC in one flat load.
+#[derive(Debug, Clone, Default)]
+pub struct BlockMap {
+    /// `block_of[pc]` = id of the block containing `pc`.
+    block_of: Vec<u32>,
+    /// Per-block `[start, end)` instruction-index spans, in program order.
+    spans: Vec<(u32, u32)>,
+}
+
+impl BlockMap {
+    /// Builds the basic-block partition of an instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more than `u32::MAX` instructions (far
+    /// beyond any IRAM).
+    #[must_use]
+    pub fn build(instrs: &[Instruction]) -> Self {
+        let n = instrs.len();
+        assert!(u32::try_from(n).is_ok(), "program too large for a block map");
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, instr) in instrs.iter().enumerate() {
+            let target = match *instr {
+                Instruction::Branch { target, .. }
+                | Instruction::Jump { target }
+                | Instruction::Jal { target, .. } => Some(target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+            let ends_block =
+                target.is_some() || matches!(instr, Instruction::Jr { .. } | Instruction::Stop);
+            if ends_block && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+        let mut block_of = vec![0u32; n];
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for (pc, &lead) in leader.iter().enumerate() {
+            if lead {
+                if let Some(last) = spans.last_mut() {
+                    last.1 = pc as u32;
+                }
+                spans.push((pc as u32, n as u32));
+            }
+            block_of[pc] = (spans.len() - 1) as u32;
+        }
+        BlockMap { block_of, spans }
+    }
+
+    /// The id of the basic block containing instruction index `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    #[must_use]
+    pub fn block_of(&self, pc: u32) -> u32 {
+        self.block_of[pc as usize]
+    }
+
+    /// The `[start, end)` instruction-index span of block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[must_use]
+    pub fn span(&self, block: u32) -> (u32, u32) {
+        self.spans[block as usize]
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the program (and hence the block map) is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
 /// Debug-build check that a decoded entry agrees with the enum-derived
 /// facts (used by the differential tests).
 #[must_use]
@@ -175,5 +276,53 @@ mod tests {
         let prog = DecodedProgram::decode(&[]);
         assert!(prog.is_empty());
         assert!(prog.get(0).is_none());
+    }
+
+    #[test]
+    fn block_map_partitions_at_control_transfers() {
+        // 0: movi        — leader (entry)
+        // 1: branch →4   — ends its block
+        // 2: add         — leader (fall-through of branch)
+        // 3: jump →0     — ends its block
+        // 4: stop        — leader (branch target)
+        let instrs = vec![
+            Instruction::Movi { rd: Reg::r(0), imm: 1 },
+            Instruction::Branch { cond: Cond::Eq, ra: Reg::r(0), rb: Operand::Imm(0), target: 4 },
+            Instruction::Alu { op: AluOp::Add, rd: Reg::r(1), ra: Reg::r(0), rb: Operand::Imm(1) },
+            Instruction::Jump { target: 0 },
+            Instruction::Stop,
+        ];
+        let map = BlockMap::build(&instrs);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.span(0), (0, 2));
+        assert_eq!(map.span(1), (2, 4));
+        assert_eq!(map.span(2), (4, 5));
+        assert_eq!(map.block_of(1), 0);
+        assert_eq!(map.block_of(2), 1);
+        assert_eq!(map.block_of(4), 2);
+    }
+
+    #[test]
+    fn block_boundaries_cover_every_shape_in_the_sample() {
+        let instrs = sample_instrs();
+        let map = BlockMap::build(&instrs);
+        assert!(!map.is_empty());
+        // Spans tile the program exactly, in order.
+        let mut next = 0u32;
+        for b in 0..map.len() as u32 {
+            let (start, end) = map.span(b);
+            assert_eq!(start, next, "block {b} starts where the previous ended");
+            assert!(end > start, "block {b} is non-empty");
+            for pc in start..end {
+                assert_eq!(map.block_of(pc), b);
+            }
+            next = end;
+        }
+        assert_eq!(next as usize, instrs.len());
+    }
+
+    #[test]
+    fn empty_program_has_no_blocks() {
+        assert!(BlockMap::build(&[]).is_empty());
     }
 }

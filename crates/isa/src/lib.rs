@@ -40,7 +40,7 @@ pub mod instr;
 pub mod layout;
 pub mod reg;
 
-pub use decoded::{DecodedInstr, DecodedProgram};
+pub use decoded::{BlockMap, DecodedInstr, DecodedProgram};
 pub use encode::DecodeError;
 pub use instr::{AluOp, Cond, InstrClass, Instruction, Operand, Width};
 pub use layout::{AddressSpace, MemLayout};

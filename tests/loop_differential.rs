@@ -1,45 +1,59 @@
-//! Differential pinning of the optimized DPU cycle loop against the naive
-//! per-cycle reference.
+//! Differential pinning of the optimized DPU executor tiers against the
+//! naive per-cycle reference.
 //!
-//! The optimized scheduler (pre-decoded side tables, event-driven wakeup,
-//! allocation-free steady state) must be *timing-invisible*: every
+//! The optimized executors — the decoded fast loop (pre-decoded side
+//! tables, event-driven wakeup, allocation-free steady state) and the
+//! block-compiled threaded-code loop — must be *timing-invisible*: every
 //! simulated quantity — cycle counts, idle attribution, instruction mixes,
 //! the trace itself — has to match what the straightforward
-//! scan-everything-every-cycle loop computes. `DpuConfig::naive_loop`
-//! keeps that reference loop alive so this suite can assert full
-//! `DpuRunStats` equality over the whole PrIM suite, across tasklet
-//! counts and pipeline modes.
+//! scan-everything-every-cycle loop computes. [`ExecTier`] keeps all three
+//! loops alive so this suite can assert full `DpuRunStats` equality over
+//! the whole extended PrIM suite (naive × fast × compiled, across tasklet
+//! counts and pipeline modes).
 
-use pim_dpu::{DpuConfig, IlpFeatures};
-use prim_suite::{all_workloads, DatasetSize, RunConfig, Workload};
+use pim_dpu::{DpuConfig, ExecTier, IlpFeatures};
+use prim_suite::{all_workloads, extended_workloads, DatasetSize, RunConfig, Workload};
 
 const TASKLETS: [u32; 3] = [1, 8, 16];
 
-/// Runs one workload under `cfg` with both loops and asserts the per-DPU
-/// stats are identical field-for-field (via the `Debug` rendering, which
-/// covers every stat including traces and f64 idle attribution).
+/// The three scalar executor tiers, with leg labels.
+const TIERS: [(&str, ExecTier); 3] =
+    [("naive", ExecTier::Naive), ("fast", ExecTier::Fast), ("compiled", ExecTier::Compiled)];
+
+/// Runs one workload under `cfg` through every executor tier and asserts
+/// the per-DPU stats are identical field-for-field (via the `Debug`
+/// rendering, which covers every stat including traces and f64 idle
+/// attribution).
 fn assert_loops_agree(w: &dyn Workload, mode: &str, cfg: DpuConfig) {
-    let fast = w
-        .run(DatasetSize::Tiny, &RunConfig::single(cfg.clone()))
-        .unwrap_or_else(|e| panic!("{} [{mode}] optimized run failed: {e}", w.name()));
-    let naive = w
-        .run(DatasetSize::Tiny, &RunConfig::single(cfg.with_naive_loop()))
-        .unwrap_or_else(|e| panic!("{} [{mode}] naive run failed: {e}", w.name()));
-    assert_eq!(fast.per_dpu.len(), naive.per_dpu.len(), "{} [{mode}]: DPU count differs", w.name());
-    for (i, (f, n)) in fast.per_dpu.iter().zip(&naive.per_dpu).enumerate() {
-        assert_eq!(f.cycles, n.cycles, "{} [{mode}] dpu {i}: cycle counts differ", w.name());
+    let mut rendered: Vec<(&str, Vec<String>)> = Vec::new();
+    for (tier_name, tier) in TIERS {
+        let out = w
+            .run(DatasetSize::Tiny, &RunConfig::single(cfg.clone().with_exec_tier(tier)))
+            .unwrap_or_else(|e| panic!("{} [{mode}/{tier_name}] run failed: {e}", w.name()));
+        rendered.push((tier_name, out.per_dpu.iter().map(|s| format!("{s:?}")).collect()));
+    }
+    let (first_tier, first) = &rendered[0];
+    for (tier, stats) in &rendered[1..] {
         assert_eq!(
-            format!("{f:?}"),
-            format!("{n:?}"),
-            "{} [{mode}] dpu {i}: stats differ beyond cycles",
+            first.len(),
+            stats.len(),
+            "{} [{mode}]: DPU count differs between {first_tier} and {tier}",
+            w.name()
+        );
+        assert_eq!(
+            first,
+            stats,
+            "{} [{mode}]: per-DPU stats diverge between {first_tier} and {tier}",
             w.name()
         );
     }
 }
 
 #[test]
-fn scalar_loop_matches_naive_reference() {
-    for w in all_workloads() {
+fn scalar_tiers_match_naive_reference() {
+    // The full naive × fast × compiled cross product over every workload
+    // in the extended suite (dense PrIM + sparse BSR + quantized NN).
+    for w in extended_workloads() {
         for n in TASKLETS {
             assert_loops_agree(w.as_ref(), "scalar", DpuConfig::paper_baseline(n));
         }

@@ -12,6 +12,7 @@
 //! thin wrappers over [`run_with_args`].
 
 pub mod perf;
+pub mod tune;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -74,6 +75,11 @@ pub struct ExpContext {
     pub rt: JobRunner,
     /// Dataset size to run at.
     pub size: DatasetSize,
+    /// Tuned-config table from `--tuned FILE`, when given. Experiments
+    /// that sweep execution shapes (e.g. `exp_transfer_study`) take
+    /// their per-workload `(tasklets, n_dpus)` from it instead of the
+    /// built-in defaults.
+    pub tuned: Option<tune::TunedTable>,
 }
 
 /// What an experiment produces: the full human-readable text (header line
@@ -207,6 +213,12 @@ pub fn experiments() -> &'static [Experiment] {
             run: run_sparse_nn,
         },
         Experiment {
+            name: "exp_transfer_study",
+            title: "Channel study: blocking vs broadcast vs overlapped host transfers",
+            default_size: DatasetSize::Tiny,
+            run: run_transfer_study,
+        },
+        Experiment {
             name: "exp_sim_rate",
             title: "\u{a7}III-D: simulation rate",
             default_size: DatasetSize::SingleDpu,
@@ -246,6 +258,10 @@ pub struct DriverOptions {
     /// `--trace FILE`: run with event tracing and write a Chrome
     /// trace-event document there (parent directories are created).
     pub trace: Option<PathBuf>,
+    /// `--tuned FILE`: tuned-config table from `pimsim tune`, loaded
+    /// (and schema-checked) at parse time so a stale or malformed table
+    /// fails before any simulation runs.
+    pub tuned: Option<tune::TunedTable>,
 }
 
 impl DriverOptions {
@@ -280,9 +296,15 @@ impl DriverOptions {
                 "--trace" => {
                     opts.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file path")?));
                 }
+                "--tuned" => {
+                    let p =
+                        PathBuf::from(it.next().ok_or("--tuned needs a tuned-table file path")?);
+                    opts.tuned = Some(tune::TunedTable::load(&p)?);
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag `{other}` (expected --size/--threads/--json/--out/--trace)"
+                        "unknown flag `{other}` (expected \
+                         --size/--threads/--json/--out/--trace/--tuned)"
                     ))
                 }
             }
@@ -322,7 +344,8 @@ pub fn run_experiment_with_traces(
     if opts.trace.is_some() {
         rt = rt.collecting_traces(DEFAULT_TRACE_CAPACITY);
     }
-    let ctx = ExpContext { rt, size: opts.size.unwrap_or(e.default_size) };
+    let ctx =
+        ExpContext { rt, size: opts.size.unwrap_or(e.default_size), tuned: opts.tuned.clone() };
     let report = (e.run)(&ctx)?;
     Ok((report, ctx.rt.collected_traces()))
 }
@@ -357,7 +380,7 @@ pub fn run_with_args(name: &str, args: &[String]) -> ExitCode {
             eprintln!("{msg}");
             eprintln!(
                 "usage: {name} [--size tiny|single|multi] [--threads N] [--json] [--out DIR] \
-                 [--trace FILE]"
+                 [--trace FILE] [--tuned FILE]"
             );
             return ExitCode::FAILURE;
         }
@@ -507,6 +530,12 @@ struct ServeDriverOptions {
     /// `--resume FILE`: continue from a checkpoint document instead of
     /// starting at virtual time zero.
     resume: Option<PathBuf>,
+    /// `--tuned FILE`: a `pimsim tune` table; its policy and channel mode
+    /// for the scenario's dominant workload are applied unless the
+    /// matching explicit flag overrides them.
+    tuned: Option<PathBuf>,
+    /// Whether `--channel` was given explicitly (wins over `--tuned`).
+    channel_given: bool,
 }
 
 /// Parses the `pimsim serve` flag set: the serving knobs
@@ -560,6 +589,17 @@ fn parse_serve_args(
                 drv.resume =
                     Some(PathBuf::from(it.next().ok_or("--resume needs a checkpoint file path")?));
             }
+            "--channel" => {
+                let v =
+                    it.next().ok_or("--channel needs a mode (blocking|broadcast|overlapped)")?;
+                serve.channel = pimulator::pim_host::ChannelMode::by_name(v)
+                    .map_err(|e| format!("--channel: {e}"))?;
+                drv.channel_given = true;
+            }
+            "--tuned" => {
+                drv.tuned =
+                    Some(PathBuf::from(it.next().ok_or("--tuned needs a tuned-table file path")?));
+            }
             "--policy" => {
                 let v = it.next().ok_or("--policy needs a name")?;
                 if pim_serve::policy_by_name(v).is_none() {
@@ -589,7 +629,8 @@ fn parse_serve_args(
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --seed/--duration-ms/--load/--policy/\
-                     --faults/--checkpoint-every/--resume/--threads/--json/--out/--trace)"
+                     --faults/--channel/--tuned/--checkpoint-every/--resume/--threads/--json/\
+                     --out/--trace)"
                 ))
             }
         }
@@ -611,18 +652,51 @@ pub fn run_serve_with_args(name: &str, args: &[String]) -> ExitCode {
         }
         return ExitCode::FAILURE;
     };
-    let (serve_opts, drv, opts) = match parse_serve_args(args) {
+    let (mut serve_opts, drv, opts) = match parse_serve_args(args) {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
                 "usage: pimsim serve {name} [--seed N] [--duration-ms M] [--load X] \
-                 [--policy P] [--faults SPEC] [--checkpoint-every MS] [--resume FILE] \
+                 [--policy P] [--faults SPEC] [--channel MODE] [--tuned FILE] \
+                 [--checkpoint-every MS] [--resume FILE] \
                  [--threads N] [--json] [--out DIR] [--trace FILE]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if let Some(tuned_path) = &drv.tuned {
+        let table = match tune::TunedTable::load(tuned_path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("serve {name}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match table.entry_for_scenario(scenario) {
+            Ok(entry) => {
+                // Explicit flags outrank the table.
+                if serve_opts.policy.is_none() {
+                    serve_opts.policy = Some(entry.policy.clone());
+                }
+                if !drv.channel_given {
+                    serve_opts.channel = entry.channel;
+                }
+                if !opts.json_stdout {
+                    eprintln!(
+                        "tuned: {} -> policy={} channel={}",
+                        entry.workload,
+                        entry.policy,
+                        entry.channel.label()
+                    );
+                }
+            }
+            Err(err) => {
+                eprintln!("serve {name}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // Checkpoints are rendered as they are cut and written once the run
     // finishes, as `<out>/serve_<name>.ckpt<k>.json` in cut order.
     let mut snapshots: Vec<String> = Vec::new();
@@ -652,6 +726,7 @@ pub fn run_serve_with_args(name: &str, args: &[String]) -> ExitCode {
             serve_opts.load,
             pim_serve::resolved_duration_ns(scenario, &serve_opts),
             &pim_serve::fault_label(&serve_opts),
+            pim_serve::channel_label(&serve_opts),
         ) {
             eprintln!("serve {name}: checkpoint does not match this run: {err}");
             return ExitCode::FAILURE;
@@ -1325,6 +1400,101 @@ fn run_serving_faults(ctx: &ExpContext) -> Result<ExpReport, SimError> {
             ctx.size,
             Json::Arr(json_rows),
             vec![("scenario", Json::from(scenario.name)), ("duration_ms", Json::UInt(duration_ms))],
+        ),
+    })
+}
+
+fn run_transfer_study(ctx: &ExpContext) -> Result<ExpReport, SimError> {
+    use pimulator::pim_host::ChannelMode;
+    use prim_suite::{workload_by_name, RunConfig};
+
+    // The transfer-bound slice of the suite: host payloads dominate (or
+    // rival) kernel time, so the channel mode is the knob that moves the
+    // end-to-end wall. Each workload runs at one shape — the tuned one
+    // when `--tuned` is given, the fixed study default otherwise — under
+    // all three channel modes.
+    const WORKLOADS: [&str; 6] = ["VA", "SEL", "UNI", "TRNS", "SCAN-SSA", "BS"];
+    const MODES: [ChannelMode; 3] =
+        [ChannelMode::Blocking, ChannelMode::Broadcast, ChannelMode::Overlapped];
+
+    struct Case {
+        workload: &'static str,
+        tasklets: u32,
+        n_dpus: u32,
+        mode: ChannelMode,
+    }
+    let mut cases = Vec::new();
+    for name in WORKLOADS {
+        let w = workload_by_name(name).expect("study workload exists");
+        let (tasklets, n_dpus) = match ctx.tuned.as_ref().and_then(|t| t.entry(name)) {
+            Some(e) => (e.tasklets, e.n_dpus),
+            None => (16, if w.supports_multi_dpu() { 4 } else { 1 }),
+        };
+        for mode in MODES {
+            cases.push(Case { workload: name, tasklets, n_dpus, mode });
+        }
+    }
+    let runs = ctx.rt.map(&cases, |_, c| {
+        let w = workload_by_name(c.workload).expect("study workload exists");
+        let cfg = DpuConfig::paper_baseline(c.tasklets);
+        let rc =
+            if c.n_dpus == 1 { RunConfig::single(cfg) } else { RunConfig::multi(c.n_dpus, cfg) };
+        let run = w.run(ctx.size, &rc.with_channel(c.mode))?;
+        Ok(run.timeline)
+    });
+
+    let mut t = Table::new(&[
+        "workload",
+        "tasklets",
+        "dpus",
+        "channel",
+        "to_ms",
+        "kernel_ms",
+        "from_ms",
+        "wall_ms",
+        "vs blocking",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut blocking_wall = 0.0f64;
+    for (c, tl) in cases.iter().zip(runs) {
+        let tl = tl?;
+        let wall = tl.wall_ns();
+        // The grid emits blocking first per workload, so the baseline is
+        // always set before the v2 rows of the same workload render.
+        if c.mode == ChannelMode::Blocking {
+            blocking_wall = wall;
+        }
+        t.row_owned(vec![
+            c.workload.to_string(),
+            c.tasklets.to_string(),
+            c.n_dpus.to_string(),
+            c.mode.label().to_string(),
+            format!("{:.4}", tl.to_dpu_ns / 1e6),
+            format!("{:.4}", tl.kernel_ns / 1e6),
+            format!("{:.4}", tl.from_dpu_ns / 1e6),
+            format!("{:.4}", wall / 1e6),
+            format!("{:.2}x", blocking_wall / wall),
+        ]);
+        json_rows.push(Json::obj([
+            ("workload", Json::from(c.workload)),
+            ("tasklets", Json::from(c.tasklets)),
+            ("n_dpus", Json::from(c.n_dpus)),
+            ("channel", Json::from(c.mode.label())),
+            ("to_dpu_ns", Json::from(tl.to_dpu_ns)),
+            ("kernel_ns", Json::from(tl.kernel_ns)),
+            ("from_dpu_ns", Json::from(tl.from_dpu_ns)),
+            ("wall_ns", Json::from(wall)),
+            ("speedup_vs_blocking", Json::from(blocking_wall / wall)),
+        ]));
+    }
+    Ok(ExpReport {
+        text: header("Channel study: blocking vs broadcast vs overlapped host transfers", ctx.size)
+            + &t.render(),
+        json: json_doc(
+            "exp_transfer_study",
+            ctx.size,
+            Json::Arr(json_rows),
+            vec![("tuned", Json::from(ctx.tuned.is_some()))],
         ),
     })
 }

@@ -32,13 +32,15 @@ use pim_dpu::{Dpu, DpuConfig, ExecTier, SimError};
 use pim_isa::Cond;
 use pimulator::experiments as exp;
 use pimulator::jobs::SimJob;
+use pimulator::pim_host::ChannelMode;
 use pimulator::report::Json;
-use prim_suite::{extended_workloads, DatasetSize};
+use prim_suite::{extended_workloads, workload_by_name, DatasetSize, RunConfig};
 
 use crate::{parse_size_value, size_label};
 
-/// Schema tag written to (and required in) `BENCH.json`.
-pub const BENCH_SCHEMA: &str = "pim-bench/2";
+/// Schema tag written to (and required in) `BENCH.json`. `/3` added the
+/// required `channels` rows (simulated wall time per channel mode).
+pub const BENCH_SCHEMA: &str = "pim-bench/3";
 
 /// Rows whose wall time (in either run) falls under this threshold are
 /// exempt from the `--baseline` regression gate: sub-50ms measurements on
@@ -403,6 +405,80 @@ pub fn measure_rank(size: DatasetSize, reps: usize) -> Result<RankMeasurement, S
     })
 }
 
+/// One channel-mode row: the **simulated** end-to-end wall time of a
+/// transfer-bound workload under one channel mode. Unlike the throughput
+/// rows, these are properties of the simulated machine, not the
+/// simulator — fixed for a given `(workload, shape, mode, size)` — so
+/// the bench doubles as a pinned record of the channel model's effect.
+#[derive(Debug, Clone)]
+pub struct ChannelMeasurement {
+    /// Workload name.
+    pub workload: String,
+    /// Channel-mode label (`blocking` | `broadcast` | `overlapped`).
+    pub channel: &'static str,
+    /// Tasklets per DPU.
+    pub tasklets: u32,
+    /// DPUs the run spans.
+    pub n_dpus: u32,
+    /// Simulated end-to-end wall time.
+    pub wall_ns: f64,
+    /// Simulated wall of the same shape under the blocking mode.
+    pub blocking_wall_ns: f64,
+}
+
+impl ChannelMeasurement {
+    /// Simulated end-to-end win over the blocking mode (1.0 for the
+    /// blocking row itself).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.blocking_wall_ns / self.wall_ns
+    }
+}
+
+/// Workloads the channel rows cover: both are transfer-bound, so the
+/// mode shows through in the end-to-end wall.
+pub const CHANNEL_WORKLOADS: [&str; 2] = ["VA", "SEL"];
+
+/// DPUs the channel rows span (per-rank overlap needs a population).
+pub const CHANNEL_DPUS: u32 = 4;
+
+/// Measures [`CHANNEL_WORKLOADS`] under all three channel modes at the
+/// bench shape (16 tasklets × [`CHANNEL_DPUS`] DPUs), in mode-major
+/// order with blocking first.
+///
+/// # Errors
+///
+/// Propagates the simulation fault, if any.
+///
+/// # Panics
+///
+/// Panics if a channel workload is missing from the suite.
+pub fn channel_rows(size: DatasetSize) -> Result<Vec<ChannelMeasurement>, SimError> {
+    let cfg = DpuConfig::paper_baseline(BENCH_TASKLETS);
+    let mut out = Vec::new();
+    for name in CHANNEL_WORKLOADS {
+        let w = workload_by_name(name).expect("channel workload exists");
+        let mut blocking_wall = 0.0f64;
+        for mode in [ChannelMode::Blocking, ChannelMode::Broadcast, ChannelMode::Overlapped] {
+            let rc = RunConfig::multi(CHANNEL_DPUS, cfg.clone()).with_channel(mode);
+            let run = w.run(size, &rc)?;
+            let wall = run.timeline.wall_ns();
+            if mode == ChannelMode::Blocking {
+                blocking_wall = wall;
+            }
+            out.push(ChannelMeasurement {
+                workload: name.to_string(),
+                channel: mode.label(),
+                tasklets: BENCH_TASKLETS,
+                n_dpus: CHANNEL_DPUS,
+                wall_ns: wall,
+                blocking_wall_ns: blocking_wall,
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// Options of `pimsim bench`.
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
@@ -499,6 +575,7 @@ pub fn bench_json(
     size: DatasetSize,
     reps: usize,
     rows: &[Measurement],
+    channels: &[ChannelMeasurement],
     rank: &RankMeasurement,
 ) -> Json {
     Json::obj([
@@ -522,6 +599,24 @@ pub fn bench_json(
                             ("instrs_per_sec", Json::from(m.instrs_per_sec())),
                             ("instrs_per_sec_fast", Json::from(m.instrs_per_sec_fast())),
                             ("compiled_speedup", Json::from(m.compiled_speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "channels",
+            Json::Arr(
+                channels
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("workload", Json::from(c.workload.as_str())),
+                            ("channel", Json::from(c.channel)),
+                            ("tasklets", Json::from(c.tasklets)),
+                            ("n_dpus", Json::from(c.n_dpus)),
+                            ("wall_ns", Json::from(c.wall_ns)),
+                            ("speedup_vs_blocking", Json::from(c.speedup())),
                         ])
                     })
                     .collect(),
@@ -617,6 +712,41 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             return Err(format!("`workloads` is missing the required `{required}` row"));
         }
     }
+    // The channel rows are required and must cover every mode: a bench
+    // binary that silently dropped the channel-model sweep (or a document
+    // written before it landed) fails validation in the CI smoke step.
+    let Json::Arr(channels) = field("channels")? else {
+        return Err("`channels` must be an array".to_string());
+    };
+    if channels.is_empty() {
+        return Err("`channels` must not be empty".to_string());
+    }
+    for (i, row) in channels.iter().enumerate() {
+        let Json::Obj(pairs) = row else {
+            return Err(format!("channels[{i}] must be an object"));
+        };
+        let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        for key in ["workload", "channel"] {
+            if !matches!(get(key), Some(Json::Str(_))) {
+                return Err(format!("channels[{i}] needs a string `{key}`"));
+            }
+        }
+        for key in ["wall_ns", "speedup_vs_blocking"] {
+            match get(key) {
+                Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => {}
+                _ => return Err(format!("channels[{i}]: `{key}` must be a positive number")),
+            }
+        }
+    }
+    for mode in ["blocking", "broadcast", "overlapped"] {
+        let present = channels.iter().any(|row| {
+            matches!(row, Json::Obj(pairs)
+                if pairs.iter().any(|(k, v)| k == "channel" && matches!(v, Json::Str(s) if s == mode)))
+        });
+        if !present {
+            return Err(format!("`channels` is missing `{mode}` rows"));
+        }
+    }
     // The `rank` entry (SoA batch executor throughput) is required: the CI
     // bench smoke step fails on documents written without it.
     let Json::Obj(rank) = field("rank")? else {
@@ -697,6 +827,7 @@ pub fn bench_table(
     size: DatasetSize,
     reps: usize,
     rows: &[Measurement],
+    channels: &[ChannelMeasurement],
     rank: &RankMeasurement,
     baseline: Option<&Json>,
 ) -> String {
@@ -722,6 +853,19 @@ pub fn bench_table(
             }
         }
         text.push('\n');
+    }
+    for c in channels {
+        let _ = writeln!(
+            text,
+            "CHANNEL {:6} {:>10} @ {} tasklets x {} DPUs: simulated {:>10.3} ms ({:.2}x vs \
+             blocking)",
+            c.workload,
+            c.channel,
+            c.tasklets,
+            c.n_dpus,
+            c.wall_ns / 1e6,
+            c.speedup()
+        );
     }
     let _ = writeln!(
         text,
@@ -772,6 +916,13 @@ pub fn run_bench_with_args(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let channels = match channel_rows(opts.size) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pimsim bench: channel sweep fault: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let rank = match measure_rank(opts.size, opts.reps) {
         Ok(r) => r,
         Err(e) => {
@@ -779,11 +930,11 @@ pub fn run_bench_with_args(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let doc = bench_json(opts.size, opts.reps, &rows, &rank);
+    let doc = bench_json(opts.size, opts.reps, &rows, &channels, &rank);
     let pretty = doc.render_pretty();
     {
         use std::io::Write as _;
-        let table = bench_table(opts.size, opts.reps, &rows, &rank, baseline.as_ref());
+        let table = bench_table(opts.size, opts.reps, &rows, &channels, &rank, baseline.as_ref());
         let out = if opts.json_stdout { &pretty } else { &table };
         let _ = std::io::stdout().write_all(out.as_bytes());
     }
@@ -874,10 +1025,25 @@ mod tests {
             .collect()
     }
 
+    fn example_channels() -> Vec<ChannelMeasurement> {
+        ["blocking", "broadcast", "overlapped"]
+            .iter()
+            .map(|mode| ChannelMeasurement {
+                workload: "VA".to_string(),
+                channel: mode,
+                tasklets: 16,
+                n_dpus: 4,
+                wall_ns: if *mode == "blocking" { 3000.0 } else { 2000.0 },
+                blocking_wall_ns: 3000.0,
+            })
+            .collect()
+    }
+
     #[test]
     fn regression_gate_flags_slowdowns_and_skips_noise() {
         let rows = example_rows();
-        let baseline = bench_json(DatasetSize::Tiny, 1, &rows, &example_rank());
+        let baseline =
+            bench_json(DatasetSize::Tiny, 1, &rows, &example_channels(), &example_rank());
         // Identical run: nothing regresses.
         assert!(regression_failures(&rows, &baseline).is_empty());
         // 2x slower on one workload: flagged by name.
@@ -891,7 +1057,8 @@ mod tests {
         for m in &mut noisy {
             m.wall_seconds = MIN_REGRESSION_WALL / 10.0;
         }
-        let noisy_base = bench_json(DatasetSize::Tiny, 1, &noisy, &example_rank());
+        let noisy_base =
+            bench_json(DatasetSize::Tiny, 1, &noisy, &example_channels(), &example_rank());
         let mut noisy_slow = noisy.clone();
         noisy_slow[0].wall_seconds *= 2.0;
         assert!(regression_failures(&noisy_slow, &noisy_base).is_empty());
@@ -899,7 +1066,8 @@ mod tests {
 
     #[test]
     fn bench_json_round_trips_and_validates() {
-        let doc = bench_json(DatasetSize::Tiny, 1, &example_rows(), &example_rank());
+        let doc =
+            bench_json(DatasetSize::Tiny, 1, &example_rows(), &example_channels(), &example_rank());
         validate_bench_json(&doc).unwrap();
         let reparsed = Json::parse(&doc.render_pretty()).unwrap();
         validate_bench_json(&reparsed).unwrap();
@@ -909,7 +1077,8 @@ mod tests {
     fn validator_requires_the_extension_rows() {
         let dense_only: Vec<Measurement> =
             example_rows().into_iter().filter(|m| m.name == "VA").collect();
-        let doc = bench_json(DatasetSize::Tiny, 1, &dense_only, &example_rank());
+        let doc =
+            bench_json(DatasetSize::Tiny, 1, &dense_only, &example_channels(), &example_rank());
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("SpMV-BSR"), "error names the missing row: {err}");
     }
@@ -935,7 +1104,8 @@ mod tests {
 
     #[test]
     fn validator_requires_the_rank_entry() {
-        let Json::Obj(pairs) = bench_json(DatasetSize::Tiny, 1, &example_rows(), &example_rank())
+        let Json::Obj(pairs) =
+            bench_json(DatasetSize::Tiny, 1, &example_rows(), &example_channels(), &example_rank())
         else {
             panic!("bench_json renders an object");
         };

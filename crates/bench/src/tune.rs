@@ -1,0 +1,661 @@
+//! `pimsim tune`: a deterministic per-workload autotuner over the
+//! execution knobs the rest of the harness exposes — tasklet count, DPU
+//! count, and the v2 channel mode — plus a scheduler-policy
+//! recommendation derived from the workload's serving proxy class.
+//!
+//! The tuner sweeps a fixed grid per workload through the parallel
+//! [`JobRunner`] and scores every point by **simulated** end-to-end wall
+//! time ([`ExecutionTimeline::wall_ns`]), so the emitted table
+//! (`results/tuned.json`, schema [`TUNE_SCHEMA`]) is a pure function of
+//! `(workload set, grid, size)`: byte-identical at any `--threads`
+//! value. Ties break to the earlier grid point. `pimsim serve --tuned
+//! FILE` and `pimsim exp --tuned FILE` consume the table; stale or
+//! mismatched documents are rejected with a typed error, mirroring the
+//! checkpoint `--resume` validation.
+//!
+//! The policy column is *derived*, not searched: the serving scheduler
+//! only matters under multi-tenant load, which a single-workload sweep
+//! cannot observe. The mapping follows the proxy-class shape —
+//! memory-bound classes batch best by size (`size_class`), compute-bound
+//! classes are latency-critical (`fifo`), and everything else gets the
+//! fairness-preserving default (`weighted_fair`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pim_dpu::{DpuConfig, SimError};
+use pim_serve::kernels::{request_classes, KernelKind};
+use pimulator::jobs::JobRunner;
+use pimulator::pim_host::ChannelMode;
+use pimulator::report::{Json, Table};
+use prim_suite::{extended_workloads, workload_by_name, DatasetSize, RunConfig};
+
+use crate::{parse_size_value, size_label, write_with_parents};
+
+/// Schema tag written to (and required in) a tuned table.
+pub const TUNE_SCHEMA: &str = "pim-tune/1";
+
+/// One tuned configuration: the winning grid point of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedEntry {
+    /// Canonical workload name (as [`Workload::name`] spells it).
+    pub workload: String,
+    /// Family label (`dense` | `sparse` | `nn-inference`).
+    pub family: String,
+    /// Winning tasklet count.
+    pub tasklets: u32,
+    /// Winning DPU count.
+    pub n_dpus: u32,
+    /// Winning channel mode.
+    pub channel: ChannelMode,
+    /// Derived scheduler policy (see the module docs).
+    pub policy: String,
+    /// Simulated wall time of the winning point.
+    pub wall_ns: f64,
+    /// Simulated wall time of the best *blocking* point — the tuned
+    /// legacy configuration, the denominator of [`TunedEntry::speedup`].
+    pub blocking_wall_ns: f64,
+}
+
+impl TunedEntry {
+    /// End-to-end win of the tuned channel mode over the tuned legacy
+    /// (blocking) configuration.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.blocking_wall_ns / self.wall_ns
+    }
+}
+
+/// A full tuned-config table: what `results/tuned.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedTable {
+    /// Dataset size the sweep ran at.
+    pub size: DatasetSize,
+    /// One entry per tuned workload, in sweep order.
+    pub entries: Vec<TunedEntry>,
+}
+
+impl TunedTable {
+    /// The entry of `name` (resolved through the workload registry, so
+    /// aliases like `SpMV-CSR` find their canonical row).
+    #[must_use]
+    pub fn entry(&self, name: &str) -> Option<&TunedEntry> {
+        let canonical = workload_by_name(name)?.name().to_string();
+        self.entries.iter().find(|e| e.workload == canonical)
+    }
+
+    /// The entry `pimsim serve --tuned` applies: the scenario's dominant
+    /// workload by `tenant share × mix weight` (ties keep the earlier
+    /// tenant/mix position). Every workload any tenant mixes must be
+    /// covered, or the whole table is rejected — a stale table silently
+    /// tuning half a scenario would be worse than no table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the uncovered workloads.
+    pub fn entry_for_scenario(
+        &self,
+        scenario: &pim_serve::Scenario,
+    ) -> Result<&TunedEntry, String> {
+        let mut missing: Vec<&str> = Vec::new();
+        let mut best: Option<(&TunedEntry, u64)> = None;
+        for t in scenario.tenants {
+            for (w, weight) in t.mix {
+                let Some(entry) = self.entry(w) else {
+                    missing.push(w);
+                    continue;
+                };
+                let score = u64::from(t.share) * u64::from(*weight);
+                let better = match &best {
+                    None => true,
+                    Some((_, s)) => score > *s,
+                };
+                if better {
+                    best = Some((entry, score));
+                }
+            }
+        }
+        if !missing.is_empty() {
+            missing.sort_unstable();
+            missing.dedup();
+            return Err(format!(
+                "tuned table does not cover workload(s) {} of scenario `{}` \
+                 (re-run `pimsim tune`)",
+                missing.join(", "),
+                scenario.name
+            ));
+        }
+        best.map(|(e, _)| e)
+            .ok_or_else(|| format!("scenario `{}` has no tenant mixes", scenario.name))
+    }
+
+    /// Renders the table document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from(TUNE_SCHEMA)),
+            ("size", Json::from(size_label(self.size))),
+            (
+                "workloads",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("workload", Json::from(e.workload.as_str())),
+                                ("family", Json::from(e.family.as_str())),
+                                ("tasklets", Json::from(e.tasklets)),
+                                ("n_dpus", Json::from(e.n_dpus)),
+                                ("channel", Json::from(e.channel.label())),
+                                ("policy", Json::from(e.policy.as_str())),
+                                ("wall_ns", Json::from(e.wall_ns)),
+                                ("blocking_wall_ns", Json::from(e.blocking_wall_ns)),
+                                ("speedup", Json::from(e.speedup())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a table document, rejecting anything that is not a
+    /// well-formed [`TUNE_SCHEMA`] table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let Json::Obj(top) = doc else {
+            return Err("tuned table must be a JSON object".to_string());
+        };
+        let field = |name: &str| -> Result<&Json, String> {
+            top.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("tuned table is missing `{name}`"))
+        };
+        match field("schema")? {
+            Json::Str(s) if s == TUNE_SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "unsupported tuned-table schema {} (expected \"{TUNE_SCHEMA}\")",
+                    other.render()
+                ))
+            }
+        }
+        let Json::Str(size_text) = field("size")? else {
+            return Err("tuned table `size` must be a string".to_string());
+        };
+        let size = parse_size_value(size_text).map_err(|e| format!("tuned table: {e}"))?;
+        let Json::Arr(rows) = field("workloads")? else {
+            return Err("tuned table `workloads` must be an array".to_string());
+        };
+        let mut entries = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let Json::Obj(pairs) = row else {
+                return Err(format!("tuned table workloads[{i}] must be an object"));
+            };
+            let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let str_field = |name: &str| -> Result<String, String> {
+                match get(name) {
+                    Some(Json::Str(s)) => Ok(s.clone()),
+                    _ => Err(format!("tuned table workloads[{i}] needs a string `{name}`")),
+                }
+            };
+            let uint_field = |name: &str| -> Result<u32, String> {
+                match get(name) {
+                    Some(Json::UInt(v)) if *v > 0 => Ok(*v as u32),
+                    _ => {
+                        Err(format!("tuned table workloads[{i}] needs a positive integer `{name}`"))
+                    }
+                }
+            };
+            let num_field = |name: &str| -> Result<f64, String> {
+                match get(name) {
+                    Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => Ok(*v),
+                    Some(Json::UInt(v)) => Ok(*v as f64),
+                    _ => {
+                        Err(format!("tuned table workloads[{i}] needs a positive number `{name}`"))
+                    }
+                }
+            };
+            let workload = str_field("workload")?;
+            let channel = ChannelMode::by_name(&str_field("channel")?)
+                .map_err(|e| format!("tuned table workloads[{i}] ({workload}): {e}"))?;
+            let policy = str_field("policy")?;
+            if pim_serve::policy_by_name(&policy).is_none() {
+                return Err(format!(
+                    "tuned table workloads[{i}] ({workload}) names unknown policy `{policy}`"
+                ));
+            }
+            entries.push(TunedEntry {
+                workload,
+                family: str_field("family")?,
+                tasklets: uint_field("tasklets")?,
+                n_dpus: uint_field("n_dpus")?,
+                channel,
+                policy,
+                wall_ns: num_field("wall_ns")?,
+                blocking_wall_ns: num_field("blocking_wall_ns")?,
+            });
+        }
+        Ok(TunedTable { size, entries })
+    }
+
+    /// Reads and parses a table file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O, parse, or schema failure,
+    /// prefixed with the path.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{} is not JSON: {e}", path.display()))?;
+        Self::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// The derived scheduler policy of one workload (see the module docs).
+#[must_use]
+pub fn derived_policy(workload: &str) -> &'static str {
+    let kind = request_classes()
+        .iter()
+        .find(|c| c.workload.eq_ignore_ascii_case(workload))
+        .map(|c| c.kind);
+    match kind {
+        Some(KernelKind::MemBound) => "size_class",
+        Some(KernelKind::ComputeBound) => "fifo",
+        _ => "weighted_fair",
+    }
+}
+
+/// Options of `pimsim tune`.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Dataset size the sweep runs at (default tiny; the tuned table is a
+    /// configuration artifact, not a performance figure).
+    pub size: DatasetSize,
+    /// `--quick`: a reduced grid for the CI smoke step.
+    pub quick: bool,
+    /// Worker threads (`None` ⇒ default).
+    pub threads: Option<usize>,
+    /// Workloads to tune (`None` ⇒ the full extended suite).
+    pub workloads: Option<Vec<String>>,
+    /// Where the table is written.
+    pub out: PathBuf,
+    /// Print the JSON document instead of the table.
+    pub json_stdout: bool,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            size: DatasetSize::Tiny,
+            quick: false,
+            threads: None,
+            workloads: None,
+            out: PathBuf::from("results/tuned.json"),
+            json_stdout: false,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// Parses the `pimsim tune` flag set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or malformed value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = TuneOptions::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => o.quick = true,
+                "--size" => {
+                    let v = it.next().ok_or("--size needs a value (tiny|single|multi)")?;
+                    o.size = parse_size_value(v)?;
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a number")?;
+                    let n: usize =
+                        v.parse().map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    o.threads = Some(n);
+                }
+                "--workloads" => {
+                    let v = it.next().ok_or("--workloads needs a comma-separated list")?;
+                    let names: Vec<String> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                    if names.is_empty() {
+                        return Err("--workloads needs at least one name".to_string());
+                    }
+                    o.workloads = Some(names);
+                }
+                "--out" => o.out = PathBuf::from(it.next().ok_or("--out needs a file path")?),
+                "--json" => o.json_stdout = true,
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` (expected \
+                         --quick/--size/--threads/--workloads/--out/--json)"
+                    ))
+                }
+            }
+        }
+        Ok(o)
+    }
+}
+
+/// One grid point of the sweep.
+#[derive(Debug, Clone, Copy)]
+struct GridPoint {
+    tasklets: u32,
+    n_dpus: u32,
+    channel: ChannelMode,
+}
+
+/// The grid for one workload, in tie-break order (earlier wins ties).
+/// Blocking points come first at every `(tasklets, n_dpus)` shape so the
+/// legacy baseline is always present.
+fn grid(quick: bool, multi_dpu: bool) -> Vec<GridPoint> {
+    let tasklets: &[u32] = if quick { &[8, 16] } else { &[4, 8, 16] };
+    let dpus: &[u32] = match (quick, multi_dpu) {
+        (_, false) => &[1],
+        (true, true) => &[1, 4],
+        (false, true) => &[1, 4],
+    };
+    let modes: &[ChannelMode] = if quick {
+        &[ChannelMode::Blocking, ChannelMode::Overlapped]
+    } else {
+        &[ChannelMode::Blocking, ChannelMode::Broadcast, ChannelMode::Overlapped]
+    };
+    let mut out = Vec::new();
+    for &t in tasklets {
+        for &d in dpus {
+            for &m in modes {
+                out.push(GridPoint { tasklets: t, n_dpus: d, channel: m });
+            }
+        }
+    }
+    out
+}
+
+/// Runs the sweep and builds the table.
+///
+/// # Errors
+///
+/// Returns the first unknown workload name as `Err(String)`, or
+/// propagates a simulation fault as `Ok(Err(SimError))`-collapsed —
+/// both render as a failed run.
+pub fn run_tune(opts: &TuneOptions) -> Result<TunedTable, String> {
+    let names: Vec<String> = match &opts.workloads {
+        Some(list) => {
+            // Canonicalize up front so unknown names fail before any
+            // simulation runs.
+            let mut canonical = Vec::with_capacity(list.len());
+            for n in list {
+                let w = workload_by_name(n)
+                    .ok_or_else(|| format!("unknown workload `{n}` (see `pimsim list`)"))?;
+                canonical.push(w.name().to_string());
+            }
+            canonical
+        }
+        None => extended_workloads().iter().map(|w| w.name().to_string()).collect(),
+    };
+
+    struct Case {
+        workload: String,
+        point: GridPoint,
+    }
+    let mut cases = Vec::new();
+    for name in &names {
+        let w = workload_by_name(name).expect("canonicalized above");
+        for point in grid(opts.quick, w.supports_multi_dpu()) {
+            cases.push(Case { workload: name.clone(), point });
+        }
+    }
+
+    let runner = JobRunner::new(opts.threads);
+    let walls: Vec<Result<f64, SimError>> = runner.map(&cases, |_, c| {
+        let w = workload_by_name(&c.workload).expect("workload exists");
+        let cfg = DpuConfig::paper_baseline(c.point.tasklets);
+        let rc = if c.point.n_dpus == 1 {
+            RunConfig::single(cfg)
+        } else {
+            RunConfig::multi(c.point.n_dpus, cfg)
+        };
+        let run = w.run(opts.size, &rc.with_channel(c.point.channel))?;
+        run.validation.as_ref().expect("tuned runs stay bit-exact against the reference");
+        Ok(run.timeline.wall_ns())
+    });
+
+    let mut entries = Vec::with_capacity(names.len());
+    for name in &names {
+        let w = workload_by_name(name).expect("workload exists");
+        let mut best: Option<(GridPoint, f64)> = None;
+        let mut best_blocking: Option<f64> = None;
+        for (c, wall) in cases.iter().zip(&walls) {
+            if c.workload != *name {
+                continue;
+            }
+            let wall = match wall {
+                Ok(w) => *w,
+                Err(e) => return Err(format!("{name}: simulation fault: {e}")),
+            };
+            // Strict `<` keeps the earliest grid point on ties.
+            if best.as_ref().is_none() || wall < best.as_ref().unwrap().1 {
+                best = Some((c.point, wall));
+            }
+            if c.point.channel == ChannelMode::Blocking && best_blocking.is_none_or(|b| wall < b) {
+                best_blocking = Some(wall);
+            }
+        }
+        let (point, wall_ns) = best.expect("every workload has grid points");
+        entries.push(TunedEntry {
+            workload: name.clone(),
+            family: w.family().label().to_string(),
+            tasklets: point.tasklets,
+            n_dpus: point.n_dpus,
+            channel: point.channel,
+            policy: derived_policy(name).to_string(),
+            wall_ns,
+            blocking_wall_ns: best_blocking.expect("the grid always contains blocking points"),
+        });
+    }
+    Ok(TunedTable { size: opts.size, entries })
+}
+
+/// Renders the human-readable table.
+#[must_use]
+pub fn tune_table_text(table: &TunedTable) -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "family",
+        "tasklets",
+        "dpus",
+        "channel",
+        "policy",
+        "wall_ms",
+        "vs blocking",
+    ]);
+    for e in &table.entries {
+        t.row_owned(vec![
+            e.workload.clone(),
+            e.family.clone(),
+            e.tasklets.to_string(),
+            e.n_dpus.to_string(),
+            e.channel.label().to_string(),
+            e.policy.clone(),
+            format!("{:.4}", e.wall_ns / 1e6),
+            format!("{:.2}x", e.speedup()),
+        ]);
+    }
+    format!("== pimsim tune ({} size) ==\n{}", size_label(table.size), t.render())
+}
+
+/// The `pimsim tune` entry point: sweeps, prints, writes the table.
+#[must_use]
+pub fn run_tune_with_args(args: &[String]) -> ExitCode {
+    let opts = match TuneOptions::parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: pimsim tune [--quick] [--size tiny|single|multi] [--threads N] \
+                 [--workloads A,B,...] [--out FILE] [--json]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let table = match run_tune(&opts) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("pimsim tune: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pretty = table.to_json().render_pretty();
+    {
+        use std::io::Write as _;
+        let text = tune_table_text(&table);
+        let out = if opts.json_stdout { &pretty } else { &text };
+        let _ = std::io::stdout().write_all(out.as_bytes());
+    }
+    if let Err(e) = write_with_parents(&opts.out, &pretty) {
+        eprintln!("pimsim tune: could not write {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    // Round-trip through the parser so a table that would be rejected at
+    // consumption time fails at write time instead.
+    match TunedTable::load(&opts.out) {
+        Ok(back) if back == table => {
+            eprintln!("wrote {} (schema {TUNE_SCHEMA} OK)", opts.out.display());
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!("pimsim tune: {} did not round-trip", opts.out.display());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("pimsim tune: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_table() -> TunedTable {
+        let opts = TuneOptions {
+            quick: true,
+            threads: Some(2),
+            workloads: Some(vec!["VA".into(), "GEMV".into()]),
+            ..TuneOptions::default()
+        };
+        run_tune(&opts).unwrap()
+    }
+
+    #[test]
+    fn options_parse_and_reject() {
+        let args: Vec<String> =
+            ["--quick", "--workloads", "VA, GEMV", "--out", "x.json", "--threads", "2"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+        let o = TuneOptions::parse(&args).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.workloads, Some(vec!["VA".to_string(), "GEMV".to_string()]));
+        assert_eq!(o.out, PathBuf::from("x.json"));
+        assert!(TuneOptions::parse(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(TuneOptions::parse(&["--what".to_string()]).is_err());
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected_before_any_simulation() {
+        let opts = TuneOptions { workloads: Some(vec!["NOPE".into()]), ..TuneOptions::default() };
+        let err = run_tune(&opts).unwrap_err();
+        assert!(err.contains("NOPE"), "error names the workload: {err}");
+    }
+
+    #[test]
+    fn table_is_byte_identical_across_thread_counts() {
+        let render = |threads: usize| {
+            let opts = TuneOptions {
+                quick: true,
+                threads: Some(threads),
+                workloads: Some(vec!["VA".into(), "GEMV".into()]),
+                ..TuneOptions::default()
+            };
+            run_tune(&opts).unwrap().to_json().render_pretty()
+        };
+        let one = render(1);
+        assert_eq!(one, render(4));
+        assert_eq!(one, render(8));
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        let table = quick_table();
+        let back = TunedTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn tuned_wall_never_exceeds_the_blocking_wall() {
+        for e in &quick_table().entries {
+            assert!(
+                e.wall_ns <= e.blocking_wall_ns,
+                "{}: the grid contains every blocking point, so the winner \
+                 cannot lose to one",
+                e.workload
+            );
+        }
+    }
+
+    #[test]
+    fn derived_policies_follow_the_class_shape() {
+        assert_eq!(derived_policy("BS"), "size_class");
+        assert_eq!(derived_policy("GEMV"), "fifo");
+        assert_eq!(derived_policy("BFS"), "weighted_fair");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_and_garbage() {
+        let err = TunedTable::from_json(&Json::obj([
+            ("schema", Json::from("pim-tune/0")),
+            ("size", Json::from("tiny")),
+            ("workloads", Json::Arr(vec![])),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(TunedTable::from_json(&Json::Arr(vec![])).is_err());
+    }
+
+    #[test]
+    fn scenario_lookup_finds_the_dominant_workload_and_flags_gaps() {
+        let table = quick_table();
+        let tiny = pim_serve::scenario_by_name("tiny").unwrap();
+        // Tiny mixes BS/VA/TS; only VA and GEMV are tuned here.
+        let err = table.entry_for_scenario(tiny).unwrap_err();
+        assert!(err.contains("BS") && err.contains("TS"), "{err}");
+
+        let full =
+            run_tune(&TuneOptions { quick: true, threads: Some(4), ..TuneOptions::default() })
+                .unwrap();
+        let entry = full.entry_for_scenario(tiny).unwrap();
+        // All tiny scores tie at 1; the first tenant's first mix wins.
+        assert_eq!(entry.workload, "BS");
+        // Aliases resolve to canonical rows.
+        assert!(full.entry("SpMV-CSR").is_some());
+    }
+}

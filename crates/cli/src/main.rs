@@ -15,6 +15,7 @@
 //!     --json                      print the JSON document to stdout
 //!     --out DIR                   where <name>.json is written
 //!     --trace FILE                also write a Chrome trace-event file
+//!     --tuned FILE                take execution shapes from a tuned table
 //! pimsim trace  <name> [options]             trace a paper figure
 //!     --size tiny|single|multi    dataset size
 //!     --threads N                 simulation worker threads
@@ -34,11 +35,20 @@
 //!     --mutate                    arm the seeded scoreboard bug (self-check)
 //!     --json                      print the JSON document to stdout
 //!     --out FILE                  where the JSON report is written
+//! pimsim tune   [options]                    autotune per-workload configs
+//!     --quick                     reduced grid (CI smoke)
+//!     --size tiny|single|multi    dataset size the sweep runs at
+//!     --threads N                 worker threads (never affects the table)
+//!     --workloads A,B,...         tune a subset (default: whole suite)
+//!     --out FILE                  where the table goes (default results/tuned.json)
+//!     --json                      print the JSON document to stdout
 //! pimsim serve  <scenario|--list> [options]  run a multi-tenant serving scenario
 //!     --seed N                    traffic seed (default 42)
 //!     --duration-ms M             simulated run length (scenario default)
 //!     --load X                    load multiplier on the base rate
 //!     --policy P                  fifo | size_class | weighted_fair
+//!     --channel MODE              blocking | broadcast | overlapped
+//!     --tuned FILE                apply a tuned table's policy/channel
 //!     --faults SPEC               seeded fault campaign, k=v pairs
 //!                                 (seed/transient/stuck/timeout_us/retries/
 //!                                 backoff_us/outages/outage_ms/rank_dpus)
@@ -60,13 +70,14 @@ fn usage() -> ExitCode {
         "usage:\n  pimsim asm    <file.s>\n  pimsim disasm <file.s>\n  pimsim run    <file.s> \
          [--tasklets N] [--trace N] [--cache] [--mmu] [--ilp DRSF]\n  pimsim exp    \
          <name|--list> [--size tiny|single|multi] [--threads N] [--json] [--out DIR] [--trace \
-         FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] [--out FILE]\n  \
-         pimsim bench  [--quick] [--size tiny|single|multi] [--reps K] [--out FILE] [--json] \
-         [--baseline FILE]\n  pimsim serve  <scenario|--list> [--seed N] [--duration-ms M] \
-         [--load X] [--policy P] [--faults SPEC] [--checkpoint-every MS] [--resume FILE] \
-         [--threads N] [--json] [--out DIR] [--trace FILE]\n  pimsim \
-         fuzz   [--seed N] [--budget N] [--jobs N] [--corpus DIR] [--mutate] [--json] [--out \
-         FILE]"
+         FILE] [--tuned FILE]\n  pimsim trace  <name> [--size tiny|single|multi] [--threads N] \
+         [--out FILE]\n  pimsim bench  [--quick] [--size tiny|single|multi] [--reps K] [--out \
+         FILE] [--json] [--baseline FILE]\n  pimsim tune   [--quick] [--size tiny|single|multi] \
+         [--threads N] [--workloads A,B,...] [--out FILE] [--json]\n  pimsim serve  \
+         <scenario|--list> [--seed N] [--duration-ms M] [--load X] [--policy P] [--channel MODE] \
+         [--tuned FILE] [--faults SPEC] [--checkpoint-every MS] [--resume FILE] [--threads N] \
+         [--json] [--out DIR] [--trace FILE]\n  pimsim fuzz   [--seed N] [--budget N] [--jobs N] \
+         [--corpus DIR] [--mutate] [--json] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -136,6 +147,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench") {
         return pim_bench::perf::run_bench_with_args(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("tune") {
+        return pim_bench::tune::run_tune_with_args(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return pim_fuzz::cli::run_with_args(&args[1..]);

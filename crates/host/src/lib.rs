@@ -14,6 +14,16 @@
 //! buffer; the per-launch [`ExecutionTimeline`] accumulates transfer and
 //! kernel phases for the strong-scaling breakdowns of Fig 10.
 //!
+//! On top of that v1 pipe sits the **channel model v2** ([`ChannelConfig`]
+//! / [`ChannelMode`] / [`Channel`]): per-rank parallel channels, broadcast
+//! writes that serve a whole rank at once, and asynchronous CPU→DPU pushes
+//! that overlap kernel execution with completion barriers at pull
+//! boundaries — the software transfer tricks the pathfinding literature
+//! shows recover most of the channel's loss. The legacy
+//! [`ChannelMode::Blocking`] mode (the default, and what a bare
+//! [`TransferConfig`] converts into) reproduces the v1 numbers
+//! byte-for-byte.
+//!
 //! # Example
 //!
 //! ```
@@ -33,4 +43,6 @@ pub mod system;
 pub mod xfer;
 
 pub use system::{ExecutionTimeline, LaunchReport, PimSystem};
-pub use xfer::TransferConfig;
+pub use xfer::{
+    Channel, ChannelConfig, ChannelError, ChannelMode, TransferConfig, DEFAULT_RANK_DPUS,
+};

@@ -4,7 +4,7 @@ use pim_asm::DpuProgram;
 use pim_dpu::{Dpu, DpuConfig, DpuRunStats, SimError};
 use pim_trace::{SystemTrace, TraceEvent};
 
-use crate::xfer::TransferConfig;
+use crate::xfer::{Channel, ChannelConfig, ChannelMode};
 
 /// Accumulated end-to-end time, split the way Fig 10 splits it: input
 /// transfer, kernel execution, output transfer.
@@ -18,13 +18,32 @@ pub struct ExecutionTimeline {
     pub from_dpu_ns: f64,
     /// Number of kernel launches.
     pub launches: u32,
+    /// Wall-clock end of the run on the virtual channel timeline, ns.
+    /// Only the v2 channel modes set it (transfers there may overlap
+    /// kernel execution, so the wall clock can undercut the serialized
+    /// phase sum); it stays `0.0` under [`ChannelMode::Blocking`], where
+    /// the wall clock *is* [`ExecutionTimeline::total_ns`]. Read through
+    /// [`ExecutionTimeline::wall_ns`].
+    pub end_ns: f64,
 }
 
 impl ExecutionTimeline {
-    /// Total end-to-end time in nanoseconds.
+    /// Total end-to-end time in nanoseconds with every phase serialized
+    /// (the Fig 10 stacking; phase durations, not wall clock).
     #[must_use]
     pub fn total_ns(&self) -> f64 {
         self.to_dpu_ns + self.kernel_ns + self.from_dpu_ns
+    }
+
+    /// End-to-end wall-clock time: the channel-timeline end when a v2
+    /// channel mode tracked one, else the serialized phase sum.
+    #[must_use]
+    pub fn wall_ns(&self) -> f64 {
+        if self.end_ns > 0.0 {
+            self.end_ns
+        } else {
+            self.total_ns()
+        }
     }
 
     /// Fractions `(to_dpu, kernel, from_dpu)` of the total.
@@ -82,7 +101,7 @@ impl LaunchReport {
 #[derive(Debug)]
 pub struct PimSystem {
     dpus: Vec<Dpu>,
-    xfer: TransferConfig,
+    channel: Channel,
     timeline: ExecutionTimeline,
     /// Host-side transfer events, recorded when the DPU config enables
     /// event tracing (`event_trace_capacity > 0`).
@@ -91,17 +110,61 @@ pub struct PimSystem {
 
 impl PimSystem {
     /// Allocates `n_dpus` DPUs with the given configuration
-    /// (`dpu_alloc`).
+    /// (`dpu_alloc`). The channel accepts either a bare
+    /// [`crate::TransferConfig`] (the legacy blocking pipe, exactly as
+    /// before v2) or a full [`ChannelConfig`] selecting a v2 mode.
     ///
     /// # Panics
     ///
-    /// Panics if `n_dpus` is zero or the DPU configuration is invalid.
+    /// Panics if `n_dpus` is zero, the DPU configuration is invalid, or
+    /// the channel configuration violates the invariants of
+    /// [`ChannelConfig::try_new`].
     #[must_use]
-    pub fn new(n_dpus: u32, cfg: DpuConfig, xfer: TransferConfig) -> Self {
+    pub fn new<C: Into<ChannelConfig>>(n_dpus: u32, cfg: DpuConfig, channel: C) -> Self {
         assert!(n_dpus > 0, "a PIM system needs at least one DPU");
+        let channel_cfg: ChannelConfig = channel.into();
+        if let Err(e) = channel_cfg.xfer.validate() {
+            panic!("invalid channel config: {e}");
+        }
         let trace_host = (cfg.event_trace_capacity > 0).then(Vec::new);
         let dpus = (0..n_dpus).map(|_| Dpu::new(cfg.clone())).collect();
-        PimSystem { dpus, xfer, timeline: ExecutionTimeline::default(), trace_host }
+        PimSystem {
+            dpus,
+            channel: Channel::new(channel_cfg, n_dpus),
+            timeline: ExecutionTimeline::default(),
+            trace_host,
+        }
+    }
+
+    /// The virtual-time channel engine pricing this system's transfers.
+    #[must_use]
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Mirrors the channel's wall clock into the timeline. Blocking mode
+    /// leaves `end_ns` at 0.0 so pre-v2 timelines (and everything keyed
+    /// on them — goldens, checkpoints) stay bit-identical.
+    fn sync_wall(&mut self) {
+        if self.channel.mode() != ChannelMode::Blocking {
+            self.timeline.end_ns = self.channel.wall_ns();
+        }
+    }
+
+    /// Prices one parallel CPU→DPU push under the channel mode. Payloads
+    /// that are byte-identical across all DPUs are detected in the v2
+    /// modes and priced as a broadcast — one write serves the whole set,
+    /// the common shape of `launch_all` setup traffic.
+    fn price_push(&mut self, chunks: &[&[u8]]) -> f64 {
+        if self.channel.mode() == ChannelMode::Blocking {
+            let max_bytes = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
+            return self.channel.push_one(0, max_bytes);
+        }
+        if chunks.len() > 1 && chunks.windows(2).all(|w| w[0] == w[1]) {
+            return self.channel.broadcast(chunks[0].len() as u64);
+        }
+        let lens: Vec<u64> = chunks.iter().map(|c| c.len() as u64).collect();
+        self.channel.push(&lens)
     }
 
     /// Records a host transfer event at the current timeline position.
@@ -158,9 +221,11 @@ impl PimSystem {
         &self.timeline
     }
 
-    /// Clears the accumulated timeline (e.g. between experiments).
+    /// Clears the accumulated timeline and rewinds the channel clock
+    /// (e.g. between experiments).
     pub fn reset_timeline(&mut self) {
         self.timeline = ExecutionTimeline::default();
+        self.channel.reset();
     }
 
     /// Loads the same program on every DPU (`dpu_load`). Program upload
@@ -220,20 +285,24 @@ impl PimSystem {
         for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
             dpu.write_mram(addr, chunk);
         }
-        let ns = self.xfer.to_dpu_ns(max_bytes);
+        let ns = self.price_push(chunks);
         self.record_host(false, ns, max_bytes);
         self.timeline.to_dpu_ns += ns;
+        self.sync_wall();
         Ok(())
     }
 
     /// Broadcast CPU→DPU transfer: the same bytes to every DPU's MRAM.
+    /// The v2 channel modes price this as one rank-parallel write
+    /// serving the whole set ([`Channel::broadcast`]).
     pub fn broadcast_to_mram(&mut self, addr: u32, data: &[u8]) {
         for dpu in &mut self.dpus {
             dpu.write_mram(addr, data);
         }
-        let ns = self.xfer.to_dpu_ns(data.len() as u64);
+        let ns = self.channel.broadcast(data.len() as u64);
         self.record_host(false, ns, data.len() as u64);
         self.timeline.to_dpu_ns += ns;
+        self.sync_wall();
     }
 
     /// Single-DPU CPU→DPU transfer into MRAM (serial; accumulates its own
@@ -256,9 +325,10 @@ impl PimSystem {
     pub fn try_copy_to_mram(&mut self, dpu: u32, addr: u32, data: &[u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
         self.dpus[dpu as usize].write_mram(addr, data);
-        let ns = self.xfer.to_dpu_ns(data.len() as u64);
+        let ns = self.channel.push_one(dpu, data.len() as u64);
         self.record_host(false, ns, data.len() as u64);
         self.timeline.to_dpu_ns += ns;
+        self.sync_wall();
         Ok(())
     }
 
@@ -284,9 +354,10 @@ impl PimSystem {
         for (dpu, buf) in self.dpus.iter().zip(out.iter_mut()) {
             dpu.read_mram_into(addr, len, buf);
         }
-        let ns = self.xfer.from_dpu_ns(u64::from(len));
+        let ns = self.channel.pull(u64::from(len));
         self.record_host(true, ns, u64::from(len));
         self.timeline.from_dpu_ns += ns;
+        self.sync_wall();
     }
 
     /// Single-DPU CPU←DPU transfer out of MRAM.
@@ -314,9 +385,10 @@ impl PimSystem {
     ) -> Result<Vec<u8>, SimError> {
         self.check_dpu(dpu)?;
         let out = self.dpus[dpu as usize].read_mram(addr, len);
-        let ns = self.xfer.from_dpu_ns(u64::from(len));
+        let ns = self.channel.pull(u64::from(len));
         self.record_host(true, ns, u64::from(len));
         self.timeline.from_dpu_ns += ns;
+        self.sync_wall();
         Ok(out)
     }
 
@@ -349,20 +421,23 @@ impl PimSystem {
         for (dpu, chunk) in self.dpus.iter_mut().zip(chunks) {
             dpu.write_wram_symbol(name, chunk);
         }
-        let ns = self.xfer.to_dpu_ns(max_bytes);
+        let ns = self.price_push(chunks);
         self.record_host(false, ns, max_bytes);
         self.timeline.to_dpu_ns += ns;
+        self.sync_wall();
         Ok(())
     }
 
     /// Broadcast the same bytes into a named WRAM symbol on every DPU.
+    /// Priced like [`PimSystem::broadcast_to_mram`].
     pub fn broadcast_to_symbol(&mut self, name: &str, data: &[u8]) {
         for dpu in &mut self.dpus {
             dpu.write_wram_symbol(name, data);
         }
-        let ns = self.xfer.to_dpu_ns(data.len() as u64);
+        let ns = self.channel.broadcast(data.len() as u64);
         self.record_host(false, ns, data.len() as u64);
         self.timeline.to_dpu_ns += ns;
+        self.sync_wall();
     }
 
     /// Reads a named WRAM symbol back from every DPU. As with every
@@ -385,9 +460,10 @@ impl PimSystem {
             dpu.read_wram_symbol_into(name, buf);
         }
         let max_bytes = out.iter().map(Vec::len).max().unwrap_or(0) as u64;
-        let ns = self.xfer.from_dpu_ns(max_bytes);
+        let ns = self.channel.pull(max_bytes);
         self.record_host(true, ns, max_bytes);
         self.timeline.from_dpu_ns += ns;
+        self.sync_wall();
     }
 
     /// Launches the loaded kernel synchronously on every DPU
@@ -415,6 +491,8 @@ impl PimSystem {
         let kernel_ns = per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0f64, f64::max);
         self.timeline.kernel_ns += kernel_ns;
         self.timeline.launches += 1;
+        self.channel.kernel(kernel_ns);
+        self.sync_wall();
         Ok(LaunchReport { per_dpu, kernel_ns })
     }
 
@@ -439,6 +517,8 @@ impl PimSystem {
             .fold(0.0f64, f64::max);
         self.timeline.kernel_ns += kernel_ns;
         self.timeline.launches += 1;
+        self.channel.kernel(kernel_ns);
+        self.sync_wall();
         results
     }
 
@@ -538,6 +618,8 @@ impl PimSystem {
         let kernel_ns = per_dpu.iter().map(DpuRunStats::time_ns).fold(0.0f64, f64::max);
         self.timeline.kernel_ns += kernel_ns;
         self.timeline.launches += 1;
+        self.channel.kernel(kernel_ns);
+        self.sync_wall();
         Ok(LaunchReport { per_dpu, kernel_ns })
     }
 }
@@ -556,6 +638,7 @@ fn launch_one(dpu: &mut Dpu, idx: u32) -> Result<DpuRunStats, SimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::xfer::TransferConfig;
     use pim_asm::KernelBuilder;
     use pim_isa::Cond;
 
@@ -828,6 +911,86 @@ mod tests {
         for (g, w) in sys.pull_from_symbol("sum").iter().zip(base.pull_from_symbol("sum").iter()) {
             assert_eq!(g, w);
         }
+    }
+
+    /// Runs the standard push → launch → pull round trip under `mode` and
+    /// returns the finished timeline.
+    fn round_trip_timeline(mode: crate::ChannelMode) -> ExecutionTimeline {
+        let program = sum_kernel(64);
+        let cfg = crate::ChannelConfig::with_mode(mode);
+        let mut sys = PimSystem::new(2, DpuConfig::paper_baseline(1), cfg);
+        sys.load(&program).unwrap();
+        let a: Vec<u8> = (0..64).flat_map(|i: i32| i.to_le_bytes()).collect();
+        let b: Vec<u8> = (0..64).flat_map(|i: i32| (i + 9).to_le_bytes()).collect();
+        sys.push_to_mram(0, &[&a, &b]);
+        sys.launch_all().unwrap();
+        let _ = sys.pull_from_symbol("sum");
+        *sys.timeline()
+    }
+
+    #[test]
+    fn blocking_mode_keeps_end_ns_unset_and_wall_equals_total() {
+        let t = round_trip_timeline(crate::ChannelMode::Blocking);
+        assert_eq!(t.end_ns, 0.0, "legacy mode never touches end_ns");
+        assert!((t.wall_ns() - t.total_ns()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_mode_tracks_a_shorter_wall_clock() {
+        let blocking = round_trip_timeline(crate::ChannelMode::Blocking);
+        let over = round_trip_timeline(crate::ChannelMode::Overlapped);
+        // Phase sums are identical (distinct chunks, same kernel)…
+        assert_eq!(blocking.to_dpu_ns, over.to_dpu_ns);
+        assert_eq!(blocking.kernel_ns, over.kernel_ns);
+        assert_eq!(blocking.from_dpu_ns, over.from_dpu_ns);
+        // …but the push hides under the kernel, shortening the wall.
+        assert!(over.end_ns > 0.0);
+        assert!(over.wall_ns() < blocking.wall_ns());
+        // The pull can never hide: wall ≥ kernel + from phases.
+        assert!(over.wall_ns() >= over.kernel_ns + over.from_dpu_ns - 1e-9);
+    }
+
+    #[test]
+    fn identical_chunks_price_as_broadcast_in_v2_modes() {
+        let program = sum_kernel(64);
+        let data = vec![3u8; 64 * 4];
+        let chunks: Vec<&[u8]> = vec![&data, &data, &data, &data];
+        let mk = |mode| {
+            let cfg =
+                crate::ChannelConfig { rank_dpus: 4, ..crate::ChannelConfig::with_mode(mode) };
+            let mut sys = PimSystem::new(4, DpuConfig::paper_baseline(1), cfg);
+            sys.load(&program).unwrap();
+            sys.push_to_mram(0, &chunks);
+            sys.timeline().to_dpu_ns
+        };
+        let blocking = mk(crate::ChannelMode::Blocking);
+        let broadcast = mk(crate::ChannelMode::Broadcast);
+        assert!((blocking - TransferConfig::paper().to_dpu_ns(64 * 4)).abs() < 1e-9);
+        assert!((broadcast - blocking / 4.0).abs() < 1e-9, "one write serves all four DPUs");
+    }
+
+    #[test]
+    fn distinct_chunk_push_prices_identically_in_every_mode() {
+        let program = sum_kernel(64);
+        let chunks: Vec<Vec<u8>> = (0..3u8).map(|d| vec![d + 1; 64 * 4]).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        let mut prices = Vec::new();
+        for mode in crate::ChannelMode::all() {
+            let cfg = crate::ChannelConfig::with_mode(mode);
+            let mut sys = PimSystem::new(3, DpuConfig::paper_baseline(1), cfg);
+            sys.load(&program).unwrap();
+            sys.push_to_mram(0, &refs);
+            prices.push(sys.timeline().to_dpu_ns);
+        }
+        assert_eq!(prices[0], prices[1]);
+        assert_eq!(prices[0], prices[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid channel config")]
+    fn bad_bandwidth_config_is_rejected_at_allocation() {
+        let bad = TransferConfig { to_dpu_gbps: f64::NAN, ..TransferConfig::paper() };
+        let _ = PimSystem::new(1, DpuConfig::paper_baseline(1), bad);
     }
 
     #[test]

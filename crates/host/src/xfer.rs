@@ -1,4 +1,72 @@
-//! The CPU↔DPU transfer bandwidth model.
+//! The CPU↔DPU channel model.
+//!
+//! Two layers live here:
+//!
+//! 1. [`TransferConfig`] — the paper's §III-A fixed-bandwidth,
+//!    per-direction pipe (Table I constants), unchanged since v1. Every
+//!    transfer blocks the host and the set behaves as one flat channel.
+//! 2. The **channel model v2**: [`ChannelConfig`] selects a
+//!    [`ChannelMode`] on top of the same bandwidth constants, and
+//!    [`Channel`] is the virtual-time engine that prices each operation.
+//!    The modes ladder the software transfer tricks of the pathfinding
+//!    literature ("UPMEM Unleashed", arXiv:2510.15927):
+//!
+//!    * [`ChannelMode::Blocking`] — the legacy v1 pipe, byte-for-byte.
+//!    * [`ChannelMode::Broadcast`] — per-rank parallel channels, and a
+//!      payload written once serves every DPU of a rank: a broadcast of
+//!      `B` bytes costs `B / (rank_dpus × bw)` per rank instead of
+//!      `B / bw`. Host semantics stay blocking.
+//!    * [`ChannelMode::Overlapped`] — broadcast pricing **plus**
+//!      asynchronous pushes: CPU→DPU transfers are issued against the
+//!      per-rank channel timelines and overlap kernel execution (the
+//!      restructured, double-buffered host program), with a completion
+//!      barrier at every pull boundary. Pulls stay synchronous — the
+//!      paper observes CPU←DPU uses synchronous AVX reads, so read-back
+//!      can never be hidden.
+//!
+//! The duration *sums* accumulated into
+//! [`crate::ExecutionTimeline`]'s phase fields keep their v1 meaning in
+//! every mode; overlap shows up only in the separately tracked wall
+//! clock ([`Channel::wall_ns`] / `ExecutionTimeline::wall_ns`).
+
+use std::fmt;
+
+/// Default DPUs per rank: UPMEM DIMMs carry 8 chips × 8 DPUs per rank.
+pub const DEFAULT_RANK_DPUS: u32 = 64;
+
+/// A typed rejection of an invalid channel configuration — hand-edited
+/// configs must fail loudly at construction, not poison every later
+/// latency with NaN/∞.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A per-direction bandwidth was NaN, infinite, zero, or negative.
+    BadBandwidth {
+        /// Which direction was rejected (`"to_dpu"` / `"from_dpu"`).
+        direction: &'static str,
+        /// The offending value, GB/s.
+        gbps: f64,
+    },
+    /// `rank_dpus` was zero — a rank must hold at least one DPU.
+    EmptyRank,
+    /// A channel-mode name that is not `blocking`/`broadcast`/`overlapped`.
+    UnknownMode(String),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::BadBandwidth { direction, gbps } => {
+                write!(f, "invalid {direction} bandwidth {gbps} GB/s (must be finite and > 0)")
+            }
+            ChannelError::EmptyRank => write!(f, "rank_dpus must be at least 1"),
+            ChannelError::UnknownMode(name) => {
+                write!(f, "unknown channel mode '{name}' (expected blocking|broadcast|overlapped)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
 
 /// Fixed-bandwidth, per-direction transfer model (paper Table I).
 ///
@@ -20,13 +88,48 @@ impl TransferConfig {
         TransferConfig { to_dpu_gbps: 0.296, from_dpu_gbps: 0.063 }
     }
 
+    /// Validated constructor: rejects non-finite, zero, or negative
+    /// bandwidths with a typed [`ChannelError`] instead of silently
+    /// producing NaN/∞ latencies downstream. `bytes = 0` transfers remain
+    /// valid (they cost 0 ns); the *bandwidths* are what a hand-edited
+    /// config can get wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadBandwidth`] naming the offending
+    /// direction.
+    pub fn try_new(to_dpu_gbps: f64, from_dpu_gbps: f64) -> Result<Self, ChannelError> {
+        let cfg = TransferConfig { to_dpu_gbps, from_dpu_gbps };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Re-checks the bandwidth invariants of [`TransferConfig::try_new`]
+    /// (the fields are public for struct-update ergonomics, so a config
+    /// can be corrupted after construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadBandwidth`] naming the offending
+    /// direction.
+    pub fn validate(&self) -> Result<(), ChannelError> {
+        for (direction, gbps) in [("to_dpu", self.to_dpu_gbps), ("from_dpu", self.from_dpu_gbps)] {
+            if !gbps.is_finite() || gbps <= 0.0 {
+                return Err(ChannelError::BadBandwidth { direction, gbps });
+            }
+        }
+        Ok(())
+    }
+
     /// Nanoseconds to move `bytes` to one DPU (1 GB/s ≡ 1 byte/ns).
+    /// `bytes = 0` is a valid no-op transfer costing 0 ns.
     #[must_use]
     pub fn to_dpu_ns(&self, bytes: u64) -> f64 {
         bytes as f64 / self.to_dpu_gbps
     }
 
     /// Nanoseconds to move `bytes` back from one DPU.
+    /// `bytes = 0` is a valid no-op transfer costing 0 ns.
     #[must_use]
     pub fn from_dpu_ns(&self, bytes: u64) -> f64 {
         bytes as f64 / self.from_dpu_gbps
@@ -36,6 +139,334 @@ impl TransferConfig {
 impl Default for TransferConfig {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+/// How the channel prices and schedules transfers (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelMode {
+    /// The legacy v1 pipe: every transfer blocks the host at per-DPU
+    /// bandwidth. Reproduces pre-v2 numbers byte-for-byte.
+    #[default]
+    Blocking,
+    /// Rank-parallel channels with broadcast dedup; blocking host.
+    Broadcast,
+    /// Broadcast pricing plus asynchronous CPU→DPU pushes that overlap
+    /// kernel execution, barriered at pulls.
+    Overlapped,
+}
+
+impl ChannelMode {
+    /// Stable lowercase label used in flags, reports, and JSON rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelMode::Blocking => "blocking",
+            ChannelMode::Broadcast => "broadcast",
+            ChannelMode::Overlapped => "overlapped",
+        }
+    }
+
+    /// All modes, in sweep order.
+    #[must_use]
+    pub fn all() -> [ChannelMode; 3] {
+        [ChannelMode::Blocking, ChannelMode::Broadcast, ChannelMode::Overlapped]
+    }
+
+    /// Parses a mode label (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownMode`] for anything but
+    /// `blocking`/`broadcast`/`overlapped`.
+    pub fn by_name(name: &str) -> Result<Self, ChannelError> {
+        ChannelMode::all()
+            .into_iter()
+            .find(|m| m.label().eq_ignore_ascii_case(name))
+            .ok_or_else(|| ChannelError::UnknownMode(name.to_string()))
+    }
+}
+
+impl fmt::Display for ChannelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full channel model: bandwidth constants, scheduling mode, and the
+/// rank geometry the v2 modes exploit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Per-direction bandwidth constants (Table I).
+    pub xfer: TransferConfig,
+    /// Transfer scheduling mode.
+    pub mode: ChannelMode,
+    /// DPUs per rank (per-rank channels move in parallel in the v2
+    /// modes). Must be at least 1.
+    pub rank_dpus: u32,
+}
+
+impl ChannelConfig {
+    /// The legacy blocking pipe with the paper's constants — the default
+    /// everywhere, and the mode every golden snapshot is pinned to.
+    #[must_use]
+    pub fn blocking() -> Self {
+        ChannelConfig {
+            xfer: TransferConfig::paper(),
+            mode: ChannelMode::Blocking,
+            rank_dpus: DEFAULT_RANK_DPUS,
+        }
+    }
+
+    /// Paper constants, [`ChannelMode::Broadcast`].
+    #[must_use]
+    pub fn broadcast() -> Self {
+        ChannelConfig { mode: ChannelMode::Broadcast, ..Self::blocking() }
+    }
+
+    /// Paper constants, [`ChannelMode::Overlapped`].
+    #[must_use]
+    pub fn overlapped() -> Self {
+        ChannelConfig { mode: ChannelMode::Overlapped, ..Self::blocking() }
+    }
+
+    /// Alias for [`ChannelConfig::blocking`] (the paper measures the
+    /// blocking SDK path).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::blocking()
+    }
+
+    /// Paper constants with the given mode.
+    #[must_use]
+    pub fn with_mode(mode: ChannelMode) -> Self {
+        ChannelConfig { mode, ..Self::blocking() }
+    }
+
+    /// Validated constructor for hand-assembled configs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ChannelError`] of the first violated invariant.
+    pub fn try_new(
+        xfer: TransferConfig,
+        mode: ChannelMode,
+        rank_dpus: u32,
+    ) -> Result<Self, ChannelError> {
+        xfer.validate()?;
+        if rank_dpus == 0 {
+            return Err(ChannelError::EmptyRank);
+        }
+        Ok(ChannelConfig { xfer, mode, rank_dpus })
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::blocking()
+    }
+}
+
+impl From<TransferConfig> for ChannelConfig {
+    /// A bare [`TransferConfig`] means the legacy blocking pipe — every
+    /// pre-v2 call site keeps its exact semantics.
+    fn from(xfer: TransferConfig) -> Self {
+        ChannelConfig { xfer, ..Self::blocking() }
+    }
+}
+
+/// The virtual-time channel engine: prices each transfer under the
+/// configured [`ChannelMode`] and tracks the host clock plus one busy-until
+/// mark per rank so overlapped pushes queue on their rank's channel.
+///
+/// All times are nanoseconds on the simulated clock. The engine is the
+/// single source of truth for transfer pricing: [`crate::PimSystem`]
+/// drives it from the transfer API, and the differential test suite
+/// drives it directly with seeded shapes.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    cfg: ChannelConfig,
+    n_dpus: u32,
+    /// The host's clock: advanced by kernels and every blocking transfer.
+    host_ns: f64,
+    /// Per-rank channel busy-until marks (≥ `host_ns` only while an
+    /// overlapped push is still in flight).
+    rank_free_ns: Vec<f64>,
+}
+
+impl Channel {
+    /// A fresh channel for `n_dpus` DPUs at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dpus` or `cfg.rank_dpus` is zero (the config-level
+    /// invariant is enforced by [`ChannelConfig::try_new`]; this is the
+    /// last line of defence for struct-literal configs).
+    #[must_use]
+    pub fn new(cfg: ChannelConfig, n_dpus: u32) -> Self {
+        assert!(n_dpus > 0, "a channel serves at least one DPU");
+        assert!(cfg.rank_dpus > 0, "rank_dpus must be at least 1");
+        let ranks = n_dpus.div_ceil(cfg.rank_dpus) as usize;
+        Channel { cfg, n_dpus, host_ns: 0.0, rank_free_ns: vec![0.0; ranks] }
+    }
+
+    /// The configuration the channel was built with.
+    #[must_use]
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// The scheduling mode.
+    #[must_use]
+    pub fn mode(&self) -> ChannelMode {
+        self.cfg.mode
+    }
+
+    /// The host clock (excludes in-flight overlapped pushes).
+    #[must_use]
+    pub fn host_ns(&self) -> f64 {
+        self.host_ns
+    }
+
+    /// The wall clock: host time joined with every in-flight transfer —
+    /// the moment the whole system (host *and* channel) goes quiet.
+    #[must_use]
+    pub fn wall_ns(&self) -> f64 {
+        self.rank_free_ns.iter().fold(self.host_ns, |a, &b| a.max(b))
+    }
+
+    /// Rewinds the channel to time 0 (e.g. between experiments).
+    pub fn reset(&mut self) {
+        self.host_ns = 0.0;
+        self.rank_free_ns.fill(0.0);
+    }
+
+    /// DPUs populating rank `r` (the last rank may be partial).
+    fn rank_population(&self, r: usize) -> f64 {
+        let lo = r as u32 * self.cfg.rank_dpus;
+        f64::from(self.n_dpus.min(lo + self.cfg.rank_dpus) - lo)
+    }
+
+    /// A blocking operation of `ns` on host and channel together.
+    fn advance_sync(&mut self, ns: f64) {
+        self.host_ns += ns;
+        self.rank_free_ns.fill(self.host_ns);
+    }
+
+    /// Prices a CPU→DPU push of per-DPU payload sizes `bytes_per_dpu`
+    /// (index = DPU; 0 for uninvolved DPUs) and advances virtual time.
+    /// Returns the operation's channel time — the duration charged to the
+    /// timeline's `to_dpu_ns` phase sum.
+    ///
+    /// Pricing: the slowest per-DPU chunk gates the push in every mode
+    /// (per-DPU links move in parallel, exactly the v1 rule). In
+    /// [`ChannelMode::Overlapped`] the push is issued asynchronously:
+    /// each rank's channel is busy from `max(host, rank_free)` for its
+    /// own largest chunk, and the host does not wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `bytes_per_dpu` is not one entry per DPU.
+    pub fn push(&mut self, bytes_per_dpu: &[u64]) -> f64 {
+        debug_assert_eq!(bytes_per_dpu.len(), self.n_dpus as usize, "one payload size per DPU");
+        let max = bytes_per_dpu.iter().copied().max().unwrap_or(0);
+        let ns = self.cfg.xfer.to_dpu_ns(max);
+        match self.cfg.mode {
+            ChannelMode::Blocking => self.host_ns += ns,
+            ChannelMode::Broadcast => self.advance_sync(ns),
+            ChannelMode::Overlapped => {
+                for (r, chunk) in bytes_per_dpu.chunks(self.cfg.rank_dpus as usize).enumerate() {
+                    let rank_max = chunk.iter().copied().max().unwrap_or(0);
+                    if rank_max == 0 {
+                        continue;
+                    }
+                    let start = self.rank_free_ns[r].max(self.host_ns);
+                    self.rank_free_ns[r] = start + self.cfg.xfer.to_dpu_ns(rank_max);
+                }
+            }
+        }
+        ns
+    }
+
+    /// Prices a CPU→DPU push of `bytes` to a single DPU.
+    pub fn push_one(&mut self, dpu: u32, bytes: u64) -> f64 {
+        let ns = self.cfg.xfer.to_dpu_ns(bytes);
+        match self.cfg.mode {
+            ChannelMode::Blocking => self.host_ns += ns,
+            ChannelMode::Broadcast => self.advance_sync(ns),
+            ChannelMode::Overlapped => {
+                if bytes > 0 {
+                    let r = (dpu / self.cfg.rank_dpus) as usize;
+                    let start = self.rank_free_ns[r].max(self.host_ns);
+                    self.rank_free_ns[r] = start + ns;
+                }
+            }
+        }
+        ns
+    }
+
+    /// Prices a broadcast of `bytes` — one payload serving every DPU.
+    ///
+    /// In the v2 modes the payload is written **once** per rank and the
+    /// rank's aggregate link (`rank_dpus × bw`) carries it, so the cost
+    /// per rank is `bytes / (population × bw)`; the smallest (possibly
+    /// partial, and therefore slowest) rank gates the operation, and
+    /// ranks move in parallel. [`ChannelMode::Blocking`] keeps the v1
+    /// price of one per-DPU write (`bytes / bw`), which is what the SDK's
+    /// sequential broadcast costs under per-DPU-parallel links.
+    pub fn broadcast(&mut self, bytes: u64) -> f64 {
+        match self.cfg.mode {
+            ChannelMode::Blocking => {
+                let ns = self.cfg.xfer.to_dpu_ns(bytes);
+                self.host_ns += ns;
+                ns
+            }
+            ChannelMode::Broadcast | ChannelMode::Overlapped => {
+                let ranks = self.rank_free_ns.len();
+                let mut worst = 0.0f64;
+                for r in 0..ranks {
+                    worst = worst.max(self.cfg.xfer.to_dpu_ns(bytes) / self.rank_population(r));
+                }
+                if self.cfg.mode == ChannelMode::Broadcast {
+                    self.advance_sync(worst);
+                } else if bytes > 0 {
+                    for r in 0..ranks {
+                        let t = self.cfg.xfer.to_dpu_ns(bytes) / self.rank_population(r);
+                        let start = self.rank_free_ns[r].max(self.host_ns);
+                        self.rank_free_ns[r] = start + t;
+                    }
+                }
+                worst
+            }
+        }
+    }
+
+    /// Advances the host clock by one kernel launch of `ns`. Kernels
+    /// always block the host; in [`ChannelMode::Overlapped`] in-flight
+    /// pushes keep streaming underneath (the double-buffered host
+    /// program staged the *next* launch's data).
+    pub fn kernel(&mut self, ns: f64) {
+        self.host_ns += ns;
+        if self.cfg.mode != ChannelMode::Overlapped {
+            self.rank_free_ns.fill(self.host_ns);
+        }
+    }
+
+    /// Prices a CPU←DPU pull whose largest per-DPU chunk is `max_bytes`.
+    ///
+    /// Read-back is synchronous in every mode (the paper: CPU←DPU uses
+    /// synchronous AVX reads), and per-DPU links already move in
+    /// parallel, so the price is the v1 `max_bytes / from_bw` everywhere
+    /// — the read-back asymmetry is preserved in every mode. In
+    /// [`ChannelMode::Overlapped`] the pull is a completion barrier: the
+    /// host first waits out every in-flight push.
+    pub fn pull(&mut self, max_bytes: u64) -> f64 {
+        if self.cfg.mode == ChannelMode::Overlapped {
+            self.host_ns = self.wall_ns();
+        }
+        let ns = self.cfg.xfer.from_dpu_ns(max_bytes);
+        self.advance_sync(ns);
+        ns
     }
 }
 
@@ -62,5 +493,132 @@ mod tests {
         assert!((t.to_dpu_ns(2048) - 2.0 * t.to_dpu_ns(1024)).abs() < 1e-9);
         // 296 MB at 0.296 GB/s = 1 s.
         assert!((t.to_dpu_ns(296_000_000) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_bandwidths_and_keeps_zero_bytes_valid() {
+        assert!(TransferConfig::try_new(0.296, 0.063).is_ok());
+        for (to, from) in [(0.0, 0.063), (0.296, 0.0), (-1.0, 0.063), (f64::NAN, 0.063)] {
+            let err = TransferConfig::try_new(to, from).unwrap_err();
+            assert!(matches!(err, ChannelError::BadBandwidth { .. }), "{to}/{from}: {err}");
+        }
+        let err = TransferConfig::try_new(0.296, f64::INFINITY).unwrap_err();
+        assert_eq!(err, ChannelError::BadBandwidth { direction: "from_dpu", gbps: f64::INFINITY });
+        // bytes = 0 is a valid no-op transfer, not a config error.
+        let t = TransferConfig::paper();
+        assert_eq!(t.to_dpu_ns(0), 0.0);
+        assert_eq!(t.from_dpu_ns(0), 0.0);
+    }
+
+    #[test]
+    fn mode_labels_round_trip_and_reject_garbage() {
+        for mode in ChannelMode::all() {
+            assert_eq!(ChannelMode::by_name(mode.label()).unwrap(), mode);
+            assert_eq!(ChannelMode::by_name(&mode.label().to_uppercase()).unwrap(), mode);
+        }
+        assert_eq!(
+            ChannelMode::by_name("warp-speed").unwrap_err(),
+            ChannelError::UnknownMode("warp-speed".into())
+        );
+    }
+
+    #[test]
+    fn channel_config_validation() {
+        assert!(ChannelConfig::try_new(TransferConfig::paper(), ChannelMode::Broadcast, 64).is_ok());
+        assert_eq!(
+            ChannelConfig::try_new(TransferConfig::paper(), ChannelMode::Blocking, 0).unwrap_err(),
+            ChannelError::EmptyRank
+        );
+        let bad = TransferConfig { to_dpu_gbps: 0.0, ..TransferConfig::paper() };
+        assert!(ChannelConfig::try_new(bad, ChannelMode::Blocking, 64).is_err());
+        let from_v1: ChannelConfig = TransferConfig::paper().into();
+        assert_eq!(from_v1, ChannelConfig::blocking());
+        assert_eq!(ChannelConfig::default().mode, ChannelMode::Blocking);
+    }
+
+    /// One virtual round trip: push per-DPU chunks, run a kernel, pull.
+    fn round_trip(mode: ChannelMode, n_dpus: u32, chunks: &[u64], kernel_ns: f64) -> (f64, f64) {
+        let mut ch = Channel::new(ChannelConfig::with_mode(mode), n_dpus);
+        let to = ch.push(chunks);
+        ch.kernel(kernel_ns);
+        let from = ch.pull(*chunks.iter().max().unwrap());
+        (to + kernel_ns + from, ch.wall_ns())
+    }
+
+    #[test]
+    fn blocking_round_trip_is_the_serial_sum() {
+        let chunks = [4096u64, 1024, 4096, 64];
+        let (sum, wall) = round_trip(ChannelMode::Blocking, 4, &chunks, 500.0);
+        assert!((wall - sum).abs() < 1e-9, "blocking wall == serial sum");
+        let t = TransferConfig::paper();
+        assert!((sum - (t.to_dpu_ns(4096) + 500.0 + t.from_dpu_ns(4096))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_hides_pushes_under_kernels_but_never_pulls() {
+        let chunks = [8192u64; 4];
+        let t = TransferConfig::paper();
+        let (sum, wall) = round_trip(ChannelMode::Overlapped, 4, &chunks, 100_000.0);
+        // The push fits under the kernel entirely; the pull cannot hide.
+        assert!((wall - (100_000.0 + t.from_dpu_ns(8192))).abs() < 1e-9);
+        assert!(wall < sum);
+    }
+
+    #[test]
+    fn overlap_never_beats_the_channel_itself() {
+        // Kernel shorter than the push: the pull barrier exposes the
+        // remaining transfer time; wall == push + pull.
+        let chunks = [65536u64; 2];
+        let t = TransferConfig::paper();
+        let (_, wall) = round_trip(ChannelMode::Overlapped, 2, &chunks, 10.0);
+        assert!((wall - (t.to_dpu_ns(65536) + t.from_dpu_ns(65536))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_splits_across_the_rank() {
+        let cfg = ChannelConfig { rank_dpus: 8, ..ChannelConfig::broadcast() };
+        let mut ch = Channel::new(cfg, 8);
+        let t = TransferConfig::paper();
+        let ns = ch.broadcast(8192);
+        assert!((ns - t.to_dpu_ns(8192) / 8.0).abs() < 1e-9);
+        // Blocking prices the same broadcast at the full per-DPU cost.
+        let mut legacy =
+            Channel::new(ChannelConfig { rank_dpus: 8, ..ChannelConfig::blocking() }, 8);
+        assert!((legacy.broadcast(8192) - t.to_dpu_ns(8192)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_rank_gates_the_broadcast() {
+        // 10 DPUs at rank_dpus=8: the 2-DPU tail rank is the slowest.
+        let cfg = ChannelConfig { rank_dpus: 8, ..ChannelConfig::broadcast() };
+        let mut ch = Channel::new(cfg, 10);
+        let t = TransferConfig::paper();
+        assert!((ch.broadcast(8192) - t.to_dpu_ns(8192) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapped_pushes_queue_on_their_rank_channel() {
+        let cfg = ChannelConfig { rank_dpus: 4, ..ChannelConfig::overlapped() };
+        let mut ch = Channel::new(cfg, 4);
+        let t = TransferConfig::paper();
+        ch.push(&[4096; 4]);
+        ch.push(&[4096; 4]);
+        // No kernel ran: both pushes are in flight back-to-back.
+        assert!((ch.wall_ns() - 2.0 * t.to_dpu_ns(4096)).abs() < 1e-9);
+        assert_eq!(ch.host_ns(), 0.0);
+        // The pull barriers on both, then adds its own synchronous time.
+        let from = ch.pull(64);
+        assert!((ch.wall_ns() - (2.0 * t.to_dpu_ns(4096) + from)).abs() < 1e-9);
+        assert_eq!(ch.host_ns(), ch.wall_ns());
+    }
+
+    #[test]
+    fn reset_rewinds_to_time_zero() {
+        let mut ch = Channel::new(ChannelConfig::overlapped(), 2);
+        ch.push(&[1024, 1024]);
+        ch.kernel(10.0);
+        ch.reset();
+        assert_eq!(ch.host_ns(), 0.0);
+        assert_eq!(ch.wall_ns(), 0.0);
     }
 }

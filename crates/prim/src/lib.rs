@@ -46,7 +46,7 @@ pub mod datasets;
 pub mod workloads;
 
 use pim_dpu::{DpuConfig, DpuRunStats, MemoryMode, SimError};
-use pim_host::{ExecutionTimeline, TransferConfig};
+use pim_host::{ChannelConfig, ChannelMode, ExecutionTimeline};
 
 /// Which of the paper's Table II dataset configurations to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,21 +66,31 @@ pub struct RunConfig {
     pub dpu: DpuConfig,
     /// Number of DPUs (strong scaling splits the dataset across them).
     pub n_dpus: u32,
-    /// CPU↔DPU channel model.
-    pub xfer: TransferConfig,
+    /// CPU↔DPU channel model (bandwidths + v2 scheduling mode). The
+    /// constructors default to the legacy blocking pipe, so every
+    /// pre-v2 run keeps its exact numbers.
+    pub xfer: ChannelConfig,
 }
 
 impl RunConfig {
     /// A single-DPU run.
     #[must_use]
     pub fn single(dpu: DpuConfig) -> Self {
-        RunConfig { dpu, n_dpus: 1, xfer: TransferConfig::paper() }
+        RunConfig { dpu, n_dpus: 1, xfer: ChannelConfig::paper() }
     }
 
     /// A multi-DPU strong-scaling run.
     #[must_use]
     pub fn multi(n_dpus: u32, dpu: DpuConfig) -> Self {
-        RunConfig { dpu, n_dpus, xfer: TransferConfig::paper() }
+        RunConfig { dpu, n_dpus, xfer: ChannelConfig::paper() }
+    }
+
+    /// The same run under a different [`ChannelMode`] (builder style, for
+    /// channel-mode sweeps and the tuner).
+    #[must_use]
+    pub fn with_channel(mut self, mode: ChannelMode) -> Self {
+        self.xfer.mode = mode;
+        self
     }
 
     /// Whether the DPUs run the cache-centric memory model.

@@ -24,8 +24,11 @@ use crate::queue::{Request, TenantAdmission};
 use crate::slo::LatencySplit;
 use crate::traffic::{Arrival, TrafficState};
 
-/// Schema marker of the checkpoint document.
-pub const CHECKPOINT_SCHEMA: &str = "pim-serve-checkpoint/1";
+/// Schema marker of the checkpoint document. Bumped to `/2` when the
+/// channel-mode identity field joined the document (v1 checkpoints are
+/// rejected with a schema error rather than silently resumed under the
+/// wrong transfer model).
+pub const CHECKPOINT_SCHEMA: &str = "pim-serve-checkpoint/2";
 
 /// One pending retry: a request that failed `attempt` times and
 /// re-enters dispatch once virtual time reaches `ready_at`.
@@ -54,6 +57,10 @@ pub struct Checkpoint {
     pub duration_ns: u64,
     /// Canonical fault-spec label ([`crate::fault::FaultSpec::label`]).
     pub faults: String,
+    /// Channel-mode label ([`pimulator::pim_host::ChannelMode::label`])
+    /// — resume validates it: the transfer model shapes every round's
+    /// timing, so resuming under a different mode would be a Franken-run.
+    pub channel: String,
     /// Virtual time of the cut, ns.
     pub vtime: u64,
     /// Rounds dispatched so far.
@@ -160,6 +167,7 @@ impl Checkpoint {
             ("load_bits", Json::from(self.load_bits)),
             ("duration_ns", Json::from(self.duration_ns)),
             ("faults", Json::from(self.faults.as_str())),
+            ("channel", Json::from(self.channel.as_str())),
             ("vtime", Json::from(self.vtime)),
             ("rounds", Json::from(self.rounds)),
             ("next_id", Json::from(self.next_id)),
@@ -301,6 +309,9 @@ impl Checkpoint {
             kernel_ns: f64::from_bits(uint(get(timeline_node, "kernel_bits")?)?),
             from_dpu_ns: f64::from_bits(uint(get(timeline_node, "from_dpu_bits")?)?),
             launches: uint(get(timeline_node, "launches")?)? as u32,
+            // The serving loop prices rounds itself; the overlapped wall
+            // clock is derived per round and never checkpointed.
+            end_ns: 0.0,
         };
         let seen = items(get(doc, "seen")?)?
             .iter()
@@ -326,6 +337,7 @@ impl Checkpoint {
             load_bits: uint(get(doc, "load_bits")?)?,
             duration_ns: uint(get(doc, "duration_ns")?)?,
             faults: str_field(get(doc, "faults")?)?.to_string(),
+            channel: str_field(get(doc, "channel")?)?.to_string(),
             vtime: uint(get(doc, "vtime")?)?,
             rounds: uint(get(doc, "rounds")?)?,
             next_id: uint(get(doc, "next_id")?)?,
@@ -351,13 +363,14 @@ impl Checkpoint {
     }
 
     /// Checks that this checkpoint belongs to the run described by
-    /// `(scenario, policy, seed, load, duration_ns, faults)` — resuming
-    /// under different knobs would silently produce a Franken-run, so
-    /// every identity field must match.
+    /// `(scenario, policy, seed, load, duration_ns, faults, channel)` —
+    /// resuming under different knobs would silently produce a
+    /// Franken-run, so every identity field must match.
     ///
     /// # Errors
     ///
     /// Returns a message naming the first mismatching field.
+    #[allow(clippy::too_many_arguments)]
     pub fn validate(
         &self,
         scenario: &str,
@@ -366,6 +379,7 @@ impl Checkpoint {
         load: f64,
         duration_ns: u64,
         faults: &str,
+        channel: &str,
     ) -> Result<(), String> {
         let check = |name: &str, got: &str, want: &str| {
             if got == want {
@@ -377,6 +391,7 @@ impl Checkpoint {
         check("scenario", &self.scenario, scenario)?;
         check("policy", &self.policy, policy)?;
         check("faults", &self.faults, faults)?;
+        check("channel", &self.channel, channel)?;
         if self.seed != seed {
             return Err(format!("checkpoint seed is {} but the run wants {seed}", self.seed));
         }
@@ -410,6 +425,7 @@ mod tests {
             load_bits: 1.5f64.to_bits(),
             duration_ns: 5_000_000,
             faults: "seed=1,transient=5,stuck=0,timeout_us=200,retries=3,backoff_us=50,outages=0,outage_ms=1,rank_dpus=64".into(),
+            channel: "blocking".into(),
             vtime: 123_456,
             rounds: 17,
             next_id: 42,
@@ -442,6 +458,7 @@ mod tests {
                 kernel_ns: 12_345.678,
                 from_dpu_ns: 9.0,
                 launches: 17,
+                end_ns: 0.0,
             },
             // Canonical snapshot shape: non-negative credits are UInt
             // (what JSON text parses back to), negatives stay Int.
@@ -479,14 +496,19 @@ mod tests {
     #[test]
     fn validate_catches_every_identity_mismatch() {
         let ck = sample();
-        let ok = ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, &ck.faults);
+        let ok = ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, &ck.faults, "blocking");
         assert!(ok.is_ok(), "{ok:?}");
-        assert!(ck.validate("tiny", "fifo", 7, 1.5, 5_000_000, &ck.faults).is_err());
-        assert!(ck.validate("faulty", "size_class", 7, 1.5, 5_000_000, &ck.faults).is_err());
-        assert!(ck.validate("faulty", "fifo", 8, 1.5, 5_000_000, &ck.faults).is_err());
-        assert!(ck.validate("faulty", "fifo", 7, 2.0, 5_000_000, &ck.faults).is_err());
-        assert!(ck.validate("faulty", "fifo", 7, 1.5, 9, &ck.faults).is_err());
-        assert!(ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, "none").is_err());
+        assert!(ck.validate("tiny", "fifo", 7, 1.5, 5_000_000, &ck.faults, "blocking").is_err());
+        assert!(ck
+            .validate("faulty", "size_class", 7, 1.5, 5_000_000, &ck.faults, "blocking")
+            .is_err());
+        assert!(ck.validate("faulty", "fifo", 8, 1.5, 5_000_000, &ck.faults, "blocking").is_err());
+        assert!(ck.validate("faulty", "fifo", 7, 2.0, 5_000_000, &ck.faults, "blocking").is_err());
+        assert!(ck.validate("faulty", "fifo", 7, 1.5, 9, &ck.faults, "blocking").is_err());
+        assert!(ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, "none", "blocking").is_err());
+        let err =
+            ck.validate("faulty", "fifo", 7, 1.5, 5_000_000, &ck.faults, "overlapped").unwrap_err();
+        assert!(err.contains("channel"), "{err}");
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use checkpoint::{Checkpoint, RetryEntry, CHECKPOINT_SCHEMA};
 pub use fault::{FaultPlan, FaultSpec, Outage};
 pub use queue::{Admission, AdmissionQueue, Request, TenantAdmission};
 pub use runtime::{
-    fault_label, resolved_duration_ns, resolved_policy_name, resume_scenario, run_scenario,
-    run_scenario_with_checkpoints, ServeOptions, ServeOutcome, TenantOutcome,
+    channel_label, fault_label, resolved_duration_ns, resolved_policy_name, resume_scenario,
+    run_scenario, run_scenario_with_checkpoints, ServeOptions, ServeOutcome, TenantOutcome,
 };
 pub use scenario::{scenario_by_name, scenarios, Scenario, TenantSpec};
 pub use sched::{policy_by_name, policy_by_name_with_weights, SchedulerPolicy};
@@ -112,7 +112,7 @@ pub fn outcome_json(out: &ServeOutcome) -> Json {
             ),
         ])
     });
-    Json::obj([
+    let mut top = vec![
         ("serve", Json::from(out.scenario)),
         ("seed", Json::UInt(out.seed)),
         ("policy", Json::from(out.policy)),
@@ -120,6 +120,13 @@ pub fn outcome_json(out: &ServeOutcome) -> Json {
         ("duration_ms", Json::UInt(out.duration_ns / 1_000_000)),
         ("n_dpus", Json::UInt(u64::from(out.n_dpus))),
         ("faults", Json::from(out.faults.as_str())),
+    ];
+    // The channel key only appears for v2 modes, so pre-v2 reports (and
+    // the golden snapshots pinned on them) stay byte-identical.
+    if out.channel != "blocking" {
+        top.push(("channel", Json::from(out.channel)));
+    }
+    top.extend([
         ("rounds", Json::UInt(out.rounds)),
         ("distinct_compositions", Json::UInt(out.distinct_compositions as u64)),
         ("tenants", Json::arr(tenants)),
@@ -146,7 +153,8 @@ pub fn outcome_json(out: &ServeOutcome) -> Json {
             ]),
         ),
         ("metrics", Json::obj(out.metrics.counters().into_iter().map(|(k, v)| (k, Json::UInt(v))))),
-    ])
+    ]);
+    Json::obj(top)
 }
 
 /// Renders one serving outcome as the aligned text report printed to
@@ -185,8 +193,11 @@ pub fn outcome_table(out: &ServeOutcome) -> String {
             us(p99),
         ]);
     }
+    // Like the JSON key, the channel tag only appears for v2 modes.
+    let channel =
+        if out.channel == "blocking" { String::new() } else { format!(" channel={}", out.channel) };
     format!(
-        "serve {}  policy={} seed={} load={} dpus={} rounds={} compositions={} faults={}\n{}",
+        "serve {}  policy={} seed={} load={} dpus={} rounds={} compositions={} faults={}{}\n{}",
         out.scenario,
         out.policy,
         out.seed,
@@ -195,6 +206,7 @@ pub fn outcome_table(out: &ServeOutcome) -> String {
         out.rounds,
         out.distinct_compositions,
         out.faults,
+        channel,
         t.render()
     )
 }

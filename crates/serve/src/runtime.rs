@@ -38,7 +38,7 @@ use std::collections::BTreeSet;
 
 use pimulator::jobs::JobRunner;
 use pimulator::pim_dpu::{DpuConfig, FaultKind, SimError};
-use pimulator::pim_host::{ExecutionTimeline, TransferConfig};
+use pimulator::pim_host::{ChannelMode, ExecutionTimeline, TransferConfig};
 use pimulator::pim_trace::MetricsSink;
 use pimulator::trace::JobTrace;
 
@@ -72,6 +72,15 @@ pub struct ServeOptions {
     /// Fault campaign; `None` (or a spec where
     /// [`FaultSpec::is_none`] holds) injects nothing.
     pub faults: Option<FaultSpec>,
+    /// CPU↔DPU channel scheduling mode. [`ChannelMode::Blocking`] (the
+    /// default) prices rounds as the serial `to + kernel + from` sum —
+    /// the pre-v2 numbers, byte-for-byte. [`ChannelMode::Overlapped`]
+    /// hides the push under the previous kernel phase, so a round spans
+    /// `max(to, kernel) + from` and only the *unhidden* transfer tail
+    /// lands in request latencies. [`ChannelMode::Broadcast`] prices like
+    /// blocking here: serving pushes per-request payloads, which are
+    /// distinct per DPU, so there is nothing to broadcast.
+    pub channel: ChannelMode,
 }
 
 impl Default for ServeOptions {
@@ -84,6 +93,7 @@ impl Default for ServeOptions {
             policy: None,
             trace_capacity: 0,
             faults: None,
+            channel: ChannelMode::Blocking,
         }
     }
 }
@@ -132,6 +142,9 @@ pub struct ServeOutcome {
     pub n_dpus: u32,
     /// Canonical fault-spec label (`"none"` without a campaign).
     pub faults: String,
+    /// Channel-mode label the run priced rounds under (`"blocking"`,
+    /// `"broadcast"`, `"overlapped"`).
+    pub channel: &'static str,
     /// Per-tenant outcomes, in scenario order.
     pub tenants: Vec<TenantOutcome>,
     /// Accumulated transfer/kernel split across all rounds.
@@ -228,6 +241,12 @@ pub fn resolved_policy_name<'a>(scenario: &'a Scenario, opts: &'a ServeOptions) 
 #[must_use]
 pub fn fault_label(opts: &ServeOptions) -> String {
     opts.faults.map_or_else(|| "none".to_string(), |s| s.label())
+}
+
+/// The canonical channel-mode label of a run.
+#[must_use]
+pub fn channel_label(opts: &ServeOptions) -> &'static str {
+    opts.channel.label()
 }
 
 /// The live state of one serving run between rounds — everything a
@@ -345,6 +364,7 @@ impl<'a> LoopState<'a> {
             load_bits: opts.load.to_bits(),
             duration_ns,
             faults: fault_label(opts),
+            channel: channel_label(opts).to_string(),
             vtime: self.vtime,
             rounds: self.rounds,
             next_id: self.next_id,
@@ -631,8 +651,22 @@ fn run_loop(
         let kernel_ns =
             if any_stuck { exec_max_ns.max(stuck_timeout_ns as f64) } else { exec_max_ns };
 
+        // Overlapped channel: the push streams in while the *previous*
+        // round's kernels run, so only its unhidden tail extends the
+        // round — `max(to, kernel) + from`. The pull stays synchronous
+        // in every mode (the paper's read-back asymmetry). Blocking and
+        // broadcast price the serial sum: per-request payloads are
+        // distinct per DPU, so a serving round has nothing to broadcast.
+        let overlapped = opts.channel == ChannelMode::Overlapped;
+        let span_ns =
+            if overlapped { to_ns.max(kernel_ns) + from_ns } else { to_ns + kernel_ns + from_ns };
+        let transfer_ns = if overlapped {
+            (from_ns + (to_ns - kernel_ns).max(0.0)) as u64
+        } else {
+            (to_ns + from_ns) as u64
+        };
         let start = st.vtime;
-        let round_end = (start + (to_ns + kernel_ns + from_ns) as u64).max(start + 1);
+        let round_end = (start + span_ns as u64).max(start + 1);
 
         // An outage striking *inside* this round's window takes its rank
         // down mid-flight: every request on it fails with the typed
@@ -666,7 +700,6 @@ fn run_loop(
                 None => {
                     let profile = &cache[&canon[slot_dpu]];
                     let queue_ns = start - r.arrival_ns;
-                    let transfer_ns = (to_ns + from_ns) as u64;
                     let execute_ns = profile.slot_exec_ns[assign[slot_dpu][slot]] as u64;
                     st.splits[r.tenant].record(queue_ns, transfer_ns, execute_ns);
                     st.completed[r.tenant] += 1;
@@ -747,6 +780,7 @@ fn run_loop(
         duration_ns,
         n_dpus: scenario.n_dpus,
         faults: fault_label(opts),
+        channel: channel_label(opts),
         tenants,
         timeline: st.timeline,
         metrics,
@@ -826,6 +860,40 @@ mod tests {
         let out = run_scenario(s, &ServeOptions { trace_capacity: 256, ..opts(2) }).unwrap();
         assert_eq!(out.traces.len(), out.distinct_compositions);
         assert!(out.traces.iter().all(|t| t.trace.event_count() > 0));
+    }
+
+    #[test]
+    fn overlapped_channel_conserves_and_shortens_transfer_stalls() {
+        let s = scenario_by_name("tiny").unwrap();
+        let blocking = run_scenario(s, &opts(2)).unwrap();
+        let over =
+            run_scenario(s, &ServeOptions { channel: ChannelMode::Overlapped, ..opts(2) }).unwrap();
+        assert_eq!(over.channel, "overlapped");
+        assert_eq!(over.admitted(), over.completed() + over.failed());
+        // Same offered traffic (arrivals are seeded, not timing-fed)…
+        assert_eq!(over.offered(), blocking.offered());
+        // …but each round only charges the unhidden transfer tail, so the
+        // per-request transfer median cannot exceed blocking's.
+        let agg_b = blocking.aggregate_latency();
+        let agg_o = over.aggregate_latency();
+        assert!(
+            agg_o.transfer.quantile_ns(0.5) <= agg_b.transfer.quantile_ns(0.5),
+            "overlap must not lengthen the transfer phase"
+        );
+    }
+
+    #[test]
+    fn broadcast_channel_prices_exactly_like_blocking_here() {
+        // Serving payloads are distinct per DPU: nothing to broadcast,
+        // so the mode degenerates to blocking, byte-for-byte.
+        let s = scenario_by_name("tiny").unwrap();
+        let a = run_scenario(s, &opts(2)).unwrap();
+        let b =
+            run_scenario(s, &ServeOptions { channel: ChannelMode::Broadcast, ..opts(2) }).unwrap();
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(b.channel, "broadcast");
     }
 
     #[test]

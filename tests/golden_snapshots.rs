@@ -65,6 +65,11 @@ fn exp_sparse_nn_regenerates_byte_identically() {
 }
 
 #[test]
+fn exp_transfer_study_regenerates_byte_identically() {
+    check_golden("exp_transfer_study");
+}
+
+#[test]
 fn goldens_are_independent_of_worker_count() {
     let e = experiment_by_name("fig05_utilization").unwrap();
     let base = DriverOptions { size: Some(DatasetSize::Tiny), ..DriverOptions::default() };

@@ -112,3 +112,59 @@ fn overload_bends_the_latency_curve_but_not_the_transfer_split() {
         "execute phase should not explode with load (light {l}, heavy {h})"
     );
 }
+
+#[test]
+fn overlapped_channel_conserves_while_shifting_transfer_latency_down() {
+    use pim_host::ChannelMode;
+
+    // Same scenario, seed, and load under the blocking and overlapped
+    // channel modes: the arrival schedule and the conservation law are
+    // channel-independent, while the per-tenant *transfer* latencies
+    // shift down (overlap hides CPU→DPU time under kernels) and the
+    // queue/transfer/execute split stays internally consistent.
+    let scenario = scenario_by_name("demo").unwrap();
+    let blocking = run_scenario(scenario, &opts(2)).unwrap();
+    let overlapped =
+        run_scenario(scenario, &ServeOptions { channel: ChannelMode::Overlapped, ..opts(2) })
+            .unwrap();
+
+    assert_eq!(blocking.offered(), overlapped.offered(), "arrivals are channel-independent");
+    for out in [&blocking, &overlapped] {
+        assert_eq!(out.admitted(), out.completed() + out.failed(), "conservation");
+        assert!(out.completed() > 0);
+        for t in &out.tenants {
+            if t.latency.total.count() == 0 {
+                continue;
+            }
+            // The recorded split is internally consistent: the phase
+            // means sum to the total mean (each total is recorded as the
+            // sum of its three phases).
+            let split_sum = t.latency.queue.mean_ns()
+                + t.latency.transfer.mean_ns()
+                + t.latency.execute.mean_ns();
+            let total = t.latency.total.mean_ns();
+            assert!(
+                (split_sum - total).abs() <= total * 1e-9 + 1.0,
+                "tenant {}: phase means {split_sum} do not sum to total {total}",
+                t.name
+            );
+        }
+    }
+
+    // Transfer stalls shrink: aggregate p50 must not grow, and the run
+    // as a whole must hide a strictly positive amount of transfer time.
+    let p50 = |o: &pim_serve::ServeOutcome| o.aggregate_latency().transfer.quantile_ns(0.5);
+    assert!(
+        p50(&overlapped) <= p50(&blocking),
+        "overlapped transfer p50 {} exceeds blocking {}",
+        p50(&overlapped),
+        p50(&blocking)
+    );
+    let mean = |o: &pim_serve::ServeOutcome| o.aggregate_latency().transfer.mean_ns();
+    assert!(
+        mean(&overlapped) < mean(&blocking),
+        "overlap must hide some transfer time (overlapped {} vs blocking {})",
+        mean(&overlapped),
+        mean(&blocking)
+    );
+}

@@ -133,6 +133,7 @@ fn checkpoint_resume_matches_the_uninterrupted_run_byte_for_byte() {
                     run_opts.load,
                     pim_serve::resolved_duration_ns(scenario, &run_opts),
                     &pim_serve::fault_label(&run_opts),
+                    pim_serve::channel_label(&run_opts),
                 )
                 .unwrap_or_else(|e| panic!("cut {k} fails validation: {e}"));
                 let resumed = resume_scenario(scenario, &run_opts, ck, 0, &mut |_| {}).unwrap();
@@ -154,12 +155,17 @@ fn checkpoint_validation_rejects_a_different_run() {
     let ck = cuts.first().expect("at least one cut");
     let duration = pim_serve::resolved_duration_ns(scenario, &run_opts);
     let label = pim_serve::fault_label(&run_opts);
-    assert!(ck.validate("faulty", "fifo", 9, 1.0, duration, &label).is_ok());
-    assert!(ck.validate("faulty", "fifo", 10, 1.0, duration, &label).is_err(), "wrong seed");
-    assert!(ck.validate("faulty", "fifo", 9, 2.0, duration, &label).is_err(), "wrong load");
+    let chan = pim_serve::channel_label(&run_opts);
+    assert!(ck.validate("faulty", "fifo", 9, 1.0, duration, &label, chan).is_ok());
+    assert!(ck.validate("faulty", "fifo", 10, 1.0, duration, &label, chan).is_err(), "wrong seed");
+    assert!(ck.validate("faulty", "fifo", 9, 2.0, duration, &label, chan).is_err(), "wrong load");
     assert!(
-        ck.validate("faulty", "fifo", 9, 1.0, duration, "seed=1,transient=1").is_err(),
+        ck.validate("faulty", "fifo", 9, 1.0, duration, "seed=1,transient=1", chan).is_err(),
         "wrong fault campaign"
+    );
+    assert!(
+        ck.validate("faulty", "fifo", 9, 1.0, duration, &label, "overlapped").is_err(),
+        "wrong channel mode"
     );
 }
 
